@@ -1,0 +1,277 @@
+package aerodrome
+
+import (
+	"fmt"
+	"io"
+
+	"aerodrome/internal/core"
+	"aerodrome/internal/doublechecker"
+	"aerodrome/internal/rapidio"
+	"aerodrome/internal/trace"
+	"aerodrome/internal/velodrome"
+)
+
+// Algorithm selects a checking algorithm.
+type Algorithm string
+
+const (
+	// Basic is AeroDrome Algorithm 1 (per-thread read clocks).
+	Basic Algorithm = "basic"
+	// ReadOpt is AeroDrome Algorithm 2 (O(V) read clocks).
+	ReadOpt Algorithm = "readopt"
+	// Optimized is AeroDrome Algorithm 3 (lazy updates, update sets,
+	// transaction garbage collection) — the paper's evaluated configuration
+	// and the recommended default.
+	Optimized Algorithm = "optimized"
+	// Velodrome is the transaction-graph baseline with per-edge DFS cycle
+	// checks.
+	Velodrome Algorithm = "velodrome"
+	// VelodromePK is Velodrome with a Pearce–Kelly dynamic topological
+	// order instead of per-edge DFS (ablation).
+	VelodromePK Algorithm = "velodrome-pk"
+	// DoubleChecker is the two-phase coarse-then-precise analysis.
+	DoubleChecker Algorithm = "doublechecker"
+)
+
+// Algorithms lists all supported algorithm names.
+func Algorithms() []Algorithm {
+	return []Algorithm{Basic, ReadOpt, Optimized, Velodrome, VelodromePK, DoubleChecker}
+}
+
+func newEngine(a Algorithm) (core.Engine, error) {
+	switch a {
+	case Basic:
+		return core.NewBasic(), nil
+	case ReadOpt:
+		return core.NewReadOpt(), nil
+	case Optimized, "":
+		return core.NewOptimized(), nil
+	case Velodrome:
+		return velodrome.New(), nil
+	case VelodromePK:
+		return velodrome.New(velodrome.WithStrategy("pearce-kelly")), nil
+	case DoubleChecker:
+		return doublechecker.New(0), nil
+	}
+	return nil, fmt.Errorf("aerodrome: unknown algorithm %q", a)
+}
+
+// EventKind enumerates trace operations in the public API.
+type EventKind uint8
+
+const (
+	// TxBegin is the start of an atomic block (the paper's ⊲).
+	TxBegin EventKind = iota
+	// TxEnd is the end of an atomic block (⊳).
+	TxEnd
+	// OpRead is a read of a shared variable.
+	OpRead
+	// OpWrite is a write of a shared variable.
+	OpWrite
+	// OpAcquire is a lock acquisition.
+	OpAcquire
+	// OpRelease is a lock release.
+	OpRelease
+	// OpFork is creation of another thread.
+	OpFork
+	// OpJoin waits for another thread to finish.
+	OpJoin
+)
+
+var kindToInternal = map[EventKind]trace.OpKind{
+	TxBegin: trace.Begin, TxEnd: trace.End,
+	OpRead: trace.Read, OpWrite: trace.Write,
+	OpAcquire: trace.Acquire, OpRelease: trace.Release,
+	OpFork: trace.Fork, OpJoin: trace.Join,
+}
+
+// Event is a trace event in the public API. Thread, and Target where
+// applicable, are dense non-negative integer IDs: Target names a variable
+// for reads/writes, a lock for acquire/release, and a thread for fork/join.
+type Event struct {
+	Thread int
+	Kind   EventKind
+	Target int
+}
+
+// Violation reports a detected conflict-serializability (atomicity)
+// violation. It implements error.
+type Violation struct {
+	// EventIndex is the 0-based position of the event at which the
+	// violation was declared.
+	EventIndex int64
+	// Thread is the thread whose active transaction cannot be serialized.
+	Thread int
+	// Check names the algorithm rule that fired (e.g. "read-after-write").
+	Check string
+	// Algorithm names the engine that reported.
+	Algorithm string
+}
+
+// Error implements error.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("%s: conflict serializability violation at event %d (%s check, thread %d)",
+		v.Algorithm, v.EventIndex, v.Check, v.Thread)
+}
+
+func fromInternal(v *core.Violation) *Violation {
+	if v == nil {
+		return nil
+	}
+	return &Violation{
+		EventIndex: v.Index,
+		Thread:     int(v.ActiveThread),
+		Check:      v.Check.String(),
+		Algorithm:  v.Algorithm,
+	}
+}
+
+// Checker is a streaming conflict-serializability checker over explicit
+// events. It is not safe for concurrent use; see Monitor for a synchronized
+// front end.
+type Checker struct {
+	eng  core.Engine
+	viol *Violation
+}
+
+// NewChecker returns a checker using the given algorithm (Optimized when
+// empty). It panics on unknown algorithm names; use NewCheckerErr to
+// validate user input.
+func NewChecker(a Algorithm) *Checker {
+	c, err := NewCheckerErr(a)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// NewCheckerErr is NewChecker with error reporting.
+func NewCheckerErr(a Algorithm) (*Checker, error) {
+	eng, err := newEngine(a)
+	if err != nil {
+		return nil, err
+	}
+	return &Checker{eng: eng}, nil
+}
+
+// Event feeds one event and returns the violation declared at it, if any.
+// After the first violation the checker latches and keeps returning it.
+func (c *Checker) Event(e Event) *Violation {
+	kind, ok := kindToInternal[e.Kind]
+	if !ok {
+		return c.viol
+	}
+	v := c.eng.Process(trace.Event{
+		Thread: trace.ThreadID(e.Thread),
+		Kind:   kind,
+		Target: int32(e.Target),
+	})
+	if v != nil && c.viol == nil {
+		c.viol = fromInternal(v)
+	}
+	return c.viol
+}
+
+// Begin, End, Read, Write, Acquire, Release, Fork and Join are convenience
+// wrappers over Event.
+func (c *Checker) Begin(thread int) *Violation { return c.Event(Event{Thread: thread, Kind: TxBegin}) }
+
+// End closes thread's innermost atomic block.
+func (c *Checker) End(thread int) *Violation { return c.Event(Event{Thread: thread, Kind: TxEnd}) }
+
+// Read reports a read of variable x by thread.
+func (c *Checker) Read(thread, x int) *Violation {
+	return c.Event(Event{Thread: thread, Kind: OpRead, Target: x})
+}
+
+// Write reports a write of variable x by thread.
+func (c *Checker) Write(thread, x int) *Violation {
+	return c.Event(Event{Thread: thread, Kind: OpWrite, Target: x})
+}
+
+// Acquire reports acquisition of lock l by thread.
+func (c *Checker) Acquire(thread, l int) *Violation {
+	return c.Event(Event{Thread: thread, Kind: OpAcquire, Target: l})
+}
+
+// Release reports release of lock l by thread.
+func (c *Checker) Release(thread, l int) *Violation {
+	return c.Event(Event{Thread: thread, Kind: OpRelease, Target: l})
+}
+
+// Fork reports that thread created child.
+func (c *Checker) Fork(thread, child int) *Violation {
+	return c.Event(Event{Thread: thread, Kind: OpFork, Target: child})
+}
+
+// Join reports that thread joined child.
+func (c *Checker) Join(thread, child int) *Violation {
+	return c.Event(Event{Thread: thread, Kind: OpJoin, Target: child})
+}
+
+// Violation returns the latched violation, if any.
+func (c *Checker) Violation() *Violation { return c.viol }
+
+// Processed returns the number of events consumed.
+func (c *Checker) Processed() int64 { return c.eng.Processed() }
+
+// Report is the outcome of checking a whole trace.
+type Report struct {
+	// Serializable is true iff no violation was found.
+	Serializable bool
+	// Violation is non-nil iff not serializable.
+	Violation *Violation
+	// Events is the number of events consumed (analysis stops at the first
+	// violation, as in the paper).
+	Events int64
+	// Algorithm names the engine used.
+	Algorithm string
+}
+
+// CheckSTD analyzes a trace log in the RAPID STD text format
+// ("thread|op(target)|loc" lines) using the given algorithm.
+func CheckSTD(r io.Reader, a Algorithm) (*Report, error) {
+	eng, err := newEngine(a)
+	if err != nil {
+		return nil, err
+	}
+	rd := rapidio.NewReader(r)
+	v, n := core.Run(eng, rd)
+	if err := rd.Err(); err != nil {
+		return nil, err
+	}
+	return &Report{
+		Serializable: v == nil,
+		Violation:    fromInternal(v),
+		Events:       n,
+		Algorithm:    eng.Name(),
+	}, nil
+}
+
+// CheckEvents analyzes a slice of events.
+func CheckEvents(events []Event, a Algorithm) (*Report, error) {
+	eng, err := newEngine(a)
+	if err != nil {
+		return nil, err
+	}
+	var v *core.Violation
+	var n int64
+	for _, e := range events {
+		kind, ok := kindToInternal[e.Kind]
+		if !ok {
+			return nil, fmt.Errorf("aerodrome: unknown event kind %d", e.Kind)
+		}
+		n++
+		if v = eng.Process(trace.Event{
+			Thread: trace.ThreadID(e.Thread), Kind: kind, Target: int32(e.Target),
+		}); v != nil {
+			break
+		}
+	}
+	return &Report{
+		Serializable: v == nil,
+		Violation:    fromInternal(v),
+		Events:       n,
+		Algorithm:    eng.Name(),
+	}, nil
+}

@@ -1,0 +1,116 @@
+// Command aerodrome checks a concurrent-program trace log for conflict
+// serializability (atomicity) violations using the AeroDrome vector-clock
+// algorithm (or, via -algo, any of the other checkers in this repository).
+//
+// Usage:
+//
+//	aerodrome [-algo optimized] [-format std] [trace-file]
+//
+// With no file argument the trace is read from standard input. The exit
+// code is 0 when the trace is conflict serializable, 1 when a violation was
+// found, and 2 on usage or input errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"aerodrome/internal/core"
+	"aerodrome/internal/doublechecker"
+	"aerodrome/internal/rapidio"
+	"aerodrome/internal/trace"
+	"aerodrome/internal/velodrome"
+)
+
+func newEngine(algo string) (core.Engine, error) {
+	switch algo {
+	case "basic":
+		return core.NewBasic(), nil
+	case "readopt":
+		return core.NewReadOpt(), nil
+	case "optimized", "aerodrome", "":
+		return core.NewOptimized(), nil
+	case "velodrome":
+		return velodrome.New(), nil
+	case "velodrome-pk":
+		return velodrome.New(velodrome.WithStrategy("pearce-kelly")), nil
+	case "doublechecker":
+		return doublechecker.New(0), nil
+	}
+	return nil, fmt.Errorf("unknown algorithm %q (want basic, readopt, optimized, velodrome, velodrome-pk or doublechecker)", algo)
+}
+
+func openSource(path, format string) (trace.Source, func() error, error) {
+	var r io.Reader = os.Stdin
+	closer := func() error { return nil }
+	if path != "" && path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, nil, err
+		}
+		r = f
+		closer = f.Close
+	}
+	switch format {
+	case "std", "":
+		return rapidio.NewReader(r), closer, nil
+	case "bin":
+		return rapidio.NewBinaryReader(r), closer, nil
+	}
+	return nil, nil, fmt.Errorf("unknown format %q (want std or bin)", format)
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("aerodrome", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	algo := fs.String("algo", "optimized", "checking algorithm: basic, readopt, optimized, velodrome, velodrome-pk, doublechecker")
+	format := fs.String("format", "std", "trace format: std (RAPID text) or bin (compact binary)")
+	quiet := fs.Bool("q", false, "suppress everything except the verdict line")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 1 {
+		fmt.Fprintln(stderr, "usage: aerodrome [-algo A] [-format F] [trace-file]")
+		return 2
+	}
+
+	eng, err := newEngine(*algo)
+	if err != nil {
+		fmt.Fprintln(stderr, "aerodrome:", err)
+		return 2
+	}
+	src, closeSrc, err := openSource(fs.Arg(0), *format)
+	if err != nil {
+		fmt.Fprintln(stderr, "aerodrome:", err)
+		return 2
+	}
+	defer closeSrc()
+
+	start := time.Now()
+	v, n := core.Run(eng, src)
+	elapsed := time.Since(start)
+
+	if errSrc, ok := src.(interface{ Err() error }); ok {
+		if err := errSrc.Err(); err != nil {
+			fmt.Fprintln(stderr, "aerodrome:", err)
+			return 2
+		}
+	}
+
+	if !*quiet {
+		fmt.Fprintf(stdout, "algorithm: %s\nevents:    %d\ntime:      %v\n", eng.Name(), n, elapsed)
+	}
+	if v != nil {
+		fmt.Fprintf(stdout, "result: NOT conflict serializable — %v\n", v)
+		return 1
+	}
+	fmt.Fprintf(stdout, "result: conflict serializable (no atomicity violation)\n")
+	return 0
+}

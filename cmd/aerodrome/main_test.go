@@ -1,0 +1,100 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+const rho2STD = `t1|begin|0
+t2|begin|0
+t1|w(x)|0
+t2|r(x)|0
+t2|w(y)|0
+t1|r(y)|0
+t1|end|0
+t2|end|0
+`
+
+const rho1STD = `t1|begin|0
+t1|w(x)|0
+t2|begin|0
+t2|r(x)|0
+t2|end|0
+t3|begin|0
+t3|w(z)|0
+t3|end|0
+t1|r(z)|0
+t1|end|0
+`
+
+func TestViolatingTrace(t *testing.T) {
+	path := writeTemp(t, "rho2.std", rho2STD)
+	for _, algo := range []string{"basic", "readopt", "optimized", "velodrome", "velodrome-pk", "doublechecker"} {
+		var out, errOut bytes.Buffer
+		code := run([]string{"-algo", algo, path}, &out, &errOut)
+		if code != 1 {
+			t.Fatalf("%s: exit = %d, want 1\n%s%s", algo, code, out.String(), errOut.String())
+		}
+		if !strings.Contains(out.String(), "NOT conflict serializable") {
+			t.Fatalf("%s: output %q", algo, out.String())
+		}
+	}
+}
+
+func TestSerializableTrace(t *testing.T) {
+	path := writeTemp(t, "rho1.std", rho1STD)
+	var out, errOut bytes.Buffer
+	code := run([]string{path}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit = %d\n%s%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "conflict serializable") {
+		t.Fatalf("output %q", out.String())
+	}
+	if !strings.Contains(out.String(), "events:    10") {
+		t.Fatalf("event count missing: %q", out.String())
+	}
+}
+
+func TestQuietFlag(t *testing.T) {
+	path := writeTemp(t, "rho1.std", rho1STD)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-q", path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d", code)
+	}
+	if strings.Contains(out.String(), "algorithm:") {
+		t.Fatalf("-q must suppress the header: %q", out.String())
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-algo", "bogus", "x"}, &out, &errOut); code != 2 {
+		t.Fatalf("unknown algo: exit %d", code)
+	}
+	if code := run([]string{"-format", "bogus", "x"}, &out, &errOut); code != 2 {
+		t.Fatalf("unknown format: exit %d", code)
+	}
+	if code := run([]string{"a", "b"}, &out, &errOut); code != 2 {
+		t.Fatalf("extra args: exit %d", code)
+	}
+	if code := run([]string{"/nonexistent/file"}, &out, &errOut); code != 2 {
+		t.Fatalf("missing file: exit %d", code)
+	}
+	bad := writeTemp(t, "bad.std", "not a trace line\n")
+	if code := run([]string{bad}, &out, &errOut); code != 2 {
+		t.Fatalf("malformed trace: exit %d", code)
+	}
+}

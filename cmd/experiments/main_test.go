@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestFiguresRun(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-run", "figures"}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	for _, want := range []string{"Figure 5", "Figure 6", "Figure 7", "⟨2,2,2⟩", "violation"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestTinyTable2Run(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-run", "table2", "-events", "8000", "-vars", "300", "-timeout", "20s"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	for _, want := range []string{"batik", "fop", "tomcat", "velodrome", "aerodrome", "Speedup"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestTinyAblationRun(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-run", "ablation", "-events", "8000", "-vars", "300", "-timeout", "20s"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	for _, want := range []string{"hub-retention", "chain-gc", "aerodrome-basic", "velodrome-pk"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestTinyDoubleCheckerRun(t *testing.T) {
+	var out, errOut bytes.Buffer
+	code := run([]string{"-run", "doublechecker", "-events", "8000", "-vars", "300", "-timeout", "20s"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "doublechecker") {
+		t.Fatalf("missing doublechecker column:\n%s", out.String())
+	}
+}
+
+func TestUnknownRun(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-run", "bogus"}, &out, &errOut); code != 2 {
+		t.Fatalf("exit %d", code)
+	}
+}

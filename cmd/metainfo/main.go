@@ -1,0 +1,76 @@
+// Command metainfo prints the basic characteristics of a trace log —
+// events, threads, locks, variables, transactions, and per-operation counts
+// — mirroring the MetaInfo analysis of the paper's RAPID tool (Appendix
+// D.5.5), which produced the descriptive columns of Tables 1 and 2.
+//
+// Usage:
+//
+//	metainfo [-format std] [trace-file]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"aerodrome/internal/rapidio"
+	"aerodrome/internal/trace"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("metainfo", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	format := fs.String("format", "std", "trace format: std or bin")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var r io.Reader = os.Stdin
+	if path := fs.Arg(0); path != "" && path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(stderr, "metainfo:", err)
+			return 2
+		}
+		defer f.Close()
+		r = f
+	}
+	var src trace.Source
+	switch *format {
+	case "std":
+		src = rapidio.NewReader(r)
+	case "bin":
+		src = rapidio.NewBinaryReader(r)
+	default:
+		fmt.Fprintf(stderr, "metainfo: unknown format %q\n", *format)
+		return 2
+	}
+
+	s := trace.ComputeStats(src)
+	if errSrc, ok := src.(interface{ Err() error }); ok {
+		if err := errSrc.Err(); err != nil {
+			fmt.Fprintln(stderr, "metainfo:", err)
+			return 2
+		}
+	}
+
+	fmt.Fprintf(stdout, "events:        %d\n", s.Events)
+	fmt.Fprintf(stdout, "threads:       %d\n", s.Threads)
+	fmt.Fprintf(stdout, "locks:         %d\n", s.Locks)
+	fmt.Fprintf(stdout, "variables:     %d\n", s.Vars)
+	fmt.Fprintf(stdout, "transactions:  %d\n", s.Transactions)
+	fmt.Fprintf(stdout, "reads:         %d\n", s.Reads)
+	fmt.Fprintf(stdout, "writes:        %d\n", s.Writes)
+	fmt.Fprintf(stdout, "acquires:      %d\n", s.Acquires)
+	fmt.Fprintf(stdout, "releases:      %d\n", s.Releases)
+	fmt.Fprintf(stdout, "forks:         %d\n", s.Forks)
+	fmt.Fprintf(stdout, "joins:         %d\n", s.Joins)
+	fmt.Fprintf(stdout, "begins:        %d\n", s.Begins)
+	fmt.Fprintf(stdout, "ends:          %d\n", s.Ends)
+	return 0
+}

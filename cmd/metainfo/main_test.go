@@ -1,0 +1,53 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestMetaInfo(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trace.std")
+	log := `t0|fork(t1)|0
+t0|begin|0
+t0|w(x)|0
+t0|end|0
+t1|acq(l)|0
+t1|r(x)|0
+t1|rel(l)|0
+t0|join(t1)|0
+`
+	if err := os.WriteFile(path, []byte(log), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	if code := run([]string{path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	for _, want := range []string{
+		"events:        8", "threads:       2", "locks:         1",
+		"variables:     1", "transactions:  1", "reads:         1",
+		"writes:        1", "forks:         1", "joins:         1",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestMetaInfoErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"/nonexistent"}, &out, &errOut); code != 2 {
+		t.Fatalf("missing file: exit %d", code)
+	}
+	if code := run([]string{"-format", "bogus"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad format: exit %d", code)
+	}
+	bad := filepath.Join(t.TempDir(), "bad.std")
+	os.WriteFile(bad, []byte("garbage\n"), 0o644)
+	if code := run([]string{bad}, &out, &errOut); code != 2 {
+		t.Fatalf("malformed: exit %d", code)
+	}
+}

@@ -1,0 +1,127 @@
+// Command tracegen generates synthetic concurrent-program traces: either
+// one of the paper's benchmark-row workloads by name (avrora, sunflow,
+// batik, …; see internal/workload/tables.go) or a custom configuration from
+// flags.
+//
+// Usage:
+//
+//	tracegen -row sunflow -events 1000000 > sunflow.std
+//	tracegen -pattern hub -threads 8 -vars 5000 -inject cross -events 200000 -format bin -o hub.adb
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"aerodrome/internal/rapidio"
+	"aerodrome/internal/workload"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tracegen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	row := fs.String("row", "", "paper benchmark row name (table 1/2); overrides the custom flags")
+	events := fs.Int64("events", 1_000_000, "approximate trace length")
+	maxVars := fs.Int("maxvars", 20_000, "variable-pool cap for -row workloads")
+	threads := fs.Int("threads", 4, "thread count (custom)")
+	vars := fs.Int("vars", 1_000, "variable count (custom)")
+	locks := fs.Int("locks", 4, "lock count (custom)")
+	pattern := fs.String("pattern", "chain", "body pattern: hub, chain or sharded (custom)")
+	inject := fs.String("inject", "none", "violation to inject: none, cross, delayed or lock (custom)")
+	injectAt := fs.Float64("inject-at", 0.9, "violation position as a fraction of the trace (custom)")
+	absorb := fs.Int("absorb", 0, "hub absorb period (custom hub pattern)")
+	txnFrac := fs.Float64("txn-frac", 1, "fraction of rounds inside transactions (custom sharded pattern)")
+	seed := fs.Int64("seed", 1, "random seed")
+	format := fs.String("format", "std", "output format: std or bin")
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var cfg workload.Config
+	if *row != "" {
+		r, ok := workload.FindRow(*row, *events, *maxVars)
+		if !ok {
+			fmt.Fprintf(stderr, "tracegen: unknown row %q\n", *row)
+			return 2
+		}
+		cfg = r.Config
+	} else {
+		cfg = workload.Config{
+			Name:        "custom",
+			Threads:     *threads,
+			Vars:        *vars,
+			Locks:       *locks,
+			Events:      *events,
+			Pattern:     workload.Pattern(*pattern),
+			Inject:      workload.Violation(*inject),
+			InjectAt:    *injectAt,
+			AbsorbEvery: *absorb,
+			TxnFraction: *txnFrac,
+			Seed:        *seed,
+		}
+		switch cfg.Pattern {
+		case workload.PatternHub, workload.PatternChain, workload.PatternSharded:
+		default:
+			fmt.Fprintf(stderr, "tracegen: unknown pattern %q\n", *pattern)
+			return 2
+		}
+		switch cfg.Inject {
+		case workload.ViolationNone, workload.ViolationCross, workload.ViolationDelayed, workload.ViolationLock:
+		default:
+			fmt.Fprintf(stderr, "tracegen: unknown inject %q\n", *inject)
+			return 2
+		}
+	}
+
+	var w io.Writer = stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(stderr, "tracegen:", err)
+			return 2
+		}
+		defer f.Close()
+		w = f
+	}
+
+	gen := workload.New(cfg)
+	fmt.Fprintln(stderr, "tracegen:", gen.Describe())
+
+	var n int64
+	var err error
+	switch *format {
+	case "std":
+		n, err = rapidio.WriteSource(w, gen)
+	case "bin":
+		bw := rapidio.NewBinaryWriter(w)
+		for {
+			e, ok := gen.Next()
+			if !ok {
+				break
+			}
+			if err = bw.Write(e); err != nil {
+				break
+			}
+			n++
+		}
+		if err == nil {
+			err = bw.Flush()
+		}
+	default:
+		fmt.Fprintf(stderr, "tracegen: unknown format %q\n", *format)
+		return 2
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "tracegen:", err)
+		return 2
+	}
+	fmt.Fprintf(stderr, "tracegen: wrote %d events\n", n)
+	return 0
+}

@@ -1,0 +1,75 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRowGeneration(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "philo.std")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-row", "philo", "-o", out}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "|r(") && !strings.Contains(string(data), "|w(") {
+		t.Fatalf("no accesses in output")
+	}
+	if !strings.Contains(stderr.String(), "wrote") {
+		t.Fatalf("missing summary: %q", stderr.String())
+	}
+}
+
+func TestCustomGenerationBinary(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "custom.adb")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{
+		"-pattern", "hub", "-threads", "6", "-vars", "100", "-locks", "2",
+		"-events", "2000", "-inject", "cross", "-format", "bin", "-o", out,
+	}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) < 16 || string(data[:4]) != "ADB1" {
+		t.Fatalf("bad binary header")
+	}
+}
+
+func TestErrors(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-row", "nosuch"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown row: exit %d", code)
+	}
+	if code := run([]string{"-pattern", "bogus"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown pattern: exit %d", code)
+	}
+	if code := run([]string{"-inject", "bogus"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown inject: exit %d", code)
+	}
+	if code := run([]string{"-format", "bogus", "-events", "100"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("unknown format: exit %d", code)
+	}
+}
+
+func TestStdoutGeneration(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-events", "500", "-threads", "3"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	lines := strings.Count(stdout.String(), "\n")
+	if lines < 400 {
+		t.Fatalf("only %d lines generated", lines)
+	}
+}

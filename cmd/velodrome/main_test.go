@@ -1,0 +1,69 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestVelodromeViolation(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "rho2.std")
+	log := `t1|begin|0
+t2|begin|0
+t1|w(x)|0
+t2|r(x)|0
+t2|w(y)|0
+t1|r(y)|0
+t1|end|0
+t2|end|0
+`
+	if err := os.WriteFile(path, []byte(log), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, strategy := range []string{"dfs", "pearce-kelly"} {
+		var out, errOut bytes.Buffer
+		code := run([]string{"-strategy", strategy, path}, &out, &errOut)
+		if code != 1 {
+			t.Fatalf("%s: exit %d: %s", strategy, code, errOut.String())
+		}
+		if !strings.Contains(out.String(), "witness cycle") {
+			t.Fatalf("%s: missing witness:\n%s", strategy, out.String())
+		}
+		if !strings.Contains(out.String(), "graph size:") {
+			t.Fatalf("%s: missing graph stats:\n%s", strategy, out.String())
+		}
+	}
+}
+
+func TestVelodromeSerializable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ok.std")
+	log := "t1|begin|0\nt1|w(x)|0\nt1|end|0\n"
+	if err := os.WriteFile(path, []byte(log), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errOut bytes.Buffer
+	if code := run([]string{path}, &out, &errOut); code != 0 {
+		t.Fatalf("exit %d: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "transactions: 1") {
+		t.Fatalf("missing txn count:\n%s", out.String())
+	}
+}
+
+func TestVelodromeErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-strategy", "bogus", "x"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad strategy: exit %d", code)
+	}
+	if code := run([]string{"-format", "bogus", "x"}, &out, &errOut); code != 2 {
+		t.Fatalf("bad format: exit %d", code)
+	}
+	if code := run([]string{"/nonexistent"}, &out, &errOut); code != 2 {
+		t.Fatalf("missing file: exit %d", code)
+	}
+	if code := run([]string{"a", "b"}, &out, &errOut); code != 2 {
+		t.Fatalf("extra args: exit %d", code)
+	}
+}

@@ -1,0 +1,35 @@
+// Package aerodrome is a Go implementation of AeroDrome, the single-pass,
+// linear-time vector-clock algorithm for detecting conflict-serializability
+// (atomicity) violations in traces of concurrent programs, from
+//
+//	Umang Mathur and Mahesh Viswanathan.
+//	"Atomicity Checking in Linear Time using Vector Clocks." ASPLOS 2020.
+//
+// The package also provides the Velodrome baseline (Flanagan–Freund–Yi,
+// PLDI 2008), a DoubleChecker-style two-phase analysis, trace generation
+// and I/O, and a benchmark harness regenerating the paper's evaluation; see
+// DESIGN.md for the system inventory and EXPERIMENTS.md for results.
+//
+// # Checking a trace
+//
+//	checker := aerodrome.NewChecker(aerodrome.Optimized)
+//	for _, ev := range events {
+//	    if v := checker.Event(ev); v != nil {
+//	        fmt.Println("atomicity violation:", v)
+//	        break
+//	    }
+//	}
+//
+// # Monitoring a live program
+//
+// The Monitor type offers a concurrency-safe front end for instrumenting
+// running Go code: register threads, wrap atomic blocks in Begin/End, and
+// report shared accesses; the monitor reports the first violation.
+//
+//	m := aerodrome.NewMonitor()
+//	worker := m.Thread("worker-1")
+//	worker.Begin()
+//	worker.Read("balance")
+//	worker.Write("balance")
+//	worker.End()
+package aerodrome

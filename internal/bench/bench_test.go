@@ -1,0 +1,154 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"aerodrome/internal/core"
+	"aerodrome/internal/workload"
+)
+
+func tinyOptions() Options {
+	return Options{
+		MaxEvents: 20_000,
+		MaxVars:   500,
+		Timeout:   20 * time.Second,
+	}
+}
+
+func TestRunRowProducesMeasurements(t *testing.T) {
+	row, ok := workload.FindRow("hedc", 20_000, 500)
+	if !ok {
+		t.Fatal("hedc row missing")
+	}
+	res := RunRow(row, tinyOptions())
+	if len(res.Measurements) != 2 {
+		t.Fatalf("want 2 measurements, got %d", len(res.Measurements))
+	}
+	if !res.Violation() {
+		t.Fatalf("hedc is a ✗ row")
+	}
+	for _, m := range res.Measurements {
+		if m.TimedOut || m.Events == 0 || m.Duration <= 0 {
+			t.Fatalf("bad measurement: %+v", m)
+		}
+	}
+	if s := res.Speedup(0, 1); s == "" || s == "–" {
+		t.Fatalf("speedup = %q", s)
+	}
+}
+
+func TestRunTimedTimeout(t *testing.T) {
+	// An avrora-style hub row with an absurd deadline must time out.
+	row, ok := workload.FindRow("avrora", 500_000, 2_000)
+	if !ok {
+		t.Fatal("avrora row missing")
+	}
+	m := RunTimed(Velodrome(), workload.New(row.Config), 30*time.Millisecond)
+	if !m.TimedOut {
+		t.Skipf("velodrome finished 500k hub events within 30ms; machine too fast for this guard")
+	}
+	if m.String() != "TO" {
+		t.Fatalf("timeout must render as TO, got %q", m)
+	}
+}
+
+func TestRunTableSmall(t *testing.T) {
+	o := tinyOptions()
+	res := RunTable(2, o)
+	if len(res) != 7 {
+		t.Fatalf("table 2 has 7 rows, got %d", len(res))
+	}
+	var buf bytes.Buffer
+	FormatTable(&buf, res, o)
+	out := buf.String()
+	for _, name := range []string{"batik", "crypt", "fop", "lufact", "series", "sparsematmult", "tomcat"} {
+		if !strings.Contains(out, name) {
+			t.Fatalf("formatted table missing row %q:\n%s", name, out)
+		}
+	}
+	if !strings.Contains(out, "velodrome") || !strings.Contains(out, "aerodrome") {
+		t.Fatalf("formatted table missing engine columns:\n%s", out)
+	}
+	// fop is the only ✓ row of table 2.
+	for _, r := range res {
+		want := !r.Row.PaperAtomic
+		if r.Violation() != want {
+			t.Fatalf("%s: violation=%v, paper %v", r.Row.Config.Name, r.Violation(), want)
+		}
+	}
+}
+
+func TestEngineSpecs(t *testing.T) {
+	specs := []EngineSpec{
+		AeroDrome(), Velodrome(), VelodromePK(), DoubleChecker(),
+		AeroDromeVariant(core.AlgoBasic), AeroDromeVariant(core.AlgoReadOpt),
+	}
+	seen := map[string]bool{}
+	for _, s := range specs {
+		if s.Label == "" || s.New() == nil {
+			t.Fatalf("bad spec %+v", s)
+		}
+		if seen[s.Label] {
+			t.Fatalf("duplicate label %q", s.Label)
+		}
+		seen[s.Label] = true
+		// Fresh engines every time.
+		if s.New() == s.New() {
+			t.Fatalf("%s: New must build fresh engines", s.Label)
+		}
+	}
+}
+
+func TestFormatDuration(t *testing.T) {
+	cases := map[time.Duration]string{
+		90 * time.Minute:        "1.5h",
+		75 * time.Second:        "1m15s",
+		1500 * time.Millisecond: "1.50s",
+		2500 * time.Microsecond: "2.5ms",
+		800 * time.Nanosecond:   "0µs",
+	}
+	for d, want := range cases {
+		if got := formatDuration(d); got != want {
+			t.Errorf("formatDuration(%v) = %q, want %q", d, got, want)
+		}
+	}
+}
+
+func TestHumanCount(t *testing.T) {
+	cases := map[int64]string{
+		2_400_000_000: "2.4B",
+		86_000_000:    "86M",
+		22_600:        "22.6K",
+		613:           "613",
+		16_800_000:    "16.8M",
+	}
+	for v, want := range cases {
+		if got := humanCount(v); got != want {
+			t.Errorf("humanCount(%d) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestFiguresOutput(t *testing.T) {
+	var buf bytes.Buffer
+	Figures(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"Figure 5", "Figure 6", "Figure 7",
+		"⟨2,0⟩", "⟨2,2⟩", "⟨2,2,2⟩",
+		"violation",
+		"transaction-end", // ρ3 detects at the end event
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("figures output missing %q:\n%s", want, out)
+		}
+	}
+	// ρ2's run stops at e6, ρ4's at e11 — the events after the violation
+	// must not appear.
+	if strings.Contains(out, "e12") {
+		t.Fatalf("figure 7 should stop at e11")
+	}
+}

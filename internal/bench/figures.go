@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"aerodrome/internal/core"
+	"aerodrome/internal/testutil"
+	"aerodrome/internal/trace"
+)
+
+// figure describes one of the paper's worked examples.
+type figure struct {
+	title  string
+	trace  *trace.Trace
+	dim    int
+	tracks []clockTrack
+}
+
+// clockTrack is one column of a figure's clock table.
+type clockTrack struct {
+	label string
+	read  func(b *core.Basic) fmt.Stringer
+}
+
+func threadTrack(label string, t trace.ThreadID, dim int) clockTrack {
+	return clockTrack{label: label, read: func(b *core.Basic) fmt.Stringer {
+		return fixed{b.ThreadClock(t), dim}
+	}}
+}
+
+func writeTrack(label string, x trace.VarID, dim int) clockTrack {
+	return clockTrack{label: label, read: func(b *core.Basic) fmt.Stringer {
+		return fixed{b.WriteClock(x), dim}
+	}}
+}
+
+type fixed struct {
+	c   interface{ Truncated(int) string }
+	dim int
+}
+
+func (f fixed) String() string { return f.c.Truncated(f.dim) }
+
+// Figures replays Algorithm 1 on the paper's example traces ρ2, ρ3 and ρ4
+// and prints the per-event clock evolution in the layout of Figures 5–7,
+// ending with the violation report. This is the textual regeneration of the
+// paper's worked figures; the exact clock values are also asserted by
+// internal/core's golden tests.
+func Figures(w io.Writer) {
+	figs := []figure{
+		{
+			title: "Figure 5 — AeroDrome on trace ρ2 (violation at e6)",
+			trace: testutil.Rho2(), dim: 2,
+			tracks: []clockTrack{
+				threadTrack("Ct1", 0, 2), threadTrack("Ct2", 1, 2),
+				writeTrack("Wx", 0, 2), writeTrack("Wy", 1, 2),
+			},
+		},
+		{
+			title: "Figure 6 — AeroDrome on trace ρ3 (violation at the end event e7)",
+			trace: testutil.Rho3(), dim: 2,
+			tracks: []clockTrack{
+				threadTrack("Ct1", 0, 2), threadTrack("Ct2", 1, 2),
+				writeTrack("Wx", 0, 2), writeTrack("Wy", 1, 2),
+			},
+		},
+		{
+			title: "Figure 7 — AeroDrome on trace ρ4 (violation at e11)",
+			trace: testutil.Rho4(), dim: 3,
+			tracks: []clockTrack{
+				threadTrack("Ct1", 0, 3), threadTrack("Ct2", 1, 3), threadTrack("Ct3", 2, 3),
+				writeTrack("Wx", 0, 3), writeTrack("Wy", 1, 3), writeTrack("Wz", 2, 3),
+			},
+		},
+	}
+	for fi, f := range figs {
+		if fi > 0 {
+			fmt.Fprintln(w)
+		}
+		fmt.Fprintln(w, f.title)
+		fmt.Fprintf(w, "%-4s %-14s", "e", "event")
+		for _, tk := range f.tracks {
+			fmt.Fprintf(w, " %-10s", tk.label)
+		}
+		fmt.Fprintln(w)
+		eng := core.NewBasic()
+		for i, ev := range f.trace.Events {
+			v := eng.Process(ev)
+			fmt.Fprintf(w, "e%-3d %-14s", i+1, ev)
+			for _, tk := range f.tracks {
+				fmt.Fprintf(w, " %-10s", tk.read(eng))
+			}
+			fmt.Fprintln(w)
+			if v != nil {
+				fmt.Fprintf(w, "     ⇒ conflict serializability violation (%s check, thread t%d)\n",
+					v.Check, v.ActiveThread+1)
+				break
+			}
+		}
+	}
+}

@@ -1,0 +1,167 @@
+// Package chb computes the conflict-happens-before relation ≤CHB of a trace
+// (Section 2 of the paper): the smallest reflexive, transitive relation that
+// orders every pair of conflicting events consistently with the trace order.
+//
+// Two events e, e′ with e before e′ in the trace conflict iff
+//
+//	(i)   thr(e) = thr(e′), or
+//	(ii)  e = ⟨t, fork(u)⟩ and thr(e′) = u, or
+//	(iii) thr(e) = u and e′ = ⟨t, join(u)⟩, or
+//	(iv)  both access a common variable x and at least one writes x, or
+//	(v)   op(e) = rel(ℓ) and op(e′) = acq(ℓ).
+//
+// The Index assigns every event a vector timestamp in which each event ticks
+// its own thread's component, so that for events i before j in the trace,
+// i ≤CHB j iff C(i)(thr(i)) ≤ C(j)(thr(i)). The index materializes one clock
+// per event and is intended as a test oracle substrate, not as a streaming
+// analysis (AeroDrome in internal/core is the streaming analysis).
+package chb
+
+import (
+	"aerodrome/internal/trace"
+	"aerodrome/internal/vc"
+)
+
+// Index holds per-event ≤CHB vector timestamps for a trace.
+type Index struct {
+	tr     *trace.Trace
+	clocks []vc.Clock
+}
+
+// BuildIndex scans the trace once and timestamps every event.
+func BuildIndex(tr *trace.Trace) *Index {
+	n := len(tr.Events)
+	idx := &Index{tr: tr, clocks: make([]vc.Clock, n)}
+
+	threadClock := map[trace.ThreadID]vc.Clock{}  // clock of t's last event
+	lastWrite := map[trace.VarID]vc.Clock{}       // clock of last w(x)
+	readsSinceWrite := map[trace.VarID]vc.Clock{} // join of r(x) clocks since last w(x)
+	lastRelease := map[trace.LockID]vc.Clock{}    // clock of last rel(ℓ)
+	pendingFork := map[trace.ThreadID]vc.Clock{}  // clock of fork(u), consumed at u's first event
+
+	for i, e := range tr.Events {
+		t := e.Thread
+		c, started := threadClock[t]
+		if !started {
+			c = vc.New(0)
+			if f, ok := pendingFork[t]; ok {
+				c = c.Join(f)
+				delete(pendingFork, t)
+			}
+		}
+		switch e.Kind {
+		case trace.Read:
+			if w, ok := lastWrite[e.Var()]; ok {
+				c = c.Join(w)
+			}
+		case trace.Write:
+			if w, ok := lastWrite[e.Var()]; ok {
+				c = c.Join(w)
+			}
+			if r, ok := readsSinceWrite[e.Var()]; ok {
+				c = c.Join(r)
+			}
+		case trace.Acquire:
+			if l, ok := lastRelease[e.Lock()]; ok {
+				c = c.Join(l)
+			}
+		case trace.Join:
+			if u, ok := threadClock[e.Other()]; ok {
+				c = c.Join(u)
+			}
+		}
+		c = c.Inc(int(t))
+		idx.clocks[i] = c.Copy()
+		threadClock[t] = c
+
+		switch e.Kind {
+		case trace.Write:
+			lastWrite[e.Var()] = idx.clocks[i]
+			delete(readsSinceWrite, e.Var())
+		case trace.Read:
+			r := readsSinceWrite[e.Var()]
+			readsSinceWrite[e.Var()] = r.Copy().Join(idx.clocks[i])
+		case trace.Release:
+			lastRelease[e.Lock()] = idx.clocks[i]
+		case trace.Fork:
+			pendingFork[e.Other()] = idx.clocks[i]
+		}
+	}
+	return idx
+}
+
+// Clock returns the timestamp of event i.
+func (x *Index) Clock(i int) vc.Clock { return x.clocks[i] }
+
+// Ordered reports whether event i ≤CHB event j. It requires i and j to be
+// valid event indices; ≤CHB is reflexive.
+func (x *Index) Ordered(i, j int) bool {
+	if i == j {
+		return true
+	}
+	if i > j {
+		return false // ≤CHB is consistent with trace order
+	}
+	t := int(x.tr.Events[i].Thread)
+	return x.clocks[i].At(t) <= x.clocks[j].At(t)
+}
+
+// Conflicting reports whether events i < j conflict directly (conditions
+// (i)–(v) above). It is the generator relation of ≤CHB and is used by the
+// exhaustive oracle in internal/serial.
+func Conflicting(a, b trace.Event) bool {
+	if a.Thread == b.Thread {
+		return true
+	}
+	if a.Kind == trace.Fork && a.Other() == b.Thread {
+		return true
+	}
+	if b.Kind == trace.Join && b.Other() == a.Thread {
+		return true
+	}
+	if (a.Kind == trace.Read || a.Kind == trace.Write) &&
+		(b.Kind == trace.Read || b.Kind == trace.Write) &&
+		a.Target == b.Target &&
+		!(a.Kind == trace.Read && b.Kind == trace.Read) {
+		return true
+	}
+	if a.Kind == trace.Release && b.Kind == trace.Acquire && a.Target == b.Target {
+		return true
+	}
+	return false
+}
+
+// Closure computes the full n×n reachability matrix of ≤CHB by transitive
+// closure over the conflicting-pair generator. It is O(n³) and exists only
+// as an independent cross-check of Index in tests.
+func Closure(tr *trace.Trace) [][]bool {
+	n := len(tr.Events)
+	m := make([][]bool, n)
+	for i := range m {
+		m[i] = make([]bool, n)
+		m[i][i] = true
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if Conflicting(tr.Events[i], tr.Events[j]) {
+				m[i][j] = true
+			}
+		}
+	}
+	// Since the generator respects trace order, a forward dynamic-programming
+	// pass closes the relation: i ≤ k ≤ j with m[i][k] && m[k][j] ⇒ m[i][j].
+	for k := 0; k < n; k++ {
+		for i := 0; i < k; i++ {
+			if !m[i][k] {
+				continue
+			}
+			row, krow := m[i], m[k]
+			for j := k + 1; j < n; j++ {
+				if krow[j] {
+					row[j] = true
+				}
+			}
+		}
+	}
+	return m
+}

@@ -1,0 +1,283 @@
+package core
+
+import (
+	"aerodrome/internal/trace"
+	"aerodrome/internal/vc"
+)
+
+// nilThread is the NIL value of lastRelThr / lastWThr scalar variables.
+const nilThread = int32(-1)
+
+type basicThread struct {
+	c     vc.Clock // C_t: timestamp of t's last event
+	cb    vc.Clock // C⊲_t: timestamp of t's last (outermost) begin
+	depth int      // transaction nesting depth
+	init  bool     // thread has been observed (C_t = ⊥[1/t] applied)
+	ran   bool     // thread has performed at least one event of its own
+}
+
+type basicLock struct {
+	l       vc.Clock // L_ℓ: timestamp of the last rel(ℓ)
+	lastRel int32    // lastRelThr_ℓ
+}
+
+type basicVar struct {
+	w     vc.Clock   // W_x: timestamp of the last w(x)
+	lastW int32      // lastWThr_x
+	r     []vc.Clock // R_{t,x}: timestamp of each thread's last r(x); nil = ⊥
+}
+
+// Basic is Algorithm 1 of the paper, implemented verbatim: the unoptimized
+// AeroDrome analysis with one read clock per (thread, variable) pair. It is
+// the semantic reference for the optimized engines and the engine whose
+// clock evolution matches Figures 5–7 exactly.
+type Basic struct {
+	threads []basicThread
+	locks   []basicLock
+	vars    []basicVar
+	n       int64
+	viol    *Violation
+}
+
+// NewBasic returns a fresh Algorithm 1 engine.
+func NewBasic() *Basic { return &Basic{} }
+
+// Name implements Engine.
+func (b *Basic) Name() string { return AlgoBasic.String() }
+
+// Processed implements Engine.
+func (b *Basic) Processed() int64 { return b.n }
+
+// Violation implements Engine.
+func (b *Basic) Violation() *Violation { return b.viol }
+
+func (b *Basic) ensureThread(t int) *basicThread {
+	for len(b.threads) <= t {
+		b.threads = append(b.threads, basicThread{})
+	}
+	ts := &b.threads[t]
+	if !ts.init {
+		ts.c = vc.Unit(t) // C_t := ⊥[1/t]
+		ts.init = true
+	}
+	return ts
+}
+
+func (b *Basic) ensureLock(l int) *basicLock {
+	for len(b.locks) <= l {
+		b.locks = append(b.locks, basicLock{lastRel: nilThread})
+	}
+	return &b.locks[l]
+}
+
+func (b *Basic) ensureVar(x int) *basicVar {
+	for len(b.vars) <= x {
+		b.vars = append(b.vars, basicVar{lastW: nilThread})
+	}
+	return &b.vars[x]
+}
+
+// checkAndGet implements the paper's procedure of the same name: declare a
+// violation if C⊲_t ⊑ clk and t has an active transaction, else C_t ⊔= clk.
+// It returns true when a violation was declared (and latched).
+func (b *Basic) checkAndGet(clk vc.Clock, t int, e trace.Event, active trace.ThreadID, check CheckKind) bool {
+	ts := &b.threads[t]
+	if ts.depth > 0 && ts.cb.Leq(clk) {
+		b.viol = &Violation{
+			Index:        b.n,
+			Event:        e,
+			ActiveThread: active,
+			Check:        check,
+			Algorithm:    b.Name(),
+		}
+		return true
+	}
+	ts.c = ts.c.Join(clk)
+	return false
+}
+
+// Process implements Engine, dispatching to the per-operation handlers of
+// Algorithm 1.
+func (b *Basic) Process(e trace.Event) *Violation {
+	if b.viol != nil {
+		return b.viol
+	}
+	t := int(e.Thread)
+	ts := b.ensureThread(t)
+
+	switch e.Kind {
+	case trace.Begin:
+		// Nested begins fold into the outermost transaction (§4.1.4).
+		if ts.depth == 0 {
+			ts.c = ts.c.Inc(t)           // C_t(t) := C_t(t) + 1
+			ts.cb = ts.c.CopyInto(ts.cb) // C⊲_t := C_t
+		}
+		ts.depth++
+
+	case trace.End:
+		ts.depth--
+		if ts.depth == 0 {
+			b.handleEnd(t, e)
+		}
+
+	case trace.Read:
+		v := b.ensureVar(int(e.Target))
+		if v.lastW != int32(t) {
+			if b.checkAndGet(v.w, t, e, e.Thread, CheckRead) {
+				break
+			}
+		}
+		for len(v.r) <= t {
+			v.r = append(v.r, nil)
+		}
+		v.r[t] = b.threads[t].c.CopyInto(v.r[t]) // R_{t,x} := C_t
+
+	case trace.Write:
+		v := b.ensureVar(int(e.Target))
+		if v.lastW != int32(t) {
+			if b.checkAndGet(v.w, t, e, e.Thread, CheckWriteWrite) {
+				break
+			}
+		}
+		violated := false
+		for u := range v.r {
+			if u == t || v.r[u] == nil {
+				continue
+			}
+			if b.checkAndGet(v.r[u], t, e, e.Thread, CheckWriteRead) {
+				violated = true
+				break
+			}
+		}
+		if violated {
+			break
+		}
+		v.w = b.threads[t].c.CopyInto(v.w) // W_x := C_t
+		v.lastW = int32(t)
+
+	case trace.Acquire:
+		l := b.ensureLock(int(e.Target))
+		if l.lastRel != int32(t) {
+			if b.checkAndGet(l.l, t, e, e.Thread, CheckAcquire) {
+				break
+			}
+		}
+
+	case trace.Release:
+		l := b.ensureLock(int(e.Target))
+		l.l = ts.c.CopyInto(l.l) // L_ℓ := C_t
+		l.lastRel = int32(t)
+
+	case trace.Fork:
+		u := int(e.Target)
+		us := b.ensureThread(u)
+		us.c = us.c.Join(b.threads[t].c) // C_u := C_u ⊔ C_t
+
+	case trace.Join:
+		u := int(e.Target)
+		us := b.ensureThread(u)
+		// A joined thread that never performed an event contributes no ≤CHB
+		// edges: its clock is only the fork seed, not an event timestamp, so
+		// consulting it would false-positive on fork+join of an idle thread
+		// inside one transaction (the printed pseudocode implicitly assumes
+		// every forked thread runs).
+		if us.ran {
+			if b.checkAndGet(us.c, t, e, e.Thread, CheckJoin) {
+				break
+			}
+		}
+	}
+	// Re-index: the fork/join cases may have grown b.threads, invalidating
+	// the ts pointer captured above.
+	b.threads[t].ran = true
+	b.n++
+	if b.viol != nil {
+		return b.viol
+	}
+	return nil
+}
+
+// handleEnd implements the end(t) procedure: propagate the completing
+// transaction's timestamp to every thread, lock and variable clock that is
+// ordered after the transaction's begin, checking other threads' active
+// transactions on the way (lines 38–46 of Algorithm 1).
+func (b *Basic) handleEnd(t int, e trace.Event) {
+	ts := &b.threads[t]
+	ct, cbt := ts.c, ts.cb
+
+	for u := range b.threads {
+		if u == t || !b.threads[u].init {
+			continue
+		}
+		if cbt.Leq(b.threads[u].c) {
+			if b.checkAndGet(ct, u, e, trace.ThreadID(u), CheckEnd) {
+				return
+			}
+		}
+	}
+	for i := range b.locks {
+		l := &b.locks[i]
+		if cbt.Leq(l.l) {
+			l.l = l.l.Join(ct)
+		}
+	}
+	for i := range b.vars {
+		v := &b.vars[i]
+		if cbt.Leq(v.w) {
+			v.w = v.w.Join(ct)
+		}
+		for u := range v.r {
+			if v.r[u] != nil && cbt.Leq(v.r[u]) {
+				v.r[u] = v.r[u].Join(ct)
+			}
+		}
+	}
+}
+
+// --- white-box accessors (used by golden tests and the figures tool) --------
+
+// ThreadClock returns a copy of C_t.
+func (b *Basic) ThreadClock(t trace.ThreadID) vc.Clock {
+	if int(t) >= len(b.threads) {
+		return nil
+	}
+	return b.threads[t].c.Copy()
+}
+
+// BeginClock returns a copy of C⊲_t.
+func (b *Basic) BeginClock(t trace.ThreadID) vc.Clock {
+	if int(t) >= len(b.threads) {
+		return nil
+	}
+	return b.threads[t].cb.Copy()
+}
+
+// WriteClock returns a copy of W_x.
+func (b *Basic) WriteClock(x trace.VarID) vc.Clock {
+	if int(x) >= len(b.vars) {
+		return nil
+	}
+	return b.vars[x].w.Copy()
+}
+
+// ReadClock returns a copy of R_{t,x}.
+func (b *Basic) ReadClock(t trace.ThreadID, x trace.VarID) vc.Clock {
+	if int(x) >= len(b.vars) || int(t) >= len(b.vars[x].r) {
+		return nil
+	}
+	return b.vars[x].r[t].Copy()
+}
+
+// LockClock returns a copy of L_ℓ.
+func (b *Basic) LockClock(l trace.LockID) vc.Clock {
+	if int(l) >= len(b.locks) {
+		return nil
+	}
+	return b.locks[l].l.Copy()
+}
+
+// ActiveTxn reports whether thread t currently has an active (outermost)
+// transaction.
+func (b *Basic) ActiveTxn(t trace.ThreadID) bool {
+	return int(t) < len(b.threads) && b.threads[t].depth > 0
+}

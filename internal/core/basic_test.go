@@ -1,0 +1,305 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"aerodrome/internal/trace"
+	"aerodrome/internal/vc"
+)
+
+func TestCheckKindString(t *testing.T) {
+	for k, want := range map[CheckKind]string{
+		CheckRead:       "read-after-write",
+		CheckWriteWrite: "write-after-write",
+		CheckWriteRead:  "write-after-read",
+		CheckAcquire:    "acquire-after-release",
+		CheckJoin:       "join",
+		CheckEnd:        "transaction-end",
+	} {
+		if k.String() != want {
+			t.Errorf("CheckKind %d = %q, want %q", k, k, want)
+		}
+	}
+	if !strings.Contains(CheckKind(99).String(), "99") {
+		t.Errorf("unknown check kind should carry its number")
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	if AlgoBasic.String() != "aerodrome-basic" ||
+		AlgoReadOpt.String() != "aerodrome-readopt" ||
+		AlgoOptimized.String() != "aerodrome-optimized" {
+		t.Fatalf("algorithm names changed")
+	}
+	if !strings.Contains(Algorithm(9).String(), "9") {
+		t.Fatalf("unknown algorithm name")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("New of unknown algorithm must panic")
+		}
+	}()
+	New(Algorithm(9))
+}
+
+func TestViolationError(t *testing.T) {
+	v := &Violation{
+		Index: 7, Event: trace.Event{Thread: 2, Kind: trace.Read, Target: 3},
+		ActiveThread: 2, Check: CheckRead, Algorithm: "aerodrome-basic",
+	}
+	msg := v.Error()
+	for _, want := range []string{"event 7", "t2|r(x3)", "read-after-write", "aerodrome-basic"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q missing %q", msg, want)
+		}
+	}
+}
+
+func engines() []Engine {
+	return []Engine{NewBasic(), NewReadOpt(), NewOptimized()}
+}
+
+func runAll(t *testing.T, tr *trace.Trace, wantViolation bool, context string) {
+	t.Helper()
+	for _, eng := range engines() {
+		v, _ := Run(eng, tr.Cursor())
+		if (v != nil) != wantViolation {
+			t.Errorf("%s: %s: violation=%v, want %v (%v)", context, eng.Name(), v != nil, wantViolation, v)
+		}
+	}
+}
+
+func TestLockCycleViolation(t *testing.T) {
+	// rel/acq ping-pong between two open transactions: T1→T2→T1.
+	b := trace.NewBuilder()
+	t1, t2 := b.Thread("t1"), b.Thread("t2")
+	l := b.Lock("l")
+	b.Begin(t1).Begin(t2).
+		Acquire(t1, l).Release(t1, l).
+		Acquire(t2, l).Release(t2, l).
+		Acquire(t1, l).Release(t1, l).
+		End(t1).End(t2)
+	runAll(t, b.Build(), true, "lock cycle")
+}
+
+func TestLockReacquireSameThreadNoViolation(t *testing.T) {
+	// A thread re-acquiring a lock it released itself must not self-trip
+	// (the lastRelThr guard).
+	b := trace.NewBuilder()
+	t1 := b.Thread("t1")
+	l := b.Lock("l")
+	b.Begin(t1).
+		Acquire(t1, l).Release(t1, l).
+		Acquire(t1, l).Release(t1, l).
+		End(t1)
+	runAll(t, b.Build(), false, "same-thread reacquire")
+}
+
+func TestJoinViolation(t *testing.T) {
+	// t1's transaction writes x, forks t2 which reads x, then joins t2
+	// inside the same transaction: T_child → T1 (join) and T1 → T_child
+	// (w(x) ≤ r(x)) — cycle, detected at the join event.
+	b := trace.NewBuilder()
+	t1, t2 := b.Thread("t1"), b.Thread("t2")
+	x := b.Var("x")
+	b.Begin(t1).Write(t1, x).Fork(t1, t2).
+		Begin(t2).Read(t2, x).End(t2).
+		Join(t1, t2).End(t1)
+	tr := b.Build()
+	runAll(t, tr, true, "join cycle")
+
+	basic := NewBasic()
+	v, _ := Run(basic, tr.Cursor())
+	if v.Check != CheckJoin {
+		t.Fatalf("expected join check, got %v", v.Check)
+	}
+}
+
+func TestForkJoinPipelineSerializable(t *testing.T) {
+	// Fork and join in separate transactions: a clean parent/child pipeline.
+	b := trace.NewBuilder()
+	t1, t2 := b.Thread("t1"), b.Thread("t2")
+	x, y := b.Var("x"), b.Var("y")
+	b.Begin(t1).Write(t1, x).Fork(t1, t2).End(t1).
+		Begin(t2).Read(t2, x).Write(t2, y).End(t2).
+		Begin(t1).Join(t1, t2).Read(t1, y).End(t1)
+	runAll(t, b.Build(), false, "fork-join pipeline")
+}
+
+func TestNestedTransactionsFold(t *testing.T) {
+	// ρ2 with extra nested begin/end pairs: the verdict and the clocks must
+	// be as if only the outermost blocks existed.
+	b := trace.NewBuilder()
+	t1, t2 := b.Thread("t1"), b.Thread("t2")
+	x, y := b.Var("x"), b.Var("y")
+	b.Begin(t1).Begin(t1). // nested begin must not tick the clock again
+				Begin(t2).
+				Write(t1, x).
+				End(t1). // inner end: transaction still active
+				Read(t2, x).
+				Write(t2, y).
+				Read(t1, y). // violation here
+				End(t1).End(t2)
+	tr := b.Build()
+	basic := NewBasic()
+	v, _ := Run(basic, tr.Cursor())
+	if v == nil {
+		t.Fatalf("nested rho2 must still violate")
+	}
+	if v.Check != CheckRead {
+		t.Fatalf("check = %v", v.Check)
+	}
+	// The begin clock must reflect a single tick.
+	if got := basic.BeginClock(0); !got.Equal(vc.Clock{2, 0}) {
+		t.Fatalf("C⊲t1 = %v, want ⟨2,0⟩ (nested begin must not tick)", got)
+	}
+	runAll(t, tr, true, "nested rho2")
+}
+
+func TestUnaryTransactionsNeverReport(t *testing.T) {
+	// The ρ2 access pattern with no transactions at all: every event is a
+	// unary transaction; pairwise conflicts order them without a cycle of
+	// ≥2 transactions that AeroDrome should report.
+	b := trace.NewBuilder()
+	t1, t2 := b.Thread("t1"), b.Thread("t2")
+	x, y := b.Var("x"), b.Var("y")
+	b.Write(t1, x).Read(t2, x).Write(t2, y).Read(t1, y)
+	runAll(t, b.Build(), false, "all unary")
+}
+
+func TestUnaryEventsInsideOthersCycle(t *testing.T) {
+	// t1 has a transaction; t2 contributes two unary events whose
+	// program-order chain closes the cycle T1 → U1 → U2 → T1.
+	b := trace.NewBuilder()
+	t1, t2 := b.Thread("t1"), b.Thread("t2")
+	x, y := b.Var("x"), b.Var("y")
+	b.Begin(t1).Write(t1, x).Read(t2, x).Write(t2, y).Read(t1, y).End(t1)
+	runAll(t, b.Build(), true, "unary chain cycle")
+}
+
+func TestWriteWriteConflictCycle(t *testing.T) {
+	// Violation via w-w conflicts only.
+	b := trace.NewBuilder()
+	t1, t2 := b.Thread("t1"), b.Thread("t2")
+	x, y := b.Var("x"), b.Var("y")
+	b.Begin(t1).Begin(t2).
+		Write(t1, x).Write(t2, x). // T1 → T2
+		Write(t2, y).Write(t1, y). // T2 → T1
+		End(t1).End(t2)
+	tr := b.Build()
+	runAll(t, tr, true, "w-w cycle")
+	basic := NewBasic()
+	v, _ := Run(basic, tr.Cursor())
+	if v.Check != CheckWriteWrite {
+		t.Fatalf("check = %v, want write-after-write", v.Check)
+	}
+}
+
+func TestWriteAfterReadCheck(t *testing.T) {
+	// Violation where the closing check is the write-against-read-clocks
+	// loop: t1's read of x absorbs t2's begin (via y), so t2's later write
+	// of x closes the cycle T2 → T1 → T2 and trips C⊲t2 ⊑ R_{t1,x}.
+	b := trace.NewBuilder()
+	t1, t2 := b.Thread("t1"), b.Thread("t2")
+	x, y := b.Var("x"), b.Var("y")
+	b.Begin(t1).Begin(t2).
+		Write(t2, y).Read(t1, y). // T2 → T1
+		Read(t1, x).              // R_{t1,x} now carries C⊲t2
+		Write(t2, x).             // T1 → T2 via r-w: cycle, violation
+		End(t1).End(t2)
+	tr := b.Build()
+	basic := NewBasic()
+	v, _ := Run(basic, tr.Cursor())
+	if v == nil || v.Check != CheckWriteRead {
+		t.Fatalf("expected write-after-read violation, got %+v", v)
+	}
+	runAll(t, tr, true, "r-w cycle")
+}
+
+func TestSameThreadWriteSkipsCheck(t *testing.T) {
+	// lastWThr = t: consecutive accesses by the same thread never trip.
+	b := trace.NewBuilder()
+	t1 := b.Thread("t1")
+	x := b.Var("x")
+	b.Begin(t1).Write(t1, x).Read(t1, x).Write(t1, x).End(t1).
+		Begin(t1).Write(t1, x).End(t1)
+	runAll(t, b.Build(), false, "same-thread accesses")
+}
+
+func TestSerializablePipelineManyThreads(t *testing.T) {
+	// 4-stage pipeline over items: stage i reads stage i-1's output.
+	b := trace.NewBuilder()
+	threads := []trace.ThreadID{b.Thread("s0"), b.Thread("s1"), b.Thread("s2"), b.Thread("s3")}
+	const items = 5
+	vars := make([][]trace.VarID, 4)
+	for s := range vars {
+		vars[s] = make([]trace.VarID, items)
+		for i := range vars[s] {
+			vars[s][i] = b.Var(trace.Event{}.String() + string(rune('a'+s)) + string(rune('0'+i)))
+		}
+	}
+	for i := 0; i < items; i++ {
+		for s := 0; s < 4; s++ {
+			th := threads[s]
+			b.Begin(th)
+			if s > 0 {
+				b.Read(th, vars[s-1][i])
+			}
+			b.Write(th, vars[s][i])
+			b.End(th)
+		}
+	}
+	runAll(t, b.Build(), false, "pipeline")
+}
+
+func TestRunCountsEvents(t *testing.T) {
+	b := trace.NewBuilder()
+	t1 := b.Thread("t1")
+	x := b.Var("x")
+	b.Begin(t1).Write(t1, x).End(t1)
+	eng := NewBasic()
+	v, n := Run(eng, b.Build().Cursor())
+	if v != nil || n != 3 || eng.Processed() != 3 {
+		t.Fatalf("Run = (%v, %d)", v, n)
+	}
+}
+
+func TestBasicAccessorsOutOfRange(t *testing.T) {
+	b := NewBasic()
+	if b.ThreadClock(5) != nil || b.BeginClock(5) != nil ||
+		b.WriteClock(5) != nil || b.ReadClock(1, 5) != nil || b.LockClock(5) != nil {
+		t.Fatalf("out-of-range accessors must return nil")
+	}
+	if b.ActiveTxn(3) {
+		t.Fatalf("unknown thread cannot have an active transaction")
+	}
+}
+
+func TestReadOptClockAccessors(t *testing.T) {
+	tr := func() *trace.Trace {
+		b := trace.NewBuilder()
+		t1, t2 := b.Thread("t1"), b.Thread("t2")
+		x := b.Var("x")
+		b.Write(t1, x).Read(t1, x).Read(t2, x)
+		return b.Build()
+	}()
+	eng := NewReadOpt()
+	if v, _ := Run(eng, tr.Cursor()); v != nil {
+		t.Fatalf("no violation expected: %v", v)
+	}
+	// R_x = join of both readers' clocks; ȒR_x zeroes each reader's own
+	// component: t1 contributes ⟨0,0⟩ (its whole clock zeroed at 0 is ⟨0,0⟩
+	// since it never saw t2), t2 contributes ⟨1,0⟩ (it joined W_x).
+	rx := eng.ReadJoinClock(0)
+	if !rx.Equal(vc.Clock{1, 1}) {
+		t.Fatalf("R_x = %v, want ⟨1,1⟩", rx)
+	}
+	hrx := eng.CheckReadClock(0)
+	if !hrx.Equal(vc.Clock{1, 0}) {
+		t.Fatalf("ȒR_x = %v, want ⟨1,0⟩", hrx)
+	}
+	if eng.ReadJoinClock(9) != nil || eng.CheckReadClock(9) != nil {
+		t.Fatalf("out-of-range accessors must return nil")
+	}
+}

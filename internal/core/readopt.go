@@ -1,0 +1,236 @@
+package core
+
+import (
+	"aerodrome/internal/trace"
+	"aerodrome/internal/vc"
+)
+
+type roVar struct {
+	w     vc.Clock // W_x
+	lastW int32    // lastWThr_x
+	rx    vc.Clock // R_x  = ⊔_u R_{u,x}
+	hrx   vc.Clock // ȒR_x = ⊔_u R_{u,x}[0/u]
+}
+
+// ReadOpt is Algorithm 2 (Appendix C.1): AeroDrome with the read-clock
+// reduction. Instead of one read clock per (thread, variable) pair it keeps
+// two clocks per variable:
+//
+//	R_x  = ⊔_u R_{u,x}        — used to update C_t at writes
+//	ȒR_x = ⊔_u R_{u,x}[0/u]   — used to check for violations at writes
+//
+// Erratum note (see the package comment): the printed pseudocode assigns
+// "R_x := C_t" at reads, but reads do not absorb concurrent reads, so the
+// assignment must be a join ("R_x := R_x ⊔ C_t") to preserve Algorithm 1's
+// semantics; similarly for ȒR_x. The check against ȒR_x compares the begin
+// clock's own component, which under the paper's local-time invariant is
+// exactly Algorithm 1's ∃u≠t. C⊲_t ⊑ R_{u,x} (full vector ⊑ against ȒR_x
+// would spuriously fail when the sole qualifying reader's component was
+// zeroed out). Both corrections are enforced by the differential tests,
+// which require ReadOpt to agree with Basic on the verdict and the exact
+// violation event for every generated trace.
+type ReadOpt struct {
+	threads []basicThread
+	locks   []basicLock
+	vars    []roVar
+	n       int64
+	viol    *Violation
+}
+
+// NewReadOpt returns a fresh Algorithm 2 engine.
+func NewReadOpt() *ReadOpt { return &ReadOpt{} }
+
+// Name implements Engine.
+func (b *ReadOpt) Name() string { return AlgoReadOpt.String() }
+
+// Processed implements Engine.
+func (b *ReadOpt) Processed() int64 { return b.n }
+
+// Violation implements Engine.
+func (b *ReadOpt) Violation() *Violation { return b.viol }
+
+func (b *ReadOpt) ensureThread(t int) *basicThread {
+	for len(b.threads) <= t {
+		b.threads = append(b.threads, basicThread{})
+	}
+	ts := &b.threads[t]
+	if !ts.init {
+		ts.c = vc.Unit(t)
+		ts.init = true
+	}
+	return ts
+}
+
+func (b *ReadOpt) ensureLock(l int) *basicLock {
+	for len(b.locks) <= l {
+		b.locks = append(b.locks, basicLock{lastRel: nilThread})
+	}
+	return &b.locks[l]
+}
+
+func (b *ReadOpt) ensureVar(x int) *roVar {
+	for len(b.vars) <= x {
+		b.vars = append(b.vars, roVar{lastW: nilThread})
+	}
+	return &b.vars[x]
+}
+
+// checkAndGet checks C⊲_t ⊑ clk1 (violation if t has an active transaction)
+// and otherwise joins C_t ⊔= clk2, following Algorithm 2's two-clock form.
+func (b *ReadOpt) checkAndGet(clk1, clk2 vc.Clock, t int, e trace.Event, check CheckKind) bool {
+	ts := &b.threads[t]
+	if ts.depth > 0 && ts.cb.Leq(clk1) {
+		b.viol = &Violation{
+			Index: b.n, Event: e, ActiveThread: e.Thread,
+			Check: check, Algorithm: b.Name(),
+		}
+		return true
+	}
+	ts.c = ts.c.Join(clk2)
+	return false
+}
+
+// Process implements Engine.
+func (b *ReadOpt) Process(e trace.Event) *Violation {
+	if b.viol != nil {
+		return b.viol
+	}
+	t := int(e.Thread)
+	ts := b.ensureThread(t)
+
+	switch e.Kind {
+	case trace.Begin:
+		if ts.depth == 0 {
+			ts.c = ts.c.Inc(t)
+			ts.cb = ts.c.CopyInto(ts.cb)
+		}
+		ts.depth++
+
+	case trace.End:
+		ts.depth--
+		if ts.depth == 0 {
+			b.handleEnd(t, e)
+		}
+
+	case trace.Read:
+		v := b.ensureVar(int(e.Target))
+		if v.lastW != int32(t) {
+			if b.checkAndGet(v.w, v.w, t, e, CheckRead) {
+				break
+			}
+		}
+		ct := b.threads[t].c
+		v.rx = v.rx.Join(ct)             // R_x ⊔= C_t (erratum: join, not assign)
+		v.hrx = v.hrx.JoinZeroing(ct, t) // ȒR_x ⊔= C_t[0/t]
+
+	case trace.Write:
+		v := b.ensureVar(int(e.Target))
+		if v.lastW != int32(t) {
+			if b.checkAndGet(v.w, v.w, t, e, CheckWriteWrite) {
+				break
+			}
+		}
+		// Check against ȒR_x via the begin clock's own component (erratum
+		// note above), then absorb R_x.
+		if ts.depth > 0 && ts.cb.At(t) <= v.hrx.At(t) && !ts.cb.IsZero() {
+			b.viol = &Violation{
+				Index: b.n, Event: e, ActiveThread: e.Thread,
+				Check: CheckWriteRead, Algorithm: b.Name(),
+			}
+			break
+		}
+		ts.c = ts.c.Join(v.rx)
+		v.w = ts.c.CopyInto(v.w)
+		v.lastW = int32(t)
+
+	case trace.Acquire:
+		l := b.ensureLock(int(e.Target))
+		if l.lastRel != int32(t) {
+			if b.checkAndGet(l.l, l.l, t, e, CheckAcquire) {
+				break
+			}
+		}
+
+	case trace.Release:
+		l := b.ensureLock(int(e.Target))
+		l.l = ts.c.CopyInto(l.l)
+		l.lastRel = int32(t)
+
+	case trace.Fork:
+		us := b.ensureThread(int(e.Target))
+		us.c = us.c.Join(b.threads[t].c)
+
+	case trace.Join:
+		us := b.ensureThread(int(e.Target))
+		// See Basic: never-ran threads contribute no ≤CHB edges.
+		if us.ran {
+			if b.checkAndGet(us.c, us.c, t, e, CheckJoin) {
+				break
+			}
+		}
+	}
+	// Re-index: the fork/join cases may have grown b.threads, invalidating
+	// the ts pointer captured above.
+	b.threads[t].ran = true
+	b.n++
+	if b.viol != nil {
+		return b.viol
+	}
+	return nil
+}
+
+// handleEnd implements Algorithm 2's end(t): thread checks, then the
+// conditional joins of the lock, write and (reduced) read clocks.
+func (b *ReadOpt) handleEnd(t int, e trace.Event) {
+	ts := &b.threads[t]
+	ct, cbt := ts.c, ts.cb
+
+	for u := range b.threads {
+		if u == t || !b.threads[u].init {
+			continue
+		}
+		if cbt.Leq(b.threads[u].c) {
+			us := &b.threads[u]
+			if us.depth > 0 && us.cb.Leq(ct) {
+				b.viol = &Violation{
+					Index: b.n, Event: e, ActiveThread: trace.ThreadID(u),
+					Check: CheckEnd, Algorithm: b.Name(),
+				}
+				return
+			}
+			us.c = us.c.Join(ct)
+		}
+	}
+	for i := range b.locks {
+		l := &b.locks[i]
+		if cbt.Leq(l.l) {
+			l.l = l.l.Join(ct)
+		}
+	}
+	for i := range b.vars {
+		v := &b.vars[i]
+		if cbt.Leq(v.w) {
+			v.w = v.w.Join(ct)
+		}
+		if cbt.Leq(v.rx) {
+			v.rx = v.rx.Join(ct)
+			v.hrx = v.hrx.JoinZeroing(ct, t)
+		}
+	}
+}
+
+// ReadJoinClock returns a copy of R_x (white-box accessor for tests).
+func (b *ReadOpt) ReadJoinClock(x trace.VarID) vc.Clock {
+	if int(x) >= len(b.vars) {
+		return nil
+	}
+	return b.vars[x].rx.Copy()
+}
+
+// CheckReadClock returns a copy of ȒR_x (white-box accessor for tests).
+func (b *ReadOpt) CheckReadClock(x trace.VarID) vc.Clock {
+	if int(x) >= len(b.vars) {
+		return nil
+	}
+	return b.vars[x].hrx.Copy()
+}

@@ -1,0 +1,309 @@
+// Package doublechecker implements a DoubleChecker-style two-phase
+// conflict-serializability analysis (Biswas, Huang, Sengupta, Bond — PLDI
+// 2014), included as the related-work extension the paper discusses in §5.1
+// and §6 but deliberately does not table ("not an apples-to-apples
+// comparison": the real DoubleChecker's first phase runs inside the JVM
+// while the program executes; ours, like the rest of this repository,
+// analyzes logged traces).
+//
+// Phase 1 is a fast, imprecise cycle detector: consecutive transactions of
+// each thread are coarsened into bundles of up to Window transactions, and
+// a Velodrome-style graph is maintained over bundles. A cycle among bundles
+// over-approximates a cycle among transactions — distinct constituent
+// transactions can produce mutual bundle edges without any real
+// transaction-level cycle — so a phase-1 hit is only a *flag*.
+//
+// Phase 2 re-analyzes the trace prefix up to the flag with the precise
+// transaction-level checker (Velodrome, matching the real DoubleChecker's
+// transaction-graph second pass — and matching phase 1's detection
+// semantics: a cycle among still-active transactions counts). A confirmed
+// violation is reported with the precise detection point; a refuted flag
+// halves the bundle window and phase 1 is rebuilt from the retained prefix,
+// repeating until the rebuild runs flag-free (at Window=1 the bundle graph
+// coincides with the transaction graph, so a flag there is always
+// confirmed: the refinement loop terminates).
+package doublechecker
+
+import (
+	"aerodrome/internal/core"
+	"aerodrome/internal/graph"
+	"aerodrome/internal/trace"
+	"aerodrome/internal/velodrome"
+)
+
+// DefaultWindow is the initial coarsening factor.
+const DefaultWindow = 64
+
+// Stats reports the two-phase dynamics.
+type Stats struct {
+	// Flags counts phase-1 cycle flags (including the confirmed one).
+	Flags int
+	// FalseAlarms counts refuted flags.
+	FalseAlarms int
+	// Replays counts phase-2 precise replays (== Flags).
+	Replays int
+	// ReplayedEvents counts events re-processed by phase 2.
+	ReplayedEvents int64
+	// FinalWindow is the bundle window after adaptation.
+	FinalWindow int
+}
+
+// Checker is the two-phase analysis. It implements core.Engine.
+//
+// Unlike the streaming engines, it retains the consumed prefix in memory so
+// that phase 2 can replay it — the in-vivo original does not need this, and
+// the paper's caveat about fair comparison applies here too.
+type Checker struct {
+	window int
+	events []trace.Event
+	coarse *coarse
+	n      int64
+	viol   *core.Violation
+	stats  Stats
+}
+
+// New returns a two-phase checker with the given initial bundle window
+// (DefaultWindow if w ≤ 0).
+func New(w int) *Checker {
+	if w <= 0 {
+		w = DefaultWindow
+	}
+	c := &Checker{window: w}
+	c.coarse = newCoarse(w)
+	return c
+}
+
+// Name implements core.Engine.
+func (c *Checker) Name() string { return "doublechecker" }
+
+// Processed implements core.Engine.
+func (c *Checker) Processed() int64 { return c.n }
+
+// Violation implements core.Engine.
+func (c *Checker) Violation() *core.Violation { return c.viol }
+
+// Stats returns phase dynamics; FinalWindow reflects adaptation.
+func (c *Checker) Stats() Stats {
+	s := c.stats
+	s.FinalWindow = c.window
+	return s
+}
+
+// Process implements core.Engine.
+func (c *Checker) Process(e trace.Event) *core.Violation {
+	if c.viol != nil {
+		return c.viol
+	}
+	c.events = append(c.events, e)
+	flagged := c.coarse.process(e)
+	c.n++
+	if !flagged {
+		return nil
+	}
+	for {
+		// Phase 2: precise transaction-level replay of the retained prefix.
+		c.stats.Flags++
+		c.stats.Replays++
+		precise := velodrome.New()
+		var confirmed *core.Violation
+		for i := range c.events {
+			c.stats.ReplayedEvents++
+			if v := precise.Process(c.events[i]); v != nil {
+				confirmed = v
+				break
+			}
+		}
+		if confirmed != nil {
+			c.viol = &core.Violation{
+				Index: confirmed.Index, Event: confirmed.Event,
+				ActiveThread: confirmed.ActiveThread,
+				Check:        confirmed.Check, Algorithm: c.Name(),
+			}
+			return c.viol
+		}
+		// False alarm: refine the abstraction and rebuild phase 1 from the
+		// prefix. A rebuild that flags again is re-judged by phase 2 at the
+		// finer window; a flag-free rebuild leaves a complete, acyclic
+		// bundle graph (no edge was ever dropped) and processing resumes.
+		c.stats.FalseAlarms++
+		if c.window > 1 {
+			c.window /= 2
+		}
+		c.coarse = newCoarse(c.window)
+		reflagged := false
+		for _, old := range c.events {
+			if c.coarse.process(old) {
+				reflagged = true
+				break
+			}
+		}
+		if !reflagged {
+			return nil
+		}
+	}
+}
+
+// --- phase 1: coarse bundle graph ---------------------------------------------
+
+type bundleThread struct {
+	depth    int
+	cur      graph.NodeID // current bundle
+	txnsIn   int          // transactions already folded into cur
+	pendingF graph.NodeID
+	started  bool
+}
+
+type coarse struct {
+	debug   func(op string, u, v graph.NodeID, cyc bool)
+	window  int
+	det     graph.Detector
+	threads []bundleThread
+	lastW   []graph.NodeID
+	lastRs  [][]graph.NodeID
+	lastRel []graph.NodeID
+	next    graph.NodeID
+	flagged bool
+}
+
+const noBundle = graph.NodeID(-1)
+
+func newCoarse(window int) *coarse {
+	return &coarse{window: window, det: graph.NewDFS()}
+}
+
+func (c *coarse) thread(t int) *bundleThread {
+	for len(c.threads) <= t {
+		c.threads = append(c.threads, bundleThread{cur: noBundle, pendingF: noBundle})
+	}
+	return &c.threads[t]
+}
+
+func (c *coarse) varState(x int) int {
+	for len(c.lastW) <= x {
+		c.lastW = append(c.lastW, noBundle)
+		c.lastRs = append(c.lastRs, nil)
+	}
+	return x
+}
+
+func (c *coarse) lock(l int) int {
+	for len(c.lastRel) <= l {
+		c.lastRel = append(c.lastRel, noBundle)
+	}
+	return l
+}
+
+// bundleFor returns the bundle of thread t, opening a new one when the
+// current one is full (or absent).
+func (c *coarse) bundleFor(t int) graph.NodeID {
+	ts := c.thread(t)
+	if ts.cur == noBundle || ts.txnsIn >= c.window {
+		prev := ts.cur
+		id := c.next
+		c.next++
+		c.det.AddNode(id)
+		if prev != noBundle && c.det.HasNode(prev) {
+			c.addEdge(prev, id)
+		}
+		if ts.pendingF != noBundle {
+			if c.det.HasNode(ts.pendingF) {
+				c.addEdge(ts.pendingF, id)
+			}
+			ts.pendingF = noBundle
+		}
+		ts.cur = id
+		ts.txnsIn = 0
+	}
+	return ts.cur
+}
+
+func (c *coarse) addEdge(u, v graph.NodeID) {
+	if u == v || u == noBundle || !c.det.HasNode(u) {
+		return
+	}
+	cyc := c.det.AddEdge(u, v)
+	if c.debug != nil {
+		c.debug("edge", u, v, cyc != nil)
+	}
+	if cyc != nil {
+		c.flagged = true
+	}
+}
+
+// process consumes one event and reports whether a (potential) cycle was
+// flagged.
+//
+// Note: c.threads can be reallocated by c.thread(target) in the fork/join
+// cases, so thread state is always re-fetched by index rather than held in
+// a pointer across calls that may grow the slice.
+func (c *coarse) process(e trace.Event) bool {
+	c.flagged = false
+	t := int(e.Thread)
+	c.thread(t)
+	switch e.Kind {
+	case trace.Begin:
+		ts := c.thread(t)
+		if ts.depth == 0 {
+			c.bundleFor(t)
+			ts = c.thread(t)
+		}
+		ts.depth++
+	case trace.End:
+		ts := c.thread(t)
+		ts.depth--
+		if ts.depth == 0 {
+			ts.txnsIn++ // the transaction closes; the bundle may continue
+		}
+	case trace.Read:
+		x := c.varState(int(e.Target))
+		b := c.bundleFor(t)
+		c.addEdge(c.lastW[x], b)
+		for len(c.lastRs[x]) <= t {
+			c.lastRs[x] = append(c.lastRs[x], noBundle)
+		}
+		c.lastRs[x][t] = b
+		c.noteUnary(t)
+	case trace.Write:
+		x := c.varState(int(e.Target))
+		b := c.bundleFor(t)
+		c.addEdge(c.lastW[x], b)
+		for _, r := range c.lastRs[x] {
+			c.addEdge(r, b)
+		}
+		c.lastW[x] = b
+		c.noteUnary(t)
+	case trace.Acquire:
+		l := c.lock(int(e.Target))
+		b := c.bundleFor(t)
+		c.addEdge(c.lastRel[l], b)
+		c.noteUnary(t)
+	case trace.Release:
+		l := c.lock(int(e.Target))
+		c.lastRel[l] = c.bundleFor(t)
+		c.noteUnary(t)
+	case trace.Fork:
+		u := c.thread(int(e.Target))
+		u.pendingF = c.bundleFor(t)
+		c.noteUnary(t)
+	case trace.Join:
+		us := c.thread(int(e.Target))
+		b := c.bundleFor(t)
+		if us.cur != noBundle {
+			c.addEdge(us.cur, b)
+		}
+		c.noteUnary(t)
+	}
+	return c.flagged
+}
+
+// noteUnary counts an event outside any block as a (unary) transaction, so
+// that at Window=1 every unary event gets its own bundle and the bundle
+// graph coincides with the transaction graph.
+func (c *coarse) noteUnary(t int) {
+	ts := c.thread(t)
+	if ts.depth == 0 {
+		ts.txnsIn++
+	}
+}
+
+var _ core.Engine = (*Checker)(nil)

@@ -1,0 +1,131 @@
+package doublechecker_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"aerodrome/internal/core"
+	"aerodrome/internal/doublechecker"
+	"aerodrome/internal/testutil"
+	"aerodrome/internal/trace"
+	"aerodrome/internal/velodrome"
+	"aerodrome/internal/workload"
+)
+
+func TestPaperTraces(t *testing.T) {
+	cases := []struct {
+		name string
+		tr   *trace.Trace
+		viol bool
+	}{
+		{"rho1", testutil.Rho1(), false},
+		{"rho2", testutil.Rho2(), true},
+		{"rho3", testutil.Rho3(), true},
+		{"rho4", testutil.Rho4(), true},
+	}
+	for _, c := range cases {
+		dc := doublechecker.New(0)
+		v, _ := core.Run(dc, c.tr.Cursor())
+		if (v != nil) != c.viol {
+			t.Errorf("%s: violation=%v, want %v", c.name, v != nil, c.viol)
+		}
+	}
+}
+
+func TestAgreesWithVelodrome(t *testing.T) {
+	// DoubleChecker's verdict and detection index must match Velodrome's
+	// (its phase-2 engine) on every random trace, regardless of how many
+	// phase-1 false alarms occur along the way.
+	r := rand.New(rand.NewSource(1234))
+	iters := 800
+	if testing.Short() {
+		iters = 120
+	}
+	for iter := 0; iter < iters; iter++ {
+		tr := testutil.RandomTrace(r, testutil.GenOpts{
+			Threads: 1 + r.Intn(4),
+			Vars:    1 + r.Intn(3),
+			Locks:   1 + r.Intn(2),
+			Steps:   5 + r.Intn(120),
+			TxnBias: r.Intn(8),
+		})
+		for _, window := range []int{1, 2, 8, 64} {
+			dc := doublechecker.New(window)
+			vd := velodrome.New()
+			dcV, _ := core.Run(dc, tr.Cursor())
+			vdV, _ := core.Run(vd, tr.Cursor())
+			if (dcV != nil) != (vdV != nil) {
+				t.Fatalf("iter %d w=%d: doublechecker=%v velodrome=%v\n%v",
+					iter, window, dcV != nil, vdV != nil, tr.Events)
+			}
+			if dcV != nil && dcV.Index != vdV.Index {
+				t.Fatalf("iter %d w=%d: index %d != velodrome %d",
+					iter, window, dcV.Index, vdV.Index)
+			}
+		}
+	}
+}
+
+func TestFalseAlarmRefinement(t *testing.T) {
+	// A workload with heavy cross-thread traffic but no violation: bundling
+	// should cause at least one false alarm at a large window, the window
+	// must shrink, and the verdict must stay clean.
+	cfg := workload.Config{
+		Name: "refine", Threads: 4, Vars: 8, Locks: 2, Events: 4_000,
+		OpsPerTxn: 2, Pattern: workload.PatternChain,
+		Inject: workload.ViolationNone, Seed: 5,
+	}
+	dc := doublechecker.New(128)
+	v, _ := core.Run(dc, workload.New(cfg))
+	if v != nil {
+		t.Fatalf("chain workload is serializable: %v", v)
+	}
+	s := dc.Stats()
+	if s.Flags == 0 || s.FalseAlarms == 0 {
+		t.Fatalf("expected coarse false alarms on a chain workload, got %+v", s)
+	}
+	if s.FalseAlarms != s.Flags {
+		t.Fatalf("all flags should be refuted on a serializable trace: %+v", s)
+	}
+	if s.FinalWindow >= 128 {
+		t.Fatalf("window should have been refined: %+v", s)
+	}
+}
+
+func TestConfirmedViolation(t *testing.T) {
+	cfg := workload.Config{
+		Name: "confirm", Threads: 5, Vars: 64, Locks: 2, Events: 3_000,
+		Pattern: workload.PatternChain, Inject: workload.ViolationCross,
+		InjectAt: 0.7, Seed: 9,
+	}
+	dc := doublechecker.New(0)
+	v, _ := core.Run(dc, workload.New(cfg))
+	if v == nil {
+		t.Fatalf("expected the injected violation")
+	}
+	if v.Algorithm != "doublechecker" {
+		t.Fatalf("Algorithm = %q", v.Algorithm)
+	}
+	s := dc.Stats()
+	if s.Replays == 0 || s.ReplayedEvents == 0 {
+		t.Fatalf("phase 2 should have replayed: %+v", s)
+	}
+}
+
+func TestLatchingAndAccessors(t *testing.T) {
+	dc := doublechecker.New(4)
+	if dc.Name() != "doublechecker" {
+		t.Fatalf("Name = %q", dc.Name())
+	}
+	v1, _ := core.Run(dc, testutil.Rho2().Cursor())
+	if v1 == nil {
+		t.Fatalf("rho2 must violate")
+	}
+	v2 := dc.Process(trace.Event{Thread: 0, Kind: trace.Read})
+	if v2 != v1 || dc.Violation() != v1 {
+		t.Fatalf("must latch")
+	}
+	if dc.Processed() == 0 {
+		t.Fatalf("Processed should count events")
+	}
+}

@@ -1,0 +1,290 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func detectors() []Detector {
+	return []Detector{NewDFS(), NewPearceKelly()}
+}
+
+func TestNewByName(t *testing.T) {
+	if New("dfs").Name() != "dfs" {
+		t.Fatal("dfs")
+	}
+	if New("").Name() != "dfs" {
+		t.Fatal("default")
+	}
+	if New("pearce-kelly").Name() != "pearce-kelly" {
+		t.Fatal("pk")
+	}
+	if New("pk").Name() != "pearce-kelly" {
+		t.Fatal("pk alias")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("unknown strategy must panic")
+		}
+	}()
+	New("bogus")
+}
+
+func TestSimpleCycle(t *testing.T) {
+	for _, d := range detectors() {
+		t.Run(d.Name(), func(t *testing.T) {
+			if c := d.AddEdge(1, 2); c != nil {
+				t.Fatalf("1→2 should not cycle: %v", c)
+			}
+			if c := d.AddEdge(2, 3); c != nil {
+				t.Fatalf("2→3 should not cycle: %v", c)
+			}
+			c := d.AddEdge(3, 1)
+			if c == nil {
+				t.Fatalf("3→1 must close a cycle")
+			}
+			// Witness starts at the head of the rejected edge and ends at its
+			// tail: 1 → 2 → 3 (closing edge 3→1 implied).
+			if len(c) != 3 || c[0] != 1 || c[len(c)-1] != 3 {
+				t.Fatalf("witness = %v", c)
+			}
+			// The rejected edge must not have been inserted.
+			if d.EdgeCount() != 2 {
+				t.Fatalf("EdgeCount = %d after rejected insertion", d.EdgeCount())
+			}
+		})
+	}
+}
+
+func TestSelfEdge(t *testing.T) {
+	for _, d := range detectors() {
+		if c := d.AddEdge(5, 5); len(c) != 1 || c[0] != 5 {
+			t.Fatalf("%s: self edge witness = %v", d.Name(), c)
+		}
+	}
+}
+
+func TestDuplicateEdgesIgnored(t *testing.T) {
+	for _, d := range detectors() {
+		d.AddEdge(1, 2)
+		d.AddEdge(1, 2)
+		if d.EdgeCount() != 1 {
+			t.Fatalf("%s: duplicate edge counted", d.Name())
+		}
+		if d.InDegree(2) != 1 {
+			t.Fatalf("%s: InDegree = %d", d.Name(), d.InDegree(2))
+		}
+	}
+}
+
+func TestInDegreeAndNeighbors(t *testing.T) {
+	for _, d := range detectors() {
+		d.AddEdge(1, 3)
+		d.AddEdge(2, 3)
+		d.AddEdge(3, 4)
+		if d.InDegree(3) != 2 || d.InDegree(1) != 0 || d.InDegree(4) != 1 {
+			t.Fatalf("%s: in-degrees wrong", d.Name())
+		}
+		out := d.OutNeighbors(3)
+		if len(out) != 1 || out[0] != 4 {
+			t.Fatalf("%s: OutNeighbors(3) = %v", d.Name(), out)
+		}
+		if d.OutNeighbors(99) != nil {
+			t.Fatalf("%s: neighbors of missing node", d.Name())
+		}
+		if d.InDegree(99) != 0 {
+			t.Fatalf("%s: in-degree of missing node", d.Name())
+		}
+	}
+}
+
+func TestRemoveNode(t *testing.T) {
+	for _, d := range detectors() {
+		d.AddEdge(1, 2)
+		d.AddEdge(2, 3)
+		d.RemoveNode(2)
+		if d.HasNode(2) {
+			t.Fatalf("%s: node 2 still present", d.Name())
+		}
+		if d.NodeCount() != 2 || d.EdgeCount() != 0 {
+			t.Fatalf("%s: counts after removal: %d nodes %d edges",
+				d.Name(), d.NodeCount(), d.EdgeCount())
+		}
+		if d.InDegree(3) != 0 {
+			t.Fatalf("%s: InDegree(3) = %d after removal", d.Name(), d.InDegree(3))
+		}
+		// After removing 2, 3→1 no longer closes a cycle (1→2→3 is gone).
+		if c := d.AddEdge(3, 1); c != nil {
+			t.Fatalf("%s: 3→1 should be fine after removal, got %v", d.Name(), c)
+		}
+		// Removing a missing node is a no-op.
+		d.RemoveNode(42)
+	}
+}
+
+func TestMaxNodeCount(t *testing.T) {
+	for _, d := range detectors() {
+		d.AddEdge(1, 2)
+		d.AddEdge(2, 3)
+		d.RemoveNode(1)
+		d.RemoveNode(2)
+		d.RemoveNode(3)
+		if d.MaxNodeCount() != 3 {
+			t.Fatalf("%s: MaxNodeCount = %d, want 3", d.Name(), d.MaxNodeCount())
+		}
+		if d.NodeCount() != 0 {
+			t.Fatalf("%s: NodeCount = %d, want 0", d.Name(), d.NodeCount())
+		}
+	}
+}
+
+func TestLongChainThenClose(t *testing.T) {
+	const n = 500
+	for _, d := range detectors() {
+		for i := 0; i < n; i++ {
+			if c := d.AddEdge(NodeID(i), NodeID(i+1)); c != nil {
+				t.Fatalf("%s: chain edge cycled", d.Name())
+			}
+		}
+		c := d.AddEdge(NodeID(n), 0)
+		if c == nil {
+			t.Fatalf("%s: closing the chain must cycle", d.Name())
+		}
+		if len(c) != n+1 {
+			t.Fatalf("%s: witness length = %d, want %d", d.Name(), len(c), n+1)
+		}
+	}
+}
+
+func TestPKOutOfOrderInsertions(t *testing.T) {
+	// Insert edges that repeatedly violate the current topological order to
+	// exercise the discovery/reorder path.
+	d := NewPearceKelly()
+	// Create nodes 0..9 in order, then add edges backwards in ID space.
+	for i := 0; i < 10; i++ {
+		d.AddNode(NodeID(i))
+	}
+	edges := [][2]NodeID{{9, 8}, {8, 7}, {7, 6}, {6, 5}, {5, 0}, {3, 2}, {2, 1}, {0, 3}}
+	for _, e := range edges {
+		if c := d.AddEdge(e[0], e[1]); c != nil {
+			t.Fatalf("unexpected cycle at %v: %v", e, c)
+		}
+	}
+	// 1 → 9 closes 9→…→0→3→2→1.
+	if c := d.AddEdge(1, 9); c == nil {
+		t.Fatalf("expected cycle")
+	}
+}
+
+// oracle: recompute acyclicity from scratch with a DFS over an adjacency map.
+type oracleGraph struct {
+	out map[NodeID]map[NodeID]bool
+}
+
+func newOracle() *oracleGraph { return &oracleGraph{out: map[NodeID]map[NodeID]bool{}} }
+
+func (o *oracleGraph) addEdge(u, v NodeID) {
+	if o.out[u] == nil {
+		o.out[u] = map[NodeID]bool{}
+	}
+	o.out[u][v] = true
+}
+
+func (o *oracleGraph) removeNode(id NodeID) {
+	delete(o.out, id)
+	for _, m := range o.out {
+		delete(m, id)
+	}
+}
+
+// wouldCycle reports whether adding u→v creates a cycle (path v→…→u).
+func (o *oracleGraph) wouldCycle(u, v NodeID) bool {
+	if u == v {
+		return true
+	}
+	seen := map[NodeID]bool{v: true}
+	stack := []NodeID{v}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n == u {
+			return true
+		}
+		for s := range o.out[n] {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return false
+}
+
+func TestRandomizedAgainstOracle(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 100; iter++ {
+		dets := detectors()
+		oracle := newOracle()
+		nodes := 2 + r.Intn(12)
+		for step := 0; step < 150; step++ {
+			if r.Intn(10) == 0 {
+				// Occasionally delete a random node.
+				id := NodeID(r.Intn(nodes))
+				oracle.removeNode(id)
+				for _, d := range dets {
+					d.RemoveNode(id)
+				}
+				continue
+			}
+			u := NodeID(r.Intn(nodes))
+			v := NodeID(r.Intn(nodes))
+			want := oracle.wouldCycle(u, v)
+			for _, d := range dets {
+				got := d.AddEdge(u, v) != nil
+				if got != want {
+					t.Fatalf("iter %d step %d: %s AddEdge(%d,%d) cycle=%v oracle=%v",
+						iter, step, d.Name(), u, v, got, want)
+				}
+			}
+			if !want {
+				oracle.addEdge(u, v)
+			}
+		}
+		// Detectors must agree with each other on final shape.
+		if dets[0].EdgeCount() != dets[1].EdgeCount() ||
+			dets[0].NodeCount() != dets[1].NodeCount() {
+			t.Fatalf("iter %d: detectors disagree on counts", iter)
+		}
+	}
+}
+
+func TestWitnessEdgesExist(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for _, mk := range []func() Detector{func() Detector { return NewDFS() },
+		func() Detector { return NewPearceKelly() }} {
+		d := mk()
+		oracle := newOracle()
+		for step := 0; step < 400; step++ {
+			u := NodeID(r.Intn(15))
+			v := NodeID(r.Intn(15))
+			if u == v {
+				continue
+			}
+			c := d.AddEdge(u, v)
+			if c == nil {
+				oracle.addEdge(u, v)
+				continue
+			}
+			// Witness must start at v, end at u, and every consecutive edge
+			// must exist in the (pre-insertion) graph.
+			if c[0] != v || c[len(c)-1] != u {
+				t.Fatalf("%s: witness endpoints %v for edge (%d,%d)", d.Name(), c, u, v)
+			}
+			for i := 0; i+1 < len(c); i++ {
+				if !oracle.out[c[i]][c[i+1]] {
+					t.Fatalf("%s: witness edge %d→%d not in graph", d.Name(), c[i], c[i+1])
+				}
+			}
+		}
+	}
+}

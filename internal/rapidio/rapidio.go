@@ -1,0 +1,442 @@
+// Package rapidio reads and writes trace logs in the STD text format used
+// by the RAPID tool (the paper's implementation vehicle), plus a compact
+// binary format for large logs.
+//
+// The STD format is one event per line:
+//
+//	<thread>|<op>|<location>
+//
+// where <thread> is a thread name (conventionally t0, t1, …), <op> is one
+// of r(x), w(x), acq(ℓ), rel(ℓ), fork(t), join(t), begin, end, and
+// <location> is an optional integer source-location tag, ignored by the
+// checkers but preserved on round trips. Example:
+//
+//	t0|fork(t1)|0
+//	t0|begin|12
+//	t0|w(x3)|12
+//	t1|acq(l0)|7
+//
+// Thread, variable and lock names are interned in first-appearance order,
+// matching the dense IDs the checkers use.
+//
+// The binary format ("ADB1") is a 16-byte header followed by fixed 8-byte
+// little-endian records (thread uint16, kind uint8, pad uint8, target
+// int32), suitable for multi-gigabyte logs.
+package rapidio
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	"aerodrome/internal/trace"
+)
+
+// ErrFormat wraps all parse errors.
+var ErrFormat = errors.New("rapidio: bad trace format")
+
+// ParseError reports a malformed input line.
+type ParseError struct {
+	Line   int
+	Text   string
+	Reason string
+}
+
+// Error implements error.
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("rapidio: line %d %q: %s", e.Line, e.Text, e.Reason)
+}
+
+// Unwrap lets errors.Is(err, ErrFormat) succeed.
+func (e *ParseError) Unwrap() error { return ErrFormat }
+
+// Reader streams events from an STD-format log. It implements trace.Source
+// by panicking on malformed input; use Read for error-returning iteration.
+type Reader struct {
+	sc      *bufio.Scanner
+	line    int
+	threads map[string]trace.ThreadID
+	vars    map[string]trace.VarID
+	locks   map[string]trace.LockID
+
+	threadNames []string
+	varNames    []string
+	lockNames   []string
+
+	err  error
+	done bool
+}
+
+// NewReader returns a Reader over r. Lines may be up to 1 MiB.
+func NewReader(r io.Reader) *Reader {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 1<<20)
+	return &Reader{
+		sc:      sc,
+		threads: map[string]trace.ThreadID{},
+		vars:    map[string]trace.VarID{},
+		locks:   map[string]trace.LockID{},
+	}
+}
+
+// Read returns the next event, io.EOF at the end of input, or a
+// *ParseError for malformed lines.
+func (r *Reader) Read() (trace.Event, error) {
+	if r.err != nil {
+		return trace.Event{}, r.err
+	}
+	for r.sc.Scan() {
+		r.line++
+		text := strings.TrimSpace(r.sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		ev, err := r.parseLine(text)
+		if err != nil {
+			r.err = err
+			return trace.Event{}, err
+		}
+		return ev, nil
+	}
+	if err := r.sc.Err(); err != nil {
+		r.err = err
+		return trace.Event{}, err
+	}
+	r.err = io.EOF
+	return trace.Event{}, io.EOF
+}
+
+// Next implements trace.Source: it stops the stream at the first error and
+// records it for Err.
+func (r *Reader) Next() (trace.Event, bool) {
+	ev, err := r.Read()
+	if err != nil {
+		return trace.Event{}, false
+	}
+	return ev, true
+}
+
+// Err returns the terminal error of the stream, if any (nil after a clean
+// EOF).
+func (r *Reader) Err() error {
+	if r.err == io.EOF {
+		return nil
+	}
+	return r.err
+}
+
+// Names returns the interned symbol tables accumulated so far.
+func (r *Reader) Names() (threads, vars, locks []string) {
+	return r.threadNames, r.varNames, r.lockNames
+}
+
+func (r *Reader) parseLine(text string) (trace.Event, error) {
+	fail := func(reason string) (trace.Event, error) {
+		return trace.Event{}, &ParseError{Line: r.line, Text: text, Reason: reason}
+	}
+	parts := strings.Split(text, "|")
+	if len(parts) != 2 && len(parts) != 3 {
+		return fail("want thread|op or thread|op|loc")
+	}
+	tname := strings.TrimSpace(parts[0])
+	if tname == "" {
+		return fail("empty thread name")
+	}
+	t := r.internThread(tname)
+	op := strings.TrimSpace(parts[1])
+	// Location (parts[2]) is validated but otherwise ignored.
+	if len(parts) == 3 {
+		loc := strings.TrimSpace(parts[2])
+		for _, c := range loc {
+			if c < '0' || c > '9' {
+				return fail("non-numeric location")
+			}
+		}
+	}
+
+	if op == "begin" {
+		return trace.Event{Thread: t, Kind: trace.Begin}, nil
+	}
+	if op == "end" {
+		return trace.Event{Thread: t, Kind: trace.End}, nil
+	}
+	open := strings.IndexByte(op, '(')
+	if open < 1 || !strings.HasSuffix(op, ")") {
+		return fail("unknown operation " + op)
+	}
+	name := op[:open]
+	arg := op[open+1 : len(op)-1]
+	if arg == "" {
+		return fail("empty operand")
+	}
+	switch name {
+	case "r":
+		return trace.Event{Thread: t, Kind: trace.Read, Target: int32(r.internVar(arg))}, nil
+	case "w":
+		return trace.Event{Thread: t, Kind: trace.Write, Target: int32(r.internVar(arg))}, nil
+	case "acq":
+		return trace.Event{Thread: t, Kind: trace.Acquire, Target: int32(r.internLock(arg))}, nil
+	case "rel":
+		return trace.Event{Thread: t, Kind: trace.Release, Target: int32(r.internLock(arg))}, nil
+	case "fork":
+		return trace.Event{Thread: t, Kind: trace.Fork, Target: int32(r.internThread(arg))}, nil
+	case "join":
+		return trace.Event{Thread: t, Kind: trace.Join, Target: int32(r.internThread(arg))}, nil
+	}
+	return fail("unknown operation " + name)
+}
+
+func (r *Reader) internThread(name string) trace.ThreadID {
+	if id, ok := r.threads[name]; ok {
+		return id
+	}
+	id := trace.ThreadID(len(r.threads))
+	r.threads[name] = id
+	r.threadNames = append(r.threadNames, name)
+	return id
+}
+
+func (r *Reader) internVar(name string) trace.VarID {
+	if id, ok := r.vars[name]; ok {
+		return id
+	}
+	id := trace.VarID(len(r.vars))
+	r.vars[name] = id
+	r.varNames = append(r.varNames, name)
+	return id
+}
+
+func (r *Reader) internLock(name string) trace.LockID {
+	if id, ok := r.locks[name]; ok {
+		return id
+	}
+	id := trace.LockID(len(r.locks))
+	r.locks[name] = id
+	r.lockNames = append(r.lockNames, name)
+	return id
+}
+
+// ReadTrace materializes a whole STD log.
+func ReadTrace(r io.Reader) (*trace.Trace, error) {
+	rd := NewReader(r)
+	tr := &trace.Trace{}
+	for {
+		ev, err := rd.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		tr.Append(ev)
+	}
+	tr.ThreadNames, tr.VarNames, tr.LockNames = rd.Names()
+	return tr, nil
+}
+
+// Writer emits events in the STD format.
+type Writer struct {
+	w  *bufio.Writer
+	tr *trace.Trace // optional name source
+}
+
+// NewWriter returns a Writer. When names is non-nil its symbol tables are
+// used for display names; otherwise names are synthesized (t0, x1, l2).
+func NewWriter(w io.Writer, names *trace.Trace) *Writer {
+	return &Writer{w: bufio.NewWriterSize(w, 1<<16), tr: names}
+}
+
+// Write emits one event.
+func (wr *Writer) Write(e trace.Event) error {
+	var err error
+	tn := wr.threadName(e.Thread)
+	switch e.Kind {
+	case trace.Begin:
+		_, err = fmt.Fprintf(wr.w, "%s|begin|0\n", tn)
+	case trace.End:
+		_, err = fmt.Fprintf(wr.w, "%s|end|0\n", tn)
+	case trace.Read:
+		_, err = fmt.Fprintf(wr.w, "%s|r(%s)|0\n", tn, wr.varName(e.Var()))
+	case trace.Write:
+		_, err = fmt.Fprintf(wr.w, "%s|w(%s)|0\n", tn, wr.varName(e.Var()))
+	case trace.Acquire:
+		_, err = fmt.Fprintf(wr.w, "%s|acq(%s)|0\n", tn, wr.lockName(e.Lock()))
+	case trace.Release:
+		_, err = fmt.Fprintf(wr.w, "%s|rel(%s)|0\n", tn, wr.lockName(e.Lock()))
+	case trace.Fork:
+		_, err = fmt.Fprintf(wr.w, "%s|fork(%s)|0\n", tn, wr.threadName(e.Other()))
+	case trace.Join:
+		_, err = fmt.Fprintf(wr.w, "%s|join(%s)|0\n", tn, wr.threadName(e.Other()))
+	default:
+		err = fmt.Errorf("rapidio: unknown event kind %d", e.Kind)
+	}
+	return err
+}
+
+// Flush flushes buffered output.
+func (wr *Writer) Flush() error { return wr.w.Flush() }
+
+func (wr *Writer) threadName(t trace.ThreadID) string {
+	if wr.tr != nil {
+		return wr.tr.ThreadName(t)
+	}
+	return fmt.Sprintf("t%d", t)
+}
+
+func (wr *Writer) varName(x trace.VarID) string {
+	if wr.tr != nil {
+		return wr.tr.VarName(x)
+	}
+	return fmt.Sprintf("x%d", x)
+}
+
+func (wr *Writer) lockName(l trace.LockID) string {
+	if wr.tr != nil {
+		return wr.tr.LockName(l)
+	}
+	return fmt.Sprintf("l%d", l)
+}
+
+// WriteTrace writes tr as an STD log.
+func WriteTrace(w io.Writer, tr *trace.Trace) error {
+	wr := NewWriter(w, tr)
+	for _, e := range tr.Events {
+		if err := wr.Write(e); err != nil {
+			return err
+		}
+	}
+	return wr.Flush()
+}
+
+// WriteSource drains a Source into an STD log.
+func WriteSource(w io.Writer, src trace.Source) (int64, error) {
+	wr := NewWriter(w, nil)
+	var n int64
+	for {
+		e, ok := src.Next()
+		if !ok {
+			return n, wr.Flush()
+		}
+		if err := wr.Write(e); err != nil {
+			return n, err
+		}
+		n++
+	}
+}
+
+// --- binary format -----------------------------------------------------------
+
+var binMagic = [4]byte{'A', 'D', 'B', '1'}
+
+// BinaryWriter emits the compact binary format.
+type BinaryWriter struct {
+	w      *bufio.Writer
+	wrote  bool
+	record [8]byte
+}
+
+// NewBinaryWriter returns a BinaryWriter over w.
+func NewBinaryWriter(w io.Writer) *BinaryWriter {
+	return &BinaryWriter{w: bufio.NewWriterSize(w, 1<<16)}
+}
+
+// Write emits one event record, writing the header first if needed.
+func (bw *BinaryWriter) Write(e trace.Event) error {
+	if !bw.wrote {
+		bw.wrote = true
+		var hdr [16]byte
+		copy(hdr[:4], binMagic[:])
+		if _, err := bw.w.Write(hdr[:]); err != nil {
+			return err
+		}
+	}
+	binary.LittleEndian.PutUint16(bw.record[0:2], uint16(e.Thread))
+	bw.record[2] = byte(e.Kind)
+	bw.record[3] = 0
+	binary.LittleEndian.PutUint32(bw.record[4:8], uint32(e.Target))
+	_, err := bw.w.Write(bw.record[:])
+	return err
+}
+
+// Flush flushes buffered output (writing the header even for empty logs).
+func (bw *BinaryWriter) Flush() error {
+	if !bw.wrote {
+		bw.wrote = true
+		var hdr [16]byte
+		copy(hdr[:4], binMagic[:])
+		if _, err := bw.w.Write(hdr[:]); err != nil {
+			return err
+		}
+	}
+	return bw.w.Flush()
+}
+
+// BinaryReader streams the compact binary format.
+type BinaryReader struct {
+	r      *bufio.Reader
+	header bool
+	err    error
+}
+
+// NewBinaryReader returns a BinaryReader over r.
+func NewBinaryReader(r io.Reader) *BinaryReader {
+	return &BinaryReader{r: bufio.NewReaderSize(r, 1<<16)}
+}
+
+// Read returns the next event or io.EOF.
+func (br *BinaryReader) Read() (trace.Event, error) {
+	if br.err != nil {
+		return trace.Event{}, br.err
+	}
+	if !br.header {
+		var hdr [16]byte
+		if _, err := io.ReadFull(br.r, hdr[:]); err != nil {
+			br.err = fmt.Errorf("rapidio: short binary header: %w", ErrFormat)
+			return trace.Event{}, br.err
+		}
+		if [4]byte(hdr[:4]) != binMagic {
+			br.err = fmt.Errorf("rapidio: bad magic %q: %w", hdr[:4], ErrFormat)
+			return trace.Event{}, br.err
+		}
+		br.header = true
+	}
+	var rec [8]byte
+	if _, err := io.ReadFull(br.r, rec[:]); err != nil {
+		if err == io.EOF {
+			br.err = io.EOF
+			return trace.Event{}, io.EOF
+		}
+		br.err = fmt.Errorf("rapidio: truncated record: %w", ErrFormat)
+		return trace.Event{}, br.err
+	}
+	kind := trace.OpKind(rec[2])
+	if kind > trace.Join {
+		br.err = fmt.Errorf("rapidio: bad op kind %d: %w", rec[2], ErrFormat)
+		return trace.Event{}, br.err
+	}
+	return trace.Event{
+		Thread: trace.ThreadID(binary.LittleEndian.Uint16(rec[0:2])),
+		Kind:   kind,
+		Target: int32(binary.LittleEndian.Uint32(rec[4:8])),
+	}, nil
+}
+
+// Next implements trace.Source.
+func (br *BinaryReader) Next() (trace.Event, bool) {
+	ev, err := br.Read()
+	if err != nil {
+		return trace.Event{}, false
+	}
+	return ev, true
+}
+
+// Err returns the terminal error of the stream (nil after clean EOF).
+func (br *BinaryReader) Err() error {
+	if br.err == io.EOF {
+		return nil
+	}
+	return br.err
+}

@@ -1,0 +1,255 @@
+// Package serial decides conflict serializability of complete traces by
+// explicit construction, serving as the reference oracle against which the
+// streaming checkers (internal/core, internal/velodrome) are differentially
+// validated.
+//
+// Two independent deciders are provided:
+//
+//   - Check: builds the full transaction graph over ⋖Txn (via the ≤CHB index
+//     of internal/chb) and looks for a strongly connected component with at
+//     least two transactions (Definition 1 of the paper). O(n²) per trace.
+//   - ExhaustiveSerializable: searches all orderings of the transactions for
+//     a serial arrangement that preserves the order of every conflicting
+//     event pair — the definition-level semantics of "equivalent to a serial
+//     execution by commuting adjacent non-conflicting events". Exponential;
+//     only usable on tiny traces, where it cross-checks Check.
+package serial
+
+import (
+	"aerodrome/internal/chb"
+	"aerodrome/internal/trace"
+)
+
+// Report is the outcome of a serializability check.
+type Report struct {
+	// Serializable is true iff the trace is conflict serializable.
+	Serializable bool
+	// Witness, when not serializable, lists the transactions of one cycle
+	// in the ⋖Txn graph (a strongly connected component, in discovery
+	// order). Empty when Serializable.
+	Witness []trace.TxnID
+	// Txns is the number of transactions considered (including unary).
+	Txns int
+	// Edges is the number of distinct ⋖Txn edges between distinct
+	// transactions.
+	Edges int
+}
+
+// Check decides conflict serializability of a complete trace using the
+// transaction graph. Traces with active (unfinished) transactions are
+// handled: their events still induce ⋖Txn edges, per Definition 1.
+func Check(tr *trace.Trace) *Report {
+	seg := trace.Transactions(tr)
+	idx := chb.BuildIndex(tr)
+	n := tr.Len()
+	k := seg.Count()
+
+	adj := make([]map[int32]struct{}, k)
+	edges := 0
+	addEdge := func(a, b trace.TxnID) {
+		if a == b {
+			return
+		}
+		if adj[a] == nil {
+			adj[a] = map[int32]struct{}{}
+		}
+		if _, ok := adj[a][int32(b)]; !ok {
+			adj[a][int32(b)] = struct{}{}
+			edges++
+		}
+	}
+	// T ⋖Txn T′ iff some e ∈ T, e′ ∈ T′ with e ≤CHB e′.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if seg.ByEvent[i] == seg.ByEvent[j] {
+				continue
+			}
+			if idx.Ordered(i, j) {
+				addEdge(seg.ByEvent[i], seg.ByEvent[j])
+			}
+		}
+	}
+
+	scc := tarjan(k, adj)
+	for _, comp := range scc {
+		if len(comp) > 1 {
+			witness := make([]trace.TxnID, len(comp))
+			for i, c := range comp {
+				witness[i] = trace.TxnID(c)
+			}
+			return &Report{Serializable: false, Witness: witness, Txns: k, Edges: edges}
+		}
+	}
+	return &Report{Serializable: true, Txns: k, Edges: edges}
+}
+
+// tarjan returns the strongly connected components of the graph on nodes
+// 0..k-1 with adjacency adj. Iterative to avoid stack limits.
+func tarjan(k int, adj []map[int32]struct{}) [][]int32 {
+	const unvisited = -1
+	index := make([]int32, k)
+	low := make([]int32, k)
+	onStack := make([]bool, k)
+	for i := range index {
+		index[i] = unvisited
+	}
+	var (
+		counter int32
+		stack   []int32
+		comps   [][]int32
+	)
+
+	type frame struct {
+		v     int32
+		iter  []int32 // remaining successors
+		child int32   // successor being processed, -1 before first
+	}
+
+	for start := int32(0); start < int32(k); start++ {
+		if index[start] != unvisited {
+			continue
+		}
+		var callStack []frame
+		push := func(v int32) {
+			index[v] = counter
+			low[v] = counter
+			counter++
+			stack = append(stack, v)
+			onStack[v] = true
+			succ := make([]int32, 0, len(adj[v]))
+			for s := range adj[v] {
+				succ = append(succ, s)
+			}
+			callStack = append(callStack, frame{v: v, iter: succ, child: -1})
+		}
+		push(start)
+		for len(callStack) > 0 {
+			f := &callStack[len(callStack)-1]
+			if f.child >= 0 {
+				if low[f.child] < low[f.v] {
+					low[f.v] = low[f.child]
+				}
+				f.child = -1
+			}
+			advanced := false
+			for len(f.iter) > 0 {
+				w := f.iter[0]
+				f.iter = f.iter[1:]
+				if index[w] == unvisited {
+					f.child = w
+					push(w)
+					advanced = true
+					break
+				} else if onStack[w] {
+					if index[w] < low[f.v] {
+						low[f.v] = index[w]
+					}
+				}
+			}
+			if advanced {
+				continue
+			}
+			// finished v
+			if low[f.v] == index[f.v] {
+				var comp []int32
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp = append(comp, w)
+					if w == f.v {
+						break
+					}
+				}
+				comps = append(comps, comp)
+			}
+			v := f.v
+			callStack = callStack[:len(callStack)-1]
+			if len(callStack) > 0 {
+				callStack[len(callStack)-1].child = v
+			}
+		}
+	}
+	return comps
+}
+
+// MaxExhaustiveTxns bounds the transaction count ExhaustiveSerializable will
+// attempt (k! permutations).
+const MaxExhaustiveTxns = 8
+
+// ExhaustiveSerializable decides conflict serializability by brute force:
+// it tries every ordering of the trace's transactions (unary transactions
+// included) and accepts if some serial arrangement preserves the relative
+// order of every directly conflicting event pair. The second return value is
+// false when the trace has too many transactions to enumerate.
+func ExhaustiveSerializable(tr *trace.Trace) (serializable, ok bool) {
+	seg := trace.Transactions(tr)
+	k := seg.Count()
+	if k > MaxExhaustiveTxns {
+		return false, false
+	}
+	n := tr.Len()
+
+	// Events of each transaction in trace order.
+	members := make([][]int, k)
+	for i := 0; i < n; i++ {
+		id := seg.ByEvent[i]
+		members[id] = append(members[id], i)
+	}
+
+	// All directly conflicting pairs (i < j).
+	type pair struct{ i, j int }
+	var conflicts []pair
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if chb.Conflicting(tr.Events[i], tr.Events[j]) {
+				conflicts = append(conflicts, pair{i, j})
+			}
+		}
+	}
+
+	pos := make([]int, n) // position of each event in the candidate serial trace
+	perm := make([]int, k)
+	for i := range perm {
+		perm[i] = i
+	}
+
+	valid := func() bool {
+		p := 0
+		for _, txn := range perm {
+			for _, ev := range members[txn] {
+				pos[ev] = p
+				p++
+			}
+		}
+		for _, c := range conflicts {
+			if pos[c.i] > pos[c.j] {
+				return false
+			}
+		}
+		return true
+	}
+
+	// Heap's algorithm over perm.
+	var rec func(m int) bool
+	rec = func(m int) bool {
+		if m == 1 {
+			return valid()
+		}
+		for i := 0; i < m; i++ {
+			if rec(m - 1) {
+				return true
+			}
+			if m%2 == 0 {
+				perm[i], perm[m-1] = perm[m-1], perm[i]
+			} else {
+				perm[0], perm[m-1] = perm[m-1], perm[0]
+			}
+		}
+		return false
+	}
+	if k == 0 {
+		return true, true
+	}
+	return rec(k), true
+}

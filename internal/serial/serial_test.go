@@ -1,0 +1,224 @@
+package serial
+
+import (
+	"math/rand"
+	"testing"
+
+	"aerodrome/internal/testutil"
+	"aerodrome/internal/trace"
+)
+
+func TestPaperTraces(t *testing.T) {
+	cases := []struct {
+		name string
+		tr   *trace.Trace
+		want bool // serializable?
+	}{
+		{"rho1", testutil.Rho1(), true},
+		{"rho2", testutil.Rho2(), false},
+		{"rho3", testutil.Rho3(), false},
+		{"rho4", testutil.Rho4(), false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			rep := Check(c.tr)
+			if rep.Serializable != c.want {
+				t.Fatalf("Check(%s).Serializable = %v, want %v", c.name, rep.Serializable, c.want)
+			}
+			if !c.want && len(rep.Witness) < 2 {
+				t.Fatalf("violation must come with a witness of ≥2 txns, got %v", rep.Witness)
+			}
+			if c.want && len(rep.Witness) != 0 {
+				t.Fatalf("serializable trace must have no witness")
+			}
+			ex, ok := ExhaustiveSerializable(c.tr)
+			if !ok {
+				t.Fatalf("exhaustive checker refused a tiny trace")
+			}
+			if ex != c.want {
+				t.Fatalf("ExhaustiveSerializable = %v, want %v", ex, c.want)
+			}
+		})
+	}
+}
+
+func TestRho4WitnessIsAllThree(t *testing.T) {
+	// In ρ4 the ⋖Txn edges are T1→T2 (e2≤e5), T2→T3 (e4≤e8), T3→T1
+	// (e9≤e11) and the transitive T2→T1 (e4≤e8≤e9≤e11): the whole graph is
+	// one strongly connected component. Transactions are numbered in start
+	// order: T1=0, T2=1, T3=2.
+	rep := Check(testutil.Rho4())
+	if rep.Serializable {
+		t.Fatal("rho4 must not be serializable")
+	}
+	in := map[trace.TxnID]bool{}
+	for _, w := range rep.Witness {
+		in[w] = true
+	}
+	if !in[0] || !in[1] || !in[2] {
+		t.Fatalf("witness should contain T1, T2 and T3, got %v", rep.Witness)
+	}
+}
+
+func TestEmptyAndTrivialTraces(t *testing.T) {
+	empty := &trace.Trace{}
+	if rep := Check(empty); !rep.Serializable || rep.Txns != 0 {
+		t.Fatalf("empty trace: %+v", rep)
+	}
+	if ok, handled := ExhaustiveSerializable(empty); !ok || !handled {
+		t.Fatalf("empty trace exhaustive")
+	}
+
+	b := trace.NewBuilder()
+	t1 := b.Thread("t1")
+	x := b.Var("x")
+	b.Begin(t1).Write(t1, x).Read(t1, x).End(t1)
+	one := b.Build()
+	if rep := Check(one); !rep.Serializable || rep.Txns != 1 {
+		t.Fatalf("single txn: %+v", rep)
+	}
+}
+
+func TestUnaryTransactionsParticipate(t *testing.T) {
+	// A cycle between a block transaction and... unary transactions alone
+	// cannot form a cycle (single events are never mutually CHB-ordered),
+	// but a unary event can participate in a cycle with a block:
+	//   t1: ⊲ w(x)        r(y) ⊳
+	//   t2:        r(x) w(y)            (unary events)
+	// T1 → U(r(x)) via w(x)≤r(x)·, U(w(y)) → T1 via w(y)≤r(y).
+	// That is a path, not a cycle, unless the unary events are in one txn.
+	// Here they are separate unary txns: U1=r(x), U2=w(y); edges
+	// T1→U1, U2→T1 — acyclic. So this trace is serializable.
+	b := trace.NewBuilder()
+	t1, t2 := b.Thread("t1"), b.Thread("t2")
+	x, y := b.Var("x"), b.Var("y")
+	b.Begin(t1).Write(t1, x).Read(t2, x).Write(t2, y).Read(t1, y).End(t1)
+	tr := b.Build()
+	rep := Check(tr)
+	// U1 and U2 are same-thread events: U1 ≤CHB U2, so U1→U2 exists and the
+	// cycle T1→U1→U2→T1 closes after all. The trace is NOT serializable.
+	if rep.Serializable {
+		t.Fatalf("unary same-thread chain closes the cycle; must be a violation")
+	}
+	ex, ok := ExhaustiveSerializable(tr)
+	if !ok || ex {
+		t.Fatalf("exhaustive disagrees: ex=%v ok=%v", ex, ok)
+	}
+}
+
+func TestWriteSkewIsSerializable(t *testing.T) {
+	// Two transactions that only read a common variable do not conflict.
+	b := trace.NewBuilder()
+	t1, t2 := b.Thread("t1"), b.Thread("t2")
+	x := b.Var("x")
+	b.Begin(t1).Begin(t2).Read(t1, x).Read(t2, x).Read(t1, x).End(t1).End(t2)
+	rep := Check(b.Build())
+	if !rep.Serializable {
+		t.Fatalf("read-only transactions must be serializable")
+	}
+}
+
+func TestLockInducedCycle(t *testing.T) {
+	// t1: ⊲ acq rel       acq rel ⊳
+	// t2:         acq rel
+	// Edges: T1→T2 (rel₁≤acq₂), T2→T1 (rel₂≤acq₃) — a violation through
+	// lock conflicts only.
+	b := trace.NewBuilder()
+	t1, t2 := b.Thread("t1"), b.Thread("t2")
+	l := b.Lock("l")
+	b.Begin(t1).Begin(t2).
+		Acquire(t1, l).Release(t1, l).
+		Acquire(t2, l).Release(t2, l).
+		Acquire(t1, l).Release(t1, l).
+		End(t1).End(t2)
+	rep := Check(b.Build())
+	if rep.Serializable {
+		t.Fatalf("lock ping-pong inside open transactions must violate")
+	}
+}
+
+func TestForkJoinCycle(t *testing.T) {
+	// t1: ⊲ w(x) fork(t2) join(t2) r(y) ⊳ — serializable: child between.
+	b := trace.NewBuilder()
+	t1, t2 := b.Thread("t1"), b.Thread("t2")
+	x, y := b.Var("x"), b.Var("y")
+	b.Begin(t1).Write(t1, x).Fork(t1, t2).End(t1).
+		Begin(t2).Read(t2, x).Write(t2, y).End(t2).
+		Begin(t1).Join(t1, t2).Read(t1, y).End(t1)
+	rep := Check(b.Build())
+	if !rep.Serializable {
+		t.Fatalf("fork/join pipeline must be serializable, witness %v", rep.Witness)
+	}
+
+	// Violation: the join happens inside the same transaction that wrote x
+	// before forking, and the child read x: T_child → T1 (join conflict) and
+	// T1 → T_child (w(x) ≤ r(x)) — cycle.
+	b2 := trace.NewBuilder()
+	u1, u2 := b2.Thread("t1"), b2.Thread("t2")
+	xx := b2.Var("x")
+	b2.Begin(u1).Write(u1, xx).Fork(u1, u2).
+		Begin(u2).Read(u2, xx).End(u2).
+		Join(u1, u2).End(u1)
+	rep2 := Check(b2.Build())
+	if rep2.Serializable {
+		t.Fatalf("join inside conflicting transaction must violate")
+	}
+}
+
+func TestExhaustiveRefusesLargeTraces(t *testing.T) {
+	b := trace.NewBuilder()
+	t1 := b.Thread("t1")
+	x := b.Var("x")
+	for i := 0; i < MaxExhaustiveTxns+1; i++ {
+		b.Begin(t1).Write(t1, x).End(t1)
+	}
+	if _, ok := ExhaustiveSerializable(b.Build()); ok {
+		t.Fatalf("should refuse > MaxExhaustiveTxns transactions")
+	}
+}
+
+// TestCheckAgainstExhaustive cross-validates the graph-based decision
+// against definition-level brute force on random tiny traces.
+func TestCheckAgainstExhaustive(t *testing.T) {
+	r := rand.New(rand.NewSource(2020))
+	checked := 0
+	for iter := 0; iter < 3000 && checked < 600; iter++ {
+		tr := testutil.RandomTrace(r, testutil.GenOpts{
+			Threads: 1 + r.Intn(3),
+			Vars:    1 + r.Intn(2),
+			Locks:   1,
+			Steps:   3 + r.Intn(10),
+			TxnBias: 4,
+		})
+		seg := trace.Transactions(tr)
+		if seg.Count() > MaxExhaustiveTxns {
+			continue
+		}
+		checked++
+		want, ok := ExhaustiveSerializable(tr)
+		if !ok {
+			continue
+		}
+		got := Check(tr)
+		if got.Serializable != want {
+			t.Fatalf("iter %d: Check=%v exhaustive=%v\nevents: %v",
+				iter, got.Serializable, want, tr.Events)
+		}
+	}
+	if checked < 100 {
+		t.Fatalf("too few traces exercised: %d", checked)
+	}
+}
+
+func TestReportCounts(t *testing.T) {
+	rep := Check(testutil.Rho1())
+	// ρ1 has 3 block transactions and no unary events.
+	if rep.Txns != 3 {
+		t.Fatalf("Txns = %d, want 3", rep.Txns)
+	}
+	// Edges: T1→T2 (w(x)≤r(x)), T3→T1 (w(z)≤r(z)). T3? e6 after e5...
+	// T1→T2 and T3→T1 are the only inter-transaction orderings.
+	if rep.Edges != 2 {
+		t.Fatalf("Edges = %d, want 2", rep.Edges)
+	}
+}

@@ -1,0 +1,97 @@
+package testutil
+
+import (
+	"math/rand"
+	"testing"
+
+	"aerodrome/internal/trace"
+)
+
+func TestPaperTracesShape(t *testing.T) {
+	cases := []struct {
+		name   string
+		tr     *trace.Trace
+		events int
+		txns   int
+	}{
+		{"rho1", Rho1(), 10, 3},
+		{"rho2", Rho2(), 8, 2},
+		{"rho3", Rho3(), 8, 2},
+		{"rho4", Rho4(), 12, 3},
+	}
+	for _, c := range cases {
+		if c.tr.Len() != c.events {
+			t.Errorf("%s: %d events, want %d", c.name, c.tr.Len(), c.events)
+		}
+		if err := trace.ValidateStrict(c.tr); err != nil {
+			t.Errorf("%s: malformed: %v", c.name, err)
+		}
+		seg := trace.Transactions(c.tr)
+		if seg.BlockCount() != c.txns {
+			t.Errorf("%s: %d transactions, want %d", c.name, seg.BlockCount(), c.txns)
+		}
+		for _, txn := range seg.Txns {
+			if txn.Unary {
+				t.Errorf("%s: paper traces have no unary events", c.name)
+			}
+		}
+	}
+}
+
+func TestRandomTraceAlwaysWellFormed(t *testing.T) {
+	// RandomTrace panics internally on malformed output; this drives it
+	// across the option space to prove the generator's guarantees hold.
+	r := rand.New(rand.NewSource(99))
+	for i := 0; i < 500; i++ {
+		tr := RandomTrace(r, GenOpts{
+			Threads: 1 + r.Intn(6),
+			Vars:    1 + r.Intn(5),
+			Locks:   1 + r.Intn(3),
+			Steps:   r.Intn(200),
+			TxnBias: r.Intn(10),
+			NoFork:  i%3 == 0,
+		})
+		if err := trace.ValidateStrict(tr); err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+	}
+}
+
+func TestRandomTraceZeroOptions(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	tr := RandomTrace(r, GenOpts{})
+	if err := trace.ValidateStrict(tr); err != nil {
+		t.Fatalf("zero options: %v", err)
+	}
+}
+
+func TestRandomTraceUsesForkJoin(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	sawFork, sawJoin := false, false
+	for i := 0; i < 50 && !(sawFork && sawJoin); i++ {
+		tr := RandomTrace(r, GenOpts{Threads: 5, Vars: 2, Locks: 1, Steps: 150})
+		for _, e := range tr.Events {
+			switch e.Kind {
+			case trace.Fork:
+				sawFork = true
+			case trace.Join:
+				sawJoin = true
+			}
+		}
+	}
+	if !sawFork || !sawJoin {
+		t.Fatalf("generator never exercised fork/join (fork=%v join=%v)", sawFork, sawJoin)
+	}
+}
+
+func TestRandomTraceNoForkOption(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 20; i++ {
+		tr := RandomTrace(r, GenOpts{Threads: 4, Vars: 2, Locks: 1, Steps: 100, NoFork: true})
+		for _, e := range tr.Events {
+			if e.Kind == trace.Fork || e.Kind == trace.Join {
+				t.Fatalf("NoFork trace contains %v", e)
+			}
+		}
+	}
+}

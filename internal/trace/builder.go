@@ -1,0 +1,127 @@
+package trace
+
+// Builder constructs traces fluently, interning thread, variable and lock
+// names to dense IDs. It is the primary way tests and examples express the
+// paper's example traces:
+//
+//	b := trace.NewBuilder()
+//	t1, t2 := b.Thread("t1"), b.Thread("t2")
+//	x := b.Var("x")
+//	b.Begin(t1).Begin(t2).Write(t1, x).Read(t2, x).End(t2).End(t1)
+//	tr := b.Build()
+type Builder struct {
+	tr      Trace
+	threads map[string]ThreadID
+	vars    map[string]VarID
+	locks   map[string]LockID
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{
+		threads: map[string]ThreadID{},
+		vars:    map[string]VarID{},
+		locks:   map[string]LockID{},
+	}
+}
+
+// Thread interns a thread name and returns its ID.
+func (b *Builder) Thread(name string) ThreadID {
+	if id, ok := b.threads[name]; ok {
+		return id
+	}
+	id := ThreadID(len(b.threads))
+	b.threads[name] = id
+	b.tr.ThreadNames = append(b.tr.ThreadNames, name)
+	if int(id)+1 > b.tr.NThreads {
+		b.tr.NThreads = int(id) + 1
+	}
+	return id
+}
+
+// Var interns a variable name and returns its ID.
+func (b *Builder) Var(name string) VarID {
+	if id, ok := b.vars[name]; ok {
+		return id
+	}
+	id := VarID(len(b.vars))
+	b.vars[name] = id
+	b.tr.VarNames = append(b.tr.VarNames, name)
+	if int(id)+1 > b.tr.NVars {
+		b.tr.NVars = int(id) + 1
+	}
+	return id
+}
+
+// Lock interns a lock name and returns its ID.
+func (b *Builder) Lock(name string) LockID {
+	if id, ok := b.locks[name]; ok {
+		return id
+	}
+	id := LockID(len(b.locks))
+	b.locks[name] = id
+	b.tr.LockNames = append(b.tr.LockNames, name)
+	if int(id)+1 > b.tr.NLocks {
+		b.tr.NLocks = int(id) + 1
+	}
+	return id
+}
+
+// Begin appends ⟨t, ⊲⟩.
+func (b *Builder) Begin(t ThreadID) *Builder {
+	b.tr.Append(Event{Thread: t, Kind: Begin})
+	return b
+}
+
+// End appends ⟨t, ⊳⟩.
+func (b *Builder) End(t ThreadID) *Builder {
+	b.tr.Append(Event{Thread: t, Kind: End})
+	return b
+}
+
+// Read appends ⟨t, r(x)⟩.
+func (b *Builder) Read(t ThreadID, x VarID) *Builder {
+	b.tr.Append(Event{Thread: t, Kind: Read, Target: int32(x)})
+	return b
+}
+
+// Write appends ⟨t, w(x)⟩.
+func (b *Builder) Write(t ThreadID, x VarID) *Builder {
+	b.tr.Append(Event{Thread: t, Kind: Write, Target: int32(x)})
+	return b
+}
+
+// Acquire appends ⟨t, acq(l)⟩.
+func (b *Builder) Acquire(t ThreadID, l LockID) *Builder {
+	b.tr.Append(Event{Thread: t, Kind: Acquire, Target: int32(l)})
+	return b
+}
+
+// Release appends ⟨t, rel(l)⟩.
+func (b *Builder) Release(t ThreadID, l LockID) *Builder {
+	b.tr.Append(Event{Thread: t, Kind: Release, Target: int32(l)})
+	return b
+}
+
+// Fork appends ⟨t, fork(u)⟩.
+func (b *Builder) Fork(t, u ThreadID) *Builder {
+	b.tr.Append(Event{Thread: t, Kind: Fork, Target: int32(u)})
+	return b
+}
+
+// Join appends ⟨t, join(u)⟩.
+func (b *Builder) Join(t, u ThreadID) *Builder {
+	b.tr.Append(Event{Thread: t, Kind: Join, Target: int32(u)})
+	return b
+}
+
+// Append adds a raw event.
+func (b *Builder) Append(e Event) *Builder {
+	b.tr.Append(e)
+	return b
+}
+
+// Build returns the constructed trace. The Builder must not be reused.
+func (b *Builder) Build() *Trace {
+	return &b.tr
+}

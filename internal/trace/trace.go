@@ -1,0 +1,313 @@
+// Package trace defines the event and trace model for dynamic
+// conflict-serializability analysis, following the preliminaries of
+// "Atomicity Checking in Linear Time using Vector Clocks" (ASPLOS 2020).
+//
+// A trace is a sequence of events ⟨thread, op⟩ where op is one of
+// r(x), w(x), acq(ℓ), rel(ℓ), fork(u), join(u), ⊲ (begin) and ⊳ (end).
+// Threads, variables and locks are identified by dense integer IDs,
+// optionally interned from string names via a Builder or SymbolTable.
+//
+// The package also provides:
+//
+//   - Source: a pull-based event stream, so that checkers can analyze
+//     traces far larger than memory (generators implement Source too).
+//   - Validate: the well-formedness rules of the paper (matched lock
+//     acquire/release, matched begin/end, mutual exclusion of locks,
+//     fork-before-first-event, join-after-last-event).
+//   - Transactions: segmentation of a trace into transactions, including
+//     unary transactions for events outside any ⊲…⊳ block.
+package trace
+
+import (
+	"fmt"
+)
+
+// ThreadID identifies a thread. IDs are dense, starting at 0.
+type ThreadID int32
+
+// VarID identifies a memory location. IDs are dense, starting at 0.
+type VarID int32
+
+// LockID identifies a lock object. IDs are dense, starting at 0.
+type LockID int32
+
+// OpKind enumerates the event operations of the paper.
+type OpKind uint8
+
+const (
+	// Begin is ⊲, the start of an atomic block.
+	Begin OpKind = iota
+	// End is ⊳, the end of an atomic block.
+	End
+	// Read is r(x).
+	Read
+	// Write is w(x).
+	Write
+	// Acquire is acq(ℓ).
+	Acquire
+	// Release is rel(ℓ).
+	Release
+	// Fork is fork(u): creation of thread u.
+	Fork
+	// Join is join(u): waiting for thread u to finish.
+	Join
+
+	numOpKinds
+)
+
+var opNames = [numOpKinds]string{
+	Begin:   "begin",
+	End:     "end",
+	Read:    "r",
+	Write:   "w",
+	Acquire: "acq",
+	Release: "rel",
+	Fork:    "fork",
+	Join:    "join",
+}
+
+// String returns the operation mnemonic used in the STD trace format.
+func (k OpKind) String() string {
+	if int(k) < len(opNames) {
+		return opNames[k]
+	}
+	return fmt.Sprintf("op(%d)", uint8(k))
+}
+
+// HasTarget reports whether events of this kind carry a target operand
+// (a variable, a lock, or another thread).
+func (k OpKind) HasTarget() bool {
+	switch k {
+	case Read, Write, Acquire, Release, Fork, Join:
+		return true
+	}
+	return false
+}
+
+// Event is a single trace event. Target is interpreted according to Kind:
+// a VarID for Read/Write, a LockID for Acquire/Release, a ThreadID for
+// Fork/Join, and unused (zero) for Begin/End.
+type Event struct {
+	Thread ThreadID
+	Kind   OpKind
+	Target int32
+}
+
+// Var returns the variable accessed by a Read or Write event.
+func (e Event) Var() VarID { return VarID(e.Target) }
+
+// Lock returns the lock of an Acquire or Release event.
+func (e Event) Lock() LockID { return LockID(e.Target) }
+
+// Other returns the thread operand of a Fork or Join event.
+func (e Event) Other() ThreadID { return ThreadID(e.Target) }
+
+// String renders the event as "t3|w(x7)"-style STD notation.
+func (e Event) String() string {
+	switch e.Kind {
+	case Read, Write:
+		return fmt.Sprintf("t%d|%s(x%d)", e.Thread, e.Kind, e.Target)
+	case Acquire, Release:
+		return fmt.Sprintf("t%d|%s(l%d)", e.Thread, e.Kind, e.Target)
+	case Fork, Join:
+		return fmt.Sprintf("t%d|%s(t%d)", e.Thread, e.Kind, e.Target)
+	default:
+		return fmt.Sprintf("t%d|%s", e.Thread, e.Kind)
+	}
+}
+
+// Source is a pull-based event stream. Next returns the next event and true,
+// or a zero Event and false when the stream is exhausted. Implementations
+// are single-use; callers that need to replay a stream construct a new one.
+type Source interface {
+	Next() (Event, bool)
+}
+
+// Trace is a fully materialized event sequence together with the sizes of
+// its identifier spaces. Name tables are optional; when absent, tools print
+// synthesized names (t0, x1, l2).
+type Trace struct {
+	Events []Event
+
+	// NThreads, NVars and NLocks are upper bounds on the dense ID spaces
+	// (maximum ID + 1). Maintained by Append.
+	NThreads int
+	NVars    int
+	NLocks   int
+
+	// Optional symbol names, indexed by ID.
+	ThreadNames []string
+	VarNames    []string
+	LockNames   []string
+}
+
+// Append adds an event and maintains the ID-space bounds.
+func (tr *Trace) Append(e Event) {
+	tr.Events = append(tr.Events, e)
+	tr.note(e)
+}
+
+func (tr *Trace) note(e Event) {
+	if n := int(e.Thread) + 1; n > tr.NThreads {
+		tr.NThreads = n
+	}
+	switch e.Kind {
+	case Read, Write:
+		if n := int(e.Target) + 1; n > tr.NVars {
+			tr.NVars = n
+		}
+	case Acquire, Release:
+		if n := int(e.Target) + 1; n > tr.NLocks {
+			tr.NLocks = n
+		}
+	case Fork, Join:
+		if n := int(e.Target) + 1; n > tr.NThreads {
+			tr.NThreads = n
+		}
+	}
+}
+
+// Len returns the number of events.
+func (tr *Trace) Len() int { return len(tr.Events) }
+
+// ThreadName returns the display name of thread t.
+func (tr *Trace) ThreadName(t ThreadID) string {
+	if int(t) < len(tr.ThreadNames) && tr.ThreadNames[t] != "" {
+		return tr.ThreadNames[t]
+	}
+	return fmt.Sprintf("t%d", t)
+}
+
+// VarName returns the display name of variable x.
+func (tr *Trace) VarName(x VarID) string {
+	if int(x) < len(tr.VarNames) && tr.VarNames[x] != "" {
+		return tr.VarNames[x]
+	}
+	return fmt.Sprintf("x%d", x)
+}
+
+// LockName returns the display name of lock l.
+func (tr *Trace) LockName(l LockID) string {
+	if int(l) < len(tr.LockNames) && tr.LockNames[l] != "" {
+		return tr.LockNames[l]
+	}
+	return fmt.Sprintf("l%d", l)
+}
+
+// Cursor returns a Source that yields the trace's events in order.
+func (tr *Trace) Cursor() *Cursor { return &Cursor{tr: tr} }
+
+// Cursor is a Source over a materialized Trace.
+type Cursor struct {
+	tr  *Trace
+	pos int
+}
+
+// Next implements Source.
+func (c *Cursor) Next() (Event, bool) {
+	if c.pos >= len(c.tr.Events) {
+		return Event{}, false
+	}
+	e := c.tr.Events[c.pos]
+	c.pos++
+	return e, true
+}
+
+// Pos returns the index of the next event to be returned.
+func (c *Cursor) Pos() int { return c.pos }
+
+// Collect drains a Source into a materialized Trace. Intended for tests and
+// tools; production checkers consume Sources directly.
+func Collect(src Source) *Trace {
+	tr := &Trace{}
+	for {
+		e, ok := src.Next()
+		if !ok {
+			return tr
+		}
+		tr.Append(e)
+	}
+}
+
+// Stats summarizes a trace the way the paper's tables do: event count,
+// threads, locks, variables and transaction count (outermost blocks only;
+// unary transactions are not counted, matching the paper's "Transactions"
+// column which counts ⊲…⊳ blocks).
+type Stats struct {
+	Events       int64
+	Threads      int
+	Locks        int
+	Vars         int
+	Transactions int64
+	Reads        int64
+	Writes       int64
+	Acquires     int64
+	Releases     int64
+	Forks        int64
+	Joins        int64
+	Begins       int64
+	Ends         int64
+}
+
+// ComputeStats consumes a Source and tallies Stats. Nested begins are
+// counted as events but only outermost blocks count as transactions.
+func ComputeStats(src Source) Stats {
+	var s Stats
+	depth := map[ThreadID]int{}
+	maxThread, maxVar, maxLock := -1, -1, -1
+	for {
+		e, ok := src.Next()
+		if !ok {
+			break
+		}
+		s.Events++
+		if int(e.Thread) > maxThread {
+			maxThread = int(e.Thread)
+		}
+		switch e.Kind {
+		case Read:
+			s.Reads++
+			if int(e.Target) > maxVar {
+				maxVar = int(e.Target)
+			}
+		case Write:
+			s.Writes++
+			if int(e.Target) > maxVar {
+				maxVar = int(e.Target)
+			}
+		case Acquire:
+			s.Acquires++
+			if int(e.Target) > maxLock {
+				maxLock = int(e.Target)
+			}
+		case Release:
+			s.Releases++
+			if int(e.Target) > maxLock {
+				maxLock = int(e.Target)
+			}
+		case Fork:
+			s.Forks++
+			if int(e.Target) > maxThread {
+				maxThread = int(e.Target)
+			}
+		case Join:
+			s.Joins++
+			if int(e.Target) > maxThread {
+				maxThread = int(e.Target)
+			}
+		case Begin:
+			s.Begins++
+			if depth[e.Thread] == 0 {
+				s.Transactions++
+			}
+			depth[e.Thread]++
+		case End:
+			s.Ends++
+			depth[e.Thread]--
+		}
+	}
+	s.Threads = maxThread + 1
+	s.Vars = maxVar + 1
+	s.Locks = maxLock + 1
+	return s
+}

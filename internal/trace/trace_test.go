@@ -1,0 +1,352 @@
+package trace
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestOpKindString(t *testing.T) {
+	cases := map[OpKind]string{
+		Begin: "begin", End: "end", Read: "r", Write: "w",
+		Acquire: "acq", Release: "rel", Fork: "fork", Join: "join",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("OpKind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+	if got := OpKind(200).String(); !strings.Contains(got, "200") {
+		t.Errorf("unknown op kind = %q", got)
+	}
+}
+
+func TestOpKindHasTarget(t *testing.T) {
+	for _, k := range []OpKind{Read, Write, Acquire, Release, Fork, Join} {
+		if !k.HasTarget() {
+			t.Errorf("%v should have a target", k)
+		}
+	}
+	for _, k := range []OpKind{Begin, End} {
+		if k.HasTarget() {
+			t.Errorf("%v should not have a target", k)
+		}
+	}
+}
+
+func TestEventString(t *testing.T) {
+	cases := []struct {
+		e    Event
+		want string
+	}{
+		{Event{Thread: 1, Kind: Write, Target: 3}, "t1|w(x3)"},
+		{Event{Thread: 0, Kind: Read, Target: 0}, "t0|r(x0)"},
+		{Event{Thread: 2, Kind: Acquire, Target: 5}, "t2|acq(l5)"},
+		{Event{Thread: 2, Kind: Release, Target: 5}, "t2|rel(l5)"},
+		{Event{Thread: 0, Kind: Fork, Target: 1}, "t0|fork(t1)"},
+		{Event{Thread: 0, Kind: Join, Target: 1}, "t0|join(t1)"},
+		{Event{Thread: 4, Kind: Begin}, "t4|begin"},
+		{Event{Thread: 4, Kind: End}, "t4|end"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Errorf("Event.String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestBuilderInterning(t *testing.T) {
+	b := NewBuilder()
+	t1 := b.Thread("main")
+	t1again := b.Thread("main")
+	t2 := b.Thread("worker")
+	if t1 != t1again {
+		t.Fatalf("interning must return the same ID")
+	}
+	if t1 == t2 {
+		t.Fatalf("different names must get different IDs")
+	}
+	x := b.Var("x")
+	y := b.Var("y")
+	l := b.Lock("m")
+	b.Begin(t1).Write(t1, x).Read(t1, y).Acquire(t1, l).Release(t1, l).End(t1)
+	b.Fork(t1, t2).Begin(t2).End(t2).Join(t1, t2)
+	tr := b.Build()
+
+	if tr.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", tr.Len())
+	}
+	if tr.NThreads != 2 || tr.NVars != 2 || tr.NLocks != 1 {
+		t.Fatalf("bounds = (%d,%d,%d)", tr.NThreads, tr.NVars, tr.NLocks)
+	}
+	if tr.ThreadName(t1) != "main" || tr.VarName(y) != "y" || tr.LockName(l) != "m" {
+		t.Fatalf("names not preserved")
+	}
+	// Unnamed IDs synthesize names.
+	if got := tr.ThreadName(9); got != "t9" {
+		t.Fatalf("synthesized thread name = %q", got)
+	}
+	if got := tr.VarName(9); got != "x9" {
+		t.Fatalf("synthesized var name = %q", got)
+	}
+	if got := tr.LockName(9); got != "l9" {
+		t.Fatalf("synthesized lock name = %q", got)
+	}
+}
+
+func TestCursorAndCollect(t *testing.T) {
+	b := NewBuilder()
+	t1 := b.Thread("t1")
+	x := b.Var("x")
+	b.Begin(t1).Write(t1, x).End(t1)
+	tr := b.Build()
+
+	cur := tr.Cursor()
+	var n int
+	for {
+		_, ok := cur.Next()
+		if !ok {
+			break
+		}
+		n++
+	}
+	if n != 3 || cur.Pos() != 3 {
+		t.Fatalf("cursor drained %d events, pos %d", n, cur.Pos())
+	}
+	// A drained cursor stays drained.
+	if _, ok := cur.Next(); ok {
+		t.Fatalf("drained cursor returned an event")
+	}
+
+	got := Collect(tr.Cursor())
+	if got.Len() != tr.Len() || got.NThreads != tr.NThreads {
+		t.Fatalf("Collect mismatch: %d events", got.Len())
+	}
+}
+
+func TestComputeStats(t *testing.T) {
+	b := NewBuilder()
+	t1, t2 := b.Thread("t1"), b.Thread("t2")
+	x := b.Var("x")
+	l := b.Lock("l")
+	b.Begin(t1).
+		Begin(t1). // nested: not a new transaction
+		Write(t1, x).
+		End(t1).
+		Fork(t1, t2).
+		End(t1).
+		Begin(t2).Acquire(t2, l).Read(t2, x).Release(t2, l).End(t2).
+		Join(t1, t2)
+	tr := b.Build()
+
+	s := ComputeStats(tr.Cursor())
+	if s.Events != int64(tr.Len()) {
+		t.Fatalf("Events = %d", s.Events)
+	}
+	if s.Transactions != 2 {
+		t.Fatalf("Transactions = %d, want 2 (nested folds)", s.Transactions)
+	}
+	if s.Threads != 2 || s.Vars != 1 || s.Locks != 1 {
+		t.Fatalf("spaces = (%d,%d,%d)", s.Threads, s.Vars, s.Locks)
+	}
+	if s.Reads != 1 || s.Writes != 1 || s.Acquires != 1 || s.Releases != 1 ||
+		s.Forks != 1 || s.Joins != 1 || s.Begins != 3 || s.Ends != 3 {
+		t.Fatalf("op counts wrong: %+v", s)
+	}
+}
+
+func TestValidateAcceptsWellFormed(t *testing.T) {
+	b := NewBuilder()
+	t1, t2 := b.Thread("t1"), b.Thread("t2")
+	x := b.Var("x")
+	l := b.Lock("l")
+	b.Fork(t1, t2).
+		Begin(t1).Acquire(t1, l).Write(t1, x).Release(t1, l).End(t1).
+		Begin(t2).Acquire(t2, l).Read(t2, x).Release(t2, l).End(t2).
+		Join(t1, t2)
+	tr := b.Build()
+	if err := ValidateStrict(tr); err != nil {
+		t.Fatalf("ValidateStrict: %v", err)
+	}
+}
+
+func TestValidateRejections(t *testing.T) {
+	type tc struct {
+		name  string
+		build func(b *Builder)
+		want  string
+	}
+	cases := []tc{
+		{"double acquire other thread", func(b *Builder) {
+			t1, t2 := b.Thread("t1"), b.Thread("t2")
+			l := b.Lock("l")
+			b.Acquire(t1, l).Acquire(t2, l)
+		}, "already held"},
+		{"re-entrant acquire", func(b *Builder) {
+			t1 := b.Thread("t1")
+			l := b.Lock("l")
+			b.Acquire(t1, l).Acquire(t1, l)
+		}, "re-entrant"},
+		{"release unheld", func(b *Builder) {
+			t1 := b.Thread("t1")
+			l := b.Lock("l")
+			b.Release(t1, l)
+		}, "not held"},
+		{"release other's lock", func(b *Builder) {
+			t1, t2 := b.Thread("t1"), b.Thread("t2")
+			l := b.Lock("l")
+			b.Acquire(t1, l).Release(t2, l)
+		}, "held by t0"},
+		{"end without begin", func(b *Builder) {
+			t1 := b.Thread("t1")
+			b.End(t1)
+		}, "without matching begin"},
+		{"fork after child started", func(b *Builder) {
+			t1, t2 := b.Thread("t1"), b.Thread("t2")
+			x := b.Var("x")
+			b.Write(t2, x).Fork(t1, t2)
+		}, "after the child's first event"},
+		{"double fork", func(b *Builder) {
+			t1, t2, t3 := b.Thread("t1"), b.Thread("t2"), b.Thread("t3")
+			b.Fork(t1, t3).Fork(t2, t3)
+		}, "forked twice"},
+		{"self fork", func(b *Builder) {
+			t1 := b.Thread("t1")
+			b.Fork(t1, t1)
+		}, "forks itself"},
+		{"self join", func(b *Builder) {
+			t1 := b.Thread("t1")
+			b.Join(t1, t1)
+		}, "joins itself"},
+		{"double join", func(b *Builder) {
+			t1, t2, t3 := b.Thread("t1"), b.Thread("t2"), b.Thread("t3")
+			x := b.Var("x")
+			b.Write(t3, x).Join(t1, t3).Join(t2, t3)
+		}, "joined twice"},
+		{"event after join", func(b *Builder) {
+			t1, t2 := b.Thread("t1"), b.Thread("t2")
+			x := b.Var("x")
+			b.Write(t2, x).Join(t1, t2).Write(t2, x)
+		}, "after being joined"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			b := NewBuilder()
+			c.build(b)
+			err := Validate(b.Build())
+			if err == nil {
+				t.Fatalf("expected error")
+			}
+			if !errors.Is(err, ErrMalformed) {
+				t.Fatalf("error does not wrap ErrMalformed: %v", err)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Fatalf("error %q does not contain %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestValidateStrictEndOfTrace(t *testing.T) {
+	b := NewBuilder()
+	t1 := b.Thread("t1")
+	b.Begin(t1)
+	tr := b.Build()
+	if err := Validate(tr); err != nil {
+		t.Fatalf("non-strict should accept open transaction: %v", err)
+	}
+	err := ValidateStrict(tr)
+	if err == nil || !strings.Contains(err.Error(), "unmatched begin") {
+		t.Fatalf("strict should reject open transaction, got %v", err)
+	}
+
+	b2 := NewBuilder()
+	t2 := b2.Thread("t1")
+	l := b2.Lock("l")
+	b2.Acquire(t2, l)
+	err = ValidateStrict(b2.Build())
+	if err == nil || !strings.Contains(err.Error(), "still held") {
+		t.Fatalf("strict should reject held lock, got %v", err)
+	}
+}
+
+func TestValidatorStopsAtFirstError(t *testing.T) {
+	v := NewValidator()
+	e := Event{Thread: 0, Kind: End}
+	err1 := v.Observe(e)
+	err2 := v.Observe(Event{Thread: 0, Kind: Begin})
+	if err1 == nil || err2 == nil || err1 != err2 {
+		t.Fatalf("validator must latch its first error: %v vs %v", err1, err2)
+	}
+	if err := v.Finish(true); err != err1 {
+		t.Fatalf("Finish must return the latched error")
+	}
+	var ve *ValidationError
+	if !errors.As(err1, &ve) || ve.Index != 0 {
+		t.Fatalf("offending index = %+v", ve)
+	}
+}
+
+func TestTransactionsSegmentation(t *testing.T) {
+	b := NewBuilder()
+	t1, t2 := b.Thread("t1"), b.Thread("t2")
+	x := b.Var("x")
+	// t1: unary write, then a block with a nested block, then unary read.
+	// t2: an active (never ended) block.
+	b.Write(t1, x). // 0: unary
+			Begin(t1).    // 1: T1
+			Begin(t1).    // 2: nested, still T1
+			Write(t1, x). // 3: T1
+			End(t1).      // 4: nested end, still T1
+			Begin(t2).    // 5: T2 (active)
+			Read(t2, x).  // 6: T2
+			End(t1).      // 7: T1 completes
+			Read(t1, x)   // 8: unary
+	tr := b.Build()
+
+	seg := Transactions(tr)
+	if seg.Count() != 4 {
+		t.Fatalf("Count = %d, want 4", seg.Count())
+	}
+	if seg.BlockCount() != 2 {
+		t.Fatalf("BlockCount = %d, want 2", seg.BlockCount())
+	}
+
+	u0 := seg.TxnOf(0)
+	if !u0.Unary || !u0.Completed || u0.First != 0 || u0.Last != 0 {
+		t.Fatalf("unary txn 0 = %+v", u0)
+	}
+	blk := seg.TxnOf(1)
+	for _, i := range []int{1, 2, 3, 4, 7} {
+		if seg.ByEvent[i] != blk.ID {
+			t.Fatalf("event %d not in t1's block (got %d)", i, seg.ByEvent[i])
+		}
+	}
+	if blk.Unary || !blk.Completed || blk.First != 1 || blk.Last != 7 {
+		t.Fatalf("t1 block = %+v", blk)
+	}
+	t2blk := seg.TxnOf(5)
+	if t2blk.Completed {
+		t.Fatalf("t2's block should be active")
+	}
+	if seg.ByEvent[6] != t2blk.ID {
+		t.Fatalf("event 6 should be in t2's block")
+	}
+	u8 := seg.TxnOf(8)
+	if !u8.Unary || u8.Thread != t1 {
+		t.Fatalf("trailing unary = %+v", u8)
+	}
+}
+
+func TestAppendMaintainsBounds(t *testing.T) {
+	var tr Trace
+	tr.Append(Event{Thread: 3, Kind: Fork, Target: 7})
+	if tr.NThreads != 8 {
+		t.Fatalf("fork target must extend NThreads: %d", tr.NThreads)
+	}
+	tr.Append(Event{Thread: 0, Kind: Write, Target: 4})
+	tr.Append(Event{Thread: 0, Kind: Acquire, Target: 2})
+	if tr.NVars != 5 || tr.NLocks != 3 {
+		t.Fatalf("bounds = vars %d locks %d", tr.NVars, tr.NLocks)
+	}
+}

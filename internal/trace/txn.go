@@ -1,0 +1,99 @@
+package trace
+
+// TxnID identifies a transaction within a segmented trace. IDs are dense in
+// order of transaction start.
+type TxnID int32
+
+// NoTxn marks events that belong to no transaction segment (never produced
+// by Transactions, which wraps such events in unary transactions; used as a
+// sentinel by callers).
+const NoTxn TxnID = -1
+
+// Txn is one transaction of a segmented trace: either an outermost ⊲…⊳
+// block or a unary transaction wrapping a single non-block event.
+type Txn struct {
+	ID     TxnID
+	Thread ThreadID
+	// First and Last are event indices (inclusive) of the transaction's
+	// extent in the trace. For an active (never-ended) transaction, Last is
+	// the index of the thread's last event.
+	First int
+	Last  int
+	// Unary marks single-event transactions for events outside any block.
+	Unary bool
+	// Completed reports whether the block's matching ⊳ appears in the
+	// trace. Unary transactions are always completed.
+	Completed bool
+}
+
+// Segmentation maps every event of a trace to its transaction, following
+// the paper: only outermost begin/end pairs delimit transactions, nested
+// blocks fold into the outermost, and every event outside a block is a
+// unary transaction by itself. Begin and end events belong to their block.
+type Segmentation struct {
+	Txns []Txn
+	// ByEvent[i] is the TxnID of event i.
+	ByEvent []TxnID
+}
+
+// Transactions segments a trace.
+func Transactions(tr *Trace) *Segmentation {
+	seg := &Segmentation{ByEvent: make([]TxnID, len(tr.Events))}
+	depth := map[ThreadID]int{}
+	open := map[ThreadID]TxnID{} // active outermost transaction per thread
+
+	for i, e := range tr.Events {
+		t := e.Thread
+		switch e.Kind {
+		case Begin:
+			if depth[t] == 0 {
+				id := TxnID(len(seg.Txns))
+				seg.Txns = append(seg.Txns, Txn{ID: id, Thread: t, First: i, Last: i})
+				open[t] = id
+			}
+			depth[t]++
+			seg.ByEvent[i] = open[t]
+			seg.Txns[open[t]].Last = i
+		case End:
+			depth[t]--
+			id := open[t]
+			seg.ByEvent[i] = id
+			seg.Txns[id].Last = i
+			if depth[t] == 0 {
+				seg.Txns[id].Completed = true
+				delete(open, t)
+			}
+		default:
+			if id, ok := open[t]; ok {
+				seg.ByEvent[i] = id
+				seg.Txns[id].Last = i
+			} else {
+				id := TxnID(len(seg.Txns))
+				seg.Txns = append(seg.Txns, Txn{
+					ID: id, Thread: t, First: i, Last: i,
+					Unary: true, Completed: true,
+				})
+				seg.ByEvent[i] = id
+			}
+		}
+	}
+	return seg
+}
+
+// TxnOf returns the transaction of event index i.
+func (s *Segmentation) TxnOf(i int) *Txn { return &s.Txns[s.ByEvent[i]] }
+
+// Count returns the number of transactions (including unary ones).
+func (s *Segmentation) Count() int { return len(s.Txns) }
+
+// BlockCount returns the number of non-unary transactions, matching the
+// "Transactions" column of the paper's tables.
+func (s *Segmentation) BlockCount() int {
+	n := 0
+	for _, t := range s.Txns {
+		if !t.Unary {
+			n++
+		}
+	}
+	return n
+}

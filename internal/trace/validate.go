@@ -1,0 +1,184 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrMalformed is wrapped by every validation error so callers can test for
+// the class with errors.Is.
+var ErrMalformed = errors.New("malformed trace")
+
+// ValidationError describes the first well-formedness violation found in a
+// trace, with the offending event index.
+type ValidationError struct {
+	Index  int    // index of the offending event, or -1 for end-of-trace problems
+	Event  Event  // offending event (zero for end-of-trace problems)
+	Reason string // human-readable rule that was broken
+}
+
+// Error implements error.
+func (e *ValidationError) Error() string {
+	if e.Index < 0 {
+		return fmt.Sprintf("malformed trace: %s", e.Reason)
+	}
+	return fmt.Sprintf("malformed trace: event %d (%s): %s", e.Index, e.Event, e.Reason)
+}
+
+// Unwrap lets errors.Is(err, ErrMalformed) succeed.
+func (e *ValidationError) Unwrap() error { return ErrMalformed }
+
+// Validator checks the paper's well-formedness rules incrementally:
+//
+//  1. lock acquires and releases are well matched and a lock is held by at
+//     most one thread at a time (re-entrant acquisition is not modeled);
+//  2. begin and end events are well matched per thread (nesting allowed);
+//  3. a fork(u) occurs before the first event of u, and u is forked at most
+//     once, and does not fork itself;
+//  4. a join(u) occurs after the last event of u — checked at Finish time
+//     (a joined thread must produce no further events) and a thread does
+//     not join itself.
+//
+// Strict mode additionally requires every begun block to be ended and every
+// acquired lock to be released by the end of the trace.
+type Validator struct {
+	lockOwner map[LockID]ThreadID
+	depth     map[ThreadID]int
+	started   map[ThreadID]bool
+	forked    map[ThreadID]bool
+	joined    map[ThreadID]bool
+	idx       int
+	failed    error
+}
+
+// NewValidator returns a Validator ready to consume events.
+func NewValidator() *Validator {
+	return &Validator{
+		lockOwner: map[LockID]ThreadID{},
+		depth:     map[ThreadID]int{},
+		started:   map[ThreadID]bool{},
+		forked:    map[ThreadID]bool{},
+		joined:    map[ThreadID]bool{},
+	}
+}
+
+func (v *Validator) fail(e Event, reason string) error {
+	v.failed = &ValidationError{Index: v.idx, Event: e, Reason: reason}
+	return v.failed
+}
+
+// Observe checks one event; it returns the first error encountered and keeps
+// returning it afterwards.
+func (v *Validator) Observe(e Event) error {
+	if v.failed != nil {
+		return v.failed
+	}
+	defer func() { v.idx++ }()
+
+	t := e.Thread
+	if v.joined[t] {
+		return v.fail(e, "thread performs an event after being joined")
+	}
+	if e.Kind != Fork || e.Other() != t { // self-fork reported below
+		v.started[t] = true
+	}
+
+	switch e.Kind {
+	case Acquire:
+		if owner, held := v.lockOwner[e.Lock()]; held {
+			if owner == t {
+				return v.fail(e, "re-entrant lock acquisition")
+			}
+			return v.fail(e, fmt.Sprintf("lock already held by t%d", owner))
+		}
+		v.lockOwner[e.Lock()] = t
+	case Release:
+		owner, held := v.lockOwner[e.Lock()]
+		if !held {
+			return v.fail(e, "release of a lock that is not held")
+		}
+		if owner != t {
+			return v.fail(e, fmt.Sprintf("release of a lock held by t%d", owner))
+		}
+		delete(v.lockOwner, e.Lock())
+	case Begin:
+		v.depth[t]++
+	case End:
+		if v.depth[t] == 0 {
+			return v.fail(e, "end without matching begin")
+		}
+		v.depth[t]--
+	case Fork:
+		u := e.Other()
+		if u == t {
+			return v.fail(e, "thread forks itself")
+		}
+		if v.forked[u] {
+			return v.fail(e, "thread forked twice")
+		}
+		if v.started[u] {
+			return v.fail(e, "fork after the child's first event")
+		}
+		v.forked[u] = true
+	case Join:
+		u := e.Other()
+		if u == t {
+			return v.fail(e, "thread joins itself")
+		}
+		if v.joined[u] {
+			return v.fail(e, "thread joined twice")
+		}
+		v.joined[u] = true
+	case Read, Write:
+		// no structural constraints
+	default:
+		return v.fail(e, "unknown operation")
+	}
+	return nil
+}
+
+// Finish applies end-of-trace rules. When strict is true, open transactions
+// and held locks are errors; joined-thread and fork rules are always final
+// by construction of Observe.
+func (v *Validator) Finish(strict bool) error {
+	if v.failed != nil {
+		return v.failed
+	}
+	if !strict {
+		return nil
+	}
+	for t, d := range v.depth {
+		if d != 0 {
+			v.failed = &ValidationError{Index: -1, Reason: fmt.Sprintf("t%d has %d unmatched begin(s) at end of trace", t, d)}
+			return v.failed
+		}
+	}
+	for l, t := range v.lockOwner {
+		v.failed = &ValidationError{Index: -1, Reason: fmt.Sprintf("lock l%d still held by t%d at end of trace", l, t)}
+		return v.failed
+	}
+	return nil
+}
+
+// Validate checks a whole trace with non-strict end-of-trace rules
+// (truncated traces with active transactions are legal inputs for online
+// checkers).
+func Validate(tr *Trace) error {
+	return validate(tr, false)
+}
+
+// ValidateStrict checks a whole trace and additionally requires all
+// transactions to be completed and all locks released.
+func ValidateStrict(tr *Trace) error {
+	return validate(tr, true)
+}
+
+func validate(tr *Trace, strict bool) error {
+	v := NewValidator()
+	for _, e := range tr.Events {
+		if err := v.Observe(e); err != nil {
+			return err
+		}
+	}
+	return v.Finish(strict)
+}

@@ -1,0 +1,74 @@
+package vc
+
+import "testing"
+
+func benchClocks(dim int) (Clock, Clock) {
+	a, b := New(dim), New(dim)
+	for i := 0; i < dim; i++ {
+		a[i] = Time(i * 3 % 17)
+		b[i] = Time(i * 5 % 13)
+	}
+	return a, b
+}
+
+func BenchmarkLeq(b *testing.B) {
+	for _, dim := range []int{4, 16, 64} {
+		x, y := benchClocks(dim)
+		y = y.Join(x) // make the comparison succeed (worst case scans all)
+		b.Run(sizeName(dim), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if !x.Leq(y) {
+					b.Fatal("unexpected")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkJoin(b *testing.B) {
+	for _, dim := range []int{4, 16, 64} {
+		x, y := benchClocks(dim)
+		b.Run(sizeName(dim), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				x = x.Join(y)
+			}
+		})
+	}
+}
+
+func BenchmarkJoinZeroing(b *testing.B) {
+	for _, dim := range []int{4, 16, 64} {
+		x, y := benchClocks(dim)
+		b.Run(sizeName(dim), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				x = x.JoinZeroing(y, 2)
+			}
+		})
+	}
+}
+
+func BenchmarkCopyInto(b *testing.B) {
+	for _, dim := range []int{4, 16, 64} {
+		x, _ := benchClocks(dim)
+		dst := New(dim)
+		b.Run(sizeName(dim), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				dst = x.CopyInto(dst)
+			}
+		})
+	}
+}
+
+func sizeName(dim int) string {
+	switch dim {
+	case 4:
+		return "dim4"
+	case 16:
+		return "dim16"
+	default:
+		return "dim64"
+	}
+}

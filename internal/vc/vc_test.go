@@ -1,0 +1,314 @@
+package vc
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// genClock is the generator quick uses for Clock values: short vectors with
+// small non-negative entries, occasionally with trailing zeros so that the
+// implicit-zero semantics get exercised.
+func genClock(r *rand.Rand) Clock {
+	n := r.Intn(6)
+	c := make(Clock, n)
+	for i := range c {
+		c[i] = Time(r.Intn(5))
+	}
+	return c
+}
+
+func (Clock) Generate(r *rand.Rand, _ int) reflect.Value {
+	return reflect.ValueOf(genClock(r))
+}
+
+func qc(t *testing.T, name string, f interface{}) {
+	t.Helper()
+	cfg := &quick.Config{MaxCount: 2000}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Errorf("property %s failed: %v", name, err)
+	}
+}
+
+func TestUnit(t *testing.T) {
+	c := Unit(3)
+	if got := c.At(3); got != 1 {
+		t.Fatalf("Unit(3).At(3) = %d, want 1", got)
+	}
+	for i := 0; i < 3; i++ {
+		if c.At(i) != 0 {
+			t.Fatalf("Unit(3).At(%d) = %d, want 0", i, c.At(i))
+		}
+	}
+	if c.At(99) != 0 {
+		t.Fatalf("out-of-range component should be 0")
+	}
+}
+
+func TestZeroValueIsBottom(t *testing.T) {
+	var bot Clock
+	if !bot.IsZero() {
+		t.Fatalf("nil clock should be ⊥")
+	}
+	c := Clock{1, 2, 3}
+	if !bot.Leq(c) {
+		t.Fatalf("⊥ ⊑ c must hold")
+	}
+	if c.Leq(bot) {
+		t.Fatalf("c ⊑ ⊥ must not hold for nonzero c")
+	}
+	if !bot.Leq(bot) {
+		t.Fatalf("⊥ ⊑ ⊥ must hold")
+	}
+}
+
+func TestLeqImplicitZeros(t *testing.T) {
+	a := Clock{1, 0, 0}
+	b := Clock{1}
+	if !a.Leq(b) || !b.Leq(a) {
+		t.Fatalf("trailing zeros must not affect ⊑: %v vs %v", a, b)
+	}
+	if !a.Equal(b) {
+		t.Fatalf("trailing zeros must not affect Equal")
+	}
+	c := Clock{1, 0, 2}
+	if c.Leq(b) {
+		t.Fatalf("⟨1,0,2⟩ ⊑ ⟨1⟩ must not hold")
+	}
+	if !b.Leq(c) {
+		t.Fatalf("⟨1⟩ ⊑ ⟨1,0,2⟩ must hold")
+	}
+}
+
+func TestJoinBasics(t *testing.T) {
+	a := Clock{2, 0, 1}
+	b := Clock{1, 3}
+	j := a.Copy().Join(b)
+	want := Clock{2, 3, 1}
+	if !j.Equal(want) {
+		t.Fatalf("join = %v, want %v", j, want)
+	}
+	// Join must grow the receiver when the argument is longer.
+	short := Clock{1}
+	long := Clock{0, 0, 0, 7}
+	j2 := short.Copy().Join(long)
+	if j2.At(3) != 7 || j2.At(0) != 1 {
+		t.Fatalf("grown join = %v", j2)
+	}
+}
+
+func TestJoinZeroing(t *testing.T) {
+	a := Clock{1, 1, 1}
+	b := Clock{5, 6, 7}
+	j := a.Copy().JoinZeroing(b, 1)
+	want := Clock{5, 1, 7}
+	if !j.Equal(want) {
+		t.Fatalf("JoinZeroing = %v, want %v", j, want)
+	}
+	// Skipping an index beyond b's length is a plain join.
+	j2 := a.Copy().JoinZeroing(b, 17)
+	if !j2.Equal(a.Copy().Join(b)) {
+		t.Fatalf("JoinZeroing with out-of-range skip should equal Join")
+	}
+}
+
+func TestLeqZeroing(t *testing.T) {
+	a := Clock{9, 1}
+	b := Clock{0, 2}
+	if a.Leq(b) {
+		t.Fatalf("⟨9,1⟩ ⊑ ⟨0,2⟩ must not hold")
+	}
+	if !a.LeqZeroing(b, 0) {
+		t.Fatalf("⟨9,1⟩[0/0] ⊑ ⟨0,2⟩ must hold")
+	}
+	if a.LeqZeroing(b, 1) {
+		t.Fatalf("⟨9,1⟩[0/1] ⊑ ⟨0,2⟩ must not hold")
+	}
+}
+
+func TestEqualZeroing(t *testing.T) {
+	a := Clock{3, 5, 1}
+	b := Clock{3, 9, 1}
+	if a.EqualZeroing(b, 0) {
+		t.Fatalf("zeroing 0 should not make them equal")
+	}
+	if !a.EqualZeroing(b, 1) {
+		t.Fatalf("zeroing 1 should make them equal")
+	}
+}
+
+func TestWithEntryAndWithZero(t *testing.T) {
+	a := Clock{1, 2}
+	b := a.WithEntry(3, 9)
+	if b.At(3) != 9 || b.At(0) != 1 || b.At(1) != 2 {
+		t.Fatalf("WithEntry = %v", b)
+	}
+	if a.At(3) != 0 {
+		t.Fatalf("WithEntry must not mutate the receiver")
+	}
+	z := b.WithZero(0)
+	if z.At(0) != 0 || z.At(3) != 9 {
+		t.Fatalf("WithZero = %v", z)
+	}
+	if b.At(0) != 1 {
+		t.Fatalf("WithZero must not mutate the receiver")
+	}
+}
+
+func TestIncAndSet(t *testing.T) {
+	var c Clock
+	c = c.Inc(2)
+	c = c.Inc(2)
+	c = c.Set(0, 5)
+	if c.At(2) != 2 || c.At(0) != 5 {
+		t.Fatalf("after Inc/Set: %v", c)
+	}
+}
+
+func TestCopyIsIndependent(t *testing.T) {
+	a := Clock{1, 2, 3}
+	b := a.Copy()
+	b[0] = 99
+	if a[0] != 1 {
+		t.Fatalf("Copy must be independent")
+	}
+	var n Clock
+	if n.Copy() != nil {
+		t.Fatalf("Copy of nil should stay nil")
+	}
+}
+
+func TestCopyInto(t *testing.T) {
+	a := Clock{4, 5}
+	dst := make(Clock, 0, 8)
+	dst = a.CopyInto(dst)
+	if !dst.Equal(a) {
+		t.Fatalf("CopyInto = %v", dst)
+	}
+	dst = Clock{9, 9, 9, 9}.CopyInto(dst)
+	if !dst.Equal(Clock{9, 9, 9, 9}) {
+		t.Fatalf("CopyInto reuse = %v", dst)
+	}
+}
+
+func TestString(t *testing.T) {
+	c := Clock{2, 0, 1}
+	if got := c.String(); got != "⟨2,0,1⟩" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := (Clock{2}).Truncated(3); got != "⟨2,0,0⟩" {
+		t.Fatalf("Truncated = %q", got)
+	}
+	if got := (Clock)(nil).String(); got != "⟨⟩" {
+		t.Fatalf("nil String = %q", got)
+	}
+}
+
+// --- lattice laws via testing/quick -----------------------------------------
+
+func TestPropLeqReflexive(t *testing.T) {
+	qc(t, "⊑ reflexive", func(a Clock) bool { return a.Leq(a) })
+}
+
+func TestPropLeqAntisymmetric(t *testing.T) {
+	qc(t, "⊑ antisymmetric", func(a, b Clock) bool {
+		if a.Leq(b) && b.Leq(a) {
+			return a.Equal(b)
+		}
+		return true
+	})
+}
+
+func TestPropLeqTransitive(t *testing.T) {
+	qc(t, "⊑ transitive", func(a, b, c Clock) bool {
+		// Build a chain deliberately so the premise is often true.
+		ab := a.Copy().Join(b)
+		abc := ab.Copy().Join(c)
+		return a.Leq(ab) && ab.Leq(abc) && a.Leq(abc)
+	})
+}
+
+func TestPropJoinUpperBound(t *testing.T) {
+	qc(t, "⊔ upper bound", func(a, b Clock) bool {
+		j := a.Copy().Join(b)
+		return a.Leq(j) && b.Leq(j)
+	})
+}
+
+func TestPropJoinLeast(t *testing.T) {
+	qc(t, "⊔ least upper bound", func(a, b, u Clock) bool {
+		// Any u above both a and b must be above the join.
+		up := u.Copy().Join(a).Join(b)
+		j := a.Copy().Join(b)
+		return j.Leq(up)
+	})
+}
+
+func TestPropJoinCommutativeAssociativeIdempotent(t *testing.T) {
+	qc(t, "⊔ laws", func(a, b, c Clock) bool {
+		ab := a.Copy().Join(b)
+		ba := b.Copy().Join(a)
+		if !ab.Equal(ba) {
+			return false
+		}
+		abc1 := a.Copy().Join(b).Join(c)
+		abc2 := a.Copy().Join(b.Copy().Join(c))
+		if !abc1.Equal(abc2) {
+			return false
+		}
+		return a.Copy().Join(a).Equal(a)
+	})
+}
+
+func TestPropJoinDoesNotMutateArgument(t *testing.T) {
+	qc(t, "⊔ argument untouched", func(a, b Clock) bool {
+		b0 := b.Copy()
+		_ = a.Copy().Join(b)
+		return b.Equal(b0)
+	})
+}
+
+func TestPropBottomIsIdentity(t *testing.T) {
+	qc(t, "⊥ identity", func(a Clock) bool {
+		var bot Clock
+		return a.Copy().Join(bot).Equal(a) && bot.Leq(a)
+	})
+}
+
+func TestPropLeqZeroingMatchesWithZero(t *testing.T) {
+	qc(t, "LeqZeroing ≡ WithZero+Leq", func(a, b Clock) bool {
+		for skip := 0; skip < 4; skip++ {
+			if a.LeqZeroing(b, skip) != a.WithZero(skip).Leq(b) {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func TestPropJoinZeroingMatchesWithZero(t *testing.T) {
+	qc(t, "JoinZeroing ≡ Join(WithZero)", func(a, b Clock) bool {
+		for skip := 0; skip < 4; skip++ {
+			x := a.Copy().JoinZeroing(b, skip)
+			y := a.Copy().Join(b.WithZero(skip))
+			if !x.Equal(y) {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func TestPropConcurrentSymmetric(t *testing.T) {
+	qc(t, "Concurrent symmetric", func(a, b Clock) bool {
+		return a.Concurrent(b) == b.Concurrent(a)
+	})
+}
+
+func TestPropLtStrict(t *testing.T) {
+	qc(t, "Lt strict", func(a, b Clock) bool {
+		j := a.Copy().Join(b).Inc(0)
+		return a.Lt(j) && !j.Lt(a) && !a.Lt(a)
+	})
+}

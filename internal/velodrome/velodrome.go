@@ -1,0 +1,298 @@
+// Package velodrome implements the Velodrome algorithm (Flanagan, Freund,
+// Yi — PLDI 2008) for dynamically checking conflict serializability, as the
+// baseline the paper evaluates AeroDrome against.
+//
+// Velodrome maintains a directed graph whose nodes are the transactions
+// observed so far (including unary transactions for events outside atomic
+// blocks) and whose edges are the ⋖Txn orderings discovered as events are
+// processed: program order between transactions of the same thread,
+// write→read / access→write conflicts on shared variables, release→acquire
+// on locks, and fork/join edges. A violation is declared as soon as adding
+// an edge closes a cycle; the cycle check runs per inserted edge, which is
+// what makes the algorithm worst-case cubic in the trace length.
+//
+// The garbage-collection optimization of the original paper is implemented:
+// a completed transaction with no incoming edges can never participate in a
+// cycle and is deleted; deletion cascades, and later edges whose source was
+// deleted are skipped (they cannot close a cycle either).
+//
+// The cycle-detection strategy is pluggable (internal/graph): per-edge DFS,
+// matching the paper's description, or a Pearce–Kelly dynamic topological
+// order as an ablation.
+package velodrome
+
+import (
+	"aerodrome/internal/core"
+	"aerodrome/internal/graph"
+	"aerodrome/internal/trace"
+)
+
+const noNode = graph.NodeID(-1)
+
+type veloThread struct {
+	depth   int
+	cur     graph.NodeID // active outermost transaction, or noNode
+	last    graph.NodeID // most recent transaction (for program order), or noNode
+	pending graph.NodeID // transaction that forked this thread, or noNode
+	init    bool
+}
+
+type veloVar struct {
+	lastWrite graph.NodeID
+	lastReads []graph.NodeID // per thread; noNode when absent
+}
+
+type veloLock struct {
+	lastRel graph.NodeID
+}
+
+// Checker is a streaming Velodrome analysis. It implements core.Engine so
+// that the differential tests and the benchmark harness can drive all
+// checkers uniformly.
+type Checker struct {
+	det       graph.Detector
+	threads   []veloThread
+	vars      []veloVar
+	locks     []veloLock
+	completed map[graph.NodeID]bool
+	nextNode  graph.NodeID
+	txns      int64
+	n         int64
+	viol      *core.Violation
+	witness   graph.Cycle
+}
+
+// Option configures a Checker.
+type Option func(*Checker)
+
+// WithStrategy selects the cycle-detection strategy: "dfs" (default, as in
+// the paper) or "pearce-kelly".
+func WithStrategy(name string) Option {
+	return func(c *Checker) { c.det = graph.New(name) }
+}
+
+// New returns a fresh Velodrome checker.
+func New(opts ...Option) *Checker {
+	c := &Checker{
+		det:       graph.NewDFS(),
+		completed: map[graph.NodeID]bool{},
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c
+}
+
+// Name implements core.Engine.
+func (c *Checker) Name() string { return "velodrome-" + c.det.Name() }
+
+// Processed implements core.Engine.
+func (c *Checker) Processed() int64 { return c.n }
+
+// Violation implements core.Engine.
+func (c *Checker) Violation() *core.Violation { return c.viol }
+
+// Witness returns the transaction cycle that triggered the violation, if
+// any (node IDs are transaction creation indices).
+func (c *Checker) Witness() graph.Cycle { return c.witness }
+
+// Transactions returns the number of transaction nodes ever created
+// (blocks and unary transactions).
+func (c *Checker) Transactions() int64 { return c.txns }
+
+// GraphSize returns the current and maximum number of live transaction
+// nodes, the paper's measure of why Velodrome's per-edge cycle checks
+// degrade on long traces.
+func (c *Checker) GraphSize() (live, max int) {
+	return c.det.NodeCount(), c.det.MaxNodeCount()
+}
+
+func (c *Checker) ensureThread(t int) *veloThread {
+	for len(c.threads) <= t {
+		c.threads = append(c.threads, veloThread{cur: noNode, last: noNode, pending: noNode})
+	}
+	ts := &c.threads[t]
+	ts.init = true
+	return ts
+}
+
+func (c *Checker) ensureVar(x int) *veloVar {
+	for len(c.vars) <= x {
+		c.vars = append(c.vars, veloVar{lastWrite: noNode})
+	}
+	return &c.vars[x]
+}
+
+func (c *Checker) ensureLock(l int) *veloLock {
+	for len(c.locks) <= l {
+		c.locks = append(c.locks, veloLock{lastRel: noNode})
+	}
+	return &c.locks[l]
+}
+
+// newTxn creates a transaction node for thread t, wiring the program-order
+// edge from the thread's previous transaction and a pending fork edge.
+func (c *Checker) newTxn(t int, e trace.Event) graph.NodeID {
+	id := c.nextNode
+	c.nextNode++
+	c.txns++
+	c.det.AddNode(id)
+	ts := &c.threads[t]
+	if ts.last != noNode {
+		c.addEdge(ts.last, id, e, trace.ThreadID(t), core.CheckEnd)
+	}
+	if ts.pending != noNode {
+		c.addEdge(ts.pending, id, e, trace.ThreadID(t), core.CheckEnd)
+		ts.pending = noNode
+	}
+	ts.last = id
+	return id
+}
+
+// addEdge inserts src→dst unless src is gone (deleted by GC — such edges
+// cannot close a cycle) or src == dst. A returned cycle latches a
+// violation.
+func (c *Checker) addEdge(src, dst graph.NodeID, e trace.Event, at trace.ThreadID, check core.CheckKind) bool {
+	if c.viol != nil {
+		return true
+	}
+	if src == dst || src == noNode || !c.det.HasNode(src) {
+		return false
+	}
+	if cyc := c.det.AddEdge(src, dst); cyc != nil {
+		c.witness = cyc
+		c.viol = &core.Violation{
+			Index: c.n, Event: e, ActiveThread: at,
+			Check: check, Algorithm: c.Name(),
+		}
+		return true
+	}
+	return false
+}
+
+// nodeFor returns the transaction node the event belongs to, creating a
+// unary transaction when the thread has no active block. The second result
+// reports whether the node is a unary transaction (completes immediately).
+func (c *Checker) nodeFor(t int, e trace.Event) (graph.NodeID, bool) {
+	ts := &c.threads[t]
+	if ts.depth > 0 {
+		return ts.cur, false
+	}
+	return c.newTxn(t, e), true
+}
+
+// complete marks a transaction finished and garbage-collects it (and,
+// transitively, its successors) if it has no incoming edges.
+func (c *Checker) complete(id graph.NodeID) {
+	c.completed[id] = true
+	c.collect(id)
+}
+
+func (c *Checker) collect(id graph.NodeID) {
+	queue := []graph.NodeID{id}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if !c.det.HasNode(n) || !c.completed[n] || c.det.InDegree(n) != 0 {
+			continue
+		}
+		succs := c.det.OutNeighbors(n)
+		c.det.RemoveNode(n)
+		delete(c.completed, n)
+		queue = append(queue, succs...)
+	}
+}
+
+// Process implements core.Engine.
+func (c *Checker) Process(e trace.Event) *core.Violation {
+	if c.viol != nil {
+		return c.viol
+	}
+	t := int(e.Thread)
+	ts := c.ensureThread(t)
+
+	switch e.Kind {
+	case trace.Begin:
+		if ts.depth == 0 {
+			ts.cur = c.newTxn(t, e)
+		}
+		ts.depth++
+
+	case trace.End:
+		ts.depth--
+		if ts.depth == 0 {
+			id := ts.cur
+			ts.cur = noNode
+			c.complete(id)
+		}
+
+	case trace.Read:
+		v := c.ensureVar(int(e.Target))
+		node, unary := c.nodeFor(t, e)
+		c.addEdge(v.lastWrite, node, e, e.Thread, core.CheckRead)
+		for len(v.lastReads) <= t {
+			v.lastReads = append(v.lastReads, noNode)
+		}
+		v.lastReads[t] = node
+		if unary && c.viol == nil {
+			c.complete(node)
+		}
+
+	case trace.Write:
+		v := c.ensureVar(int(e.Target))
+		node, unary := c.nodeFor(t, e)
+		c.addEdge(v.lastWrite, node, e, e.Thread, core.CheckWriteWrite)
+		for _, r := range v.lastReads {
+			if c.addEdge(r, node, e, e.Thread, core.CheckWriteRead) {
+				break
+			}
+		}
+		v.lastWrite = node
+		if unary && c.viol == nil {
+			c.complete(node)
+		}
+
+	case trace.Acquire:
+		l := c.ensureLock(int(e.Target))
+		node, unary := c.nodeFor(t, e)
+		c.addEdge(l.lastRel, node, e, e.Thread, core.CheckAcquire)
+		if unary && c.viol == nil {
+			c.complete(node)
+		}
+
+	case trace.Release:
+		l := c.ensureLock(int(e.Target))
+		node, unary := c.nodeFor(t, e)
+		l.lastRel = node
+		if unary {
+			c.complete(node)
+		}
+
+	case trace.Fork:
+		node, unary := c.nodeFor(t, e)
+		u := c.ensureThread(int(e.Target))
+		u.pending = node
+		if unary {
+			// The fork transaction must stay alive until the child's first
+			// transaction consumes the pending edge; completing it is still
+			// safe because GC only deletes nodes with no incoming edges and
+			// pending-edge sources are checked for liveness at wiring time.
+			c.complete(node)
+		}
+
+	case trace.Join:
+		node, unary := c.nodeFor(t, e)
+		u := c.ensureThread(int(e.Target))
+		c.addEdge(u.last, node, e, e.Thread, core.CheckJoin)
+		if unary && c.viol == nil {
+			c.complete(node)
+		}
+	}
+	c.n++
+	if c.viol != nil {
+		return c.viol
+	}
+	return nil
+}
+
+var _ core.Engine = (*Checker)(nil)

@@ -1,0 +1,192 @@
+package velodrome
+
+import (
+	"testing"
+
+	"aerodrome/internal/core"
+	"aerodrome/internal/testutil"
+	"aerodrome/internal/trace"
+)
+
+func TestPaperTraces(t *testing.T) {
+	cases := []struct {
+		name  string
+		tr    *trace.Trace
+		viol  bool
+		index int64 // expected detection index (cycle formation), -1 if none
+	}{
+		{"rho1", testutil.Rho1(), false, -1},
+		{"rho2", testutil.Rho2(), true, 5},
+		{"rho3", testutil.Rho3(), true, 5}, // detected at e6, before AeroDrome's e7
+		{"rho4", testutil.Rho4(), true, 10},
+	}
+	for _, c := range cases {
+		for _, strategy := range []string{"dfs", "pearce-kelly"} {
+			v := New(WithStrategy(strategy))
+			viol, _ := core.Run(v, c.tr.Cursor())
+			if (viol != nil) != c.viol {
+				t.Errorf("%s/%s: violation=%v want %v", c.name, strategy, viol != nil, c.viol)
+				continue
+			}
+			if viol != nil && viol.Index != c.index {
+				t.Errorf("%s/%s: index=%d want %d", c.name, strategy, viol.Index, c.index)
+			}
+			if viol != nil {
+				w := New(WithStrategy(strategy))
+				core.Run(w, c.tr.Cursor())
+				if len(w.Witness()) < 2 {
+					t.Errorf("%s/%s: witness too short: %v", c.name, strategy, w.Witness())
+				}
+			}
+		}
+	}
+}
+
+func TestTruncatedRho3Detected(t *testing.T) {
+	// Velodrome detects the ρ3 cycle at e6 even when both transactions are
+	// still active — the semantic difference with AeroDrome's Theorem 3
+	// (see core.TestTruncatedRho3NoReport).
+	full := testutil.Rho3()
+	prefix := &trace.Trace{}
+	for _, e := range full.Events[:6] {
+		prefix.Append(e)
+	}
+	v := New()
+	viol, _ := core.Run(v, prefix.Cursor())
+	if viol == nil {
+		t.Fatalf("Velodrome must detect the cycle among two active transactions")
+	}
+}
+
+func TestGarbageCollectionChain(t *testing.T) {
+	// A long serial chain of transactions, each conflicting only with its
+	// predecessor: GC must keep the graph at O(1) size (nodes without
+	// incoming edges are deleted once completed, cascading down the chain).
+	b := trace.NewBuilder()
+	t1, t2 := b.Thread("t1"), b.Thread("t2")
+	x := b.Var("x")
+	threads := []trace.ThreadID{t1, t2}
+	for i := 0; i < 200; i++ {
+		th := threads[i%2]
+		b.Begin(th).Read(th, x).Write(th, x).End(th)
+	}
+	v := New()
+	viol, _ := core.Run(v, b.Build().Cursor())
+	if viol != nil {
+		t.Fatalf("serial chain is serializable: %v", viol)
+	}
+	live, max := v.GraphSize()
+	if live > 4 {
+		t.Fatalf("GC failed: %d live nodes at end of chain", live)
+	}
+	if max > 8 {
+		t.Fatalf("GC failed: graph high-water mark %d on a chain", max)
+	}
+	if v.Transactions() != 200 {
+		t.Fatalf("Transactions = %d, want 200", v.Transactions())
+	}
+}
+
+func TestHubRetainsGraph(t *testing.T) {
+	// A long-lived active transaction writes a hub variable; every worker
+	// transaction reads it, acquiring an incoming edge from the still-active
+	// hub — nothing can be collected and the graph grows linearly. This is
+	// the dynamics behind the paper's Table 1 rows where Velodrome times
+	// out (avrora, sunflow, ...).
+	b := trace.NewBuilder()
+	hub, w1, w2 := b.Thread("hub"), b.Thread("w1"), b.Thread("w2")
+	h := b.Var("h")
+	b.Begin(hub).Write(hub, h)
+	workers := []trace.ThreadID{w1, w2}
+	const n = 100
+	for i := 0; i < n; i++ {
+		th := workers[i%2]
+		y := b.Var("y" + string(rune('0'+i%10)) + string(rune('a'+(i/10)%26)))
+		b.Begin(th).Read(th, h).Write(th, y).End(th)
+	}
+	b.End(hub)
+	v := New()
+	viol, _ := core.Run(v, b.Build().Cursor())
+	if viol != nil {
+		t.Fatalf("hub workload is serializable: %v", viol)
+	}
+	_, max := v.GraphSize()
+	if max < n {
+		t.Fatalf("hub graph should retain ≥%d nodes, high-water was %d", n, max)
+	}
+}
+
+func TestUnaryTransactionChurnCollected(t *testing.T) {
+	// Unary events complete immediately; with no incoming edges they are
+	// collected on the spot and the graph stays tiny.
+	b := trace.NewBuilder()
+	t1 := b.Thread("t1")
+	x := b.Var("x")
+	for i := 0; i < 500; i++ {
+		b.Write(t1, x)
+	}
+	v := New()
+	if viol, _ := core.Run(v, b.Build().Cursor()); viol != nil {
+		t.Fatalf("unexpected violation: %v", viol)
+	}
+	if _, max := v.GraphSize(); max > 4 {
+		t.Fatalf("unary churn not collected: high-water %d", max)
+	}
+}
+
+func TestForkJoinEdges(t *testing.T) {
+	// Join inside the forking transaction closes a cycle through the child.
+	b := trace.NewBuilder()
+	t1, t2 := b.Thread("t1"), b.Thread("t2")
+	x := b.Var("x")
+	b.Begin(t1).Write(t1, x).Fork(t1, t2).
+		Begin(t2).Read(t2, x).End(t2).
+		Join(t1, t2).End(t1)
+	v := New()
+	viol, _ := core.Run(v, b.Build().Cursor())
+	if viol == nil {
+		t.Fatalf("fork/join cycle must be detected")
+	}
+	if viol.Check != core.CheckJoin {
+		t.Fatalf("check = %v, want join", viol.Check)
+	}
+}
+
+func TestNameAndStats(t *testing.T) {
+	v := New()
+	if v.Name() != "velodrome-dfs" {
+		t.Fatalf("Name = %q", v.Name())
+	}
+	pk := New(WithStrategy("pk"))
+	if pk.Name() != "velodrome-pearce-kelly" {
+		t.Fatalf("Name = %q", pk.Name())
+	}
+	b := trace.NewBuilder()
+	t1 := b.Thread("t1")
+	x := b.Var("x")
+	b.Begin(t1).Write(t1, x).End(t1)
+	tr := b.Build()
+	core.Run(v, tr.Cursor())
+	if v.Processed() != 3 {
+		t.Fatalf("Processed = %d", v.Processed())
+	}
+	if v.Violation() != nil || v.Witness() != nil {
+		t.Fatalf("no violation expected")
+	}
+}
+
+func TestLatching(t *testing.T) {
+	v := New()
+	tr := testutil.Rho2()
+	viol, _ := core.Run(v, tr.Cursor())
+	if viol == nil {
+		t.Fatalf("expected violation")
+	}
+	again := v.Process(trace.Event{Thread: 0, Kind: trace.Read, Target: 0})
+	if again != viol {
+		t.Fatalf("checker must latch its violation")
+	}
+	if v.Processed() != viol.Index+1 {
+		t.Fatalf("Processed should stop at the violation: %d", v.Processed())
+	}
+}

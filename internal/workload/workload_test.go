@@ -1,0 +1,255 @@
+package workload_test
+
+import (
+	"testing"
+
+	"aerodrome/internal/core"
+	"aerodrome/internal/serial"
+	"aerodrome/internal/trace"
+	"aerodrome/internal/velodrome"
+	"aerodrome/internal/workload"
+)
+
+// smallRows returns all table rows scaled down far enough to validate and
+// model-check quickly.
+func smallRows(t *testing.T) []workload.PaperRow {
+	t.Helper()
+	var rows []workload.PaperRow
+	rows = append(rows, workload.Table1(30_000, 500)...)
+	rows = append(rows, workload.Table2(30_000, 500)...)
+	if len(rows) != 21 {
+		t.Fatalf("expected 14+7 rows, got %d", len(rows))
+	}
+	return rows
+}
+
+func TestAllRowsWellFormed(t *testing.T) {
+	for _, row := range smallRows(t) {
+		row := row
+		t.Run(row.Config.Name, func(t *testing.T) {
+			tr := workload.Generate(row.Config)
+			if err := trace.ValidateStrict(tr); err != nil {
+				t.Fatalf("%s: malformed trace: %v", row.Config.Name, err)
+			}
+			if tr.Len() == 0 {
+				t.Fatalf("%s: empty trace", row.Config.Name)
+			}
+			// Event budget respected within one batch of slack.
+			if int64(tr.Len()) > row.Config.Events+int64(row.Config.OpsPerTxn*4+64) {
+				t.Fatalf("%s: %d events for budget %d", row.Config.Name, tr.Len(), row.Config.Events)
+			}
+			s := trace.ComputeStats(tr.Cursor())
+			if s.Threads > row.Config.Threads {
+				t.Fatalf("%s: %d threads exceeds config %d", row.Config.Name, s.Threads, row.Config.Threads)
+			}
+		})
+	}
+}
+
+func TestRowVerdictsMatchPaper(t *testing.T) {
+	for _, row := range smallRows(t) {
+		row := row
+		t.Run(row.Config.Name, func(t *testing.T) {
+			tr := workload.Generate(row.Config)
+			for _, eng := range []core.Engine{core.NewBasic(), core.NewOptimized(), velodrome.New()} {
+				v, _ := core.Run(eng, tr.Cursor())
+				wantViolation := !row.PaperAtomic
+				if (v != nil) != wantViolation {
+					t.Fatalf("%s on %s: violation=%v, paper says violation=%v",
+						eng.Name(), row.Config.Name, v != nil, wantViolation)
+				}
+			}
+		})
+	}
+}
+
+func TestPrefixBeforeInjectionIsSerializable(t *testing.T) {
+	// The body generated before the injected violation must be conflict
+	// serializable — the injection is the *first* cycle. Checked with the
+	// O(n²) oracle at small scale for every violating row.
+	for _, row := range smallRows(t) {
+		if row.Config.Inject == workload.ViolationNone {
+			continue
+		}
+		row := row
+		t.Run(row.Config.Name, func(t *testing.T) {
+			cfg := row.Config
+			cfg.Events = 4_000
+			tr := workload.Generate(cfg)
+			basic := core.NewBasic()
+			v, _ := core.Run(basic, tr.Cursor())
+			if v == nil {
+				t.Fatalf("%s: expected injected violation", cfg.Name)
+			}
+			minIndex := int64(float64(cfg.Events) * cfg.InjectAt)
+			if v.Index < minIndex {
+				t.Fatalf("%s: violation at %d, before injection point %d",
+					cfg.Name, v.Index, minIndex)
+			}
+			// The prefix strictly before the injection batch is serializable.
+			prefix := &trace.Trace{}
+			for _, e := range tr.Events[:minIndex] {
+				prefix.Append(e)
+			}
+			rep := serial.Check(prefix)
+			if !rep.Serializable {
+				t.Fatalf("%s: body prefix is not serializable (witness %v)",
+					cfg.Name, rep.Witness)
+			}
+		})
+	}
+}
+
+func TestSerializableRowsPassOracle(t *testing.T) {
+	for _, row := range smallRows(t) {
+		if !row.PaperAtomic {
+			continue
+		}
+		row := row
+		t.Run(row.Config.Name, func(t *testing.T) {
+			cfg := row.Config
+			if cfg.Events > 3_000 {
+				cfg.Events = 3_000
+			}
+			tr := workload.Generate(cfg)
+			rep := serial.Check(tr)
+			if !rep.Serializable {
+				t.Fatalf("%s: oracle found a cycle in a ✓ row (witness %v)",
+					cfg.Name, rep.Witness)
+			}
+		})
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := workload.Config{
+		Name: "det", Threads: 5, Vars: 100, Locks: 4, Events: 5_000,
+		Pattern: workload.PatternHub, Inject: workload.ViolationCross,
+		InjectAt: 0.8, AbsorbEvery: 8, Seed: 42,
+	}
+	a := workload.Generate(cfg)
+	b := workload.Generate(cfg)
+	if a.Len() != b.Len() {
+		t.Fatalf("lengths differ: %d vs %d", a.Len(), b.Len())
+	}
+	for i := range a.Events {
+		if a.Events[i] != b.Events[i] {
+			t.Fatalf("event %d differs: %v vs %v", i, a.Events[i], b.Events[i])
+		}
+	}
+	cfg.Seed = 43
+	c := workload.Generate(cfg)
+	same := c.Len() == a.Len()
+	if same {
+		same = false
+		for i := range a.Events {
+			if a.Events[i] != c.Events[i] {
+				same = false
+				break
+			}
+			same = true
+		}
+	}
+	if same {
+		t.Fatalf("different seeds should give different traces")
+	}
+}
+
+func TestHubRetainsVelodromeGraph(t *testing.T) {
+	cfg := workload.Config{
+		Name: "hub-retention", Threads: 6, Vars: 200, Locks: 4,
+		Events: 20_000, Pattern: workload.PatternHub,
+		Inject: workload.ViolationNone, AbsorbEvery: 16, Seed: 7,
+	}
+	v := velodrome.New()
+	viol, _ := core.Run(v, workload.New(cfg))
+	if viol != nil {
+		t.Fatalf("hub body must be serializable: %v", viol)
+	}
+	_, max := v.GraphSize()
+	// Roughly one retained transaction per R-group round.
+	if max < 500 {
+		t.Fatalf("hub pattern should retain a large graph, high-water %d", max)
+	}
+}
+
+func TestChainCollapsesVelodromeGraph(t *testing.T) {
+	cfg := workload.Config{
+		Name: "chain-gc", Threads: 6, Vars: 200, Locks: 4,
+		Events: 20_000, Pattern: workload.PatternChain,
+		Inject: workload.ViolationNone, Seed: 7,
+	}
+	v := velodrome.New()
+	viol, _ := core.Run(v, workload.New(cfg))
+	if viol != nil {
+		t.Fatalf("chain body must be serializable: %v", viol)
+	}
+	_, max := v.GraphSize()
+	if max > 64 {
+		t.Fatalf("chain pattern should garbage-collect, high-water %d", max)
+	}
+}
+
+func TestShardedTxnFraction(t *testing.T) {
+	cfg := workload.Config{
+		Name: "sharded", Threads: 5, Vars: 100, Locks: 1,
+		Events: 10_000, Pattern: workload.PatternSharded,
+		TxnFraction: 0, Inject: workload.ViolationNone, Seed: 3,
+	}
+	tr := workload.Generate(cfg)
+	s := trace.ComputeStats(tr.Cursor())
+	if s.Transactions != 0 {
+		t.Fatalf("TxnFraction=0 should yield no transactions, got %d", s.Transactions)
+	}
+	cfg.TxnFraction = 1
+	tr = workload.Generate(cfg)
+	s = trace.ComputeStats(tr.Cursor())
+	if s.Transactions < 100 {
+		t.Fatalf("TxnFraction=1 should yield many transactions, got %d", s.Transactions)
+	}
+}
+
+func TestInjectKinds(t *testing.T) {
+	for _, kind := range []workload.Violation{
+		workload.ViolationCross, workload.ViolationDelayed, workload.ViolationLock,
+	} {
+		cfg := workload.Config{
+			Name: string(kind), Threads: 6, Vars: 60, Locks: 3,
+			Events: 2_000, Pattern: workload.PatternChain,
+			Inject: kind, InjectAt: 0.5, Seed: 11,
+		}
+		tr := workload.Generate(cfg)
+		if err := trace.ValidateStrict(tr); err != nil {
+			t.Fatalf("%s: malformed: %v", kind, err)
+		}
+		rep := serial.Check(tr)
+		if rep.Serializable {
+			t.Fatalf("%s: injection did not produce a violation", kind)
+		}
+		basic := core.NewBasic()
+		if v, _ := core.Run(basic, tr.Cursor()); v == nil {
+			t.Fatalf("%s: AeroDrome missed the injected violation", kind)
+		}
+	}
+}
+
+func TestFindRow(t *testing.T) {
+	r, ok := workload.FindRow("sunflow", 1000, 100)
+	if !ok || r.Config.Name != "sunflow" || r.Table != 1 {
+		t.Fatalf("FindRow(sunflow) = %+v, %v", r, ok)
+	}
+	r, ok = workload.FindRow("tomcat", 1000, 100)
+	if !ok || r.Table != 2 {
+		t.Fatalf("FindRow(tomcat) = %+v, %v", r, ok)
+	}
+	if _, ok := workload.FindRow("nosuch", 1000, 100); ok {
+		t.Fatalf("FindRow(nosuch) should fail")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	g := workload.New(workload.Config{Name: "d", Threads: 3, Vars: 10, Locks: 1, Events: 100})
+	if g.Describe() == "" || g.Config().Name != "d" {
+		t.Fatalf("Describe/Config broken")
+	}
+}

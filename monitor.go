@@ -1,0 +1,199 @@
+package aerodrome
+
+import (
+	"sync"
+
+	"aerodrome/internal/core"
+	"aerodrome/internal/trace"
+)
+
+// Monitor is a concurrency-safe front end for checking atomicity of a live
+// Go program: goroutines register as threads, wrap intended-atomic regions
+// in Begin/End, and report shared-variable and lock operations. Symbols are
+// interned from arbitrary comparable keys (strings, pointers, …).
+//
+// All operations funnel through one mutex — the analysis itself is a
+// sequential single-pass algorithm, exactly like the paper's trace
+// analysis. The serialization order of the monitor defines the observed
+// trace.
+type Monitor struct {
+	mu      sync.Mutex
+	eng     core.Engine
+	threads map[any]trace.ThreadID
+	vars    map[any]trace.VarID
+	locks   map[any]trace.LockID
+	viol    *Violation
+	onViol  func(*Violation)
+	events  int64
+}
+
+// MonitorOption configures a Monitor.
+type MonitorOption func(*Monitor) error
+
+// WithAlgorithm selects the checking algorithm (default Optimized).
+func WithAlgorithm(a Algorithm) MonitorOption {
+	return func(m *Monitor) error {
+		eng, err := newEngine(a)
+		if err != nil {
+			return err
+		}
+		m.eng = eng
+		return nil
+	}
+}
+
+// OnViolation installs a callback invoked (once, under the monitor lock)
+// when the first violation is detected.
+func OnViolation(f func(*Violation)) MonitorOption {
+	return func(m *Monitor) error {
+		m.onViol = f
+		return nil
+	}
+}
+
+// NewMonitor returns a Monitor with the given options. It panics only on
+// programmer error (unknown algorithm name).
+func NewMonitor(opts ...MonitorOption) *Monitor {
+	m := &Monitor{
+		eng:     core.NewOptimized(),
+		threads: map[any]trace.ThreadID{},
+		vars:    map[any]trace.VarID{},
+		locks:   map[any]trace.LockID{},
+	}
+	for _, o := range opts {
+		if err := o(m); err != nil {
+			panic(err)
+		}
+	}
+	return m
+}
+
+// Thread registers (or looks up) a thread handle for the given key.
+func (m *Monitor) Thread(key any) Thread {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Thread{m: m, id: m.internThread(key)}
+}
+
+func (m *Monitor) internThread(key any) trace.ThreadID {
+	if id, ok := m.threads[key]; ok {
+		return id
+	}
+	id := trace.ThreadID(len(m.threads))
+	m.threads[key] = id
+	return id
+}
+
+func (m *Monitor) internVar(key any) trace.VarID {
+	if id, ok := m.vars[key]; ok {
+		return id
+	}
+	id := trace.VarID(len(m.vars))
+	m.vars[key] = id
+	return id
+}
+
+func (m *Monitor) internLock(key any) trace.LockID {
+	if id, ok := m.locks[key]; ok {
+		return id
+	}
+	id := trace.LockID(len(m.locks))
+	m.locks[key] = id
+	return id
+}
+
+// Violation returns the first detected violation, if any.
+func (m *Monitor) Violation() *Violation {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.viol
+}
+
+// Events returns the number of events observed so far.
+func (m *Monitor) Events() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.events
+}
+
+func (m *Monitor) process(e trace.Event) *Violation {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.viol != nil {
+		return m.viol
+	}
+	m.events++
+	if v := m.eng.Process(e); v != nil {
+		m.viol = fromInternal(v)
+		if m.onViol != nil {
+			m.onViol(m.viol)
+		}
+	}
+	return m.viol
+}
+
+// Thread is a per-thread handle on a Monitor. Handles are small values and
+// may be copied freely; each method is safe for concurrent use with any
+// other monitor operation.
+type Thread struct {
+	m  *Monitor
+	id trace.ThreadID
+}
+
+// Begin enters an atomic block (blocks nest; only the outermost counts).
+func (t Thread) Begin() *Violation {
+	return t.m.process(trace.Event{Thread: t.id, Kind: trace.Begin})
+}
+
+// End leaves the innermost atomic block.
+func (t Thread) End() *Violation {
+	return t.m.process(trace.Event{Thread: t.id, Kind: trace.End})
+}
+
+// Read reports a read of the shared variable identified by key.
+func (t Thread) Read(key any) *Violation {
+	t.m.mu.Lock()
+	x := t.m.internVar(key)
+	t.m.mu.Unlock()
+	return t.m.process(trace.Event{Thread: t.id, Kind: trace.Read, Target: int32(x)})
+}
+
+// Write reports a write of the shared variable identified by key.
+func (t Thread) Write(key any) *Violation {
+	t.m.mu.Lock()
+	x := t.m.internVar(key)
+	t.m.mu.Unlock()
+	return t.m.process(trace.Event{Thread: t.id, Kind: trace.Write, Target: int32(x)})
+}
+
+// Acquire reports acquisition of the lock identified by key.
+func (t Thread) Acquire(key any) *Violation {
+	t.m.mu.Lock()
+	l := t.m.internLock(key)
+	t.m.mu.Unlock()
+	return t.m.process(trace.Event{Thread: t.id, Kind: trace.Acquire, Target: int32(l)})
+}
+
+// Release reports release of the lock identified by key.
+func (t Thread) Release(key any) *Violation {
+	t.m.mu.Lock()
+	l := t.m.internLock(key)
+	t.m.mu.Unlock()
+	return t.m.process(trace.Event{Thread: t.id, Kind: trace.Release, Target: int32(l)})
+}
+
+// Fork reports creation of the child thread and returns its handle. The
+// fork event must precede any event of the child.
+func (t Thread) Fork(childKey any) (Thread, *Violation) {
+	t.m.mu.Lock()
+	child := t.m.internThread(childKey)
+	t.m.mu.Unlock()
+	v := t.m.process(trace.Event{Thread: t.id, Kind: trace.Fork, Target: int32(child)})
+	return Thread{m: t.m, id: child}, v
+}
+
+// Join reports that t waited for child to finish; the child must perform no
+// further events.
+func (t Thread) Join(child Thread) *Violation {
+	return t.m.process(trace.Event{Thread: t.id, Kind: trace.Join, Target: int32(child.id)})
+}
