@@ -23,6 +23,10 @@ const (
 	// transaction garbage collection) — the paper's evaluated configuration
 	// and the recommended default.
 	Optimized Algorithm = "optimized"
+	// OptimizedTree is Optimized running on the tree-clock representation
+	// (internal/treeclock): joins and copies touch only the entries that
+	// actually change, which pays off at high thread counts.
+	OptimizedTree Algorithm = "treeclock"
 	// Velodrome is the transaction-graph baseline with per-edge DFS cycle
 	// checks.
 	Velodrome Algorithm = "velodrome"
@@ -35,7 +39,7 @@ const (
 
 // Algorithms lists all supported algorithm names.
 func Algorithms() []Algorithm {
-	return []Algorithm{Basic, ReadOpt, Optimized, Velodrome, VelodromePK, DoubleChecker}
+	return []Algorithm{Basic, ReadOpt, Optimized, OptimizedTree, Velodrome, VelodromePK, DoubleChecker}
 }
 
 func newEngine(a Algorithm) (core.Engine, error) {
@@ -46,6 +50,8 @@ func newEngine(a Algorithm) (core.Engine, error) {
 		return core.NewReadOpt(), nil
 	case Optimized, "":
 		return core.NewOptimized(), nil
+	case OptimizedTree:
+		return core.NewOptimizedTree(), nil
 	case Velodrome:
 		return velodrome.New(), nil
 	case VelodromePK:

@@ -190,3 +190,34 @@ func BenchmarkThroughput(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkThreadScaling measures the Optimized engine's per-event cost as
+// the thread count grows (T ∈ {8, 64, 256}) on both clock representations.
+// This is the benchmark family behind BENCH_baseline.json/BENCH_after.json
+// (cmd/experiments -run bench): per-event cost that is linear in thread
+// count shows up as rows whose ns/event grow with T even though the trace
+// shape is otherwise fixed.
+func BenchmarkThreadScaling(b *testing.B) {
+	for _, cfg := range bench.ThreadScalingConfigs(benchEvents) {
+		cfg := cfg
+		for _, spec := range []bench.EngineSpec{
+			bench.AeroDromeVariant(core.AlgoOptimized),
+			bench.AeroDromeTree(),
+		} {
+			spec := spec
+			b.Run(cfg.Name+"/"+spec.Label, func(b *testing.B) {
+				b.ReportAllocs()
+				var events int64
+				for i := 0; i < b.N; i++ {
+					eng := spec.New()
+					v, n := core.Run(eng, workload.New(cfg))
+					if v != nil {
+						b.Fatalf("unexpected violation: %v", v)
+					}
+					events += n
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(events), "ns/event")
+			})
+		}
+	}
+}

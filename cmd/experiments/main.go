@@ -31,11 +31,14 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	what := fs.String("run", "tables", "what to run: tables, table1, table2, figures, ablation, doublechecker, all")
+	what := fs.String("run", "tables", "what to run: tables, table1, table2, figures, ablation, bench, doublechecker, all")
 	events := fs.Int64("events", 2_000_000, "event budget per benchmark row (the paper's traces go up to 2.8B)")
 	maxVars := fs.Int("vars", 20_000, "variable-pool cap per row")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-engine timeout per row (the paper used 10h at full scale)")
 	verbose := fs.Bool("v", false, "print per-engine progress while running")
+	label := fs.String("label", "after", "label recorded in the -run bench JSON report")
+	jsonOut := fs.String("json", "", "write the -run bench report to this file (default stdout)")
+	runs := fs.Int("runs", 5, "timed runs per -run bench row (fastest wins)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -62,6 +65,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		table(stdout, 2, o)
 	case "ablation":
 		ablation(stdout, o)
+	case "bench":
+		if err := benchJSON(stdout, stderr, *label, *jsonOut, *events, *runs); err != nil {
+			fmt.Fprintf(stderr, "experiments: %v\n", err)
+			return 1
+		}
 	case "doublechecker":
 		doubleCheckerRun(stdout, o)
 	case "all":
@@ -79,6 +87,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	return 0
+}
+
+// benchJSON runs the thread-scaling grid and emits the machine-readable
+// report compared against BENCH_baseline.json across PRs. The default
+// event budget of the other modes is far more than these timed rows need,
+// so the grid caps at 200K events per row unless -events lowers it.
+func benchJSON(stdout, stderr io.Writer, label, path string, events int64, runs int) error {
+	if events > 200_000 {
+		events = 200_000
+	}
+	engines := []bench.EngineSpec{
+		bench.AeroDromeVariant(core.AlgoOptimized),
+		bench.AeroDromeTree(),
+	}
+	fmt.Fprintf(stderr, "measuring %d rows × %d engines (%d events, %d runs each)...\n",
+		len(bench.ThreadScalingConfigs(events)), len(engines), events, runs)
+	rep := bench.MeasureReport(label, engines, bench.ThreadScalingConfigs(events), runs)
+	if path == "" {
+		return rep.WriteJSON(stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	// A truncated report artifact must not exit 0: surface the flush error.
+	return f.Close()
 }
 
 func figures(w io.Writer) {

@@ -1,0 +1,3 @@
+module aerodrome
+
+go 1.24

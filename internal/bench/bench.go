@@ -35,6 +35,11 @@ func AeroDromeVariant(a core.Algorithm) EngineSpec {
 	return EngineSpec{Label: a.String(), New: func() core.Engine { return core.New(a) }}
 }
 
+// AeroDromeTree returns Algorithm 3 on the tree-clock representation.
+func AeroDromeTree() EngineSpec {
+	return AeroDromeVariant(core.AlgoOptimizedTree)
+}
+
 // Velodrome returns the baseline with per-edge DFS cycle checks.
 func Velodrome() EngineSpec {
 	return EngineSpec{Label: "velodrome", New: func() core.Engine { return velodrome.New() }}

@@ -154,8 +154,12 @@ const (
 	AlgoBasic Algorithm = iota
 	// AlgoReadOpt is Algorithm 2 (read-clock reduction).
 	AlgoReadOpt
-	// AlgoOptimized is Algorithm 3 (lazy updates, update sets, GC).
+	// AlgoOptimized is Algorithm 3 (lazy updates, update sets, GC) on flat
+	// vector clocks.
 	AlgoOptimized
+	// AlgoOptimizedTree is Algorithm 3 on tree clocks (internal/treeclock):
+	// joins and copies touch only the subtrees that actually change.
+	AlgoOptimizedTree
 )
 
 // String names the variant.
@@ -167,6 +171,8 @@ func (a Algorithm) String() string {
 		return "aerodrome-readopt"
 	case AlgoOptimized:
 		return "aerodrome-optimized"
+	case AlgoOptimizedTree:
+		return "aerodrome-treeclock"
 	}
 	return fmt.Sprintf("algorithm(%d)", int(a))
 }
@@ -180,6 +186,8 @@ func New(a Algorithm) Engine {
 		return NewReadOpt()
 	case AlgoOptimized:
 		return NewOptimized()
+	case AlgoOptimizedTree:
+		return NewOptimizedTree()
 	}
 	panic("core: unknown algorithm")
 }

@@ -1,386 +1,53 @@
 package core
 
 import (
-	"aerodrome/internal/trace"
+	"aerodrome/internal/treeclock"
 	"aerodrome/internal/vc"
 )
 
-type optThread struct {
-	c     vc.Clock
-	cb    vc.Clock
-	depth int
-	init  bool
-	ran   bool
-	// updR / updW are the paper's UpdateSetʳ_t / UpdateSetʷ_t: the variables
-	// whose read/write clocks must be touched when this thread's active
-	// transaction ends. Keys are variable IDs.
-	updR map[int32]struct{}
-	updW map[int32]struct{}
-}
-
-type optVar struct {
-	w     vc.Clock
-	lastW int32
-	// staleW is the paper's Staleʷ_x = ⊤: the last write's timestamp has not
-	// been written to w because the writing transaction is still running;
-	// readers consult the writer's live clock instead.
-	staleW bool
-	rx     vc.Clock // R_x
-	hrx    vc.Clock // ȒR_x
-	// staleR is the paper's Staleʳ_x: threads whose reads of x (inside still
-	// running transactions) have not been flushed into rx/hrx.
-	staleR []int32
-}
-
-// Optimized is Algorithm 3 (Appendix C.2): AeroDrome with lazy clock
-// updates, per-thread update sets, and garbage collection of transactions
-// with no incoming edges. This is the engine the benchmark harness uses; it
-// matches the paper's complexity bound of Theorem 4.
+// The Algorithm 3 engine comes in two instantiations over the clock
+// representation layer (see clockRep):
 //
-// Laziness makes detection points earlier-or-equal than Basic's, never
-// later: while an accessing transaction is still running, readers and
-// writers consult its live clock, which dominates the access event's clock,
-// and every component of a live clock still witnesses a real ⋖Txn path, so
-// any check that fires corresponds to a genuine cycle (the differential
-// tests assert verdict equality with Basic and Index(Optimized) ≤
-// Index(Basic)).
+//   - Optimized — flat vector clocks, monomorphized source (the
+//     specialization of OptimizedOn generated into optimized_flat.go);
+//     the default engine and the one the paper's Theorem 4 bound is
+//     stated for.
+//   - OptimizedTree — *treeclock.Clock, the generic instantiation;
+//     joins/copies touch only the entries that actually change.
 //
-// Deviations from the printed pseudocode, each justified in the package
-// comment and enforced by tests:
-//
-//   - hasIncomingEdge uses the sticky foreign-component test C_t[0/t] ≠ ⊥
-//     (printed: begin-vs-end clock comparison, which misses program-order
-//     incoming edges from retained predecessors; TestGCChainCounterexample).
-//   - accesses outside any transaction (unary transactions) take the eager
-//     Algorithm 2 path: a unary transaction completes immediately, so its
-//     thread's live clock must not be consulted later.
-//   - update-set membership is also refreshed when rx/W grow at end-event
-//     flushes, so end-time conditions match Algorithm 1's, which evaluates
-//     them against the current clock values rather than access-time values.
-type Optimized struct {
-	threads []optThread
-	locks   []basicLock
-	vars    []optVar
-	n       int64
-	viol    *Violation
-	// endsProcessed / endsCollected count end events that took the full
-	// propagation path vs. the garbage-collection fast path (ablation
-	// observability).
-	endsProcessed int64
-	endsCollected int64
+// The differential suites pin both instantiations (and the generic flat
+// instantiation used for meta-testing) to identical verdicts, violation
+// indices and GC decisions.
+
+// OptimizedTree is the Algorithm 3 engine on tree clocks.
+type OptimizedTree = OptimizedOn[*treeclock.Clock]
+
+// NewOptimized returns a fresh Algorithm 3 engine on flat vector clocks.
+func NewOptimized() *Optimized {
+	return &Optimized{newClock: newFlatClock, name: AlgoOptimized.String()}
 }
 
-// NewOptimized returns a fresh Algorithm 3 engine.
-func NewOptimized() *Optimized { return &Optimized{} }
-
-// Name implements Engine.
-func (b *Optimized) Name() string { return AlgoOptimized.String() }
-
-// Processed implements Engine.
-func (b *Optimized) Processed() int64 { return b.n }
-
-// Violation implements Engine.
-func (b *Optimized) Violation() *Violation { return b.viol }
-
-// EndStats reports how many outermost end events took the full propagation
-// path vs. the GC fast path.
-func (b *Optimized) EndStats() (full, collected int64) {
-	return b.endsProcessed, b.endsCollected
+// NewOptimizedTree returns a fresh Algorithm 3 engine on tree clocks.
+func NewOptimizedTree() *OptimizedTree {
+	return &OptimizedTree{newClock: treeclock.New, name: AlgoOptimizedTree.String()}
 }
 
-func (b *Optimized) ensureThread(t int) *optThread {
-	for len(b.threads) <= t {
-		b.threads = append(b.threads, optThread{})
-	}
-	ts := &b.threads[t]
-	if !ts.init {
-		ts.c = vc.Unit(t)
-		ts.init = true
-		ts.updR = map[int32]struct{}{}
-		ts.updW = map[int32]struct{}{}
-	}
-	return ts
+// newOptimizedGenericFlat instantiates the generic engine on flat clocks.
+// It exists for the specialization meta-tests: the concrete Optimized and
+// this instantiation must be behaviorally identical.
+func newOptimizedGenericFlat() *OptimizedOn[*flatClock] {
+	return &OptimizedOn[*flatClock]{newClock: newFlatClock, name: AlgoOptimized.String()}
 }
 
-func (b *Optimized) ensureLock(l int) *basicLock {
-	for len(b.locks) <= l {
-		b.locks = append(b.locks, basicLock{lastRel: nilThread})
-	}
-	return &b.locks[l]
-}
-
-func (b *Optimized) ensureVar(x int) *optVar {
-	for len(b.vars) <= x {
-		b.vars = append(b.vars, optVar{lastW: nilThread})
-	}
-	return &b.vars[x]
-}
-
-func (b *Optimized) checkAndGet(clk vc.Clock, t int, e trace.Event, active trace.ThreadID, check CheckKind) bool {
-	ts := &b.threads[t]
-	if ts.depth > 0 && ts.cb.Leq(clk) {
-		b.viol = &Violation{
-			Index: b.n, Event: e, ActiveThread: active,
-			Check: check, Algorithm: b.Name(),
-		}
-		return true
-	}
-	ts.c = ts.c.Join(clk)
-	return false
-}
-
-// writeClockFor returns the clock readers and writers must consult for the
-// last write to v: the writer's live clock while its transaction is still
-// running (Staleʷ = ⊤), otherwise the flushed W_x.
-func (b *Optimized) writeClockFor(v *optVar) vc.Clock {
-	if v.staleW && v.lastW >= 0 {
-		return b.threads[v.lastW].c
-	}
-	return v.w
-}
-
-// coverRead records x in the update set of every thread whose active
-// transaction's begin is dominated by clk (the paper's UpdateSetʳ loop).
-// Under the local-time invariant, C⊲_u ⊑ clk ⟺ C⊲_u(u) ≤ clk(u).
-func (b *Optimized) coverRead(x int32, clk vc.Clock) {
-	for u := range b.threads {
-		us := &b.threads[u]
-		if us.depth > 0 && us.cb.At(u) <= clk.At(u) {
-			us.updR[x] = struct{}{}
-		}
-	}
-}
-
-// coverWrite is coverRead for UpdateSetʷ.
-func (b *Optimized) coverWrite(x int32, clk vc.Clock) {
-	for u := range b.threads {
-		us := &b.threads[u]
-		if us.depth > 0 && us.cb.At(u) <= clk.At(u) {
-			us.updW[x] = struct{}{}
-		}
-	}
-}
-
-// Process implements Engine.
-func (b *Optimized) Process(e trace.Event) *Violation {
-	if b.viol != nil {
-		return b.viol
-	}
-	t := int(e.Thread)
-	ts := b.ensureThread(t)
-
-	switch e.Kind {
-	case trace.Begin:
-		if ts.depth == 0 {
-			ts.c = ts.c.Inc(t)
-			ts.cb = ts.c.CopyInto(ts.cb)
-		}
-		ts.depth++
-
-	case trace.End:
-		ts.depth--
-		if ts.depth == 0 {
-			b.handleEnd(t, e)
-		}
-
-	case trace.Read:
-		x := e.Target
-		v := b.ensureVar(int(x))
-		if v.lastW != int32(t) {
-			if b.checkAndGet(b.writeClockFor(v), t, e, e.Thread, CheckRead) {
-				break
-			}
-		}
-		ct := b.threads[t].c
-		if ts.depth > 0 {
-			v.addStaleReader(int32(t))
-		} else {
-			// Unary read: flush eagerly; the unary transaction is complete,
-			// so the live clock must not be consulted later.
-			v.rx = v.rx.Join(ct)
-			v.hrx = v.hrx.JoinZeroing(ct, t)
-		}
-		b.coverRead(x, ct)
-
-	case trace.Write:
-		x := e.Target
-		v := b.ensureVar(int(x))
-		if v.lastW != int32(t) {
-			if b.checkAndGet(b.writeClockFor(v), t, e, e.Thread, CheckWriteWrite) {
-				break
-			}
-		}
-		// Flush stale readers with their live clocks; record any newly
-		// covered begins so end-time flushes stay exact.
-		for _, u := range v.staleR {
-			uc := b.threads[u].c
-			v.rx = v.rx.Join(uc)
-			v.hrx = v.hrx.JoinZeroing(uc, int(u))
-			b.coverRead(x, uc)
-		}
-		v.staleR = v.staleR[:0]
-		// The ȒR check: ∃u≠t with C⊲_t ⊑ R_{u,x}, via the begin clock's own
-		// component (see the package comment).
-		if ts.depth > 0 && ts.cb.At(t) <= v.hrx.At(t) {
-			b.viol = &Violation{
-				Index: b.n, Event: e, ActiveThread: e.Thread,
-				Check: CheckWriteRead, Algorithm: b.Name(),
-			}
-			break
-		}
-		ts.c = ts.c.Join(v.rx)
-		if ts.depth > 0 {
-			v.staleW = true // lazy: readers consult C_t while the txn runs
-		} else {
-			v.w = ts.c.CopyInto(v.w) // unary write: eager
-			v.staleW = false
-		}
-		v.lastW = int32(t)
-		b.coverWrite(x, ts.c)
-
-	case trace.Acquire:
-		l := b.ensureLock(int(e.Target))
-		if l.lastRel != int32(t) {
-			if b.checkAndGet(l.l, t, e, e.Thread, CheckAcquire) {
-				break
-			}
-		}
-
-	case trace.Release:
-		l := b.ensureLock(int(e.Target))
-		l.l = ts.c.CopyInto(l.l)
-		l.lastRel = int32(t)
-
-	case trace.Fork:
-		us := b.ensureThread(int(e.Target))
-		us.c = us.c.Join(b.threads[t].c)
-
-	case trace.Join:
-		us := b.ensureThread(int(e.Target))
-		// See Basic: never-ran threads contribute no ≤CHB edges.
-		if us.ran {
-			if b.checkAndGet(us.c, t, e, e.Thread, CheckJoin) {
-				break
-			}
-		}
-	}
-	// Re-index: the fork/join cases may have grown b.threads, invalidating
-	// the ts pointer captured above.
-	b.threads[t].ran = true
-	b.n++
-	if b.viol != nil {
-		return b.viol
-	}
-	return nil
-}
-
-// hasIncomingEdge reports whether the completing transaction of t can be
-// part of a cycle: true iff C_t carries any foreign component (sticky test;
-// see the package comment for why this replaces the printed begin-vs-end
-// comparison). Forked threads inherit the parent's components, so the
-// printed "parent transaction alive" disjunct is subsumed.
-func (b *Optimized) hasIncomingEdge(t int) bool {
-	for u, v := range b.threads[t].c {
-		if u != t && v != 0 {
-			return true
-		}
-	}
-	return false
-}
-
-// handleEnd implements Algorithm 3's end(t) with the full-propagation and
-// garbage-collection branches.
-func (b *Optimized) handleEnd(t int, e trace.Event) {
-	ts := &b.threads[t]
-	ct, cbt := ts.c, ts.cb
-
-	if b.hasIncomingEdge(t) {
-		b.endsProcessed++
-		// Thread checks (the component test C⊲_t(t) ≤ C_u(t) is the
-		// invariant form of C⊲_t ⊑ C_u).
-		own := cbt.At(t)
-		for u := range b.threads {
-			if u == t || !b.threads[u].init {
-				continue
-			}
-			us := &b.threads[u]
-			if us.c.At(t) >= own {
-				if us.depth > 0 && us.cb.Leq(ct) {
-					b.viol = &Violation{
-						Index: b.n, Event: e, ActiveThread: trace.ThreadID(u),
-						Check: CheckEnd, Algorithm: b.Name(),
-					}
-					return
-				}
-				us.c = us.c.Join(ct)
-			}
-		}
-		for i := range b.locks {
-			l := &b.locks[i]
-			if l.l.At(t) >= own {
-				l.l = l.l.Join(ct)
-			}
-		}
-		for x := range ts.updW {
-			v := &b.vars[x]
-			if !v.staleW || v.lastW == int32(t) {
-				v.w = v.w.Join(ct)
-				b.coverWrite(x, ct)
-			}
-			if v.lastW == int32(t) {
-				v.staleW = false
-			}
-		}
-		clear(ts.updW)
-		for x := range ts.updR {
-			v := &b.vars[x]
-			v.rx = v.rx.Join(ct)
-			v.hrx = v.hrx.JoinZeroing(ct, t)
-			v.removeStaleReader(int32(t))
-			b.coverRead(x, ct)
-		}
-		clear(ts.updR)
-		return
-	}
-
-	// Garbage collection: the transaction has no incoming edges and can
-	// never participate in a cycle; drop its lazy state instead of
-	// propagating it (the paper's else-branch).
-	b.endsCollected++
-	for x := range ts.updR {
-		b.vars[x].removeStaleReader(int32(t))
-	}
-	clear(ts.updR)
-	for x := range ts.updW {
-		v := &b.vars[x]
-		if v.lastW == int32(t) {
-			v.staleW = false
-			v.lastW = nilThread
-		}
-	}
-	clear(ts.updW)
-	for i := range b.locks {
-		if b.locks[i].lastRel == int32(t) {
-			b.locks[i].lastRel = nilThread
-		}
-	}
-}
-
-func (v *optVar) addStaleReader(t int32) {
-	for _, u := range v.staleR {
-		if u == t {
-			return
-		}
-	}
-	v.staleR = append(v.staleR, t)
-}
-
-func (v *optVar) removeStaleReader(t int32) {
-	for i, u := range v.staleR {
-		if u == t {
-			v.staleR[i] = v.staleR[len(v.staleR)-1]
-			v.staleR = v.staleR[:len(v.staleR)-1]
-			return
-		}
-	}
+// accessSlot is the epoch of a completed read-flush or write by `thread`:
+// the O(width) parts of the handler may be skipped while every listed
+// version still matches.
+type accessSlot struct {
+	thread   int32
+	wasInTxn bool    // writes only: staleW semantics differ inside a txn
+	ctVer    uint64  // the accessing thread's clock version
+	rxVer    uint64  // writes only: R_x version
+	wVer     uint64  // writes only: W_x version
+	cbVer    uint64  // writes only: the begin clock behind the ȒR check
+	hrxAtT   vc.Time // writes only: the ȒR component the check reads
 }

@@ -1,0 +1,95 @@
+package core
+
+// The flat-clock engine (optimized_flat.go) is a source-level
+// monomorphization of the generic engine (optimized_generic.go): Go's
+// shape-stenciled generics cannot inline method calls on a type
+// parameter, and the resulting ~2ns dictionary call on every clock
+// operation is measurable on the per-event hot path. specializeFlat
+// performs the mechanical substitution; TestFlatSpecializationInSync
+// fails whenever the committed specialization is stale.
+//
+// Regenerate with:
+//
+//	go test ./internal/core -run TestFlatSpecializationInSync -update-flat-engine
+
+import (
+	"flag"
+	"go/format"
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+var updateFlatEngine = flag.Bool("update-flat-engine", false,
+	"rewrite optimized_flat.go from optimized_generic.go")
+
+// specializeFlat rewrites the generic engine source into the concrete
+// flat-clock engine.
+func specializeFlat(src string) (string, error) {
+	s := src
+	// Drop the explanatory header (the generated file gets its own).
+	if i := strings.Index(s, "package core"); i >= 0 {
+		s = s[i:]
+	}
+	if i := strings.Index(s, "import ("); i >= 0 {
+		head := s[:i]
+		if j := strings.Index(head, "\n\n// This file"); j >= 0 {
+			if k := strings.Index(head[j+2:], "\n\nimport"); k >= 0 {
+				s = head[:j] + "\n" + s[i-1:]
+			} else {
+				s = head[:j] + "\n" + s[i:]
+			}
+		}
+	}
+	for _, r := range [][2]string{
+		{"type OptimizedOn[C clockRep[C]] struct", "type Optimized struct"},
+		{"type epochSlot[C comparable] struct", "type flatEpochSlot struct"},
+		{"type optThread[C comparable] struct", "type flatEngThread struct"},
+		{"type optLock[C comparable] struct", "type flatEngLock struct"},
+		{"type optVar[C comparable] struct", "type flatEngVar struct"},
+		{"OptimizedOn[C]", "Optimized"},
+		{"epochSlot[C]", "flatEpochSlot"},
+		{"optThread[C]", "flatEngThread"},
+		{"optLock[C]", "flatEngLock"},
+		{"optVar[C]", "flatEngVar"},
+	} {
+		s = strings.ReplaceAll(s, r[0], r[1])
+	}
+	// Remaining standalone uses of the type parameter become the concrete
+	// clock pointer. \bC\b cannot match inside identifiers, so CheckKind,
+	// CopyFrom, etc. are untouched.
+	s = regexp.MustCompile(`\bC\b`).ReplaceAllString(s, "*flatClock")
+	s = "// Code generated from optimized_generic.go by specialize_test.go; DO NOT EDIT.\n" +
+		"// Regenerate: go test ./internal/core -run TestFlatSpecializationInSync -update-flat-engine\n\n" + s
+	out, err := format.Source([]byte(s))
+	if err != nil {
+		return "", err
+	}
+	return string(out), nil
+}
+
+func TestFlatSpecializationInSync(t *testing.T) {
+	src, err := os.ReadFile("optimized_generic.go")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := specializeFlat(string(src))
+	if err != nil {
+		t.Fatalf("specialization does not produce valid Go: %v", err)
+	}
+	if *updateFlatEngine {
+		if err := os.WriteFile("optimized_flat.go", []byte(want), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("optimized_flat.go regenerated")
+		return
+	}
+	got, err := os.ReadFile("optimized_flat.go")
+	if err != nil {
+		t.Fatalf("optimized_flat.go missing (%v); run: go test ./internal/core -run TestFlatSpecializationInSync -update-flat-engine", err)
+	}
+	if string(got) != want {
+		t.Fatalf("optimized_flat.go is stale with respect to optimized_generic.go;\nrun: go test ./internal/core -run TestFlatSpecializationInSync -update-flat-engine")
+	}
+}

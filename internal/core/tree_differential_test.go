@@ -1,0 +1,165 @@
+package core
+
+// Differential tests between the flat-clock and tree-clock instantiations
+// of the Optimized engine: the clock representation is required to be
+// semantically invisible — identical verdicts, identical violation
+// indices, identical check kinds, and identical GC-path decisions — on
+// the paper's worked traces, on randomized well-formed traces, and on the
+// benchmark workload generator's patterns.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"aerodrome/internal/testutil"
+	"aerodrome/internal/trace"
+	"aerodrome/internal/workload"
+)
+
+// assertRepAgreement runs both representations over src-producing
+// functions and requires identical observable behavior.
+func assertRepAgreement(t *testing.T, ctx string, src func() trace.Source) {
+	t.Helper()
+	flat := NewOptimized()
+	tree := NewOptimizedTree()
+	vFlat, nFlat := Run(flat, src())
+	vTree, nTree := Run(tree, src())
+
+	if (vFlat != nil) != (vTree != nil) {
+		t.Fatalf("%s: verdict mismatch: flat violation=%v tree violation=%v",
+			ctx, vFlat != nil, vTree != nil)
+	}
+	if vFlat != nil {
+		if vFlat.Index != vTree.Index || vFlat.Check != vTree.Check {
+			t.Fatalf("%s: violation mismatch: flat (index %d, %v) tree (index %d, %v)",
+				ctx, vFlat.Index, vFlat.Check, vTree.Index, vTree.Check)
+		}
+	}
+	if nFlat != nTree {
+		t.Fatalf("%s: processed %d (flat) vs %d (tree)", ctx, nFlat, nTree)
+	}
+	fFull, fColl := flat.EndStats()
+	tFull, tColl := tree.EndStats()
+	if fFull != tFull || fColl != tColl {
+		t.Fatalf("%s: GC decisions diverged: flat (%d,%d) tree (%d,%d)",
+			ctx, fFull, fColl, tFull, tColl)
+	}
+}
+
+func TestTreeClockAgreementOnPaperTraces(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		tr   *trace.Trace
+	}{
+		{"rho1", testutil.Rho1()},
+		{"rho2", testutil.Rho2()},
+		{"rho3", testutil.Rho3()},
+		{"rho4", testutil.Rho4()},
+	} {
+		tr := tc.tr
+		assertRepAgreement(t, tc.name, func() trace.Source { return tr.Cursor() })
+	}
+}
+
+func TestTreeClockAgreementOnRandomTraces(t *testing.T) {
+	iters := 1500
+	if testing.Short() {
+		iters = 200
+	}
+	r := rand.New(rand.NewSource(4242))
+	for iter := 0; iter < iters; iter++ {
+		tr := testutil.RandomTrace(r, testutil.GenOpts{
+			Threads: 1 + r.Intn(6),
+			Vars:    1 + r.Intn(4),
+			Locks:   1 + r.Intn(3),
+			Steps:   10 + r.Intn(150),
+			TxnBias: r.Intn(10),
+			NoFork:  r.Intn(3) == 0,
+		})
+		assertRepAgreement(t, fmt.Sprintf("iter %d", iter), func() trace.Source { return tr.Cursor() })
+	}
+}
+
+func TestTreeClockAgreementOnWorkloads(t *testing.T) {
+	patterns := []workload.Pattern{
+		workload.PatternHub, workload.PatternChain, workload.PatternSharded,
+	}
+	injects := []workload.Violation{
+		workload.ViolationNone, workload.ViolationCross,
+		workload.ViolationDelayed, workload.ViolationLock,
+	}
+	for _, p := range patterns {
+		for _, inj := range injects {
+			for _, threads := range []int{2, 5, 9} {
+				cfg := workload.Config{
+					Name: string(p) + "-" + string(inj), Threads: threads,
+					Vars: 64, Locks: 4, Events: 4000, OpsPerTxn: 3,
+					Pattern: p, Inject: inj, InjectAt: 0.7,
+					TxnFraction: 0.5, AbsorbEvery: 4, Seed: int64(threads),
+				}
+				assertRepAgreement(t, cfg.Name, func() trace.Source { return workload.New(cfg) })
+			}
+		}
+	}
+}
+
+// TestEpochFastPathStats is a white-box check that the epoch fast path is
+// not only sound but actually taken: repeated reads of the same variable
+// under an unchanged write clock must not touch the reader's clock.
+func TestEpochFastPathStats(t *testing.T) {
+	b := trace.NewBuilder()
+	t1, t2 := b.Thread("t1"), b.Thread("t2")
+	x := b.Var("x")
+	b.Write(t1, x) // unary write: flushes W_x
+	b.Begin(t2)
+	for i := 0; i < 50; i++ {
+		b.Read(t2, x)
+	}
+	b.End(t2)
+	eng := NewOptimized()
+	if v, _ := Run(eng, b.Build().Cursor()); v != nil {
+		t.Fatalf("unexpected violation: %v", v)
+	}
+	// After the first read absorbed W_x, every further read must hit the
+	// epoch slot: same source clock, same version, same begin clock.
+	v := &eng.vars[x]
+	if v.slot.thread != int32(t2) || v.slot.src != eng.vars[x].w {
+		t.Fatalf("epoch slot not recorded: %+v", v.slot)
+	}
+	if got := eng.vars[x].w.Ver(); v.slot.srcVer != got {
+		t.Fatalf("epoch slot version stale: slot %d clock %d", v.slot.srcVer, got)
+	}
+}
+
+// TestConcreteMatchesGenericFlat pins the monomorphized flat engine to
+// the generic engine instantiated on the same representation: the
+// source-level specialization must be behaviorally invisible.
+func TestConcreteMatchesGenericFlat(t *testing.T) {
+	r := rand.New(rand.NewSource(777177))
+	for iter := 0; iter < 400; iter++ {
+		tr := testutil.RandomTrace(r, testutil.GenOpts{
+			Threads: 1 + r.Intn(5),
+			Vars:    1 + r.Intn(4),
+			Locks:   1 + r.Intn(2),
+			Steps:   10 + r.Intn(120),
+			TxnBias: r.Intn(10),
+		})
+		conc := NewOptimized()
+		gen := newOptimizedGenericFlat()
+		vc_, _ := Run(conc, tr.Cursor())
+		vg, _ := Run(gen, tr.Cursor())
+		if (vc_ != nil) != (vg != nil) {
+			t.Fatalf("iter %d: concrete violation=%v generic=%v", iter, vc_ != nil, vg != nil)
+		}
+		if vc_ != nil && (vc_.Index != vg.Index || vc_.Check != vg.Check) {
+			t.Fatalf("iter %d: concrete (%d,%v) generic (%d,%v)",
+				iter, vc_.Index, vc_.Check, vg.Index, vg.Check)
+		}
+		cf, cc := conc.EndStats()
+		gf, gc := gen.EndStats()
+		if cf != gf || cc != gc {
+			t.Fatalf("iter %d: EndStats concrete (%d,%d) generic (%d,%d)", iter, cf, cc, gf, gc)
+		}
+	}
+}

@@ -26,11 +26,11 @@ package rapidio
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
 	"io"
-	"strings"
 
 	"aerodrome/internal/trace"
 )
@@ -83,18 +83,20 @@ func NewReader(r io.Reader) *Reader {
 }
 
 // Read returns the next event, io.EOF at the end of input, or a
-// *ParseError for malformed lines.
+// *ParseError for malformed lines. Parsing tokenizes in place over the
+// scanner's byte buffer: the only per-line allocations are the first
+// interning of each thread/variable/lock name (and error paths).
 func (r *Reader) Read() (trace.Event, error) {
 	if r.err != nil {
 		return trace.Event{}, r.err
 	}
 	for r.sc.Scan() {
 		r.line++
-		text := strings.TrimSpace(r.sc.Text())
-		if text == "" || strings.HasPrefix(text, "#") {
+		line := bytes.TrimSpace(r.sc.Bytes())
+		if len(line) == 0 || line[0] == '#' {
 			continue
 		}
-		ev, err := r.parseLine(text)
+		ev, err := r.parseLine(line)
 		if err != nil {
 			r.err = err
 			return trace.Event{}, err
@@ -133,46 +135,57 @@ func (r *Reader) Names() (threads, vars, locks []string) {
 	return r.threadNames, r.varNames, r.lockNames
 }
 
-func (r *Reader) parseLine(text string) (trace.Event, error) {
+// parseLine parses one trimmed, non-empty line. The []byte slices index
+// into the scanner's buffer and must not be retained; the intern tables
+// copy names only on first sight (map lookups with string(bytes) keys do
+// not allocate).
+func (r *Reader) parseLine(line []byte) (trace.Event, error) {
 	fail := func(reason string) (trace.Event, error) {
-		return trace.Event{}, &ParseError{Line: r.line, Text: text, Reason: reason}
+		return trace.Event{}, &ParseError{Line: r.line, Text: string(line), Reason: reason}
 	}
-	parts := strings.Split(text, "|")
-	if len(parts) != 2 && len(parts) != 3 {
+	sep1 := bytes.IndexByte(line, '|')
+	if sep1 < 0 {
 		return fail("want thread|op or thread|op|loc")
 	}
-	tname := strings.TrimSpace(parts[0])
-	if tname == "" {
-		return fail("empty thread name")
-	}
-	t := r.internThread(tname)
-	op := strings.TrimSpace(parts[1])
-	// Location (parts[2]) is validated but otherwise ignored.
-	if len(parts) == 3 {
-		loc := strings.TrimSpace(parts[2])
+	rest := line[sep1+1:]
+	op := rest
+	if sep2 := bytes.IndexByte(rest, '|'); sep2 >= 0 {
+		op = bytes.TrimSpace(rest[:sep2])
+		loc := bytes.TrimSpace(rest[sep2+1:])
+		if bytes.IndexByte(loc, '|') >= 0 {
+			return fail("want thread|op or thread|op|loc")
+		}
+		// The location is validated but otherwise ignored.
 		for _, c := range loc {
 			if c < '0' || c > '9' {
 				return fail("non-numeric location")
 			}
 		}
+	} else {
+		op = bytes.TrimSpace(op)
 	}
+	tname := bytes.TrimSpace(line[:sep1])
+	if len(tname) == 0 {
+		return fail("empty thread name")
+	}
+	t := r.internThread(tname)
 
-	if op == "begin" {
+	if string(op) == "begin" {
 		return trace.Event{Thread: t, Kind: trace.Begin}, nil
 	}
-	if op == "end" {
+	if string(op) == "end" {
 		return trace.Event{Thread: t, Kind: trace.End}, nil
 	}
-	open := strings.IndexByte(op, '(')
-	if open < 1 || !strings.HasSuffix(op, ")") {
-		return fail("unknown operation " + op)
+	open := bytes.IndexByte(op, '(')
+	if open < 1 || op[len(op)-1] != ')' {
+		return fail("unknown operation " + string(op))
 	}
 	name := op[:open]
 	arg := op[open+1 : len(op)-1]
-	if arg == "" {
+	if len(arg) == 0 {
 		return fail("empty operand")
 	}
-	switch name {
+	switch string(name) {
 	case "r":
 		return trace.Event{Thread: t, Kind: trace.Read, Target: int32(r.internVar(arg))}, nil
 	case "w":
@@ -186,36 +199,39 @@ func (r *Reader) parseLine(text string) (trace.Event, error) {
 	case "join":
 		return trace.Event{Thread: t, Kind: trace.Join, Target: int32(r.internThread(arg))}, nil
 	}
-	return fail("unknown operation " + name)
+	return fail("unknown operation " + string(name))
 }
 
-func (r *Reader) internThread(name string) trace.ThreadID {
-	if id, ok := r.threads[name]; ok {
+func (r *Reader) internThread(name []byte) trace.ThreadID {
+	if id, ok := r.threads[string(name)]; ok {
 		return id
 	}
 	id := trace.ThreadID(len(r.threads))
-	r.threads[name] = id
-	r.threadNames = append(r.threadNames, name)
+	s := string(name)
+	r.threads[s] = id
+	r.threadNames = append(r.threadNames, s)
 	return id
 }
 
-func (r *Reader) internVar(name string) trace.VarID {
-	if id, ok := r.vars[name]; ok {
+func (r *Reader) internVar(name []byte) trace.VarID {
+	if id, ok := r.vars[string(name)]; ok {
 		return id
 	}
 	id := trace.VarID(len(r.vars))
-	r.vars[name] = id
-	r.varNames = append(r.varNames, name)
+	s := string(name)
+	r.vars[s] = id
+	r.varNames = append(r.varNames, s)
 	return id
 }
 
-func (r *Reader) internLock(name string) trace.LockID {
-	if id, ok := r.locks[name]; ok {
+func (r *Reader) internLock(name []byte) trace.LockID {
+	if id, ok := r.locks[string(name)]; ok {
 		return id
 	}
 	id := trace.LockID(len(r.locks))
-	r.locks[name] = id
-	r.lockNames = append(r.lockNames, name)
+	s := string(name)
+	r.locks[s] = id
+	r.lockNames = append(r.lockNames, s)
 	return id
 }
 
@@ -379,6 +395,7 @@ type BinaryReader struct {
 	r      *bufio.Reader
 	header bool
 	err    error
+	record [8]byte // scratch: io.ReadFull would heap-allocate a local
 }
 
 // NewBinaryReader returns a BinaryReader over r.
@@ -403,7 +420,7 @@ func (br *BinaryReader) Read() (trace.Event, error) {
 		}
 		br.header = true
 	}
-	var rec [8]byte
+	rec := &br.record
 	if _, err := io.ReadFull(br.r, rec[:]); err != nil {
 		if err == io.EOF {
 			br.err = io.EOF

@@ -1,0 +1,110 @@
+package rapidio
+
+// Parser benchmarks: trace ingest speed is tracked alongside engine speed
+// (a checker that outruns its parser is bounded by the parser). The STD
+// benchmark exercises the in-place tokenizer; with all names interned
+// after the first pass over the stream, steady-state parsing performs no
+// per-line allocations.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"aerodrome/internal/workload"
+)
+
+// benchSTD renders a representative workload trace once, as STD text.
+func benchSTD(b *testing.B) []byte {
+	b.Helper()
+	var buf bytes.Buffer
+	src := workload.New(workload.Config{
+		Name: "parse-bench", Threads: 8, Vars: 512, Locks: 8,
+		Events: 50_000, OpsPerTxn: 4, Pattern: workload.PatternChain,
+		Inject: workload.ViolationNone, Seed: 42,
+	})
+	if _, err := WriteSource(&buf, src); err != nil {
+		b.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func BenchmarkParseSTD(b *testing.B) {
+	data := benchSTD(b)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	var events int64
+	for i := 0; i < b.N; i++ {
+		rd := NewReader(bytes.NewReader(data))
+		for {
+			_, err := rd.Read()
+			if err != nil {
+				break
+			}
+			events++
+		}
+		if err := rd.Err(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(events), "ns/event")
+}
+
+func BenchmarkParseBinary(b *testing.B) {
+	var buf bytes.Buffer
+	bw := NewBinaryWriter(&buf)
+	src := workload.New(workload.Config{
+		Name: "parse-bench", Threads: 8, Vars: 512, Locks: 8,
+		Events: 50_000, OpsPerTxn: 4, Pattern: workload.PatternChain,
+		Inject: workload.ViolationNone, Seed: 42,
+	})
+	for {
+		ev, ok := src.Next()
+		if !ok {
+			break
+		}
+		if err := bw.Write(ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		br := NewBinaryReader(bytes.NewReader(data))
+		for {
+			if _, err := br.Read(); err != nil {
+				break
+			}
+		}
+		if err := br.Err(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// TestParseSteadyStateAllocs pins the zero-allocation property of the
+// tokenizer: once every name has been interned, re-reading the same
+// stream must not allocate per line.
+func TestParseSteadyStateAllocs(t *testing.T) {
+	data := strings.Repeat("t0|begin|0\nt0|w(x1)|3\nt0|r(x1)|4\nt0|end|0\n", 500)
+	allocs := testing.AllocsPerRun(10, func() {
+		rd := NewReader(strings.NewReader(data))
+		for {
+			if _, err := rd.Read(); err != nil {
+				break
+			}
+		}
+	})
+	// Budget: the reader itself, its maps, the scanner buffer and the
+	// first interning of each name — but nothing proportional to the
+	// 2000 lines.
+	if allocs > 40 {
+		t.Fatalf("parsing allocated %v times for a 2000-line stream; want O(1)", allocs)
+	}
+}

@@ -1,0 +1,517 @@
+// Package treeclock implements the tree clock data structure of "A Tree
+// Clock Data Structure for Causal Orderings in Concurrent Executions"
+// (Mathur, Tunç, Pavlogiannis, Viswanathan; ASPLOS 2022), adapted to the
+// clock discipline of the AeroDrome atomicity checker.
+//
+// A tree clock represents a vector time as a tree of per-thread entries.
+// Each node remembers how its subtree's knowledge was acquired (from which
+// thread, at which version), which lets Join and Leq skip entire subtrees
+// the target already dominates: the cost of an operation is proportional
+// to the number of entries that actually change, not to the total thread
+// count. Copies between a thread clock and its begin clock additionally
+// take the monotone-copy fast path (the destination is known to be ⊑ the
+// source, so the copy is a pruned join that adopts the source's version).
+//
+// # Version streams instead of local clocks
+//
+// The ASPLOS 2022 construction keys subtree-skipping on the local clock of
+// the source's root thread: "if I already have u's component at ≥ C_u(u),
+// I have everything C_u knows". That inference is only sound for analyses
+// (HB, FastTrack, SHB, …) that increment a thread's local clock at every
+// release-style event, so a thread never publishes two different clock
+// states under the same local time. AeroDrome increments a thread's local
+// component only at transaction begins, while the clock both absorbs and
+// publishes knowledge between begins; the local component therefore cannot
+// version the clock's content. This implementation decouples the two: each
+// thread-owned clock maintains a private version counter, bumped on every
+// content mutation, and nodes carry
+//
+//	clk  — the semantic vector component for the node's thread (what At,
+//	       Leq and Join operate on), and
+//	ver  — a version claim: the whole tree dominates thread tid's clock
+//	       at version ver, and the node's subtree is dominated by it.
+//	aclk — the attachment claim: the parent node's thread had absorbed
+//	       C_tid@ver by parent-version aclk (Unattributed when the
+//	       attachment cannot be attributed, see below).
+//
+// AeroDrome also joins into auxiliary clocks (a completing transaction
+// propagates into lock and write clocks), after which an auxiliary clock's
+// content is no longer exactly "some thread's clock at some version". Such
+// roots are marked inexact: their subtrees are never skipped wholesale and
+// their new children attach Unattributed, but the rest of the tree keeps
+// its claims, so pruning degrades locally instead of breaking globally.
+//
+// All operations preserve the invariant that the represented vector equals
+// what the flat vc.Clock operations would compute; the package tests check
+// this against internal/vc on randomized operation sequences, and the
+// engine-level differential tests check verdict and violation-index
+// equality of the flat-clock and tree-clock checkers.
+package treeclock
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"aerodrome/internal/vc"
+)
+
+// Unattributed is the sentinel attachment version for subtrees that cannot
+// be attributed to their parent thread's version stream (attachments made
+// while joining into an auxiliary clock). Unattributed children sort first
+// and never trigger the early sibling stop.
+const Unattributed = vc.Time(math.MaxInt64)
+
+// nilNode is the null node index.
+const nilNode = int32(-1)
+
+type node struct {
+	tid  int32
+	clk  vc.Time // semantic component of thread tid
+	ver  vc.Time // version claim (see the package comment)
+	aclk vc.Time // attachment claim against the parent's version stream
+
+	parent int32
+	head   int32 // first child (most recently attached)
+	next   int32 // next younger sibling
+	prev   int32 // previous (more recently attached) sibling
+}
+
+// Clock is a tree clock. The zero value is not ready for use; create
+// clocks with New.
+type Clock struct {
+	nodes  []node
+	tidIdx []int32 // tid → node index, nilNode when absent
+	root   int32
+	owner  int32   // owning thread for thread clocks, -1 for auxiliary
+	vcnt   vc.Time // version stream head (owned clocks)
+	exact  bool    // content == C_{root.tid}@root.ver exactly
+	shared bool    // arena is aliased (copy-on-write; see alias)
+	mut    uint64  // mutation counter (engine epoch fast paths)
+	walk   []int32 // scratch for join collection
+}
+
+// New returns an empty auxiliary clock (⊥).
+func New() *Clock {
+	return &Clock{root: nilNode, owner: -1}
+}
+
+// InitUnit resets the clock to ⊥[1/t] and marks it as owned by thread t:
+// this clock is C_t and carries t's version stream.
+func (c *Clock) InitUnit(t int) {
+	c.reset()
+	c.owner = int32(t)
+	c.vcnt = 1
+	c.root = c.newNode(int32(t), 1, 1, Unattributed)
+	c.exact = true
+	c.mut++
+}
+
+func (c *Clock) reset() {
+	if c.shared {
+		// The arena is aliased by other clocks: abandon it to them.
+		c.nodes, c.tidIdx, c.shared = nil, nil, false
+	}
+	c.nodes = c.nodes[:0]
+	for i := range c.tidIdx {
+		c.tidIdx[i] = nilNode
+	}
+	c.root = nilNode
+	c.exact = false
+}
+
+// alias makes c share o's arena without copying: assignments whose result
+// is exactly the source (deep copies, dominated joins) are O(1), and the
+// arena is copied out lazily by whichever side mutates first
+// (materialize). End-event flushes write the same ending clock into many
+// accumulators; with aliasing they cost one arena copy per source
+// mutation epoch instead of one per accumulator.
+func (c *Clock) alias(o *Clock) {
+	if c.shared {
+		c.nodes, c.tidIdx = nil, nil
+	}
+	c.nodes = o.nodes
+	c.tidIdx = o.tidIdx
+	c.root = o.root
+	c.shared = true
+	o.shared = true
+}
+
+// materialize gives c its own copy of an aliased arena. Every mutating
+// operation calls it before writing.
+func (c *Clock) materialize() {
+	if !c.shared {
+		return
+	}
+	nodes, tidIdx := c.nodes, c.tidIdx
+	c.nodes = append([]node(nil), nodes...)
+	c.tidIdx = append([]int32(nil), tidIdx...)
+	c.shared = false
+}
+
+func (c *Clock) newNode(tid int32, clk, ver, aclk vc.Time) int32 {
+	idx := int32(len(c.nodes))
+	c.nodes = append(c.nodes, node{
+		tid: tid, clk: clk, ver: ver, aclk: aclk,
+		parent: nilNode, head: nilNode, next: nilNode, prev: nilNode,
+	})
+	for int(tid) >= len(c.tidIdx) {
+		c.tidIdx = append(c.tidIdx, nilNode)
+	}
+	c.tidIdx[tid] = idx
+	return idx
+}
+
+func (c *Clock) nodeOf(tid int32) int32 {
+	if int(tid) >= len(c.tidIdx) {
+		return nilNode
+	}
+	return c.tidIdx[tid]
+}
+
+// At returns the semantic component for thread t (0 when absent).
+func (c *Clock) At(t int) vc.Time {
+	if t < 0 || t >= len(c.tidIdx) {
+		return 0
+	}
+	if n := c.tidIdx[t]; n != nilNode {
+		return c.nodes[n].clk
+	}
+	return 0
+}
+
+// verOf returns the version claim this tree holds for thread tid (0 when
+// it holds none).
+func (c *Clock) verOf(tid int32) vc.Time {
+	if n := c.nodeOf(tid); n != nilNode {
+		return c.nodes[n].ver
+	}
+	return 0
+}
+
+// Inc increments component t. The clock must be owned by t (thread clocks
+// increment only their own component, at transaction begins).
+func (c *Clock) Inc(t int) {
+	if c.root == nilNode || c.nodes[c.root].tid != int32(t) || c.owner != int32(t) {
+		panic("treeclock: Inc on a clock not owned by the thread")
+	}
+	c.materialize()
+	c.vcnt++
+	r := &c.nodes[c.root]
+	r.clk++
+	r.ver = c.vcnt
+	c.mut++
+}
+
+// Ver returns the mutation counter: it changes whenever the represented
+// vector may have changed, so (clock identity, Ver) pairs serve as epochs
+// for already-dominated fast paths.
+func (c *Clock) Ver() uint64 { return c.mut }
+
+// NumEntries returns the number of explicitly stored (nonzero) components.
+func (c *Clock) NumEntries() int { return len(c.nodes) }
+
+// HasEntryOtherThan reports whether some component other than t is
+// nonzero.
+func (c *Clock) HasEntryOtherThan(t int) bool {
+	if len(c.nodes) > 1 {
+		return true
+	}
+	return len(c.nodes) == 1 && c.nodes[c.root].tid != int32(t)
+}
+
+// detach unlinks node v from its parent's child list.
+func (c *Clock) detach(v int32) {
+	n := &c.nodes[v]
+	if n.parent == nilNode {
+		return
+	}
+	if n.prev != nilNode {
+		c.nodes[n.prev].next = n.next
+	} else {
+		c.nodes[n.parent].head = n.next
+	}
+	if n.next != nilNode {
+		c.nodes[n.next].prev = n.prev
+	}
+	n.parent, n.next, n.prev = nilNode, nilNode, nilNode
+}
+
+// attach links v under p keeping the child list sorted by aclk descending
+// (Unattributed first). Fresh attachments carry the newest claims, so the
+// insertion point is almost always the list head.
+func (c *Clock) attach(p, v int32, aclk vc.Time) {
+	c.nodes[v].aclk = aclk
+	c.nodes[v].parent = p
+	prev := nilNode
+	cur := c.nodes[p].head
+	for cur != nilNode && c.nodes[cur].aclk > aclk {
+		prev = cur
+		cur = c.nodes[cur].next
+	}
+	n := &c.nodes[v]
+	n.prev, n.next = prev, cur
+	if prev == nilNode {
+		c.nodes[p].head = v
+	} else {
+		c.nodes[prev].next = v
+	}
+	if cur != nilNode {
+		c.nodes[cur].prev = v
+	}
+}
+
+// Join sets c to c ⊔ o. Subtrees of o whose version claims the target
+// already holds are skipped without being visited.
+func (c *Clock) Join(o *Clock) { c.join(o, true) }
+
+func (c *Clock) join(o *Clock, allowCopy bool) {
+	if o == c || o.root == nilNode {
+		return
+	}
+	if c.root == nilNode {
+		c.alias(o)
+		c.exact = o.exact
+		c.mut++
+		return
+	}
+	or := &o.nodes[o.root]
+	if o.exact && c.verOf(or.tid) >= or.ver {
+		return // whole-tree fast path: everything o knows is already here
+	}
+	// Dominated-target fast path (auxiliary clocks only): when o already
+	// holds this clock's root claim, c ⊑ o and the join result is o itself,
+	// so the collect/attach walk collapses into a bulk copy. This is the
+	// common shape of AeroDrome's end-event flushes — the ending
+	// transaction absorbed R_x at its write event, so its final clock
+	// dominates the accumulator it flushes into. (Owned clocks must keep
+	// their own root and version stream, so they never take this path, and
+	// MonotoneCopyFrom opts out: its target trails the source by one
+	// mutation, so the incremental walk beats the bulk copy.)
+	if allowCopy && c.owner < 0 && c.exact &&
+		o.verOf(c.nodes[c.root].tid) >= c.nodes[c.root].ver {
+		c.alias(o)
+		c.exact = o.exact
+		c.mut++
+		return
+	}
+
+	// Collect the nodes of o that carry anything new (pre-order, so
+	// parents precede children). The root is always collected: even when
+	// its own entry is stale, an inexact root's children may be new.
+	c.walk = c.walk[:0]
+	c.collect(o, o.root)
+	if len(c.walk) == 1 && c.verOf(or.tid) >= or.ver && c.At(int(or.tid)) >= or.clk {
+		return // nothing new anywhere
+	}
+
+	// Absorb: update entries and re-attach updated subtrees mirroring the
+	// source structure, so the new attachment claims are the source's own.
+	c.materialize()
+	aclkRoot := Unattributed
+	if c.owner >= 0 {
+		aclkRoot = c.vcnt + 1 // the post-join version, set below
+	}
+	for _, oi := range c.walk {
+		on := &o.nodes[oi]
+		v := c.nodeOf(on.tid)
+		if v == nilNode {
+			v = c.newNode(on.tid, on.clk, on.ver, Unattributed)
+		} else {
+			n := &c.nodes[v]
+			if on.clk > n.clk {
+				n.clk = on.clk
+			}
+			if on.ver > n.ver {
+				n.ver = on.ver
+			}
+		}
+		if v == c.root {
+			continue // the root never moves
+		}
+		c.detach(v)
+		if oi == o.root {
+			c.attach(c.root, v, aclkRoot)
+			continue
+		}
+		// The parent was collected earlier (pre-order), so its counterpart
+		// exists and the source's attachment claim carries over verbatim.
+		// Unattributed subtrees must not sit below an attributed node —
+		// that would silently break the parent's subtree claim — so they
+		// re-root under the target root, whose claim covers them (owned
+		// targets) or is vacuous (inexact auxiliary targets).
+		if on.aclk == Unattributed {
+			c.attach(c.root, v, aclkRoot)
+			continue
+		}
+		p := c.nodeOf(o.nodes[on.parent].tid)
+		if p == nilNode {
+			p = c.root
+		}
+		c.attach(p, v, on.aclk)
+	}
+
+	if c.owner >= 0 {
+		c.vcnt++
+		c.nodes[c.root].ver = c.vcnt
+		c.exact = true
+	} else {
+		// Foreign knowledge joined into an auxiliary clock: the content is
+		// no longer attributable to the root thread's version stream.
+		c.exact = false
+	}
+	c.mut++
+}
+
+// collect appends the source nodes that may carry new knowledge, in
+// pre-order. A child whose version claim the target already holds is
+// skipped with its whole subtree; once a child's attachment claim is
+// covered by the target's claim for the parent thread, all remaining
+// (older) siblings are skipped too.
+func (c *Clock) collect(o *Clock, oi int32) {
+	c.walk = append(c.walk, oi)
+	on := &o.nodes[oi]
+	pver := c.verOf(on.tid)
+	for ch := on.head; ch != nilNode; ch = o.nodes[ch].next {
+		cn := &o.nodes[ch]
+		if c.verOf(cn.tid) < cn.ver {
+			c.collect(o, ch)
+			continue
+		}
+		if cn.aclk != Unattributed && cn.aclk <= pver {
+			break // older siblings were attached at even earlier versions
+		}
+	}
+}
+
+// CopyFrom overwrites c with the contents of o (assignment; the paper's
+// V := V' for unrelated clocks). The arenas are shared copy-on-write.
+func (c *Clock) CopyFrom(o *Clock) {
+	if o == c {
+		return
+	}
+	ex := o.exact
+	c.alias(o)
+	c.exact = ex
+	c.mut++
+}
+
+// MonotoneCopyFrom sets c to o under the guarantee c ⊑ o (begin clocks
+// copy the thread clock they chase). It runs as a pruned join — only the
+// entries where c is behind are touched — and, because the result equals o
+// exactly, adopts o's root claim so c stays as prunable as o itself.
+func (c *Clock) MonotoneCopyFrom(o *Clock) {
+	if o == c || o.root == nilNode {
+		return
+	}
+	own := c.owner
+	c.owner = -1 // join as auxiliary: do not spend a version on the copy
+	c.join(o, false)
+	c.owner = own
+	// The result equals o exactly, so when the trees share a root thread
+	// the copy can carry o's root claim (and exactness) over.
+	if c.nodes[c.root].tid == o.nodes[o.root].tid {
+		c.exact = o.exact
+		if v := o.nodes[o.root].ver; v > c.nodes[c.root].ver {
+			c.materialize()
+			c.nodes[c.root].ver = v
+		}
+	}
+}
+
+// Leq reports whether c ⊑ o, skipping subtrees whose version claims o
+// already holds.
+func (c *Clock) Leq(o *Clock) bool {
+	if c == o || c.root == nilNode {
+		return true
+	}
+	if c.exact && o.verOf(c.nodes[c.root].tid) >= c.nodes[c.root].ver {
+		return true
+	}
+	return c.leqFrom(o, c.root)
+}
+
+func (c *Clock) leqFrom(o *Clock, vi int32) bool {
+	n := &c.nodes[vi]
+	if n.clk > o.At(int(n.tid)) {
+		return false
+	}
+	over := o.verOf(n.tid)
+	for ch := n.head; ch != nilNode; ch = c.nodes[ch].next {
+		cn := &c.nodes[ch]
+		if o.verOf(cn.tid) >= cn.ver {
+			continue // subtree dominated by o's claim for this thread
+		}
+		if cn.aclk != Unattributed && cn.aclk <= over {
+			break // o's claim for the parent thread covers the rest
+		}
+		if !c.leqFrom(o, ch) {
+			return false
+		}
+	}
+	return true
+}
+
+// JoinZeroingInto joins this clock's components into the flat clock dst,
+// ignoring component skip: dst ⊔= c[0/skip]. Used for the ȒR_x
+// accumulators, which stay flat in every representation (they are read
+// only through single components and updated only through zeroing joins,
+// which fall outside the tree clock transfer discipline).
+func (c *Clock) JoinZeroingInto(dst vc.Clock, skip int) vc.Clock {
+	maxTid := -1
+	for i := range c.nodes {
+		if t := int(c.nodes[i].tid); t > maxTid {
+			maxTid = t
+		}
+	}
+	if maxTid < 0 {
+		return dst
+	}
+	dst = dst.Grow(maxTid + 1)
+	for i := range c.nodes {
+		n := &c.nodes[i]
+		if int(n.tid) != skip && n.clk > dst[n.tid] {
+			dst[n.tid] = n.clk
+		}
+	}
+	return dst
+}
+
+// Flat returns the represented vector as a fresh flat clock.
+func (c *Clock) Flat() vc.Clock {
+	var out vc.Clock
+	for i := range c.nodes {
+		n := &c.nodes[i]
+		if n.clk != 0 {
+			out = out.Set(int(n.tid), n.clk)
+		}
+	}
+	return out
+}
+
+// String renders the represented vector in the paper's ⟨…⟩ notation.
+func (c *Clock) String() string {
+	return c.Flat().String()
+}
+
+// debugTree renders the tree structure (tests and debugging).
+func (c *Clock) debugTree() string {
+	var sb strings.Builder
+	var rec func(v int32, depth int)
+	rec = func(v int32, depth int) {
+		n := &c.nodes[v]
+		aclk := "∞"
+		if n.aclk != Unattributed {
+			aclk = fmt.Sprintf("%d", n.aclk)
+		}
+		fmt.Fprintf(&sb, "%s(t%d clk=%d ver=%d aclk=%s)\n",
+			strings.Repeat("  ", depth), n.tid, n.clk, n.ver, aclk)
+		for ch := n.head; ch != nilNode; ch = c.nodes[ch].next {
+			rec(ch, depth+1)
+		}
+	}
+	if c.root != nilNode {
+		rec(c.root, 0)
+	}
+	return sb.String()
+}

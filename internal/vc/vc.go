@@ -40,12 +40,28 @@ func New(n int) Clock {
 }
 
 // Unit returns ⊥[1/t]: the clock that is zero everywhere except component t,
-// which is 1. This is the initial clock of thread t in AeroDrome.
+// which is 1. This is the initial clock of thread t in AeroDrome. The
+// backing array is pre-sized: thread clocks immediately absorb other
+// threads' components, so allocating room for them up front avoids the
+// grow-reallocate churn of long traces.
 func Unit(t int) Clock {
-	c := make(Clock, t+1)
+	c := make(Clock, t+1, sizeCap(t+1))
 	c[t] = 1
 	return c
 }
+
+// sizeCap rounds a requested length up to a reallocation-friendly
+// capacity: at least minCap, then the next power of two.
+func sizeCap(n int) int {
+	c := minCap
+	for c < n {
+		c <<= 1
+	}
+	return c
+}
+
+// minCap is the smallest backing-array capacity Grow and Unit allocate.
+const minCap = 8
 
 // At returns component t, treating missing components as zero.
 func (c Clock) At(t int) Time {
@@ -58,7 +74,7 @@ func (c Clock) At(t int) Time {
 // Set assigns component t, growing the clock as needed, and returns the
 // possibly reallocated clock (append semantics, like the built-in append).
 func (c Clock) Set(t int, v Time) Clock {
-	c = c.grow(t + 1)
+	c = c.Grow(t + 1)
 	c[t] = v
 	return c
 }
@@ -136,7 +152,7 @@ func (c Clock) LeqZeroing(d Clock, skip int) bool {
 // clock. d is not modified.
 func (c Clock) Join(d Clock) Clock {
 	if len(d) > len(c) {
-		c = c.grow(len(d))
+		c = c.Grow(len(d))
 	}
 	for i, v := range d {
 		if v > c[i] {
@@ -151,7 +167,7 @@ func (c Clock) Join(d Clock) Clock {
 // ȒRx := ȒRx ⊔ C_t[0/t] updates of Algorithms 2 and 3 without allocating.
 func (c Clock) JoinZeroing(d Clock, skip int) Clock {
 	if len(d) > len(c) {
-		c = c.grow(len(d))
+		c = c.Grow(len(d))
 	}
 	for i, v := range d {
 		if i == skip {
@@ -190,7 +206,7 @@ func (c Clock) Concurrent(d Clock) bool {
 // Inc increments component t by one, growing the clock as needed, and
 // returns the possibly reallocated clock.
 func (c Clock) Inc(t int) Clock {
-	c = c.grow(t + 1)
+	c = c.Grow(t + 1)
 	c[t]++
 	return c
 }
@@ -208,12 +224,25 @@ func (c Clock) IsZero() bool {
 // Dim returns the number of explicitly stored components.
 func (c Clock) Dim() int { return len(c) }
 
-// grow extends c with zeros so that len(c) ≥ n.
-func (c Clock) grow(n int) Clock {
-	for len(c) < n {
-		c = append(c, 0)
+// Grow extends c with zeros so that len(c) ≥ n, reallocating at most once
+// (and to a power-of-two capacity, so repeated one-component growth does
+// not reallocate per call). Slices resliced within capacity are explicitly
+// zeroed: CopyInto shrinks via c[:0], which can leave stale values in the
+// backing array.
+func (c Clock) Grow(n int) Clock {
+	if n <= len(c) {
+		return c
 	}
-	return c
+	if n <= cap(c) {
+		d := c[:n]
+		for i := len(c); i < n; i++ {
+			d[i] = 0
+		}
+		return d
+	}
+	d := make(Clock, n, sizeCap(n))
+	copy(d, c)
+	return d
 }
 
 // String renders the clock in the paper's ⟨a,b,c⟩ notation. Trailing zero

@@ -1,6 +1,9 @@
 package vc
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
 func benchClocks(dim int) (Clock, Clock) {
 	a, b := New(dim), New(dim)
@@ -63,12 +66,29 @@ func BenchmarkCopyInto(b *testing.B) {
 }
 
 func sizeName(dim int) string {
-	switch dim {
-	case 4:
-		return "dim4"
-	case 16:
-		return "dim16"
-	default:
-		return "dim64"
+	return fmt.Sprintf("dim%d", dim)
+}
+
+func BenchmarkLeqZeroing(b *testing.B) {
+	for _, dim := range []int{4, 16, 64, 256} {
+		x, y := benchClocks(dim)
+		y = y.Join(x) // worst case: the zeroing comparison scans everything
+		b.Run(sizeName(dim), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if !x.LeqZeroing(y, 2) {
+					b.Fatal("unexpected")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkGrow(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		var c Clock
+		for n := 1; n <= 256; n <<= 1 {
+			c = c.Grow(n)
+		}
 	}
 }
