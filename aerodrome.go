@@ -27,6 +27,11 @@ const (
 	// (internal/treeclock): joins and copies touch only the entries that
 	// actually change, which pays off at high thread counts.
 	OptimizedTree Algorithm = "treeclock"
+	// OptimizedHybrid is Optimized on the hybrid representation: tree
+	// clocks for the per-thread clocks, flat clocks for the auxiliary
+	// accumulators — the tree engine's win on thread-sharded workloads
+	// without its chain-workload penalty.
+	OptimizedHybrid Algorithm = "hybrid"
 	// Velodrome is the transaction-graph baseline with per-edge DFS cycle
 	// checks.
 	Velodrome Algorithm = "velodrome"
@@ -39,7 +44,7 @@ const (
 
 // Algorithms lists all supported algorithm names.
 func Algorithms() []Algorithm {
-	return []Algorithm{Basic, ReadOpt, Optimized, OptimizedTree, Velodrome, VelodromePK, DoubleChecker}
+	return []Algorithm{Basic, ReadOpt, Optimized, OptimizedTree, OptimizedHybrid, Velodrome, VelodromePK, DoubleChecker}
 }
 
 func newEngine(a Algorithm) (core.Engine, error) {
@@ -52,6 +57,8 @@ func newEngine(a Algorithm) (core.Engine, error) {
 		return core.NewOptimized(), nil
 	case OptimizedTree:
 		return core.NewOptimizedTree(), nil
+	case OptimizedHybrid:
+		return core.NewOptimizedHybrid(), nil
 	case Velodrome:
 		return velodrome.New(), nil
 	case VelodromePK:

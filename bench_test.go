@@ -203,6 +203,7 @@ func BenchmarkThreadScaling(b *testing.B) {
 		for _, spec := range []bench.EngineSpec{
 			bench.AeroDromeVariant(core.AlgoOptimized),
 			bench.AeroDromeTree(),
+			bench.AeroDromeHybrid(),
 		} {
 			spec := spec
 			b.Run(cfg.Name+"/"+spec.Label, func(b *testing.B) {

@@ -35,6 +35,8 @@ func newEngine(algo string) (core.Engine, error) {
 		return core.NewOptimized(), nil
 	case "treeclock":
 		return core.NewOptimizedTree(), nil
+	case "hybrid":
+		return core.NewOptimizedHybrid(), nil
 	case "velodrome":
 		return velodrome.New(), nil
 	case "velodrome-pk":
@@ -42,7 +44,7 @@ func newEngine(algo string) (core.Engine, error) {
 	case "doublechecker":
 		return doublechecker.New(0), nil
 	}
-	return nil, fmt.Errorf("unknown algorithm %q (want basic, readopt, optimized, treeclock, velodrome, velodrome-pk or doublechecker)", algo)
+	return nil, fmt.Errorf("unknown algorithm %q (want basic, readopt, optimized, treeclock, hybrid, velodrome, velodrome-pk or doublechecker)", algo)
 }
 
 func openSource(path, format string) (trace.Source, func() error, error) {
@@ -72,7 +74,7 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("aerodrome", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	algo := fs.String("algo", "optimized", "checking algorithm: basic, readopt, optimized, treeclock, velodrome, velodrome-pk, doublechecker")
+	algo := fs.String("algo", "optimized", "checking algorithm: basic, readopt, optimized, treeclock, hybrid, velodrome, velodrome-pk, doublechecker")
 	format := fs.String("format", "std", "trace format: std (RAPID text) or bin (compact binary)")
 	quiet := fs.Bool("q", false, "suppress everything except the verdict line")
 	if err := fs.Parse(args); err != nil {

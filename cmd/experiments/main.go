@@ -100,6 +100,7 @@ func benchJSON(stdout, stderr io.Writer, label, path string, events int64, runs 
 	engines := []bench.EngineSpec{
 		bench.AeroDromeVariant(core.AlgoOptimized),
 		bench.AeroDromeTree(),
+		bench.AeroDromeHybrid(),
 	}
 	fmt.Fprintf(stderr, "measuring %d rows × %d engines (%d events, %d runs each)...\n",
 		len(bench.ThreadScalingConfigs(events)), len(engines), events, runs)

@@ -7,14 +7,16 @@ import (
 
 // clockRep is the clock-representation layer behind the Optimized engine:
 // the small set of vector-time operations Algorithm 3 needs, implemented
-// by the flat vc.Clock adapter (*flatClock) and by *treeclock.Clock. C is
+// by the flat vc.Clock adapter (*flatClock), by *treeclock.Clock, and by
+// the mixed *hybridClock (tree thread clocks, flat auxiliaries). C is
 // always a pointer type, so clock identity is pointer identity — the
 // epoch fast paths key on (identity, Ver) pairs.
 //
 // The ȒR_x accumulators are deliberately NOT behind this interface: they
 // are updated only through zeroing joins (outside the tree clock transfer
 // discipline) and read only through single components, so every
-// representation keeps them flat and exposes JoinZeroingInto to feed them.
+// representation keeps them in the shared sparse encoding (vc.Sparse,
+// thread→time pairs) and exposes JoinZeroingInto to feed them.
 type clockRep[C comparable] interface {
 	comparable
 	// InitUnit resets the clock to ⊥[1/t] and marks thread t as its owner.
@@ -27,9 +29,9 @@ type clockRep[C comparable] interface {
 	Leq(o C) bool
 	// Join sets this clock to its join with o.
 	Join(o C)
-	// JoinZeroingInto joins this clock's components into the flat dst,
-	// ignoring component skip, and returns the (possibly grown) dst.
-	JoinZeroingInto(dst vc.Clock, skip int) vc.Clock
+	// JoinZeroingInto joins this clock's components into the sparse ȒR
+	// accumulator dst, ignoring component skip.
+	JoinZeroingInto(dst *vc.Sparse, skip int)
 	// CopyFrom overwrites this clock with o (deep assignment).
 	CopyFrom(o C)
 	// MonotoneCopyFrom overwrites this clock with o under the caller's
@@ -96,8 +98,8 @@ func (f *flatClock) Join(o *flatClock) {
 	}
 }
 
-func (f *flatClock) JoinZeroingInto(dst vc.Clock, skip int) vc.Clock {
-	return dst.JoinZeroing(f.c, skip)
+func (f *flatClock) JoinZeroingInto(dst *vc.Sparse, skip int) {
+	dst.JoinZeroing(f.c, skip)
 }
 
 func (f *flatClock) CopyFrom(o *flatClock) {
@@ -124,4 +126,5 @@ func assertClockRep[C clockRep[C]]() {}
 var (
 	_ = assertClockRep[*flatClock]
 	_ = assertClockRep[*treeclock.Clock]
+	_ = assertClockRep[*hybridClock]
 )

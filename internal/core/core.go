@@ -160,6 +160,11 @@ const (
 	// AlgoOptimizedTree is Algorithm 3 on tree clocks (internal/treeclock):
 	// joins and copies touch only the subtrees that actually change.
 	AlgoOptimizedTree
+	// AlgoOptimizedHybrid is Algorithm 3 on the hybrid representation: tree
+	// clocks for the per-thread clocks (where the publish-absorb discipline
+	// makes subtree-skipping pay), flat clocks for the auxiliary
+	// accumulators (whose flush patterns defeat tree pruning).
+	AlgoOptimizedHybrid
 )
 
 // String names the variant.
@@ -173,6 +178,8 @@ func (a Algorithm) String() string {
 		return "aerodrome-optimized"
 	case AlgoOptimizedTree:
 		return "aerodrome-treeclock"
+	case AlgoOptimizedHybrid:
+		return "aerodrome-hybrid"
 	}
 	return fmt.Sprintf("algorithm(%d)", int(a))
 }
@@ -188,6 +195,8 @@ func New(a Algorithm) Engine {
 		return NewOptimized()
 	case AlgoOptimizedTree:
 		return NewOptimizedTree()
+	case AlgoOptimizedHybrid:
+		return NewOptimizedHybrid()
 	}
 	panic("core: unknown algorithm")
 }

@@ -1,0 +1,237 @@
+package core
+
+import (
+	"aerodrome/internal/treeclock"
+	"aerodrome/internal/vc"
+)
+
+// hybridClock is the third clock representation: tree clocks for the
+// per-thread clocks ℂ_t and C⊲_t — where the publish-absorb discipline
+// makes subtree-skipping pay — but flat vc.Clocks for the auxiliary
+// accumulators (𝕎_x, ℝ_x, lock clocks), whose end-event flushes and
+// zeroing-adjacent update patterns fall outside the tree transfer
+// discipline and degenerate tree joins to copies on densely entangled
+// (chain-shaped) workloads.
+//
+// Exactly one of tree/flat is non-nil, fixed at construction: the engine's
+// newClock makes tree-backed thread clocks and newAux makes flat-backed
+// auxiliaries. Same-side operations dispatch to the native implementation;
+// the four cross-representation operations the engine actually performs go
+// through internal/treeclock's narrow flat-interop API:
+//
+//	thread ⊔= aux    (checkAndGet, write R_x absorb)   → JoinFlat
+//	aux ⊔= thread    (flushes, end-event propagation)  → AbsorbIntoFlat
+//	aux := thread    (release, unary write)            → AbsorbIntoFlat
+//	begin ⊑ aux      (checkAndGet violation test)      → LeqFlat
+//
+// The remaining cross combinations (tree ← flat assignment, flat ⊑ tree)
+// have no engine call site; Leq handles flat ⊑ tree for completeness and
+// CopyFrom panics on tree ← flat rather than silently approximating an
+// assignment.
+type hybridClock struct {
+	tree *treeclock.Clock
+	flat flatClock
+
+	// Copy-on-write aliasing for the flat side: when aliasSrc is non-nil,
+	// flat.c is an immutable SharedFlatView snapshot of aliasSrc taken at
+	// mutation version aliasVer and must not be written until materialized.
+	// Because thread clocks grow monotonically, re-absorbing the SAME
+	// source is a pure alias refresh (the old snapshot is a lower bound of
+	// the new one), so the hot flush patterns — release copying the
+	// releasing thread's clock, end events re-joining the ending clock into
+	// the accumulators it already dominates — are O(1) instead of O(width).
+	aliasSrc *treeclock.Clock
+	aliasVer uint64
+}
+
+// demoteToFlat converts the tree side into a private flat clock. The
+// abandoned tree is left intact: snapshots of it held by auxiliary aliases
+// stay valid (it will never mutate again), and the flat side starts from a
+// private copy with the mutation counter strictly above the tree's, so any
+// engine epoch slot recorded against the tree conservatively misses.
+func (h *hybridClock) demoteToFlat() {
+	m, nz := h.tree.SharedFlatView()
+	h.flat = flatClock{
+		c:   append(vc.Clock(nil), m...),
+		nz:  nz,
+		mut: h.tree.Ver() + 1,
+	}
+	h.tree = nil
+}
+
+func newHybridThreadClock() *hybridClock { return &hybridClock{tree: treeclock.New()} }
+func newHybridAuxClock() *hybridClock    { return &hybridClock{} }
+
+// materializeFlat gives the flat side its own private copy of an aliased
+// snapshot; every flat-side mutation that is not a whole-clock (re)alias
+// calls it first.
+func (h *hybridClock) materializeFlat() {
+	if h.aliasSrc == nil {
+		return
+	}
+	h.flat.c = append(vc.Clock(nil), h.flat.c...)
+	h.aliasSrc = nil
+}
+
+// aliasTree points the flat side at src's shared snapshot (assignment
+// semantics). The previous content, aliased or owned, is released.
+func (h *hybridClock) aliasTree(src *treeclock.Clock) {
+	h.flat.c, h.flat.nz = src.SharedFlatView()
+	h.aliasSrc = src
+	h.aliasVer = src.Ver()
+	h.flat.mut++
+}
+
+func (h *hybridClock) InitUnit(t int) {
+	if h.tree != nil {
+		h.tree.InitUnit(t)
+		return
+	}
+	h.flat.c = nil // drop a potential alias; InitUnit reallocates
+	h.aliasSrc = nil
+	h.flat.InitUnit(t)
+}
+
+func (h *hybridClock) At(t int) vc.Time {
+	if h.tree != nil {
+		return h.tree.At(t)
+	}
+	return h.flat.At(t)
+}
+
+func (h *hybridClock) Inc(t int) {
+	if h.tree != nil {
+		h.tree.Inc(t)
+		return
+	}
+	h.materializeFlat()
+	h.flat.Inc(t)
+}
+
+func (h *hybridClock) Leq(o *hybridClock) bool {
+	if h.tree != nil {
+		if o.tree != nil {
+			return h.tree.Leq(o.tree)
+		}
+		return h.tree.LeqFlat(o.flat.c)
+	}
+	if o.tree != nil {
+		return o.tree.DominatesFlat(h.flat.c)
+	}
+	return h.flat.Leq(&o.flat)
+}
+
+func (h *hybridClock) Join(o *hybridClock) {
+	if h.tree != nil {
+		if o.tree != nil {
+			h.tree.Join(o.tree)
+		} else if o.aliasSrc == h.tree {
+			// o is a snapshot of this very clock at an earlier version;
+			// monotone growth makes the join a no-op (the R_x-absorb path
+			// on thread-private variables).
+		} else if h.tree.JoinFlat(o.flat.c) {
+			// One heavily churning absorb (the join raced past most of the
+			// tree) is the chain-workload signature: the tree structure
+			// gains nothing there, so demote to flat for good. Tree becomes
+			// nil and every operation dispatches to the flat side, as for
+			// auxiliaries; thread-sharded workloads never churn and keep
+			// their trees.
+			h.demoteToFlat()
+		}
+		return
+	}
+	if o.tree != nil {
+		if h.aliasSrc == o.tree {
+			// Same monotone source: the join result is the source's current
+			// content — refresh the alias (no-op when it didn't mutate).
+			if h.aliasVer != o.tree.Ver() {
+				h.aliasTree(o.tree)
+			}
+			return
+		}
+		if h.flat.nz == 0 {
+			// ⊥ target: the join result is exactly the source.
+			h.aliasTree(o.tree)
+			return
+		}
+		if o.tree.DominatesFlat(h.flat.c) {
+			// Dominated target: the join result is exactly the source, so
+			// re-alias instead of materializing and merging. This is the
+			// common shape of end-event flushes — the ending transaction
+			// absorbed R_x at its write event, so its final clock dominates
+			// the accumulator it flushes into.
+			h.aliasTree(o.tree)
+			return
+		}
+		h.materializeFlat()
+		var grew int
+		var changed bool
+		h.flat.c, grew, changed = o.tree.AbsorbIntoFlat(h.flat.c)
+		h.flat.nz += grew
+		if changed {
+			h.flat.mut++
+		}
+		return
+	}
+	h.materializeFlat()
+	h.flat.Join(&o.flat)
+}
+
+func (h *hybridClock) JoinZeroingInto(dst *vc.Sparse, skip int) {
+	if h.tree != nil {
+		h.tree.JoinZeroingInto(dst, skip)
+		return
+	}
+	h.flat.JoinZeroingInto(dst, skip)
+}
+
+func (h *hybridClock) CopyFrom(o *hybridClock) {
+	if h.tree != nil {
+		if o.tree == nil {
+			panic("core: hybridClock tree ← flat assignment has no engine call site")
+		}
+		h.tree.CopyFrom(o.tree)
+		return
+	}
+	if o.tree != nil {
+		if h.aliasSrc == o.tree && h.aliasVer == o.tree.Ver() {
+			return // already this exact content
+		}
+		h.aliasTree(o.tree)
+		return
+	}
+	if h.aliasSrc != nil {
+		h.flat.c = nil // drop the alias; CopyFrom reuses dst storage
+		h.aliasSrc = nil
+	}
+	h.flat.CopyFrom(&o.flat)
+}
+
+func (h *hybridClock) MonotoneCopyFrom(o *hybridClock) {
+	if h.tree != nil && o.tree != nil {
+		h.tree.MonotoneCopyFrom(o.tree)
+		return
+	}
+	h.CopyFrom(o)
+}
+
+func (h *hybridClock) Ver() uint64 {
+	if h.tree != nil {
+		return h.tree.Ver()
+	}
+	return h.flat.Ver()
+}
+
+func (h *hybridClock) HasEntryOtherThan(t int) bool {
+	if h.tree != nil {
+		return h.tree.HasEntryOtherThan(t)
+	}
+	return h.flat.HasEntryOtherThan(t)
+}
+
+func (h *hybridClock) Flat() vc.Clock {
+	if h.tree != nil {
+		return h.tree.Flat()
+	}
+	return h.flat.Flat()
+}

@@ -14,8 +14,10 @@ import (
 //     stated for.
 //   - OptimizedTree — *treeclock.Clock, the generic instantiation;
 //     joins/copies touch only the entries that actually change.
+//   - OptimizedHybrid — *hybridClock: tree clocks for the per-thread
+//     clocks, flat clocks for the auxiliary accumulators (see hybrid.go).
 //
-// The differential suites pin both instantiations (and the generic flat
+// The differential suites pin all instantiations (and the generic flat
 // instantiation used for meta-testing) to identical verdicts, violation
 // indices and GC decisions.
 
@@ -30,6 +32,28 @@ func NewOptimized() *Optimized {
 // NewOptimizedTree returns a fresh Algorithm 3 engine on tree clocks.
 func NewOptimizedTree() *OptimizedTree {
 	return &OptimizedTree{newClock: treeclock.New, name: AlgoOptimizedTree.String()}
+}
+
+// NewOptimizedHybrid returns a fresh Algorithm 3 engine on the hybrid
+// representation: tree thread clocks, flat auxiliary clocks. Like the flat
+// default it is a source-level specialization of the generic engine
+// (optimized_hybrid.go, kept in sync by TestHybridSpecializationInSync).
+func NewOptimizedHybrid() *OptimizedHybrid {
+	return &OptimizedHybrid{
+		newClock: newHybridThreadClock,
+		newAux:   newHybridAuxClock,
+		name:     AlgoOptimizedHybrid.String(),
+	}
+}
+
+// newOptimizedGenericHybrid instantiates the generic engine on the hybrid
+// representation (specialization meta-tests; cf. newOptimizedGenericFlat).
+func newOptimizedGenericHybrid() *OptimizedOn[*hybridClock] {
+	return &OptimizedOn[*hybridClock]{
+		newClock: newHybridThreadClock,
+		newAux:   newHybridAuxClock,
+		name:     AlgoOptimizedHybrid.String(),
+	}
 }
 
 // newOptimizedGenericFlat instantiates the generic engine on flat clocks.

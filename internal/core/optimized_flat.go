@@ -76,7 +76,7 @@ type flatEngVar struct {
 	// readers consult the writer's live clock instead.
 	staleW bool
 	rx     *flatClock // R_x
-	hrx    vc.Clock   // ȒR_x (flat in every representation; see clockRep)
+	hrx    vc.Sparse  // ȒR_x (sparse in every representation; see clockRep)
 	// staleR is the paper's Staleʳ_x: threads whose reads of x (inside still
 	// running transactions) have not been flushed into rx/hrx.
 	staleR []int32
@@ -131,10 +131,15 @@ type flatEngVar struct {
 //     them against the current clock values rather than access-time values.
 type Optimized struct {
 	newClock func() *flatClock
-	name     string
-	threads  []flatEngThread
-	locks    []flatEngLock
-	vars     []flatEngVar
+	// newAux, when non-nil, constructs the auxiliary-accumulator clocks
+	// (lock clocks, W_x, R_x) instead of newClock: the hybrid engine keeps
+	// those flat while the thread clocks are trees. The uniform engines
+	// leave it nil and use one constructor for both.
+	newAux  func() *flatClock
+	name    string
+	threads []flatEngThread
+	locks   []flatEngLock
+	vars    []flatEngVar
 	// active lists the threads with an open outermost transaction, in no
 	// particular order (swap-removed at end events).
 	active []int32
@@ -170,10 +175,22 @@ func (b *Optimized) ensureThread(t int) *flatEngThread {
 	if !ts.init {
 		ts.c = b.newClock()
 		ts.c.InitUnit(t)
-		ts.cb = b.newClock()
+		// The begin clock is a read-only snapshot of the thread clock, so
+		// it takes the auxiliary representation: the hybrid engine keeps it
+		// flat and the monotone copy at every begin degenerates to an O(1)
+		// copy-on-write alias of the thread clock's flat view.
+		ts.cb = b.newAuxClock()
 		ts.init = true
 	}
 	return ts
+}
+
+// newAuxClock constructs an auxiliary-accumulator clock (see newAux).
+func (b *Optimized) newAuxClock() *flatClock {
+	if b.newAux != nil {
+		return b.newAux()
+	}
+	return b.newClock()
 }
 
 func (b *Optimized) ensureLock(l int) *flatEngLock {
@@ -185,7 +202,7 @@ func (b *Optimized) ensureLock(l int) *flatEngLock {
 	if lk.l == zero {
 		// Lazy clock allocation: only locks that are actually used pay for
 		// their clock (the pool can be much larger than the touched set).
-		lk.l = b.newClock()
+		lk.l = b.newAuxClock()
 	}
 	return lk
 }
@@ -198,8 +215,8 @@ func (b *Optimized) ensureVar(x int) *flatEngVar {
 	var zero *flatClock
 	if v.w == zero {
 		// Lazy clock allocation, as in ensureLock.
-		v.w = b.newClock()
-		v.rx = b.newClock()
+		v.w = b.newAuxClock()
+		v.rx = b.newAuxClock()
 	}
 	return v
 }
@@ -383,7 +400,7 @@ func (b *Optimized) Process(e trace.Event) *Violation {
 			// by the same thread under an unchanged clock is a no-op.
 			if !(v.readSlot.thread == int32(t) && v.readSlot.ctVer == ct.Ver()) {
 				v.rx.Join(ct)
-				v.hrx = ct.JoinZeroingInto(v.hrx, t)
+				ct.JoinZeroingInto(&v.hrx, t)
 				v.readSlot = accessSlot{thread: int32(t), ctVer: ct.Ver()}
 			}
 		}
@@ -415,7 +432,7 @@ func (b *Optimized) Process(e trace.Event) *Violation {
 		for _, u := range v.staleR {
 			uc := b.threads[u].c
 			v.rx.Join(uc)
-			v.hrx = uc.JoinZeroingInto(v.hrx, int(u))
+			uc.JoinZeroingInto(&v.hrx, int(u))
 			b.coverRead(x, uc)
 		}
 		v.staleR = v.staleR[:0]
@@ -562,7 +579,7 @@ func (b *Optimized) handleEnd(t int, e trace.Event) {
 		for _, x := range ts.updR {
 			v := &b.vars[x]
 			v.rx.Join(ct)
-			v.hrx = ct.JoinZeroingInto(v.hrx, t)
+			ct.JoinZeroingInto(&v.hrx, t)
 			v.removeStaleReader(int32(t))
 			b.coverRead(x, ct)
 		}

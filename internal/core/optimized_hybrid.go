@@ -1,13 +1,7 @@
-package core
+// Code generated from optimized_generic.go by specialize_test.go; DO NOT EDIT.
+// Regenerate: go test ./internal/core -run TestHybridSpecializationInSync -update-hybrid-engine
 
-// This file is the single source of truth for the Algorithm 3 engine; it
-// is written against the clockRep type parameter. The flat-clock default
-// engine (optimized_flat.go) is a mechanical specialization of this file
-// kept in sync by TestFlatSpecializationInSync: Go's shape-stenciled
-// generics route every method call on a type parameter through a runtime
-// dictionary, which blocks inlining and costs ~2ns per call — measurable
-// on the per-event hot path — so the default engine is monomorphized at
-// the source level instead.
+package core
 
 import (
 	"aerodrome/internal/trace"
@@ -20,16 +14,16 @@ import (
 // provably a no-op (the begin clock is unchanged, so the violation
 // predicate evaluates identically, and the thread clock only grows, so
 // the join is absorbed already) — the whole O(width) Leq+Join is skipped.
-type epochSlot[C comparable] struct {
+type hybridEpochSlot struct {
 	thread int32
-	src    C
+	src    *hybridClock
 	srcVer uint64
 	cbVer  uint64
 }
 
-type optThread[C comparable] struct {
-	c     C
-	cb    C
+type hybridEngThread struct {
+	c     *hybridClock
+	cb    *hybridClock
 	depth int
 	init  bool
 	ran   bool
@@ -49,7 +43,7 @@ type optThread[C comparable] struct {
 	relLocks []int32
 	// dirtyLocks lists the locks whose clock may carry this thread's
 	// current begin stamp, so the full propagation path visits only
-	// locks that can satisfy L_ℓ(t) ≥ C⊲_t(t).
+	// locks that can satisfy L_ℓ(t) ≥ *hybridClock⊲_t(t).
 	dirtyLocks []int32
 	// dirtyThreads is the same for thread clocks: the threads whose clock
 	// may carry this thread's current begin stamp. The full propagation
@@ -59,11 +53,11 @@ type optThread[C comparable] struct {
 	// thread u on dirtyThreads (cf. optLock.marked).
 	markedT vc.Clock
 	// joinSlot is the epoch for join(u) checks against this thread.
-	joinSlot epochSlot[C]
+	joinSlot hybridEpochSlot
 }
 
-type optLock[C comparable] struct {
-	l       C
+type hybridEngLock struct {
+	l       *hybridClock
 	lastRel int32
 	// relIdx is this lock's position in the lastRel thread's relLocks.
 	relIdx int32
@@ -71,24 +65,24 @@ type optLock[C comparable] struct {
 	// this lock on u's dirtyLocks (stamps strictly increase, so equality
 	// means "already listed this transaction").
 	marked vc.Clock
-	slot   epochSlot[C]
+	slot   hybridEpochSlot
 }
 
-type optVar[C comparable] struct {
-	w     C
+type hybridEngVar struct {
+	w     *hybridClock
 	lastW int32
 	// staleW is the paper's Staleʷ_x = ⊤: the last write's timestamp has not
 	// been written to w because the writing transaction is still running;
 	// readers consult the writer's live clock instead.
 	staleW bool
-	rx     C         // R_x
-	hrx    vc.Sparse // ȒR_x (sparse in every representation; see clockRep)
+	rx     *hybridClock // R_x
+	hrx    vc.Sparse    // ȒR_x (sparse in every representation; see clockRep)
 	// staleR is the paper's Staleʳ_x: threads whose reads of x (inside still
 	// running transactions) have not been flushed into rx/hrx.
 	staleR []int32
 	// markR/markW deduplicate update-set membership (see optThread.updR).
 	markR, markW vc.Clock
-	slot         epochSlot[C]
+	slot         hybridEpochSlot
 	// readSlot skips the unary-read flush (the O(width) rx/ȒR joins) when
 	// the same thread re-reads x with an unchanged clock: both joins are
 	// then no-ops. (coverRead still runs; it is O(active transactions).)
@@ -99,9 +93,9 @@ type optVar[C comparable] struct {
 	writeSlot accessSlot
 }
 
-// OptimizedOn is Algorithm 3 (Appendix C.2) — AeroDrome with lazy clock
+// OptimizedOn is Algorithm 3 (Appendix *hybridClock.2) — AeroDrome with lazy clock
 // updates, per-thread update sets, and garbage collection of transactions
-// with no incoming edges — parameterized over the clock representation C
+// with no incoming edges — parameterized over the clock representation *hybridClock
 // (flat vector clocks or tree clocks; see clockRep). On top of the paper's
 // algorithm it keeps the per-event cost sublinear in thread count:
 //
@@ -135,17 +129,17 @@ type optVar[C comparable] struct {
 //   - update-set membership is also refreshed when rx/W grow at end-event
 //     flushes, so end-time conditions match Algorithm 1's, which evaluates
 //     them against the current clock values rather than access-time values.
-type OptimizedOn[C clockRep[C]] struct {
-	newClock func() C
+type OptimizedHybrid struct {
+	newClock func() *hybridClock
 	// newAux, when non-nil, constructs the auxiliary-accumulator clocks
 	// (lock clocks, W_x, R_x) instead of newClock: the hybrid engine keeps
 	// those flat while the thread clocks are trees. The uniform engines
 	// leave it nil and use one constructor for both.
-	newAux  func() C
+	newAux  func() *hybridClock
 	name    string
-	threads []optThread[C]
-	locks   []optLock[C]
-	vars    []optVar[C]
+	threads []hybridEngThread
+	locks   []hybridEngLock
+	vars    []hybridEngVar
 	// active lists the threads with an open outermost transaction, in no
 	// particular order (swap-removed at end events).
 	active []int32
@@ -159,23 +153,23 @@ type OptimizedOn[C clockRep[C]] struct {
 }
 
 // Name implements Engine.
-func (b *OptimizedOn[C]) Name() string { return b.name }
+func (b *OptimizedHybrid) Name() string { return b.name }
 
 // Processed implements Engine.
-func (b *OptimizedOn[C]) Processed() int64 { return b.n }
+func (b *OptimizedHybrid) Processed() int64 { return b.n }
 
 // Violation implements Engine.
-func (b *OptimizedOn[C]) Violation() *Violation { return b.viol }
+func (b *OptimizedHybrid) Violation() *Violation { return b.viol }
 
 // EndStats reports how many outermost end events took the full propagation
 // path vs. the GC fast path.
-func (b *OptimizedOn[C]) EndStats() (full, collected int64) {
+func (b *OptimizedHybrid) EndStats() (full, collected int64) {
 	return b.endsProcessed, b.endsCollected
 }
 
-func (b *OptimizedOn[C]) ensureThread(t int) *optThread[C] {
+func (b *OptimizedHybrid) ensureThread(t int) *hybridEngThread {
 	for len(b.threads) <= t {
-		b.threads = append(b.threads, optThread[C]{activeIdx: -1})
+		b.threads = append(b.threads, hybridEngThread{activeIdx: -1})
 	}
 	ts := &b.threads[t]
 	if !ts.init {
@@ -192,19 +186,19 @@ func (b *OptimizedOn[C]) ensureThread(t int) *optThread[C] {
 }
 
 // newAuxClock constructs an auxiliary-accumulator clock (see newAux).
-func (b *OptimizedOn[C]) newAuxClock() C {
+func (b *OptimizedHybrid) newAuxClock() *hybridClock {
 	if b.newAux != nil {
 		return b.newAux()
 	}
 	return b.newClock()
 }
 
-func (b *OptimizedOn[C]) ensureLock(l int) *optLock[C] {
+func (b *OptimizedHybrid) ensureLock(l int) *hybridEngLock {
 	for len(b.locks) <= l {
-		b.locks = append(b.locks, optLock[C]{lastRel: nilThread, relIdx: -1})
+		b.locks = append(b.locks, hybridEngLock{lastRel: nilThread, relIdx: -1})
 	}
 	lk := &b.locks[l]
-	var zero C
+	var zero *hybridClock
 	if lk.l == zero {
 		// Lazy clock allocation: only locks that are actually used pay for
 		// their clock (the pool can be much larger than the touched set).
@@ -213,12 +207,12 @@ func (b *OptimizedOn[C]) ensureLock(l int) *optLock[C] {
 	return lk
 }
 
-func (b *OptimizedOn[C]) ensureVar(x int) *optVar[C] {
+func (b *OptimizedHybrid) ensureVar(x int) *hybridEngVar {
 	for len(b.vars) <= x {
-		b.vars = append(b.vars, optVar[C]{lastW: nilThread})
+		b.vars = append(b.vars, hybridEngVar{lastW: nilThread})
 	}
 	v := &b.vars[x]
-	var zero C
+	var zero *hybridClock
 	if v.w == zero {
 		// Lazy clock allocation, as in ensureLock.
 		v.w = b.newAuxClock()
@@ -228,9 +222,9 @@ func (b *OptimizedOn[C]) ensureVar(x int) *optVar[C] {
 }
 
 // checkAndGet implements the paper's procedure of the same name: declare a
-// violation if C⊲_t ⊑ clk and t has an active transaction, else C_t ⊔= clk.
+// violation if *hybridClock⊲_t ⊑ clk and t has an active transaction, else C_t ⊔= clk.
 // slot, when non-nil, is the epoch cache for this (source, thread) pair.
-func (b *OptimizedOn[C]) checkAndGet(clk C, t int, e trace.Event, active trace.ThreadID, check CheckKind, slot *epochSlot[C]) bool {
+func (b *OptimizedHybrid) checkAndGet(clk *hybridClock, t int, e trace.Event, active trace.ThreadID, check CheckKind, slot *hybridEpochSlot) bool {
 	ts := &b.threads[t]
 	srcVer := clk.Ver()
 	cbVer := ts.cb.Ver()
@@ -262,7 +256,7 @@ func (b *OptimizedOn[C]) checkAndGet(clk C, t int, e trace.Event, active trace.T
 // writeClockFor returns the clock readers and writers must consult for the
 // last write to v: the writer's live clock while its transaction is still
 // running (Staleʷ = ⊤), otherwise the flushed W_x.
-func (b *OptimizedOn[C]) writeClockFor(v *optVar[C]) C {
+func (b *OptimizedHybrid) writeClockFor(v *hybridEngVar) *hybridClock {
 	if v.staleW && v.lastW >= 0 {
 		return b.threads[v.lastW].c
 	}
@@ -271,9 +265,9 @@ func (b *OptimizedOn[C]) writeClockFor(v *optVar[C]) C {
 
 // coverRead records x in the update set of every thread whose active
 // transaction's begin is dominated by clk (the paper's UpdateSetʳ loop).
-// Under the local-time invariant, C⊲_u ⊑ clk ⟺ C⊲_u(u) ≤ clk(u), and only
+// Under the local-time invariant, *hybridClock⊲_u ⊑ clk ⟺ *hybridClock⊲_u(u) ≤ clk(u), and only
 // threads on the active list can qualify.
-func (b *OptimizedOn[C]) coverRead(x int32, clk C) {
+func (b *OptimizedHybrid) coverRead(x int32, clk *hybridClock) {
 	for _, u := range b.active {
 		us := &b.threads[u]
 		own := us.cb.At(int(u))
@@ -288,7 +282,7 @@ func (b *OptimizedOn[C]) coverRead(x int32, clk C) {
 }
 
 // coverWrite is coverRead for UpdateSetʷ.
-func (b *OptimizedOn[C]) coverWrite(x int32, clk C) {
+func (b *OptimizedHybrid) coverWrite(x int32, clk *hybridClock) {
 	for _, u := range b.active {
 		us := &b.threads[u]
 		own := us.cb.At(int(u))
@@ -307,8 +301,8 @@ func (b *OptimizedOn[C]) coverWrite(x int32, clk C) {
 // into u's clock. Thread clocks change only at the join sites that call
 // this (checkAndGet, the write-event R_x absorb, fork, and end-event
 // propagation), so at any thread's end event every thread with
-// C_u(t) ≥ C⊲_t(t) is on t's list (stale entries are re-checked there).
-func (b *OptimizedOn[C]) markThreadDirty(u int, clk C) {
+// C_u(t) ≥ *hybridClock⊲_t(t) is on t's list (stale entries are re-checked there).
+func (b *OptimizedHybrid) markThreadDirty(u int, clk *hybridClock) {
 	for _, t2 := range b.active {
 		if int(t2) == u {
 			continue
@@ -325,9 +319,9 @@ func (b *OptimizedOn[C]) markThreadDirty(u int, clk C) {
 // markLockDirty lists ℓ on the dirty-lock list of every active transaction
 // whose begin stamp appears in clk (the clock just stored into L_ℓ). Lock
 // clocks change only at releases and end-event propagations, and both call
-// this, so at any thread's end event every lock with L_ℓ(t) ≥ C⊲_t(t) is
+// this, so at any thread's end event every lock with L_ℓ(t) ≥ *hybridClock⊲_t(t) is
 // on that thread's list (stale entries are re-checked there).
-func (b *OptimizedOn[C]) markLockDirty(li int32, clk C) {
+func (b *OptimizedHybrid) markLockDirty(li int32, clk *hybridClock) {
 	for _, u := range b.active {
 		us := &b.threads[u]
 		own := us.cb.At(int(u))
@@ -342,7 +336,7 @@ func (b *OptimizedOn[C]) markLockDirty(li int32, clk C) {
 }
 
 // dropRelLock removes lock li from its current lastRel owner's relLocks.
-func (b *OptimizedOn[C]) dropRelLock(owner int32, idx int32) {
+func (b *OptimizedHybrid) dropRelLock(owner int32, idx int32) {
 	os := &b.threads[owner]
 	last := len(os.relLocks) - 1
 	moved := os.relLocks[last]
@@ -354,7 +348,7 @@ func (b *OptimizedOn[C]) dropRelLock(owner int32, idx int32) {
 }
 
 // removeActive swap-removes t from the active-transaction registry.
-func (b *OptimizedOn[C]) removeActive(t int) {
+func (b *OptimizedHybrid) removeActive(t int) {
 	ts := &b.threads[t]
 	last := len(b.active) - 1
 	moved := b.active[last]
@@ -365,7 +359,7 @@ func (b *OptimizedOn[C]) removeActive(t int) {
 }
 
 // Process implements Engine.
-func (b *OptimizedOn[C]) Process(e trace.Event) *Violation {
+func (b *OptimizedHybrid) Process(e trace.Event) *Violation {
 	if b.viol != nil {
 		return b.viol
 	}
@@ -442,7 +436,7 @@ func (b *OptimizedOn[C]) Process(e trace.Event) *Violation {
 			b.coverRead(x, uc)
 		}
 		v.staleR = v.staleR[:0]
-		// The ȒR check: ∃u≠t with C⊲_t ⊑ R_{u,x}, via the begin clock's own
+		// The ȒR check: ∃u≠t with *hybridClock⊲_t ⊑ R_{u,x}, via the begin clock's own
 		// component (see the package comment).
 		if ts.depth > 0 && ts.cb.At(t) <= v.hrx.At(t) {
 			b.viol = &Violation{
@@ -525,14 +519,14 @@ func (b *OptimizedOn[C]) Process(e trace.Event) *Violation {
 // test: C_t carries a foreign component (forked threads inherit the
 // parent's components, so the printed "parent transaction alive" disjunct
 // is subsumed).
-func (b *OptimizedOn[C]) handleEnd(t int, e trace.Event) {
+func (b *OptimizedHybrid) handleEnd(t int, e trace.Event) {
 	ts := &b.threads[t]
 	ct, cbt := ts.c, ts.cb
 
 	if ts.foreign {
 		b.endsProcessed++
-		// Thread checks (the component test C⊲_t(t) ≤ C_u(t) is the
-		// invariant form of C⊲_t ⊑ C_u), over the dirty-thread list: only
+		// Thread checks (the component test *hybridClock⊲_t(t) ≤ C_u(t) is the
+		// invariant form of *hybridClock⊲_t ⊑ C_u), over the dirty-thread list: only
 		// threads whose clock absorbed this transaction's begin stamp can
 		// pass the gate. The violation pass runs first and reports the
 		// lowest qualifying thread — the order the index sweep it replaces
@@ -618,7 +612,7 @@ func (b *OptimizedOn[C]) handleEnd(t int, e trace.Event) {
 	ts.dirtyThreads = ts.dirtyThreads[:0]
 }
 
-func (v *optVar[C]) addStaleReader(t int32) {
+func (v *hybridEngVar) addStaleReader(t int32) {
 	for _, u := range v.staleR {
 		if u == t {
 			return
@@ -627,7 +621,7 @@ func (v *optVar[C]) addStaleReader(t int32) {
 	v.staleR = append(v.staleR, t)
 }
 
-func (v *optVar[C]) removeStaleReader(t int32) {
+func (v *hybridEngVar) removeStaleReader(t int32) {
 	for i, u := range v.staleR {
 		if u == t {
 			v.staleR[i] = v.staleR[len(v.staleR)-1]

@@ -6,10 +6,10 @@ import (
 )
 
 type roVar struct {
-	w     vc.Clock // W_x
-	lastW int32    // lastWThr_x
-	rx    vc.Clock // R_x  = ⊔_u R_{u,x}
-	hrx   vc.Clock // ȒR_x = ⊔_u R_{u,x}[0/u]
+	w     vc.Clock  // W_x
+	lastW int32     // lastWThr_x
+	rx    vc.Clock  // R_x  = ⊔_u R_{u,x}
+	hrx   vc.Sparse // ȒR_x = ⊔_u R_{u,x}[0/u] (sparse; see vc.Sparse)
 }
 
 // ReadOpt is Algorithm 2 (Appendix C.1): AeroDrome with the read-clock
@@ -120,8 +120,8 @@ func (b *ReadOpt) Process(e trace.Event) *Violation {
 			}
 		}
 		ct := b.threads[t].c
-		v.rx = v.rx.Join(ct)             // R_x ⊔= C_t (erratum: join, not assign)
-		v.hrx = v.hrx.JoinZeroing(ct, t) // ȒR_x ⊔= C_t[0/t]
+		v.rx = v.rx.Join(ct)     // R_x ⊔= C_t (erratum: join, not assign)
+		v.hrx.JoinZeroing(ct, t) // ȒR_x ⊔= C_t[0/t]
 
 	case trace.Write:
 		v := b.ensureVar(int(e.Target))
@@ -214,7 +214,7 @@ func (b *ReadOpt) handleEnd(t int, e trace.Event) {
 		}
 		if cbt.Leq(v.rx) {
 			v.rx = v.rx.Join(ct)
-			v.hrx = v.hrx.JoinZeroing(ct, t)
+			v.hrx.JoinZeroing(ct, t)
 		}
 	}
 }
@@ -232,5 +232,5 @@ func (b *ReadOpt) CheckReadClock(x trace.VarID) vc.Clock {
 	if int(x) >= len(b.vars) {
 		return nil
 	}
-	return b.vars[x].hrx.Copy()
+	return b.vars[x].hrx.Flat()
 }

@@ -1,16 +1,18 @@
 package core
 
-// The flat-clock engine (optimized_flat.go) is a source-level
-// monomorphization of the generic engine (optimized_generic.go): Go's
-// shape-stenciled generics cannot inline method calls on a type
-// parameter, and the resulting ~2ns dictionary call on every clock
-// operation is measurable on the per-event hot path. specializeFlat
-// performs the mechanical substitution; TestFlatSpecializationInSync
-// fails whenever the committed specialization is stale.
+// The flat-clock and hybrid engines (optimized_flat.go, optimized_hybrid.go)
+// are source-level monomorphizations of the generic engine
+// (optimized_generic.go): Go's shape-stenciled generics cannot inline
+// method calls on a type parameter, and the resulting ~2ns dictionary call
+// on every clock operation is measurable on the per-event hot path.
+// specializeEngine performs the mechanical substitution;
+// TestFlatSpecializationInSync and TestHybridSpecializationInSync fail
+// whenever a committed specialization is stale.
 //
 // Regenerate with:
 //
 //	go test ./internal/core -run TestFlatSpecializationInSync -update-flat-engine
+//	go test ./internal/core -run TestHybridSpecializationInSync -update-hybrid-engine
 
 import (
 	"flag"
@@ -24,9 +26,47 @@ import (
 var updateFlatEngine = flag.Bool("update-flat-engine", false,
 	"rewrite optimized_flat.go from optimized_generic.go")
 
-// specializeFlat rewrites the generic engine source into the concrete
-// flat-clock engine.
-func specializeFlat(src string) (string, error) {
+var updateHybridEngine = flag.Bool("update-hybrid-engine", false,
+	"rewrite optimized_hybrid.go from optimized_generic.go")
+
+// specSpec names the concrete types one specialization substitutes for the
+// generic engine's type parameter and generic structs.
+type specSpec struct {
+	file      string // generated file name
+	updateCmd string // regeneration command (for the generated header)
+	clock     string // concrete clock type replacing the type parameter C
+	engine    string // concrete engine type replacing OptimizedOn[C]
+	slot      string // concrete epochSlot type
+	thread    string // concrete optThread type
+	lock      string // concrete optLock type
+	variable  string // concrete optVar type
+}
+
+var flatSpec = specSpec{
+	file:      "optimized_flat.go",
+	updateCmd: "go test ./internal/core -run TestFlatSpecializationInSync -update-flat-engine",
+	clock:     "*flatClock",
+	engine:    "Optimized",
+	slot:      "flatEpochSlot",
+	thread:    "flatEngThread",
+	lock:      "flatEngLock",
+	variable:  "flatEngVar",
+}
+
+var hybridSpec = specSpec{
+	file:      "optimized_hybrid.go",
+	updateCmd: "go test ./internal/core -run TestHybridSpecializationInSync -update-hybrid-engine",
+	clock:     "*hybridClock",
+	engine:    "OptimizedHybrid",
+	slot:      "hybridEpochSlot",
+	thread:    "hybridEngThread",
+	lock:      "hybridEngLock",
+	variable:  "hybridEngVar",
+}
+
+// specializeEngine rewrites the generic engine source into a concrete
+// engine per spec.
+func specializeEngine(src string, spec specSpec) (string, error) {
 	s := src
 	// Drop the explanatory header (the generated file gets its own).
 	if i := strings.Index(s, "package core"); i >= 0 {
@@ -43,25 +83,25 @@ func specializeFlat(src string) (string, error) {
 		}
 	}
 	for _, r := range [][2]string{
-		{"type OptimizedOn[C clockRep[C]] struct", "type Optimized struct"},
-		{"type epochSlot[C comparable] struct", "type flatEpochSlot struct"},
-		{"type optThread[C comparable] struct", "type flatEngThread struct"},
-		{"type optLock[C comparable] struct", "type flatEngLock struct"},
-		{"type optVar[C comparable] struct", "type flatEngVar struct"},
-		{"OptimizedOn[C]", "Optimized"},
-		{"epochSlot[C]", "flatEpochSlot"},
-		{"optThread[C]", "flatEngThread"},
-		{"optLock[C]", "flatEngLock"},
-		{"optVar[C]", "flatEngVar"},
+		{"type OptimizedOn[C clockRep[C]] struct", "type " + spec.engine + " struct"},
+		{"type epochSlot[C comparable] struct", "type " + spec.slot + " struct"},
+		{"type optThread[C comparable] struct", "type " + spec.thread + " struct"},
+		{"type optLock[C comparable] struct", "type " + spec.lock + " struct"},
+		{"type optVar[C comparable] struct", "type " + spec.variable + " struct"},
+		{"OptimizedOn[C]", spec.engine},
+		{"epochSlot[C]", spec.slot},
+		{"optThread[C]", spec.thread},
+		{"optLock[C]", spec.lock},
+		{"optVar[C]", spec.variable},
 	} {
 		s = strings.ReplaceAll(s, r[0], r[1])
 	}
 	// Remaining standalone uses of the type parameter become the concrete
 	// clock pointer. \bC\b cannot match inside identifiers, so CheckKind,
 	// CopyFrom, etc. are untouched.
-	s = regexp.MustCompile(`\bC\b`).ReplaceAllString(s, "*flatClock")
+	s = regexp.MustCompile(`\bC\b`).ReplaceAllString(s, spec.clock)
 	s = "// Code generated from optimized_generic.go by specialize_test.go; DO NOT EDIT.\n" +
-		"// Regenerate: go test ./internal/core -run TestFlatSpecializationInSync -update-flat-engine\n\n" + s
+		"// Regenerate: " + spec.updateCmd + "\n\n" + s
 	out, err := format.Source([]byte(s))
 	if err != nil {
 		return "", err
@@ -69,27 +109,36 @@ func specializeFlat(src string) (string, error) {
 	return string(out), nil
 }
 
-func TestFlatSpecializationInSync(t *testing.T) {
+func checkSpecialization(t *testing.T, spec specSpec, update bool) {
+	t.Helper()
 	src, err := os.ReadFile("optimized_generic.go")
 	if err != nil {
 		t.Fatal(err)
 	}
-	want, err := specializeFlat(string(src))
+	want, err := specializeEngine(string(src), spec)
 	if err != nil {
 		t.Fatalf("specialization does not produce valid Go: %v", err)
 	}
-	if *updateFlatEngine {
-		if err := os.WriteFile("optimized_flat.go", []byte(want), 0o644); err != nil {
+	if update {
+		if err := os.WriteFile(spec.file, []byte(want), 0o644); err != nil {
 			t.Fatal(err)
 		}
-		t.Logf("optimized_flat.go regenerated")
+		t.Logf("%s regenerated", spec.file)
 		return
 	}
-	got, err := os.ReadFile("optimized_flat.go")
+	got, err := os.ReadFile(spec.file)
 	if err != nil {
-		t.Fatalf("optimized_flat.go missing (%v); run: go test ./internal/core -run TestFlatSpecializationInSync -update-flat-engine", err)
+		t.Fatalf("%s missing (%v); run: %s", spec.file, err, spec.updateCmd)
 	}
 	if string(got) != want {
-		t.Fatalf("optimized_flat.go is stale with respect to optimized_generic.go;\nrun: go test ./internal/core -run TestFlatSpecializationInSync -update-flat-engine")
+		t.Fatalf("%s is stale with respect to optimized_generic.go;\nrun: %s", spec.file, spec.updateCmd)
 	}
+}
+
+func TestFlatSpecializationInSync(t *testing.T) {
+	checkSpecialization(t, flatSpec, *updateFlatEngine)
+}
+
+func TestHybridSpecializationInSync(t *testing.T) {
+	checkSpecialization(t, hybridSpec, *updateHybridEngine)
 }

@@ -1,11 +1,13 @@
 package core
 
-// Differential tests between the flat-clock and tree-clock instantiations
-// of the Optimized engine: the clock representation is required to be
-// semantically invisible — identical verdicts, identical violation
-// indices, identical check kinds, and identical GC-path decisions — on
-// the paper's worked traces, on randomized well-formed traces, and on the
-// benchmark workload generator's patterns.
+// Differential tests between the flat-clock, tree-clock and hybrid
+// instantiations of the Optimized engine: the clock representation is
+// required to be semantically invisible — identical verdicts, identical
+// violation indices, identical check kinds, and identical GC-path
+// decisions — on the paper's worked traces, on randomized well-formed
+// traces (including the lock-heavy and nested-critical-section shapes
+// that defeat tree-clock pruning), and on the benchmark workload
+// generator's patterns.
 
 import (
 	"fmt"
@@ -17,33 +19,55 @@ import (
 	"aerodrome/internal/workload"
 )
 
-// assertRepAgreement runs both representations over src-producing
-// functions and requires identical observable behavior.
-func assertRepAgreement(t *testing.T, ctx string, src func() trace.Source) {
-	t.Helper()
+// repEngine is one representation under differential test: a constructor
+// paired with an EndStats accessor (the concrete types differ per clock
+// representation, so the stats come through a closure).
+type repEngine struct {
+	name  string
+	eng   Engine
+	stats func() (int64, int64)
+}
+
+func allRepEngines() []repEngine {
 	flat := NewOptimized()
 	tree := NewOptimizedTree()
-	vFlat, nFlat := Run(flat, src())
-	vTree, nTree := Run(tree, src())
+	hyb := NewOptimizedHybrid()
+	return []repEngine{
+		{"flat", flat, flat.EndStats},
+		{"tree", tree, tree.EndStats},
+		{"hybrid", hyb, hyb.EndStats},
+	}
+}
 
-	if (vFlat != nil) != (vTree != nil) {
-		t.Fatalf("%s: verdict mismatch: flat violation=%v tree violation=%v",
-			ctx, vFlat != nil, vTree != nil)
-	}
-	if vFlat != nil {
-		if vFlat.Index != vTree.Index || vFlat.Check != vTree.Check {
-			t.Fatalf("%s: violation mismatch: flat (index %d, %v) tree (index %d, %v)",
-				ctx, vFlat.Index, vFlat.Check, vTree.Index, vTree.Check)
+// assertRepAgreement runs every clock representation over src-producing
+// functions and requires identical observable behavior, with the flat
+// engine as the reference.
+func assertRepAgreement(t *testing.T, ctx string, src func() trace.Source) {
+	t.Helper()
+	reps := allRepEngines()
+	ref := reps[0]
+	vRef, nRef := Run(ref.eng, src())
+	refFull, refColl := ref.stats()
+	for _, rep := range reps[1:] {
+		v, n := Run(rep.eng, src())
+		if (vRef != nil) != (v != nil) {
+			t.Fatalf("%s: verdict mismatch: %s violation=%v %s violation=%v",
+				ctx, ref.name, vRef != nil, rep.name, v != nil)
 		}
-	}
-	if nFlat != nTree {
-		t.Fatalf("%s: processed %d (flat) vs %d (tree)", ctx, nFlat, nTree)
-	}
-	fFull, fColl := flat.EndStats()
-	tFull, tColl := tree.EndStats()
-	if fFull != tFull || fColl != tColl {
-		t.Fatalf("%s: GC decisions diverged: flat (%d,%d) tree (%d,%d)",
-			ctx, fFull, fColl, tFull, tColl)
+		if vRef != nil {
+			if vRef.Index != v.Index || vRef.Check != v.Check {
+				t.Fatalf("%s: violation mismatch: %s (index %d, %v) %s (index %d, %v)",
+					ctx, ref.name, vRef.Index, vRef.Check, rep.name, v.Index, v.Check)
+			}
+		}
+		if nRef != n {
+			t.Fatalf("%s: processed %d (%s) vs %d (%s)", ctx, nRef, ref.name, n, rep.name)
+		}
+		full, coll := rep.stats()
+		if refFull != full || refColl != coll {
+			t.Fatalf("%s: GC decisions diverged: %s (%d,%d) %s (%d,%d)",
+				ctx, ref.name, refFull, refColl, rep.name, full, coll)
+		}
 	}
 }
 
@@ -78,6 +102,32 @@ func TestTreeClockAgreementOnRandomTraces(t *testing.T) {
 			NoFork:  r.Intn(3) == 0,
 		})
 		assertRepAgreement(t, fmt.Sprintf("iter %d", iter), func() trace.Source { return tr.Cursor() })
+	}
+}
+
+// TestTreeClockAgreementOnLockHeavyTraces drives the densely entangled
+// shapes that defeat tree-clock pruning — lock-heavy schedules and nested
+// critical sections — through the three-representation differential
+// check: these are the traces that exercise the hybrid engine's bulk
+// star-rebuild and flat-demotion paths.
+func TestTreeClockAgreementOnLockHeavyTraces(t *testing.T) {
+	iters := 600
+	if testing.Short() {
+		iters = 100
+	}
+	r := rand.New(rand.NewSource(171717))
+	for iter := 0; iter < iters; iter++ {
+		tr := testutil.RandomTrace(r, testutil.GenOpts{
+			Threads:      2 + r.Intn(8),
+			Vars:         1 + r.Intn(5),
+			Locks:        2 + r.Intn(5),
+			Steps:        40 + r.Intn(250),
+			TxnBias:      r.Intn(8),
+			LockBias:     4 + r.Intn(10),
+			MaxHeldLocks: 1 + r.Intn(3),
+			NoFork:       r.Intn(2) == 0,
+		})
+		assertRepAgreement(t, fmt.Sprintf("lock-heavy iter %d", iter), func() trace.Source { return tr.Cursor() })
 	}
 }
 
@@ -132,34 +182,51 @@ func TestEpochFastPathStats(t *testing.T) {
 	}
 }
 
-// TestConcreteMatchesGenericFlat pins the monomorphized flat engine to
-// the generic engine instantiated on the same representation: the
-// source-level specialization must be behaviorally invisible.
-func TestConcreteMatchesGenericFlat(t *testing.T) {
-	r := rand.New(rand.NewSource(777177))
-	for iter := 0; iter < 400; iter++ {
-		tr := testutil.RandomTrace(r, testutil.GenOpts{
-			Threads: 1 + r.Intn(5),
-			Vars:    1 + r.Intn(4),
-			Locks:   1 + r.Intn(2),
-			Steps:   10 + r.Intn(120),
-			TxnBias: r.Intn(10),
+// TestConcreteMatchesGeneric pins the monomorphized flat and hybrid
+// engines to the generic engine instantiated on the same representation:
+// the source-level specializations must be behaviorally invisible.
+func TestConcreteMatchesGeneric(t *testing.T) {
+	type concGen struct {
+		name string
+		conc func() (Engine, func() (int64, int64))
+		gen  func() (Engine, func() (int64, int64))
+	}
+	for _, pair := range []concGen{
+		{"flat",
+			func() (Engine, func() (int64, int64)) { e := NewOptimized(); return e, e.EndStats },
+			func() (Engine, func() (int64, int64)) { e := newOptimizedGenericFlat(); return e, e.EndStats }},
+		{"hybrid",
+			func() (Engine, func() (int64, int64)) { e := NewOptimizedHybrid(); return e, e.EndStats },
+			func() (Engine, func() (int64, int64)) { e := newOptimizedGenericHybrid(); return e, e.EndStats }},
+	} {
+		pair := pair
+		t.Run(pair.name, func(t *testing.T) {
+			r := rand.New(rand.NewSource(777177))
+			for iter := 0; iter < 400; iter++ {
+				tr := testutil.RandomTrace(r, testutil.GenOpts{
+					Threads: 1 + r.Intn(5),
+					Vars:    1 + r.Intn(4),
+					Locks:   1 + r.Intn(2),
+					Steps:   10 + r.Intn(120),
+					TxnBias: r.Intn(10),
+				})
+				conc, concStats := pair.conc()
+				gen, genStats := pair.gen()
+				vc_, _ := Run(conc, tr.Cursor())
+				vg, _ := Run(gen, tr.Cursor())
+				if (vc_ != nil) != (vg != nil) {
+					t.Fatalf("iter %d: concrete violation=%v generic=%v", iter, vc_ != nil, vg != nil)
+				}
+				if vc_ != nil && (vc_.Index != vg.Index || vc_.Check != vg.Check) {
+					t.Fatalf("iter %d: concrete (%d,%v) generic (%d,%v)",
+						iter, vc_.Index, vc_.Check, vg.Index, vg.Check)
+				}
+				cf, cc := concStats()
+				gf, gc := genStats()
+				if cf != gf || cc != gc {
+					t.Fatalf("iter %d: EndStats concrete (%d,%d) generic (%d,%d)", iter, cf, cc, gf, gc)
+				}
+			}
 		})
-		conc := NewOptimized()
-		gen := newOptimizedGenericFlat()
-		vc_, _ := Run(conc, tr.Cursor())
-		vg, _ := Run(gen, tr.Cursor())
-		if (vc_ != nil) != (vg != nil) {
-			t.Fatalf("iter %d: concrete violation=%v generic=%v", iter, vc_ != nil, vg != nil)
-		}
-		if vc_ != nil && (vc_.Index != vg.Index || vc_.Check != vg.Check) {
-			t.Fatalf("iter %d: concrete (%d,%v) generic (%d,%v)",
-				iter, vc_.Index, vc_.Check, vg.Index, vg.Check)
-		}
-		cf, cc := conc.EndStats()
-		gf, gc := gen.EndStats()
-		if cf != gf || cc != gc {
-			t.Fatalf("iter %d: EndStats concrete (%d,%d) generic (%d,%d)", iter, cf, cc, gf, gc)
-		}
 	}
 }

@@ -1,0 +1,224 @@
+package testutil
+
+import (
+	"aerodrome/internal/trace"
+)
+
+// This file implements a byte-program trace format for native Go fuzzing:
+// TraceFromBytes decodes arbitrary bytes into a well-formed trace by
+// interpreting them as a stream of two-byte instructions and repairing
+// every structurally invalid operation into a read, and EncodeTrace is the
+// inverse for traces that fit the format's limits. Fuzzers mutate the byte
+// program freely — every input decodes to a ValidateStrict-clean trace —
+// while seed corpora (the paper's ρ traces, tracegen's injected-violation
+// workloads) round-trip exactly because well-formed traces never trigger a
+// repair.
+//
+// Instruction encoding, two bytes per event:
+//
+//	byte 0: op in the high nibble (mod 8), thread id in the low nibble
+//	byte 1: target — a variable (full byte), lock (low nibble), or
+//	        thread (low nibble), depending on the op
+//
+// which bounds the format at 16 threads, 16 locks and 256 variables. A
+// trailing odd byte is ignored.
+
+// Byte-format limits.
+const (
+	ByteTraceMaxThreads = 16
+	ByteTraceMaxLocks   = 16
+	ByteTraceMaxVars    = 256
+	// byteTraceMaxEvents caps decoding so adversarial fuzz inputs stay
+	// cheap to check (the closing phase can add a few events beyond it).
+	byteTraceMaxEvents = 1 << 13
+)
+
+// Op nibbles of the byte format, in trace.OpKind order.
+const (
+	byteOpBegin = iota
+	byteOpEnd
+	byteOpRead
+	byteOpWrite
+	byteOpAcquire
+	byteOpRelease
+	byteOpFork
+	byteOpJoin
+)
+
+var kindToByteOp = map[trace.OpKind]byte{
+	trace.Begin: byteOpBegin, trace.End: byteOpEnd,
+	trace.Read: byteOpRead, trace.Write: byteOpWrite,
+	trace.Acquire: byteOpAcquire, trace.Release: byteOpRelease,
+	trace.Fork: byteOpFork, trace.Join: byteOpJoin,
+}
+
+// byteVMThread is the decoder's per-thread repair state.
+type byteVMThread struct {
+	started bool
+	forked  bool
+	joined  bool
+	depth   int
+	locks   []trace.LockID // held, acquisition order
+}
+
+// TraceFromBytes decodes data into a well-formed trace. Structurally
+// invalid operations (unmatched end, re-entrant or foreign release, fork
+// of a started thread, …) are repaired into reads of the target variable,
+// events of joined threads are dropped, and a closing phase releases held
+// locks and ends open transactions, so the result always passes
+// trace.ValidateStrict. All 16 threads are implicitly alive without forks
+// (fork/join events are still representable and validated against the
+// fork-before-first-event / join-after-last-event rules).
+func TraceFromBytes(data []byte) *trace.Trace {
+	if len(data) > 2*byteTraceMaxEvents {
+		data = data[:2*byteTraceMaxEvents]
+	}
+	b := trace.NewBuilder()
+	threadIDs := make([]trace.ThreadID, ByteTraceMaxThreads)
+	for i := range threadIDs {
+		threadIDs[i] = b.Thread("t" + suffix(i))
+	}
+	varIDs := make([]trace.VarID, ByteTraceMaxVars)
+	for i := range varIDs {
+		varIDs[i] = b.Var("x" + suffix(i))
+	}
+	lockIDs := make([]trace.LockID, ByteTraceMaxLocks)
+	for i := range lockIDs {
+		lockIDs[i] = b.Lock("l" + suffix(i))
+	}
+
+	var vm [ByteTraceMaxThreads]byteVMThread
+	lockOwner := make(map[trace.LockID]int)
+
+	for i := 0; i+1 < len(data); i += 2 {
+		op := (data[i] >> 4) & 7
+		ti := int(data[i] & 0x0F)
+		tgt := data[i+1]
+		th := &vm[ti]
+		if th.joined {
+			continue // joined threads must not produce events
+		}
+		t := threadIDs[ti]
+		read := func() { b.Read(t, varIDs[tgt]) }
+
+		switch op {
+		case byteOpBegin:
+			b.Begin(t)
+			th.depth++
+		case byteOpEnd:
+			if th.depth > 0 {
+				b.End(t)
+				th.depth--
+			} else {
+				read()
+			}
+		case byteOpRead:
+			read()
+		case byteOpWrite:
+			b.Write(t, varIDs[tgt])
+		case byteOpAcquire:
+			l := lockIDs[tgt&0x0F]
+			if _, held := lockOwner[l]; held {
+				read()
+			} else {
+				b.Acquire(t, l)
+				lockOwner[l] = ti
+				th.locks = append(th.locks, l)
+			}
+		case byteOpRelease:
+			l := lockIDs[tgt&0x0F]
+			if owner, held := lockOwner[l]; held && owner == ti {
+				b.Release(t, l)
+				delete(lockOwner, l)
+				for j, held := range th.locks {
+					if held == l {
+						th.locks = append(th.locks[:j], th.locks[j+1:]...)
+						break
+					}
+				}
+			} else {
+				read()
+			}
+		case byteOpFork:
+			ui := int(tgt & 0x0F)
+			u := &vm[ui]
+			if ui != ti && !u.started && !u.forked && !u.joined {
+				b.Fork(t, threadIDs[ui])
+				u.forked = true
+			} else {
+				read()
+			}
+		case byteOpJoin:
+			ui := int(tgt & 0x0F)
+			u := &vm[ui]
+			if ui != ti && !u.joined && u.depth == 0 && len(u.locks) == 0 {
+				b.Join(t, threadIDs[ui])
+				u.joined = true
+			} else {
+				read()
+			}
+		}
+		th.started = true
+	}
+
+	// Closing phase: the trace must be strictly well formed.
+	for ti := range vm {
+		th := &vm[ti]
+		for n := len(th.locks); n > 0; n = len(th.locks) {
+			l := th.locks[n-1]
+			b.Release(threadIDs[ti], l)
+			delete(lockOwner, l)
+			th.locks = th.locks[:n-1]
+		}
+		for th.depth > 0 {
+			b.End(threadIDs[ti])
+			th.depth--
+		}
+	}
+
+	tr := b.Build()
+	if err := trace.ValidateStrict(tr); err != nil {
+		panic("testutil: byte VM produced a malformed trace: " + err.Error())
+	}
+	return tr
+}
+
+// EncodeTrace encodes tr into the byte program of TraceFromBytes, or
+// returns nil when the trace does not fit the format (too many threads,
+// locks or variables, or too long). For a well-formed trace within the
+// limits, TraceFromBytes(EncodeTrace(tr)) replays exactly the same event
+// sequence — no instruction triggers a repair and the closing phase has
+// nothing left to close — which makes real traces usable as fuzz corpus
+// seeds.
+func EncodeTrace(tr *trace.Trace) []byte {
+	if len(tr.Events) > byteTraceMaxEvents {
+		return nil
+	}
+	out := make([]byte, 0, 2*len(tr.Events))
+	for _, e := range tr.Events {
+		op, ok := kindToByteOp[e.Kind]
+		if !ok || int(e.Thread) >= ByteTraceMaxThreads {
+			return nil
+		}
+		var tgt int32
+		switch e.Kind {
+		case trace.Read, trace.Write:
+			if e.Target >= ByteTraceMaxVars {
+				return nil
+			}
+			tgt = e.Target
+		case trace.Acquire, trace.Release:
+			if e.Target >= ByteTraceMaxLocks {
+				return nil
+			}
+			tgt = e.Target
+		case trace.Fork, trace.Join:
+			if e.Target >= ByteTraceMaxThreads {
+				return nil
+			}
+			tgt = e.Target
+		}
+		out = append(out, op<<4|byte(e.Thread), byte(tgt))
+	}
+	return out
+}

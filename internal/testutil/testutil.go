@@ -96,6 +96,14 @@ type GenOpts struct {
 	// TxnBias, when positive, increases the share of begin events so that
 	// most events land inside transactions.
 	TxnBias int
+	// LockBias, when positive, funnels extra probability into lock
+	// acquire/release operations: the lock-heavy shapes whose dense
+	// release-acquire entanglement defeats tree-clock pruning.
+	LockBias int
+	// MaxHeldLocks bounds how many locks a thread holds at once. Values
+	// above 1 produce properly nested critical sections (locks release in
+	// LIFO order); 0 keeps the historical single-lock discipline.
+	MaxHeldLocks int
 }
 
 type genThread struct {
@@ -104,8 +112,7 @@ type genThread struct {
 	finished bool
 	joined   bool
 	depth    int
-	lock     trace.LockID
-	hasLock  bool
+	locks    []trace.LockID // held locks, acquisition order (released LIFO)
 }
 
 // RandomTrace generates a well-formed trace: matched begins/ends, matched
@@ -137,6 +144,10 @@ func RandomTrace(r *rand.Rand, o GenOpts) *trace.Trace {
 		locks[i] = b.Lock("l" + suffix(i))
 	}
 	lockBusy := make([]bool, o.Locks)
+	maxHeld := o.MaxHeldLocks
+	if maxHeld < 1 {
+		maxHeld = 1
+	}
 
 	threads[0].alive = true
 	if o.NoFork {
@@ -162,8 +173,16 @@ func RandomTrace(r *rand.Rand, o GenOpts) *trace.Trace {
 		}
 		th := alive[r.Intn(len(alive))]
 		t := th.id
-		choice := r.Intn(12 + o.TxnBias)
-		if choice >= 12 {
+		choice := r.Intn(12 + o.TxnBias + 2*o.LockBias)
+		switch {
+		case choice >= 12+o.TxnBias:
+			// LockBias mass alternates between acquire and release.
+			if (choice-12-o.TxnBias)%2 == 0 {
+				choice = 8
+			} else {
+				choice = 9
+			}
+		case choice >= 12:
 			choice = 0 // TxnBias funnels extra probability into begin
 		}
 		switch choice {
@@ -181,21 +200,21 @@ func RandomTrace(r *rand.Rand, o GenOpts) *trace.Trace {
 			b.Read(t, vars[r.Intn(o.Vars)])
 		case 5, 6, 7: // write
 			b.Write(t, vars[r.Intn(o.Vars)])
-		case 8: // acquire
-			if !th.hasLock {
+		case 8: // acquire (nested critical sections up to MaxHeldLocks)
+			if len(th.locks) < maxHeld {
 				li := r.Intn(o.Locks)
 				if !lockBusy[li] {
 					b.Acquire(t, locks[li])
-					th.hasLock = true
-					th.lock = locks[li]
+					th.locks = append(th.locks, locks[li])
 					lockBusy[li] = true
 				}
 			}
-		case 9: // release
-			if th.hasLock {
-				b.Release(t, th.lock)
-				lockBusy[th.lock] = false
-				th.hasLock = false
+		case 9: // release (LIFO: innermost critical section first)
+			if n := len(th.locks); n > 0 {
+				l := th.locks[n-1]
+				b.Release(t, l)
+				lockBusy[l] = false
+				th.locks = th.locks[:n-1]
 			}
 		case 10: // fork
 			if o.NoFork {
@@ -242,10 +261,11 @@ func RandomTrace(r *rand.Rand, o GenOpts) *trace.Trace {
 }
 
 func closeThread(b *trace.Builder, th *genThread, lockBusy []bool) {
-	if th.hasLock {
-		b.Release(th.id, th.lock)
-		lockBusy[th.lock] = false
-		th.hasLock = false
+	for n := len(th.locks); n > 0; n = len(th.locks) {
+		l := th.locks[n-1]
+		b.Release(th.id, l)
+		lockBusy[l] = false
+		th.locks = th.locks[:n-1]
 	}
 	for th.depth > 0 {
 		b.End(th.id)

@@ -20,6 +20,12 @@ func (p *pair) check(t *testing.T, ctx string) {
 	if !got.Equal(p.fc) {
 		t.Fatalf("%s: tree %v != flat %v\ntree:\n%s", ctx, got, p.fc, p.tc.debugTree())
 	}
+	// The lazily maintained flat mirror must agree with the node arena:
+	// the flat-interop operations (and hence the hybrid engine's verdicts)
+	// read the mirror, not the nodes.
+	if mv := p.tc.flatView(); !mv.Equal(p.fc) {
+		t.Fatalf("%s: mirror %v != flat %v\ntree:\n%s", ctx, mv, p.fc, p.tc.debugTree())
+	}
 }
 
 // TestUnitAndInc checks the thread-clock lifecycle basics.
@@ -107,10 +113,81 @@ func TestJoinZeroingInto(t *testing.T) {
 	o := New()
 	o.InitUnit(5)
 	c.Join(o)
-	var dst vc.Clock
-	dst = c.JoinZeroingInto(dst, 2)
+	var dst vc.Sparse
+	c.JoinZeroingInto(&dst, 2)
 	if dst.At(2) != 0 || dst.At(5) != 1 {
-		t.Fatalf("zeroing join: %v", dst)
+		t.Fatalf("zeroing join: %v", dst.Flat())
+	}
+}
+
+func TestJoinFlat(t *testing.T) {
+	c := New()
+	c.InitUnit(1)
+	c.Inc(1)
+	c.JoinFlat(vc.Clock{3, 1, 0, 4})
+	want := vc.Clock{3, 2, 0, 4}
+	if !c.Flat().Equal(want) {
+		t.Fatalf("JoinFlat: %v want %v\n%s", c.Flat(), want, c.debugTree())
+	}
+	ver := c.Ver()
+	c.JoinFlat(vc.Clock{2, 1, 0, 4}) // dominated: must be a no-op
+	if c.Ver() != ver {
+		t.Fatalf("dominated JoinFlat mutated the clock")
+	}
+	// A tree that absorbed flat content must still join correctly into
+	// other trees (the ver-0 entries are never skipped).
+	d := New()
+	d.InitUnit(0)
+	d.Join(c)
+	if !d.Flat().Equal(vc.Clock{3, 2, 0, 4}) {
+		t.Fatalf("join from flat-tainted tree: %v\nsrc:\n%s", d.Flat(), c.debugTree())
+	}
+}
+
+func TestJoinFlatIntoEmptyAux(t *testing.T) {
+	c := New()
+	c.JoinFlat(vc.Clock{0, 5, 0, 2})
+	if !c.Flat().Equal(vc.Clock{0, 5, 0, 2}) {
+		t.Fatalf("JoinFlat into ⊥: %v", c.Flat())
+	}
+	d := New()
+	d.InitUnit(0)
+	d.Join(c)
+	if !d.Flat().Equal(vc.Clock{1, 5, 0, 2}) {
+		t.Fatalf("join from flat-built tree: %v", d.Flat())
+	}
+}
+
+func TestAbsorbIntoFlat(t *testing.T) {
+	c := New()
+	c.InitUnit(2)
+	c.Inc(2)
+	o := New()
+	o.InitUnit(4)
+	c.Join(o)
+	dst := vc.Clock{7, 0, 1}
+	dst, grew, changed := c.AbsorbIntoFlat(dst)
+	if !changed || grew != 1 {
+		t.Fatalf("changed=%v grew=%d", changed, grew)
+	}
+	if !dst.Equal(vc.Clock{7, 0, 2, 0, 1}) {
+		t.Fatalf("AbsorbIntoFlat: %v", dst)
+	}
+	_, grew, changed = c.AbsorbIntoFlat(dst)
+	if changed || grew != 0 {
+		t.Fatalf("dominated absorb reported change (%v, %d)", changed, grew)
+	}
+}
+
+func TestLeqFlat(t *testing.T) {
+	c := New()
+	c.InitUnit(1)
+	c.Inc(1)
+	if !c.LeqFlat(vc.Clock{0, 2}) || !c.LeqFlat(vc.Clock{5, 3, 9}) {
+		t.Fatalf("LeqFlat false negative")
+	}
+	if c.LeqFlat(vc.Clock{0, 1}) || c.LeqFlat(nil) {
+		t.Fatalf("LeqFlat false positive")
 	}
 }
 
@@ -142,6 +219,12 @@ func TestRandomizedAgainstFlat(t *testing.T) {
 		for i := range aux {
 			aux[i] = &pair{tc: New(), fc: nil}
 		}
+		// Flat-only auxiliaries, as the hybrid engine keeps them: fauxs is
+		// maintained through the tree interop APIs (AbsorbIntoFlat), frefs
+		// through plain flat operations; they must stay equal.
+		nFlat := 1 + r.Intn(3)
+		fauxs := make([]vc.Clock, nFlat)
+		frefs := make([]vc.Clock, nFlat)
 		all := func() []*pair {
 			out := append([]*pair{}, threads...)
 			out = append(out, begins...)
@@ -152,8 +235,9 @@ func TestRandomizedAgainstFlat(t *testing.T) {
 			ti := r.Intn(nThreads)
 			ui := r.Intn(nThreads)
 			ai := r.Intn(nAux)
+			fi := r.Intn(nFlat)
 			ctx := fmt.Sprintf("seed %d step %d", seed, step)
-			switch r.Intn(7) {
+			switch r.Intn(10) {
 			case 0: // begin: inc own component, monotone-copy the begin clock
 				threads[ti].tc.Inc(ti)
 				threads[ti].fc = threads[ti].fc.Inc(ti)
@@ -179,11 +263,27 @@ func TestRandomizedAgainstFlat(t *testing.T) {
 						ctx, got, want, x.fc, y.fc, x.tc.debugTree(), y.tc.debugTree())
 				}
 			case 6: // zeroing join agreement
-				var dt vc.Clock
-				dt = threads[ti].tc.JoinZeroingInto(dt, ti)
+				var dt vc.Sparse
+				threads[ti].tc.JoinZeroingInto(&dt, ti)
 				df := vc.Clock(nil).JoinZeroing(threads[ti].fc, ti)
-				if !dt.Equal(df) {
-					t.Fatalf("%s: zeroing %v want %v", ctx, dt, df)
+				if !dt.Flat().Equal(df) {
+					t.Fatalf("%s: zeroing %v want %v", ctx, dt.Flat(), df)
+				}
+			case 7: // thread ⊔= flat aux (hybrid acquire / read check)
+				threads[ti].tc.JoinFlat(fauxs[fi])
+				threads[ti].fc = threads[ti].fc.Join(frefs[fi])
+			case 8: // flat aux ⊔= thread (hybrid end-event propagation)
+				fauxs[fi], _, _ = threads[ti].tc.AbsorbIntoFlat(fauxs[fi])
+				frefs[fi] = frefs[fi].Join(threads[ti].fc)
+				if !fauxs[fi].Equal(frefs[fi]) {
+					t.Fatalf("%s: absorb %v want %v", ctx, fauxs[fi], frefs[fi])
+				}
+			case 9: // tree ⊑ flat agreement (hybrid checkAndGet)
+				got := threads[ti].tc.LeqFlat(fauxs[fi])
+				want := threads[ti].fc.Leq(frefs[fi])
+				if got != want {
+					t.Fatalf("%s: LeqFlat=%v want %v\nflat=%v tree:\n%s",
+						ctx, got, want, frefs[fi], threads[ti].tc.debugTree())
 				}
 			}
 			threads[ti].check(t, ctx+" thread")

@@ -1,0 +1,141 @@
+package vc
+
+// Sparse is a sparse vector time: an unsorted association list of
+// (thread, time) pairs that promotes itself to a dense Clock once it holds
+// more than promoteThreshold entries. It is the representation of the ȒR_x
+// accumulators across every engine: ȒR_x is read only through single
+// components and written only through zeroing joins, and on real workloads
+// a given variable is read by very few distinct threads, so the common case
+// is a two- or three-entry list instead of an O(|Thr|) vector. Adversarial
+// traces that touch a variable from many threads pay one promotion and then
+// dense-clock costs, never worse than the flat representation they replace.
+//
+// The zero value is ⊥ and ready for use. Sparse values are mutated through
+// pointer methods and must not be copied after first use.
+type Sparse struct {
+	tids  []int32
+	times []Time
+	dense Clock // non-nil once promoted; tids/times are nil from then on
+}
+
+// promoteThreshold is the entry count beyond which Sparse switches to a
+// dense Clock: past this size the linear scans of the association list
+// stop beating the dense representation's O(1) indexing.
+const promoteThreshold = 12
+
+// At returns component t (0 when absent).
+func (s *Sparse) At(t int) Time {
+	if s.dense != nil {
+		return s.dense.At(t)
+	}
+	for i, id := range s.tids {
+		if int(id) == t {
+			return s.times[i]
+		}
+	}
+	return 0
+}
+
+// JoinComponent sets component t to max(current, v): the single-component
+// form of a join.
+func (s *Sparse) JoinComponent(t int, v Time) {
+	if v == 0 {
+		return
+	}
+	if s.dense != nil {
+		if v > s.dense.At(t) {
+			s.dense = s.dense.Set(t, v)
+		}
+		return
+	}
+	for i, id := range s.tids {
+		if int(id) == t {
+			if v > s.times[i] {
+				s.times[i] = v
+			}
+			return
+		}
+	}
+	if len(s.tids) >= promoteThreshold {
+		s.promote()
+		s.dense = s.dense.Set(t, v)
+		return
+	}
+	s.tids = append(s.tids, int32(t))
+	s.times = append(s.times, v)
+}
+
+// promote converts the association list into a dense Clock.
+func (s *Sparse) promote() {
+	var d Clock
+	for i, id := range s.tids {
+		d = d.Set(int(id), s.times[i])
+	}
+	s.dense = d
+	s.tids, s.times = nil, nil
+}
+
+// JoinZeroing joins d[0/skip] into s: the ȒR_x ⊔= C_t[0/t] update for flat
+// clock sources.
+func (s *Sparse) JoinZeroing(d Clock, skip int) {
+	if s.dense != nil {
+		s.dense = s.dense.JoinZeroing(d, skip)
+		return
+	}
+	// A source carrying more nonzero components than the promotion
+	// threshold forces a promotion anyway; doing it up front replaces an
+	// association-list scan per component with one bulk dense join.
+	nz := 0
+	for _, v := range d {
+		if v != 0 {
+			nz++
+		}
+	}
+	if nz > promoteThreshold {
+		s.promote()
+		s.dense = s.dense.JoinZeroing(d, skip)
+		return
+	}
+	for i, v := range d {
+		if i == skip || v == 0 {
+			continue
+		}
+		s.JoinComponent(i, v) // may promote mid-loop; JoinComponent handles it
+	}
+}
+
+// Len returns the number of explicitly stored entries (white-box: tests and
+// promotion diagnostics). Dense entries count nonzero components only.
+func (s *Sparse) Len() int {
+	if s.dense != nil {
+		n := 0
+		for _, v := range s.dense {
+			if v != 0 {
+				n++
+			}
+		}
+		return n
+	}
+	return len(s.tids)
+}
+
+// IsDense reports whether the sparse encoding has promoted itself to a
+// dense clock (white-box accessor for tests).
+func (s *Sparse) IsDense() bool { return s.dense != nil }
+
+// Flat snapshots the represented vector as a fresh dense Clock.
+func (s *Sparse) Flat() Clock {
+	if s.dense != nil {
+		return s.dense.Copy()
+	}
+	var out Clock
+	for i, id := range s.tids {
+		if s.times[i] != 0 {
+			out = out.Set(int(id), s.times[i])
+		}
+	}
+	return out
+}
+
+// String renders the represented vector in the paper's ⟨…⟩ notation.
+func (s *Sparse) String() string { return s.Flat().String() }
