@@ -32,6 +32,13 @@ const (
 	// accumulators — the tree engine's win on thread-sharded workloads
 	// without its chain-workload penalty.
 	OptimizedHybrid Algorithm = "hybrid"
+	// Auto is Optimized with the clock representation picked by observed
+	// thread width: flat thread clocks below ~16 threads, tree clocks
+	// above, re-evaluated as threads appear, with hysteresis re-promotion
+	// for clocks that demoted during a churn phase. The choice is
+	// semantically invisible — verdicts and violation indices are
+	// identical to the other Optimized representations.
+	Auto Algorithm = "auto"
 	// Velodrome is the transaction-graph baseline with per-edge DFS cycle
 	// checks.
 	Velodrome Algorithm = "velodrome"
@@ -44,7 +51,7 @@ const (
 
 // Algorithms lists all supported algorithm names.
 func Algorithms() []Algorithm {
-	return []Algorithm{Basic, ReadOpt, Optimized, OptimizedTree, OptimizedHybrid, Velodrome, VelodromePK, DoubleChecker}
+	return []Algorithm{Basic, ReadOpt, Optimized, OptimizedTree, OptimizedHybrid, Auto, Velodrome, VelodromePK, DoubleChecker}
 }
 
 func newEngine(a Algorithm) (core.Engine, error) {
@@ -59,6 +66,8 @@ func newEngine(a Algorithm) (core.Engine, error) {
 		return core.NewOptimizedTree(), nil
 	case OptimizedHybrid:
 		return core.NewOptimizedHybrid(), nil
+	case Auto:
+		return core.NewOptimizedAuto(), nil
 	case Velodrome:
 		return velodrome.New(), nil
 	case VelodromePK:

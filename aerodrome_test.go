@@ -236,7 +236,7 @@ func TestMonitorUnknownAlgorithmPanics(t *testing.T) {
 
 func TestAlgorithmsList(t *testing.T) {
 	got := aerodrome.Algorithms()
-	if len(got) != 8 {
+	if len(got) != 9 {
 		t.Fatalf("Algorithms() = %v", got)
 	}
 	for _, a := range got {

@@ -4,11 +4,15 @@
 //
 // Usage:
 //
-//	aerodrome [-algo optimized] [-format std] [trace-file]
+//	aerodrome [-algo optimized] [-format std] [-pipeline] [trace-file]
+//	aerodrome [-algo optimized] -parallel N trace-file...
 //
-// With no file argument the trace is read from standard input. The exit
-// code is 0 when the trace is conflict serializable, 1 when a violation was
-// found, and 2 on usage or input errors.
+// With no file argument the trace is read from standard input. -pipeline
+// overlaps parsing and checking on separate goroutines; -parallel N checks
+// several trace files concurrently, one engine per trace, on N workers
+// (N < 0 selects one per CPU; the format of each file is sniffed). The
+// exit code is 0 when every trace is conflict serializable, 1 when a
+// violation was found, and 2 on usage or input errors.
 package main
 
 import (
@@ -18,8 +22,10 @@ import (
 	"os"
 	"time"
 
+	"aerodrome"
 	"aerodrome/internal/core"
 	"aerodrome/internal/doublechecker"
+	"aerodrome/internal/pipeline"
 	"aerodrome/internal/rapidio"
 	"aerodrome/internal/trace"
 	"aerodrome/internal/velodrome"
@@ -37,6 +43,8 @@ func newEngine(algo string) (core.Engine, error) {
 		return core.NewOptimizedTree(), nil
 	case "hybrid":
 		return core.NewOptimizedHybrid(), nil
+	case "auto":
+		return core.NewOptimizedAuto(), nil
 	case "velodrome":
 		return velodrome.New(), nil
 	case "velodrome-pk":
@@ -44,7 +52,7 @@ func newEngine(algo string) (core.Engine, error) {
 	case "doublechecker":
 		return doublechecker.New(0), nil
 	}
-	return nil, fmt.Errorf("unknown algorithm %q (want basic, readopt, optimized, treeclock, hybrid, velodrome, velodrome-pk or doublechecker)", algo)
+	return nil, fmt.Errorf("unknown algorithm %q (want basic, readopt, optimized, treeclock, hybrid, auto, velodrome, velodrome-pk or doublechecker)", algo)
 }
 
 func openSource(path, format string) (trace.Source, func() error, error) {
@@ -74,14 +82,19 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("aerodrome", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	algo := fs.String("algo", "optimized", "checking algorithm: basic, readopt, optimized, treeclock, hybrid, velodrome, velodrome-pk, doublechecker")
+	algo := fs.String("algo", "optimized", "checking algorithm: basic, readopt, optimized, treeclock, hybrid, auto, velodrome, velodrome-pk, doublechecker")
 	format := fs.String("format", "std", "trace format: std (RAPID text) or bin (compact binary)")
 	quiet := fs.Bool("q", false, "suppress everything except the verdict line")
+	pipe := fs.Bool("pipeline", false, "pipeline parsing and checking on separate goroutines")
+	parallel := fs.Int("parallel", 0, "check multiple trace files concurrently on this many workers (<0 = one per CPU); implies -pipeline, sniffs each file's format (-format and -q are ignored)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	if *parallel != 0 {
+		return runParallel(fs.Args(), *algo, *parallel, stdout, stderr)
+	}
 	if fs.NArg() > 1 {
-		fmt.Fprintln(stderr, "usage: aerodrome [-algo A] [-format F] [trace-file]")
+		fmt.Fprintln(stderr, "usage: aerodrome [-algo A] [-format F] [-pipeline] [trace-file], or aerodrome -parallel N trace-file...")
 		return 2
 	}
 
@@ -98,13 +111,34 @@ func run(args []string, stdout, stderr io.Writer) int {
 	defer closeSrc()
 
 	start := time.Now()
-	v, n := core.Run(eng, src)
+	var v *core.Violation
+	var n int64
+	if *pipe {
+		// Both rapidio readers implement the batch API behind trace.Source;
+		// a future format that doesn't must fail as a usage error, not a
+		// panic.
+		bs, ok := src.(pipeline.BatchSource)
+		if !ok {
+			fmt.Fprintf(stderr, "aerodrome: -pipeline does not support format %q\n", *format)
+			return 2
+		}
+		var perr error
+		v, n, perr = pipeline.Run(eng, bs, pipeline.Config{})
+		if perr != nil {
+			fmt.Fprintln(stderr, "aerodrome:", perr)
+			return 2
+		}
+	} else {
+		v, n = core.Run(eng, src)
+	}
 	elapsed := time.Since(start)
 
-	if errSrc, ok := src.(interface{ Err() error }); ok {
-		if err := errSrc.Err(); err != nil {
-			fmt.Fprintln(stderr, "aerodrome:", err)
-			return 2
+	if !*pipe {
+		if errSrc, ok := src.(interface{ Err() error }); ok {
+			if err := errSrc.Err(); err != nil {
+				fmt.Fprintln(stderr, "aerodrome:", err)
+				return 2
+			}
 		}
 	}
 
@@ -117,4 +151,39 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "result: conflict serializable (no atomicity violation)\n")
 	return 0
+}
+
+// runParallel checks every file argument concurrently (one engine and one
+// parse/check pipeline per trace) and prints one verdict line per file, in
+// input order.
+func runParallel(paths []string, algo string, workers int, stdout, stderr io.Writer) int {
+	if len(paths) == 0 {
+		fmt.Fprintln(stderr, "usage: aerodrome -parallel N trace-file...")
+		return 2
+	}
+	if algo == "aerodrome" || algo == "" {
+		algo = "optimized"
+	}
+	reports, err := aerodrome.CheckFilesParallel(paths, aerodrome.Algorithm(algo), workers)
+	if err != nil {
+		fmt.Fprintln(stderr, "aerodrome:", err)
+		return 2
+	}
+	code := 0
+	for _, fr := range reports {
+		switch {
+		case fr.Err != nil:
+			fmt.Fprintf(stdout, "%s: error: %v\n", fr.Path, fr.Err)
+			code = 2
+		case !fr.Report.Serializable:
+			fmt.Fprintf(stdout, "%s: NOT conflict serializable — %v\n", fr.Path, fr.Report.Violation)
+			if code == 0 {
+				code = 1
+			}
+		default:
+			fmt.Fprintf(stdout, "%s: conflict serializable (%d events, %s)\n",
+				fr.Path, fr.Report.Events, fr.Report.Algorithm)
+		}
+	}
+	return code
 }

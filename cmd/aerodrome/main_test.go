@@ -79,6 +79,69 @@ func TestQuietFlag(t *testing.T) {
 	}
 }
 
+func TestPipelineFlag(t *testing.T) {
+	viol := writeTemp(t, "rho2.std", rho2STD)
+	ok := writeTemp(t, "rho1.std", rho1STD)
+	for _, algo := range []string{"optimized", "auto", "basic"} {
+		var out, errOut bytes.Buffer
+		if code := run([]string{"-pipeline", "-algo", algo, ok}, &out, &errOut); code != 0 {
+			t.Fatalf("%s: exit = %d\n%s%s", algo, code, out.String(), errOut.String())
+		}
+		if !strings.Contains(out.String(), "events:    10") {
+			t.Fatalf("%s: event count missing: %q", algo, out.String())
+		}
+		out.Reset()
+		if code := run([]string{"-pipeline", "-algo", algo, viol}, &out, &errOut); code != 1 {
+			t.Fatalf("%s: exit = %d, want 1\n%s", algo, code, out.String())
+		}
+		if !strings.Contains(out.String(), "NOT conflict serializable") {
+			t.Fatalf("%s: output %q", algo, out.String())
+		}
+	}
+	// Malformed input still exits 2 through the pipeline.
+	bad := writeTemp(t, "bad.std", "garbage\n")
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-pipeline", bad}, &out, &errOut); code != 2 {
+		t.Fatalf("malformed trace: exit %d", code)
+	}
+}
+
+func TestParallelMode(t *testing.T) {
+	ok := writeTemp(t, "rho1.std", rho1STD)
+	viol := writeTemp(t, "rho2.std", rho2STD)
+	var out, errOut bytes.Buffer
+	code := run([]string{"-parallel", "2", ok, viol}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\n%s%s", code, out.String(), errOut.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("want one line per file:\n%s", out.String())
+	}
+	if !strings.Contains(lines[0], "rho1.std: conflict serializable (10 events") {
+		t.Fatalf("line 0: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], "rho2.std: NOT conflict serializable") {
+		t.Fatalf("line 1: %q", lines[1])
+	}
+
+	// Per-file errors surface without hiding the other verdicts, exit 2.
+	out.Reset()
+	code = run([]string{"-parallel", "-1", ok, "/nonexistent/trace.std"}, &out, &errOut)
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2\n%s", code, out.String())
+	}
+	if !strings.Contains(out.String(), "rho1.std: conflict serializable") ||
+		!strings.Contains(out.String(), "error:") {
+		t.Fatalf("output:\n%s", out.String())
+	}
+
+	// No files at all is a usage error.
+	if code := run([]string{"-parallel", "4"}, &out, &errOut); code != 2 {
+		t.Fatalf("no files: exit %d", code)
+	}
+}
+
 func TestErrors(t *testing.T) {
 	var out, errOut bytes.Buffer
 	if code := run([]string{"-algo", "bogus", "x"}, &out, &errOut); code != 2 {

@@ -101,10 +101,18 @@ func benchJSON(stdout, stderr io.Writer, label, path string, events int64, runs 
 		bench.AeroDromeVariant(core.AlgoOptimized),
 		bench.AeroDromeTree(),
 		bench.AeroDromeHybrid(),
+		bench.AeroDromeVariant(core.AlgoOptimizedAuto),
 	}
+	cfgs := bench.ThreadScalingConfigs(events)
 	fmt.Fprintf(stderr, "measuring %d rows × %d engines (%d events, %d runs each)...\n",
-		len(bench.ThreadScalingConfigs(events)), len(engines), events, runs)
-	rep := bench.MeasureReport(label, engines, bench.ThreadScalingConfigs(events), runs)
+		len(cfgs), len(engines), events, runs)
+	rep := bench.MeasureReport(label, engines, cfgs, runs)
+	// Ingest rows: parse+check over in-memory STD bytes, sequential vs
+	// pipelined readers on the default engine.
+	fmt.Fprintf(stderr, "measuring %d ingest rows (sequential vs pipelined)...\n", len(cfgs))
+	for _, cfg := range cfgs {
+		rep.Rows = append(rep.Rows, bench.MeasureIngestRows(cfg, runs)...)
+	}
 	if path == "" {
 		return rep.WriteJSON(stdout)
 	}

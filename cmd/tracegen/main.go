@@ -32,7 +32,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	threads := fs.Int("threads", 4, "thread count (custom)")
 	vars := fs.Int("vars", 1_000, "variable count (custom)")
 	locks := fs.Int("locks", 4, "lock count (custom)")
-	pattern := fs.String("pattern", "chain", "body pattern: hub, chain or sharded (custom)")
+	pattern := fs.String("pattern", "chain", "body pattern: hub, chain, sharded or phase (custom)")
 	inject := fs.String("inject", "none", "violation to inject: none, cross, delayed or lock (custom)")
 	injectAt := fs.Float64("inject-at", 0.9, "violation position as a fraction of the trace (custom)")
 	absorb := fs.Int("absorb", 0, "hub absorb period (custom hub pattern)")
@@ -67,7 +67,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			Seed:        *seed,
 		}
 		switch cfg.Pattern {
-		case workload.PatternHub, workload.PatternChain, workload.PatternSharded:
+		case workload.PatternHub, workload.PatternChain, workload.PatternSharded, workload.PatternPhase:
 		default:
 			fmt.Fprintf(stderr, "tracegen: unknown pattern %q\n", *pattern)
 			return 2

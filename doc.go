@@ -31,8 +31,21 @@
 //     flat representation adaptively, so the hybrid tracks the better of
 //     the other two on both workload extremes.
 //
+// A fourth instantiation picks the representation adaptively:
+//
+//   - auto (aerodrome.Auto): structurally the hybrid engine, but thread
+//     clocks start flat and promote themselves to trees once the observed
+//     thread width crosses ~16 (re-evaluated as threads appear), so small
+//     traces pay flat's constants and wide ones get the tree wins without
+//     the caller choosing. Demoted thread clocks (in both hybrid and auto)
+//     re-promote with hysteresis: a streak of joins that change nothing —
+//     the signature of a sharded steady state after a chain burst — that
+//     doubles with each demotion, so phase-flapping workloads settle on
+//     flat instead of thrashing.
+//
 // The ȒR_x accumulators are sparse (vc.Sparse, thread→time pairs that
-// promote themselves to dense past a threshold) in every representation.
+// promote themselves to dense past a bench-swept threshold of 16 entries;
+// see vc.PromoteThreshold) in every representation.
 // On top of any representation the engine keeps its per-event cost
 // sublinear in thread count: an active-transaction registry replaces the
 // all-thread update-set scans, per-thread released/dirty lock lists
@@ -45,6 +58,23 @@
 // 2× faster than flat on thread-sharded workloads and matches flat on
 // chain workloads (where tree clocks alone are >2× slower); flat remains
 // the default pending soak time for the hybrid.
+//
+// # Pipelined and parallel checking
+//
+// The single-pass, constant-per-event algorithm streams naturally, so the
+// package offers an ingestion pipeline (internal/pipeline) that overlaps
+// parsing and checking: a producer goroutine fills pooled event batches
+// from the trace log and hands them to the checker through a bounded
+// channel — backpressure keeps memory constant, the batch pool keeps the
+// steady state allocation-free, and the checker's first violation stops
+// the producer early. CheckReaderPipelined and CheckBinaryReaderPipelined
+// expose it per trace; CheckFilesParallel checks N traces concurrently,
+// one independent engine and pipeline per file (the unit of parallelism
+// is the trace — the analysis itself is inherently sequential). The
+// pipelined paths are observationally identical to the sequential ones:
+// same verdict, same violation index, same event count, enforced by a
+// concurrency-differential suite that runs under the race detector in CI
+// and by a dedicated fuzz target (FuzzPipelineDifferential).
 //
 // # Testing strategy
 //
@@ -62,13 +92,26 @@
 //   - Native fuzzing: FuzzDifferentialEngines (internal/core) decodes
 //     arbitrary fuzz bytes into well-formed traces through a repairing
 //     byte-program VM (internal/testutil) and cross-checks all engines;
-//     the corpus is seeded with ρ1–ρ4 and injected-violation workloads.
+//     the corpus is seeded with ρ1–ρ4, injected-violation workloads and
+//     the phase-shift (demote-then-repromote) shape. A second target,
+//     FuzzPipelineDifferential at the repository root, renders the same
+//     byte programs to STD logs and cross-checks the pipelined against
+//     the sequential ingestion path.
 //   - Golden corpus: tracegen-produced STD logs under testdata/golden with
 //     pinned verdict/violation-index snapshots, replayed end-to-end
-//     through internal/rapidio — covering the parser-to-engine path.
+//     through internal/rapidio — covering the parser-to-engine path —
+//     both sequentially and through the pipelined checker.
+//   - Concurrency differentials: the pipelined and parallel checkers are
+//     pinned to sequential CheckSTD across the golden corpus, paper
+//     traces and fuzz seeds, and a Monitor stress suite asserts exact
+//     event accounting and at-most-once OnViolation delivery; CI runs all
+//     of it under -race.
 //   - Representation unit tests: internal/treeclock drives randomized
 //     operation sequences (including the flat-interop and copy-on-write
-//     snapshot paths) in lockstep against internal/vc.
+//     snapshot paths) in lockstep against internal/vc; white-box tests in
+//     internal/core pin the representation dynamics themselves (demotion
+//     during chain bursts, hysteresis re-promotion, the Auto width
+//     cutover).
 //
 // # Checking a trace
 //

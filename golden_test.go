@@ -19,6 +19,7 @@ import (
 	"path/filepath"
 	"testing"
 
+	"aerodrome"
 	"aerodrome/internal/core"
 	"aerodrome/internal/rapidio"
 	"aerodrome/internal/workload"
@@ -46,6 +47,7 @@ func goldenConfigs() []workload.Config {
 	var out []workload.Config
 	for _, p := range []workload.Pattern{
 		workload.PatternSharded, workload.PatternChain, workload.PatternHub,
+		workload.PatternPhase,
 	} {
 		for _, inj := range []workload.Violation{
 			workload.ViolationNone, workload.ViolationCross,
@@ -66,7 +68,26 @@ func goldenConfigs() []workload.Config {
 // detection-point classes.
 func goldenEngines() (basicClass, optimizedClass []core.Algorithm) {
 	return []core.Algorithm{core.AlgoBasic, core.AlgoReadOpt},
-		[]core.Algorithm{core.AlgoOptimized, core.AlgoOptimizedTree, core.AlgoOptimizedHybrid}
+		[]core.Algorithm{core.AlgoOptimized, core.AlgoOptimizedTree, core.AlgoOptimizedHybrid, core.AlgoOptimizedAuto}
+}
+
+// replaySTDPipelined replays one golden trace through the public pipelined
+// checker: the corpus pins the concurrent ingestion path to the same
+// snapshots as the sequential one, so a pipeline regression (reordering,
+// dropped batch, off-by-one latch) fails against recorded history even if
+// both paths drift together relative to the snapshot.
+func replaySTDPipelined(t *testing.T, path string) (*aerodrome.Report, int64) {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rep, err := aerodrome.CheckReaderPipelined(f, aerodrome.Optimized)
+	if err != nil {
+		t.Fatalf("%s: pipelined replay: %v", path, err)
+	}
+	return rep, rep.Events
 }
 
 func replaySTD(t *testing.T, path string, algo core.Algorithm) (*core.Violation, int64) {
@@ -200,6 +221,18 @@ func TestGoldenTraces(t *testing.T) {
 				if !want.Violation && n != want.Events {
 					t.Fatalf("%v: processed %d events, want %d", algo, n, want.Events)
 				}
+			}
+			rep, n := replaySTDPipelined(t, path)
+			if rep.Serializable == want.Violation {
+				t.Fatalf("pipelined: verdict violation=%v, want %v", !rep.Serializable, want.Violation)
+			}
+			if want.Violation && (rep.Violation.EventIndex != want.OptimizedIndex ||
+				rep.Violation.Check != want.OptimizedCheck) {
+				t.Fatalf("pipelined: violation (index %d, %s), want (index %d, %s)",
+					rep.Violation.EventIndex, rep.Violation.Check, want.OptimizedIndex, want.OptimizedCheck)
+			}
+			if !want.Violation && n != want.Events {
+				t.Fatalf("pipelined: processed %d events, want %d", n, want.Events)
 			}
 		})
 	}

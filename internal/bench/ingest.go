@@ -1,0 +1,99 @@
+package bench
+
+// Ingest benchmarking: end-to-end parse+check cost over an in-memory STD
+// log, sequential vs. pipelined. The engine-only rows of the thread-scaling
+// grid feed events from an in-memory generator and therefore measure pure
+// checking; these rows measure the ingestion path a service actually runs —
+// tokenization, interning and checking — and pin the pipelined reader
+// against its sequential equivalent on identical bytes.
+
+import (
+	"bytes"
+	"fmt"
+	"runtime"
+	"time"
+
+	"aerodrome/internal/core"
+	"aerodrome/internal/pipeline"
+	"aerodrome/internal/rapidio"
+	"aerodrome/internal/workload"
+)
+
+// IngestSeq and IngestPipe are the engine labels of the ingest rows.
+const (
+	IngestSeq  = "ingest-seq"
+	IngestPipe = "ingest-pipe"
+)
+
+// MeasureIngestRows renders cfg's trace to an in-memory STD log once and
+// measures checking it with the default (flat Optimized) engine through
+// the sequential reader and through the pipelined reader: same bytes, same
+// engine, so the delta is the ingestion structure alone. Rows follow the
+// MeasureRow protocol (warmup, best of runs, one instrumented run).
+func MeasureIngestRows(cfg workload.Config, runs int) []BenchRow {
+	var buf bytes.Buffer
+	if _, err := rapidio.WriteSource(&buf, workload.New(cfg)); err != nil {
+		panic(fmt.Sprintf("bench: rendering %s: %v", cfg.Name, err))
+	}
+	data := buf.Bytes()
+
+	seq := func() int64 {
+		eng := core.NewOptimized()
+		rd := rapidio.NewReader(bytes.NewReader(data))
+		v, n := core.Run(eng, rd)
+		if v != nil {
+			panic(fmt.Sprintf("bench: ingest %s: unexpected violation %v", cfg.Name, v))
+		}
+		if err := rd.Err(); err != nil {
+			panic(fmt.Sprintf("bench: ingest %s: %v", cfg.Name, err))
+		}
+		return n
+	}
+	pipe := func() int64 {
+		eng := core.NewOptimized()
+		v, n, err := pipeline.Run(eng, rapidio.NewReader(bytes.NewReader(data)), pipeline.Config{})
+		if v != nil {
+			panic(fmt.Sprintf("bench: ingest %s: unexpected violation %v", cfg.Name, v))
+		}
+		if err != nil {
+			panic(fmt.Sprintf("bench: ingest %s: %v", cfg.Name, err))
+		}
+		return n
+	}
+
+	var rows []BenchRow
+	for _, m := range []struct {
+		label string
+		run   func() int64
+	}{
+		{IngestSeq, seq},
+		{IngestPipe, pipe},
+	} {
+		row := BenchRow{
+			Workload: cfg.Name,
+			Pattern:  string(cfg.Pattern),
+			Threads:  cfg.Threads,
+			Engine:   m.label,
+			Runs:     runs,
+		}
+		row.Events = m.run() // warmup
+		best := time.Duration(1<<63 - 1)
+		for i := 0; i < runs; i++ {
+			start := time.Now()
+			m.run()
+			if d := time.Since(start); d < best {
+				best = d
+			}
+		}
+		row.NsPerEvent = float64(best.Nanoseconds()) / float64(row.Events)
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		m.run()
+		runtime.ReadMemStats(&after)
+		row.AllocsPerEvent = float64(after.Mallocs-before.Mallocs) / float64(row.Events)
+		row.BytesPerEvent = float64(after.TotalAlloc-before.TotalAlloc) / float64(row.Events)
+		rows = append(rows, row)
+	}
+	return rows
+}

@@ -165,6 +165,12 @@ const (
 	// makes subtree-skipping pay), flat clocks for the auxiliary
 	// accumulators (whose flush patterns defeat tree pruning).
 	AlgoOptimizedHybrid
+	// AlgoOptimizedAuto is Algorithm 3 with the representation picked by
+	// observed thread width: thread clocks start flat (flat wins below
+	// T≈16) and promote to trees once the width crosses the threshold,
+	// re-evaluated as threads appear; demoted clocks re-promote with
+	// hysteresis. Auxiliary accumulators are flat, as in the hybrid.
+	AlgoOptimizedAuto
 )
 
 // String names the variant.
@@ -180,6 +186,8 @@ func (a Algorithm) String() string {
 		return "aerodrome-treeclock"
 	case AlgoOptimizedHybrid:
 		return "aerodrome-hybrid"
+	case AlgoOptimizedAuto:
+		return "aerodrome-auto"
 	}
 	return fmt.Sprintf("algorithm(%d)", int(a))
 }
@@ -197,6 +205,8 @@ func New(a Algorithm) Engine {
 		return NewOptimizedTree()
 	case AlgoOptimizedHybrid:
 		return NewOptimizedHybrid()
+	case AlgoOptimizedAuto:
+		return NewOptimizedAuto()
 	}
 	panic("core: unknown algorithm")
 }

@@ -49,6 +49,17 @@ func fuzzSeeds(f *testing.F) [][]byte {
 		}
 		seeds = append(seeds, enc)
 	}
+	// The phase-shift shape seeds the corpus with demote-then-repromote
+	// dynamics, so mutations explore around the representation-switch
+	// boundaries of the hybrid and Auto engines.
+	phase := testutil.PhaseShiftTrace(testutil.PhaseShiftOpts{
+		Threads: 5, BurstRounds: 4, SteadyRounds: 12, OpsPerTxn: 3,
+	})
+	enc := testutil.EncodeTrace(phase)
+	if enc == nil {
+		f.Fatal("phase-shift trace does not fit the byte format")
+	}
+	seeds = append(seeds, enc)
 	return seeds
 }
 

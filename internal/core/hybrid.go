@@ -42,6 +42,32 @@ type hybridClock struct {
 	// the accumulators it already dominates — are O(1) instead of O(width).
 	aliasSrc *treeclock.Clock
 	aliasVer uint64
+
+	// owner is the owning thread for thread clocks, -1 for auxiliary
+	// accumulators (only thread clocks take part in demotion/promotion).
+	owner int32
+	// pol, when non-nil, is the Auto engine's shared width observer: flat
+	// thread clocks stay flat while the observed thread width is at or
+	// below the policy threshold and promote to trees once it crosses.
+	pol *autoPolicy
+	// quiet counts consecutive flat-side joins that changed nothing; it is
+	// the hysteresis signal that a demoted thread clock's churn phase has
+	// passed and the tree representation would win again.
+	quiet uint16
+	// demotions counts how many times this clock demoted tree→flat. Each
+	// demotion doubles the quiet streak required before the next
+	// re-promotion, so phase-flapping workloads settle on flat instead of
+	// thrashing between representations.
+	demotions uint8
+}
+
+// autoPolicy is the shared observed-thread-width state behind the Auto
+// engine: the engine's thread-clock constructor bumps width once per
+// thread that actually appears, and every flat thread clock consults it
+// at transaction begins to decide whether tree clocks have started to pay.
+type autoPolicy struct {
+	width     int
+	threshold int
 }
 
 // demoteToFlat converts the tree side into a private flat clock. The
@@ -57,10 +83,63 @@ func (h *hybridClock) demoteToFlat() {
 		mut: h.tree.Ver() + 1,
 	}
 	h.tree = nil
+	h.quiet = 0
+	if h.demotions < ^uint8(0) {
+		h.demotions++
+	}
 }
 
-func newHybridThreadClock() *hybridClock { return &hybridClock{tree: treeclock.New()} }
-func newHybridAuxClock() *hybridClock    { return &hybridClock{} }
+// promoteToTree converts the flat side back into a tree clock (star
+// layout, unattributable leaves; see treeclock.PromoteFromFlat). The new
+// tree's mutation counter is seated strictly above the flat side's, so
+// epoch slots recorded against the flat representation conservatively
+// miss, mirroring demoteToFlat in the opposite direction.
+func (h *hybridClock) promoteToTree() {
+	tree := treeclock.New()
+	tree.PromoteFromFlat(int(h.owner), h.flat.c, h.flat.mut+1)
+	h.tree = tree
+	h.flat = flatClock{}
+	h.aliasSrc = nil
+	h.quiet = 0
+}
+
+// repromoteQuietNeed is the consecutive-quiet-join streak a demoted thread
+// clock must see before re-promoting: 16 after the first demotion, doubling
+// with each further demotion (hysteresis against representation thrash).
+func repromoteQuietNeed(demotions uint8) uint16 {
+	if demotions == 0 {
+		return 0
+	}
+	if demotions > 7 {
+		demotions = 7
+	}
+	return 16 << (demotions - 1)
+}
+
+// maybePromote decides, at a transaction begin, whether a flat thread
+// clock should (re-)promote to the tree representation:
+//
+//   - Auto engines keep thread clocks flat while the observed width is at
+//     or below the policy threshold (flat wins at small widths);
+//   - a clock that started flat under Auto (never demoted) promotes as
+//     soon as the width crosses the threshold;
+//   - a demoted clock additionally needs its quiet streak (joins that
+//     stopped changing anything — the churn phase has passed).
+func (h *hybridClock) maybePromote() {
+	if h.pol != nil && h.pol.width <= h.pol.threshold {
+		return
+	}
+	if h.demotions == 0 && h.pol == nil {
+		return // plain hybrid thread clocks start as trees; nothing to do
+	}
+	if h.quiet < repromoteQuietNeed(h.demotions) {
+		return
+	}
+	h.promoteToTree()
+}
+
+func newHybridThreadClock() *hybridClock { return &hybridClock{tree: treeclock.New(), owner: -1} }
+func newHybridAuxClock() *hybridClock    { return &hybridClock{owner: -1} }
 
 // materializeFlat gives the flat side its own private copy of an aliased
 // snapshot; every flat-side mutation that is not a whole-clock (re)alias
@@ -83,6 +162,7 @@ func (h *hybridClock) aliasTree(src *treeclock.Clock) {
 }
 
 func (h *hybridClock) InitUnit(t int) {
+	h.owner = int32(t)
 	if h.tree != nil {
 		h.tree.InitUnit(t)
 		return
@@ -100,6 +180,11 @@ func (h *hybridClock) At(t int) vc.Time {
 }
 
 func (h *hybridClock) Inc(t int) {
+	if h.tree == nil && h.owner >= 0 {
+		// Transaction begins are the representation decision point: cheap,
+		// regular, and never on an alias-handout path.
+		h.maybePromote()
+	}
 	if h.tree != nil {
 		h.tree.Inc(t)
 		return
@@ -122,6 +207,21 @@ func (h *hybridClock) Leq(o *hybridClock) bool {
 }
 
 func (h *hybridClock) Join(o *hybridClock) {
+	if h.tree == nil && h.owner >= 0 {
+		// Flat thread clock: feed the hysteresis signal. A join that leaves
+		// the flat side untouched (no mutation-counter movement) extends
+		// the quiet streak; any content change resets it.
+		before := h.flat.mut
+		h.joinFlatTarget(o)
+		if h.flat.mut == before {
+			if h.quiet < ^uint16(0) {
+				h.quiet++
+			}
+		} else {
+			h.quiet = 0
+		}
+		return
+	}
 	if h.tree != nil {
 		if o.tree != nil {
 			h.tree.Join(o.tree)
@@ -132,14 +232,21 @@ func (h *hybridClock) Join(o *hybridClock) {
 		} else if h.tree.JoinFlat(o.flat.c) {
 			// One heavily churning absorb (the join raced past most of the
 			// tree) is the chain-workload signature: the tree structure
-			// gains nothing there, so demote to flat for good. Tree becomes
-			// nil and every operation dispatches to the flat side, as for
+			// gains nothing there, so demote to flat. Tree becomes nil and
+			// every operation dispatches to the flat side, as for
 			// auxiliaries; thread-sharded workloads never churn and keep
-			// their trees.
+			// their trees. Demotion holds until the hysteresis quiet streak
+			// says the churn phase has passed (maybePromote).
 			h.demoteToFlat()
 		}
 		return
 	}
+	h.joinFlatTarget(o)
+}
+
+// joinFlatTarget is Join for a flat-side target (auxiliary accumulators
+// and demoted or Auto-flat thread clocks).
+func (h *hybridClock) joinFlatTarget(o *hybridClock) {
 	if o.tree != nil {
 		if h.aliasSrc == o.tree {
 			// Same monotone source: the join result is the source's current

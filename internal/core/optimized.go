@@ -46,6 +46,43 @@ func NewOptimizedHybrid() *OptimizedHybrid {
 	}
 }
 
+// AutoWidthThreshold is the observed-thread-width cutover of the Auto
+// engine: thread clocks constructed while at most this many threads have
+// appeared start on the flat representation (whose constants win at small
+// widths — see the ROADMAP perf trajectory), later ones start as trees,
+// and the earlier flat clocks promote themselves once the width crosses
+// (hybridClock.maybePromote).
+const AutoWidthThreshold = 16
+
+// NewOptimizedAuto returns a fresh Algorithm 3 engine on the
+// width-adaptive representation: structurally an OptimizedHybrid whose
+// thread clocks pick flat vs tree by the observed thread width, so small
+// traces pay flat's constants and wide ones get the hybrid's tree wins.
+// The representation choice is semantically invisible (the differential
+// suites pin it to the other engines' verdicts and indices).
+func NewOptimizedAuto() *OptimizedHybrid {
+	return newOptimizedAutoWidth(AutoWidthThreshold)
+}
+
+// newOptimizedAutoWidth is NewOptimizedAuto with an explicit width
+// threshold (tests exercise the cutover with small widths).
+func newOptimizedAutoWidth(threshold int) *OptimizedHybrid {
+	pol := &autoPolicy{threshold: threshold}
+	return &OptimizedHybrid{
+		newClock: func() *hybridClock {
+			pol.width++
+			if pol.width > pol.threshold {
+				h := newHybridThreadClock()
+				h.pol = pol
+				return h
+			}
+			return &hybridClock{owner: -1, pol: pol}
+		},
+		newAux: newHybridAuxClock,
+		name:   AlgoOptimizedAuto.String(),
+	}
+}
+
 // newOptimizedGenericHybrid instantiates the generic engine on the hybrid
 // representation (specialization meta-tests; cf. newOptimizedGenericFlat).
 func newOptimizedGenericHybrid() *OptimizedOn[*hybridClock] {

@@ -32,10 +32,18 @@ func allRepEngines() []repEngine {
 	flat := NewOptimized()
 	tree := NewOptimizedTree()
 	hyb := NewOptimizedHybrid()
+	auto := NewOptimizedAuto()
+	// A tiny-threshold Auto exercises the flat→tree cutover (and the
+	// promoted clocks' subsequent demote/re-promote cycles) on every trace
+	// wide enough to have a few threads, where the default threshold would
+	// keep everything flat.
+	autoNarrow := newOptimizedAutoWidth(2)
 	return []repEngine{
 		{"flat", flat, flat.EndStats},
 		{"tree", tree, tree.EndStats},
 		{"hybrid", hyb, hyb.EndStats},
+		{"auto", auto, auto.EndStats},
+		{"auto-w2", autoNarrow, autoNarrow.EndStats},
 	}
 }
 
@@ -134,6 +142,7 @@ func TestTreeClockAgreementOnLockHeavyTraces(t *testing.T) {
 func TestTreeClockAgreementOnWorkloads(t *testing.T) {
 	patterns := []workload.Pattern{
 		workload.PatternHub, workload.PatternChain, workload.PatternSharded,
+		workload.PatternPhase,
 	}
 	injects := []workload.Violation{
 		workload.ViolationNone, workload.ViolationCross,

@@ -1,0 +1,130 @@
+// Package pipeline decouples trace parsing from checking: a producer
+// goroutine fills pooled event batches from a BatchSource (the rapidio
+// readers) and hands them through a bounded channel to the checker, which
+// runs on the caller's goroutine. The paper's algorithm is single-pass
+// with constant per-event state, so the only coupling between the two
+// stages is the event stream itself — exactly the shape that pipelines.
+//
+// Design points:
+//
+//   - Bounded depth: the channel holds at most Depth batches, so a fast
+//     parser cannot run away from a slow checker (backpressure) and memory
+//     stays O(Depth·BatchSize) regardless of trace size.
+//   - Zero steady-state allocations: all Depth batch buffers are allocated
+//     up front and recycled through a free list; after warm-up the
+//     pipeline itself allocates nothing per event.
+//   - Early exit: the checker latches at the first violation, signals the
+//     producer via the stop channel, and drains; the producer never blocks
+//     forever on a full channel.
+//   - Observational equivalence: verdict, violation index and event count
+//     are identical to running the same engine over the same stream
+//     sequentially. In particular a parse error positioned after the first
+//     violation is not reported — the sequential checker would have
+//     stopped reading before reaching it. The differential suite at the
+//     repository root enforces this against the golden corpus and the
+//     fuzz seeds.
+package pipeline
+
+import (
+	"io"
+
+	"aerodrome/internal/core"
+	"aerodrome/internal/trace"
+)
+
+// BatchSource produces events in bulk: ReadBatch fills dst with up to
+// len(dst) events, returning how many were filled and the terminal error
+// if the stream ended inside this batch (io.EOF for a clean end). Both
+// rapidio readers implement it.
+type BatchSource interface {
+	ReadBatch(dst []trace.Event) (int, error)
+}
+
+// Config tunes the pipeline. The zero value selects the defaults.
+type Config struct {
+	// BatchSize is the number of events per batch (default 4096): large
+	// enough to amortize the channel handoff to well under a nanosecond
+	// per event, small enough to keep the violation-latch latency low.
+	BatchSize int
+	// Depth is the number of in-flight batches (default 4): the producer
+	// parses at most Depth·BatchSize events ahead of the checker.
+	Depth int
+}
+
+func (c Config) withDefaults() Config {
+	if c.BatchSize <= 0 {
+		c.BatchSize = 4096
+	}
+	if c.Depth <= 0 {
+		c.Depth = 4
+	}
+	return c
+}
+
+// Run drives eng over src with parsing pipelined on a separate goroutine.
+// It returns the violation (nil if the trace is accepted), the number of
+// events consumed, and the parse error that ended the stream, if any.
+// When a violation is found, any later parse error is discarded: the
+// sequential checker stops reading at the violation, and Run is defined
+// to be observationally identical to it.
+func Run(eng core.Engine, src BatchSource, cfg Config) (*core.Violation, int64, error) {
+	cfg = cfg.withDefaults()
+
+	full := make(chan []trace.Event, cfg.Depth)
+	free := make(chan []trace.Event, cfg.Depth)
+	stop := make(chan struct{})
+	for i := 0; i < cfg.Depth; i++ {
+		free <- make([]trace.Event, cfg.BatchSize)
+	}
+
+	// The producer writes srcErr before closing full; the close ordering
+	// makes the write visible to the consumer without further locking.
+	var srcErr error
+	go func() {
+		defer close(full)
+		for {
+			var buf []trace.Event
+			select {
+			case buf = <-free:
+			case <-stop:
+				return
+			}
+			n, err := src.ReadBatch(buf[:cap(buf)])
+			if n > 0 {
+				select {
+				case full <- buf[:n]:
+				case <-stop:
+					return
+				}
+			}
+			if err != nil {
+				if err != io.EOF {
+					srcErr = err
+				}
+				return
+			}
+		}
+	}()
+
+	var viol *core.Violation
+	stopped := false
+	for evs := range full {
+		if viol == nil {
+			for _, e := range evs {
+				if v := eng.Process(e); v != nil {
+					viol = v
+					break
+				}
+			}
+			if viol != nil && !stopped {
+				stopped = true
+				close(stop) // unblock the producer; keep draining full
+			}
+		}
+		free <- evs[:cap(evs)]
+	}
+	if viol != nil {
+		return viol, eng.Processed(), nil
+	}
+	return eng.Violation(), eng.Processed(), srcErr
+}

@@ -1,0 +1,223 @@
+package pipeline
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"aerodrome/internal/core"
+	"aerodrome/internal/rapidio"
+	"aerodrome/internal/trace"
+	"aerodrome/internal/workload"
+)
+
+// sliceSource serves a fixed event slice batch by batch, recording every
+// distinct destination buffer it is handed (batch-recycling check) and
+// optionally ending with an injected error.
+type sliceSource struct {
+	evs     []trace.Event
+	pos     int
+	err     error // returned after the events run out (io.EOF when nil)
+	buffers map[*trace.Event]bool
+	maxReq  int
+}
+
+func (s *sliceSource) ReadBatch(dst []trace.Event) (int, error) {
+	if s.buffers == nil {
+		s.buffers = map[*trace.Event]bool{}
+	}
+	if cap(dst) > 0 {
+		s.buffers[&dst[:1][0]] = true
+	}
+	if len(dst) > s.maxReq {
+		s.maxReq = len(dst)
+	}
+	n := copy(dst, s.evs[s.pos:])
+	s.pos += n
+	if s.pos == len(s.evs) {
+		if s.err != nil {
+			return n, s.err
+		}
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+func genEvents(t *testing.T, cfg workload.Config) []trace.Event {
+	t.Helper()
+	return trace.Collect(workload.New(cfg)).Events
+}
+
+func seqOutcome(evs []trace.Event, algo core.Algorithm) (*core.Violation, int64) {
+	eng := core.New(algo)
+	tr := &trace.Trace{Events: evs}
+	return core.Run(eng, tr.Cursor())
+}
+
+// TestRunMatchesSequential pins the pipelined outcome (verdict, violation
+// index, check kind, events processed) to core.Run on the same stream,
+// across workload patterns, injected violations and batch sizes that do
+// and do not divide the trace length.
+func TestRunMatchesSequential(t *testing.T) {
+	for _, inj := range []workload.Violation{
+		workload.ViolationNone, workload.ViolationCross,
+		workload.ViolationDelayed, workload.ViolationLock,
+	} {
+		for _, pattern := range []workload.Pattern{
+			workload.PatternChain, workload.PatternSharded, workload.PatternPhase,
+		} {
+			cfg := workload.Config{
+				Name: string(pattern) + "-" + string(inj), Threads: 6, Vars: 128,
+				Locks: 4, Events: 5000, OpsPerTxn: 3, Pattern: pattern,
+				Inject: inj, InjectAt: 0.6, TxnFraction: 0.5, Seed: 7,
+			}
+			evs := genEvents(t, cfg)
+			wantV, wantN := seqOutcome(evs, core.AlgoOptimized)
+			for _, c := range []Config{{}, {BatchSize: 1}, {BatchSize: 7, Depth: 2}, {BatchSize: 4096, Depth: 1}} {
+				eng := core.NewOptimized()
+				v, n, err := Run(eng, &sliceSource{evs: evs}, c)
+				if err != nil {
+					t.Fatalf("%s %+v: error %v", cfg.Name, c, err)
+				}
+				if (wantV != nil) != (v != nil) {
+					t.Fatalf("%s %+v: verdict violation=%v, want %v", cfg.Name, c, v != nil, wantV != nil)
+				}
+				if wantV != nil && (v.Index != wantV.Index || v.Check != wantV.Check) {
+					t.Fatalf("%s %+v: violation (index %d, %v), want (index %d, %v)",
+						cfg.Name, c, v.Index, v.Check, wantV.Index, wantV.Check)
+				}
+				if n != wantN {
+					t.Fatalf("%s %+v: processed %d, want %d", cfg.Name, c, n, wantN)
+				}
+			}
+		}
+	}
+}
+
+// TestRunRecyclesBatches asserts the zero-steady-state-allocation design:
+// over an arbitrarily long stream, the producer only ever sees the Depth
+// preallocated buffers.
+func TestRunRecyclesBatches(t *testing.T) {
+	cfg := workload.Config{
+		Name: "recycle", Threads: 4, Vars: 64, Locks: 2, Events: 60000,
+		OpsPerTxn: 4, Pattern: workload.PatternSharded, TxnFraction: 0.5, Seed: 3,
+	}
+	src := &sliceSource{evs: genEvents(t, cfg)}
+	c := Config{BatchSize: 256, Depth: 3}
+	if _, _, err := Run(core.NewOptimized(), src, c); err != nil {
+		t.Fatal(err)
+	}
+	if len(src.buffers) > c.Depth {
+		t.Fatalf("pipeline used %d distinct buffers, want ≤ %d", len(src.buffers), c.Depth)
+	}
+	if src.maxReq != c.BatchSize {
+		t.Fatalf("batch capacity %d, want %d", src.maxReq, c.BatchSize)
+	}
+}
+
+// TestRunStopsProducerAfterViolation: once the checker latches, the
+// producer must be released promptly instead of parsing the rest of a
+// large trace into a wall of backpressure.
+func TestRunStopsProducerAfterViolation(t *testing.T) {
+	cfg := workload.Config{
+		Name: "early", Threads: 6, Vars: 64, Locks: 2, Events: 200000,
+		OpsPerTxn: 3, Pattern: workload.PatternChain,
+		Inject: workload.ViolationCross, InjectAt: 0.01, Seed: 5,
+	}
+	src := &sliceSource{evs: genEvents(t, cfg)}
+	c := Config{BatchSize: 64, Depth: 2}
+	v, _, err := Run(core.NewOptimized(), src, c)
+	if err != nil || v == nil {
+		t.Fatalf("want violation, got v=%v err=%v", v, err)
+	}
+	// The producer may overrun by the in-flight window, not by the trace.
+	overrun := src.pos - int(v.Index)
+	if max := (c.Depth + 2) * c.BatchSize; overrun > max {
+		t.Fatalf("producer parsed %d events past the violation, want ≤ %d", overrun, max)
+	}
+}
+
+func TestRunPropagatesSourceError(t *testing.T) {
+	cfg := workload.Config{
+		Name: "err", Threads: 4, Vars: 32, Locks: 2, Events: 2000,
+		OpsPerTxn: 3, Pattern: workload.PatternSharded, TxnFraction: 0.5, Seed: 9,
+	}
+	evs := genEvents(t, cfg)
+	wantErr := errors.New("boom")
+	v, n, err := Run(core.NewOptimized(), &sliceSource{evs: evs, err: wantErr}, Config{BatchSize: 128})
+	if v != nil {
+		t.Fatalf("unexpected violation %v", v)
+	}
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v, want %v", err, wantErr)
+	}
+	if n != int64(len(evs)) {
+		t.Fatalf("events before the error must still be processed: %d of %d", n, len(evs))
+	}
+}
+
+// TestRunSuppressesErrorAfterViolation: a parse error positioned after the
+// first violation must not surface — the sequential checker would have
+// stopped reading before reaching it.
+func TestRunSuppressesErrorAfterViolation(t *testing.T) {
+	cfg := workload.Config{
+		Name: "err-after", Threads: 6, Vars: 64, Locks: 2, Events: 4000,
+		OpsPerTxn: 3, Pattern: workload.PatternChain,
+		Inject: workload.ViolationCross, InjectAt: 0.2, Seed: 5,
+	}
+	evs := genEvents(t, cfg)
+	v, _, err := Run(core.NewOptimized(), &sliceSource{evs: evs, err: errors.New("late parse error")}, Config{BatchSize: 32})
+	if v == nil {
+		t.Fatal("want violation")
+	}
+	if err != nil {
+		t.Fatalf("late source error must be suppressed after a violation, got %v", err)
+	}
+}
+
+// TestRunOverRapidioReaders drives the real producers end to end: STD text
+// and binary logs through their respective batch readers.
+func TestRunOverRapidioReaders(t *testing.T) {
+	cfg := workload.Config{
+		Name: "io", Threads: 5, Vars: 64, Locks: 3, Events: 3000,
+		OpsPerTxn: 3, Pattern: workload.PatternChain,
+		Inject: workload.ViolationDelayed, InjectAt: 0.8, Seed: 13,
+	}
+	tr := trace.Collect(workload.New(cfg))
+	wantV, wantN := seqOutcome(tr.Events, core.AlgoOptimized)
+
+	var std bytes.Buffer
+	if err := rapidio.WriteTrace(&std, tr); err != nil {
+		t.Fatal(err)
+	}
+	var bin bytes.Buffer
+	bw := rapidio.NewBinaryWriter(&bin)
+	for _, e := range tr.Events {
+		if err := bw.Write(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range []struct {
+		name string
+		src  BatchSource
+	}{
+		{"std", rapidio.NewReader(bytes.NewReader(std.Bytes()))},
+		{"bin", rapidio.NewBinaryReader(bytes.NewReader(bin.Bytes()))},
+	} {
+		v, n, err := Run(core.NewOptimized(), tc.src, Config{})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if (wantV != nil) != (v != nil) || (wantV != nil && v.Index != wantV.Index) {
+			t.Fatalf("%s: violation %v, want %v", tc.name, v, wantV)
+		}
+		if n != wantN {
+			t.Fatalf("%s: processed %d, want %d", tc.name, n, wantN)
+		}
+	}
+}

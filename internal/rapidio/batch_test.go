@@ -1,0 +1,114 @@
+package rapidio
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"aerodrome/internal/trace"
+	"aerodrome/internal/workload"
+)
+
+// TestReadBatchMatchesRead: batched reading must yield the identical event
+// sequence as event-at-a-time reading, across batch sizes that do and do
+// not divide the trace, for both formats.
+func TestReadBatchMatchesRead(t *testing.T) {
+	cfg := workload.Config{
+		Name: "batch", Threads: 5, Vars: 64, Locks: 3, Events: 1000,
+		OpsPerTxn: 3, Pattern: workload.PatternChain, TxnFraction: 0.5, Seed: 21,
+	}
+	tr := trace.Collect(workload.New(cfg))
+	var std bytes.Buffer
+	if err := WriteTrace(&std, tr); err != nil {
+		t.Fatal(err)
+	}
+	var bin bytes.Buffer
+	bw := NewBinaryWriter(&bin)
+	for _, e := range tr.Events {
+		if err := bw.Write(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	type batcher interface {
+		ReadBatch([]trace.Event) (int, error)
+		Next() (trace.Event, bool)
+		Err() error
+	}
+	sources := func() map[string][2]batcher {
+		return map[string][2]batcher{
+			"std": {NewReader(bytes.NewReader(std.Bytes())), NewReader(bytes.NewReader(std.Bytes()))},
+			"bin": {NewBinaryReader(bytes.NewReader(bin.Bytes())), NewBinaryReader(bytes.NewReader(bin.Bytes()))},
+		}
+	}
+	for _, size := range []int{1, 7, 256, 5000} {
+		for name, pair := range sources() {
+			// Reference: the same bytes read event at a time (interning is
+			// first-appearance-ordered, so IDs only compare within one
+			// reading of one byte stream).
+			var want []trace.Event
+			for {
+				e, ok := pair[1].Next()
+				if !ok {
+					break
+				}
+				want = append(want, e)
+			}
+			if err := pair[1].Err(); err != nil {
+				t.Fatal(err)
+			}
+			var got []trace.Event
+			buf := make([]trace.Event, size)
+			for {
+				n, err := pair[0].ReadBatch(buf)
+				got = append(got, buf[:n]...)
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					t.Fatalf("%s size %d: %v", name, size, err)
+				}
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s size %d: %d events, want %d", name, size, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s size %d: event %d = %v, want %v", name, size, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestReadBatchPartialThenError: a parse error mid-batch must return the
+// events before it alongside the error, and stay sticky afterwards.
+func TestReadBatchPartialThenError(t *testing.T) {
+	input := "t0|begin|0\nt0|w(x)|0\nGARBAGE\nt0|end|0\n"
+	r := NewReader(strings.NewReader(input))
+	buf := make([]trace.Event, 16)
+	n, err := r.ReadBatch(buf)
+	if n != 2 {
+		t.Fatalf("n = %d, want 2 events before the bad line", n)
+	}
+	var perr *ParseError
+	if !errors.As(err, &perr) || !errors.Is(err, ErrFormat) {
+		t.Fatalf("err = %v, want *ParseError", err)
+	}
+	if n2, err2 := r.ReadBatch(buf); n2 != 0 || err2 == nil {
+		t.Fatalf("error must be sticky: n=%d err=%v", n2, err2)
+	}
+}
+
+func TestReadBatchEmptyInput(t *testing.T) {
+	r := NewReader(strings.NewReader(""))
+	n, err := r.ReadBatch(make([]trace.Event, 8))
+	if n != 0 || err != io.EOF {
+		t.Fatalf("n=%d err=%v, want 0, io.EOF", n, err)
+	}
+}

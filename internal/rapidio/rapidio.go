@@ -121,6 +121,31 @@ func (r *Reader) Next() (trace.Event, bool) {
 	return ev, true
 }
 
+// ReadBatch fills dst with up to len(dst) events and returns how many were
+// filled plus the terminal error, if the stream ended inside this batch
+// (io.EOF for a clean end, a *ParseError or scanner error otherwise). A
+// non-nil error means no further events will ever come; n may still be
+// positive alongside it. This is the producer side of the pipelined
+// checker: one call amortizes the scanner loop over a whole batch.
+func (r *Reader) ReadBatch(dst []trace.Event) (int, error) {
+	return readBatch(r.Read, dst)
+}
+
+// readBatch is the shared fill-until-error loop behind both readers'
+// ReadBatch (one place to change the batch contract).
+func readBatch(read func() (trace.Event, error), dst []trace.Event) (int, error) {
+	n := 0
+	for n < len(dst) {
+		ev, err := read()
+		if err != nil {
+			return n, err
+		}
+		dst[n] = ev
+		n++
+	}
+	return n, nil
+}
+
 // Err returns the terminal error of the stream, if any (nil after a clean
 // EOF).
 func (r *Reader) Err() error {
@@ -448,6 +473,12 @@ func (br *BinaryReader) Next() (trace.Event, bool) {
 		return trace.Event{}, false
 	}
 	return ev, true
+}
+
+// ReadBatch fills dst with up to len(dst) events; see Reader.ReadBatch for
+// the contract.
+func (br *BinaryReader) ReadBatch(dst []trace.Event) (int, error) {
+	return readBatch(br.Read, dst)
 }
 
 // Err returns the terminal error of the stream (nil after clean EOF).

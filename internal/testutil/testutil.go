@@ -260,6 +260,95 @@ func RandomTrace(r *rand.Rand, o GenOpts) *trace.Trace {
 	return tr
 }
 
+// PhaseShiftOpts controls PhaseShiftTrace.
+type PhaseShiftOpts struct {
+	// Threads is the thread count (≥2; all threads start alive, no
+	// fork/join structure).
+	Threads int
+	// BurstRounds is the number of chain-burst rounds: every thread, in
+	// order, runs a transaction that reads the previous thread's token and
+	// writes its own — the densely entangled shape whose joins race past
+	// most of a tree clock and demote hybrid thread clocks to flat.
+	BurstRounds int
+	// SteadyRounds is the number of sharded steady-state rounds that
+	// follow: every thread runs a transaction over its private variables
+	// only — the shape where tree clocks win and demoted clocks should
+	// re-promote once their joins quiet down.
+	SteadyRounds int
+	// OpsPerTxn is the number of private accesses per steady-state
+	// transaction (default 4).
+	OpsPerTxn int
+}
+
+// PhaseShiftTrace builds the deterministic phase-shift shape: a chain
+// burst followed by a sharded steady state. The trace is conflict
+// serializable (token conflicts point forward only; steady-state accesses
+// are thread-private), so it isolates the representation dynamics —
+// demotion during the burst, hysteresis re-promotion during the steady
+// state — from verdict changes.
+func PhaseShiftTrace(o PhaseShiftOpts) *trace.Trace {
+	if o.Threads < 2 {
+		o.Threads = 2
+	}
+	if o.OpsPerTxn < 1 {
+		o.OpsPerTxn = 4
+	}
+	b := trace.NewBuilder()
+	threads := make([]trace.ThreadID, o.Threads)
+	for i := range threads {
+		threads[i] = b.Thread("t" + suffix(i))
+	}
+	tokens := make([]trace.VarID, o.Threads)
+	for i := range tokens {
+		tokens[i] = b.Var("tok" + suffix(i))
+	}
+	private := make([][]trace.VarID, o.Threads)
+	for i := range private {
+		private[i] = make([]trace.VarID, o.OpsPerTxn)
+		for j := range private[i] {
+			private[i][j] = b.Var("p" + suffix(i) + "_" + suffix(j))
+		}
+	}
+	// Fork the workers from thread 0, as the workload generator does: the
+	// fork edge seeds every worker clock with a foreign component, so end
+	// events take the full-propagation path and the burst actually
+	// entangles the clocks (a forkless ring is garbage-collected whole and
+	// never exercises the representation dynamics).
+	for i := 1; i < o.Threads; i++ {
+		b.Fork(threads[0], threads[i])
+	}
+	for r := 0; r < o.BurstRounds; r++ {
+		for w := 0; w < o.Threads; w++ {
+			prev := (w + o.Threads - 1) % o.Threads
+			b.Begin(threads[w])
+			b.Read(threads[w], tokens[prev])
+			b.Write(threads[w], tokens[w])
+			b.End(threads[w])
+		}
+	}
+	for r := 0; r < o.SteadyRounds; r++ {
+		for w := 0; w < o.Threads; w++ {
+			b.Begin(threads[w])
+			for j := 0; j < o.OpsPerTxn; j++ {
+				if (r+j)%2 == 0 {
+					b.Write(threads[w], private[w][j])
+				} else {
+					b.Read(threads[w], private[w][j])
+				}
+			}
+			b.End(threads[w])
+		}
+	}
+	for i := 1; i < o.Threads; i++ {
+		b.Join(threads[0], threads[i])
+	}
+	tr := b.Build()
+	if err := trace.ValidateStrict(tr); err != nil {
+		panic("testutil: phase-shift trace malformed: " + err.Error())
+	}
+	return tr
+}
+
 func closeThread(b *trace.Builder, th *genThread, lockBusy []bool) {
 	for n := len(th.locks); n > 0; n = len(th.locks) {
 		l := th.locks[n-1]

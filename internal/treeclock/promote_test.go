@@ -1,0 +1,84 @@
+package treeclock
+
+import (
+	"testing"
+
+	"aerodrome/internal/vc"
+)
+
+// TestPromoteFromFlatVersionStreamContinues is the regression test for the
+// re-promotion version-stream bug: a peer clock that recorded a high
+// version claim for a thread before its demotion must NOT use that stale
+// claim to skip joins from the re-promoted tree. PromoteFromFlat must
+// seat the owner's version stream above every previously published claim,
+// not restart it at 1.
+func TestPromoteFromFlatVersionStreamContinues(t *testing.T) {
+	// Thread 1 pumps its version stream high and publishes a claim to a
+	// peer via a tree-tree join.
+	c1 := New()
+	c1.InitUnit(1)
+	for i := 0; i < 30; i++ {
+		c1.Inc(1)
+	}
+	peer := New()
+	peer.InitUnit(0)
+	peer.Join(c1)
+	if got := peer.At(1); got != 31 {
+		t.Fatalf("peer.At(1) = %d, want 31 after first join", got)
+	}
+
+	// Thread 1 demotes (the flat side's mutation counter is seated above
+	// the abandoned tree's, as hybridClock.demoteToFlat does), then
+	// re-promotes and keeps going.
+	flat := c1.Flat()
+	flatMut := c1.Ver() + 1 // demoteToFlat's seating
+	c1 = New()
+	c1.PromoteFromFlat(1, flat, flatMut+1) // promoteToTree's seating
+	for i := 0; i < 7; i++ {
+		c1.Inc(1)
+	}
+
+	// The peer's stale claim (ver from before the demotion) must not
+	// cover the re-promoted tree's content.
+	peer.Join(c1)
+	if got, want := peer.At(1), c1.At(1); got != want {
+		t.Fatalf("peer.At(1) = %d, want %d: stale pre-demotion claim skipped the re-promoted join", got, want)
+	}
+	if !c1.Leq(peer) {
+		t.Fatalf("c1 ⋢ peer after peer absorbed it")
+	}
+}
+
+// TestPromoteFromFlatBasics pins the promoted tree's shape and semantics.
+func TestPromoteFromFlatBasics(t *testing.T) {
+	var m vc.Clock
+	m = m.Set(0, 5).Set(2, 9).Set(3, 1)
+	c := New()
+	c.PromoteFromFlat(2, m, 100)
+	if got := c.Flat(); !got.Leq(m) || !m.Leq(got) {
+		t.Fatalf("promoted content %v, want %v", got, m)
+	}
+	if c.Ver() != 100 {
+		t.Fatalf("Ver() = %d, want the verFloor 100", c.Ver())
+	}
+	// Owned: Inc must work and bump only the own component.
+	c.Inc(2)
+	if c.At(2) != 10 || c.At(0) != 5 {
+		t.Fatalf("after Inc: At(2)=%d At(0)=%d", c.At(2), c.At(0))
+	}
+	// An owner absent from the flat vector still gets its unit component.
+	c2 := New()
+	c2.PromoteFromFlat(7, m, 1)
+	if c2.At(7) != 1 {
+		t.Fatalf("absent owner component = %d, want 1", c2.At(7))
+	}
+	// Joins out of a promoted tree transfer everything.
+	dst := New()
+	dst.InitUnit(4)
+	dst.Join(c)
+	for _, tid := range []int{0, 2, 3} {
+		if dst.At(tid) != c.At(tid) {
+			t.Fatalf("dst.At(%d) = %d, want %d", tid, dst.At(tid), c.At(tid))
+		}
+	}
+}

@@ -844,6 +844,46 @@ func (c *Clock) joinFlatStar(m, o vc.Clock) {
 	c.mirrorVer = c.mut
 }
 
+// PromoteFromFlat rebuilds c as a thread clock owned by t holding the flat
+// vector m (the hybrid representation's hysteresis re-promotion: a thread
+// clock that demoted itself to flat during a churn phase converts back once
+// its joins quiet down). The result is a root-plus-leaves star: the root
+// carries t's entry and a fresh whole-tree claim, every other nonzero entry
+// attaches as an unattributable (ver-0) leaf — flat content carries no
+// version stream, exactly as in JoinFlat. verFloor seats BOTH counters
+// strictly above the flat side's mutation count: the mutation counter, so
+// engine epoch slots recorded against the flat representation
+// conservatively miss, and the owner's version stream, so claims about
+// this thread recorded by peer trees before the demotion stay strictly
+// below every post-promotion claim. (Within any one tree's life mut ≥
+// vcnt, and the flat side's mut was seated above the abandoned tree's at
+// demotion, so verFloor exceeds every version this owner ever published;
+// restarting the stream at 1 instead would let a peer's stale high claim
+// skip joins of genuinely newer content.)
+func (c *Clock) PromoteFromFlat(t int, m vc.Clock, verFloor uint64) {
+	c.reset()
+	c.owner = int32(t)
+	c.vcnt = vc.Time(verFloor)
+	if c.vcnt < 1 {
+		c.vcnt = 1
+	}
+	own := m.At(t)
+	if own == 0 {
+		own = 1 // thread clocks always carry their own component
+	}
+	c.root = c.newNode(int32(t), own, c.vcnt, Unattributed)
+	for i, v := range m {
+		if v == 0 || i == t {
+			continue
+		}
+		n := c.newNode(int32(i), v, 0, Unattributed)
+		c.attach(c.root, n, c.vcnt)
+	}
+	c.exact = true
+	c.mut = verFloor
+	c.mirrorVer = c.mut - 1 // mirror stale: rebuild on first flat-interop use
+}
+
 // AbsorbIntoFlat joins c's components into the flat clock dst (dst ⊔= c):
 // the hybrid engine's flat auxiliary accumulators absorbing a tree thread
 // clock. It returns the possibly grown dst, the number of components that

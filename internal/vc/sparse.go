@@ -2,7 +2,7 @@ package vc
 
 // Sparse is a sparse vector time: an unsorted association list of
 // (thread, time) pairs that promotes itself to a dense Clock once it holds
-// more than promoteThreshold entries. It is the representation of the ȒR_x
+// more than PromoteThreshold entries. It is the representation of the ȒR_x
 // accumulators across every engine: ȒR_x is read only through single
 // components and written only through zeroing joins, and on real workloads
 // a given variable is read by very few distinct threads, so the common case
@@ -18,10 +18,20 @@ type Sparse struct {
 	dense Clock // non-nil once promoted; tids/times are nil from then on
 }
 
-// promoteThreshold is the entry count beyond which Sparse switches to a
+// PromoteThreshold is the entry count beyond which Sparse switches to a
 // dense Clock: past this size the linear scans of the association list
 // stop beating the dense representation's O(1) indexing.
-const promoteThreshold = 12
+//
+// The value is pinned by the bench-backed sweep in
+// internal/core/sparse_sweep_test.go (read-heavy traces with 8–48 distinct
+// readers per variable, thresholds 4–32). Measured shape: thresholds 4–8
+// lose 15–25% at 8 readers (they promote variables that would have stayed
+// sparse), 12–24 sit on a plateau at every width, and the curve is flat
+// within noise at 16–48 readers. 16 is the plateau point that also keeps
+// the 13–16-reader band sparse — the band the previous default of 12
+// promoted early (ROADMAP PR 2 open item). Mutable only so the sweep can
+// exercise alternatives; production code must treat it as a constant.
+var PromoteThreshold = 16
 
 // At returns component t (0 when absent).
 func (s *Sparse) At(t int) Time {
@@ -56,7 +66,7 @@ func (s *Sparse) JoinComponent(t int, v Time) {
 			return
 		}
 	}
-	if len(s.tids) >= promoteThreshold {
+	if len(s.tids) >= PromoteThreshold {
 		s.promote()
 		s.dense = s.dense.Set(t, v)
 		return
@@ -91,7 +101,7 @@ func (s *Sparse) JoinZeroing(d Clock, skip int) {
 			nz++
 		}
 	}
-	if nz > promoteThreshold {
+	if nz > PromoteThreshold {
 		s.promote()
 		s.dense = s.dense.JoinZeroing(d, skip)
 		return

@@ -39,7 +39,7 @@ func TestSparseJoinZeroing(t *testing.T) {
 
 func TestSparsePromotion(t *testing.T) {
 	var s Sparse
-	for i := 0; i < promoteThreshold; i++ {
+	for i := 0; i < PromoteThreshold; i++ {
 		s.JoinComponent(i*3, Time(i+1))
 	}
 	if s.IsDense() {
@@ -47,9 +47,9 @@ func TestSparsePromotion(t *testing.T) {
 	}
 	s.JoinComponent(100, 42)
 	if !s.IsDense() {
-		t.Fatalf("not promoted past %d entries", promoteThreshold)
+		t.Fatalf("not promoted past %d entries", PromoteThreshold)
 	}
-	for i := 0; i < promoteThreshold; i++ {
+	for i := 0; i < PromoteThreshold; i++ {
 		if s.At(i*3) != Time(i+1) {
 			t.Fatalf("entry %d lost in promotion: %v", i*3, &s)
 		}

@@ -47,6 +47,13 @@ const (
 	// transactions except a configurable fraction. Reproduces philo (no
 	// transactions at all) and tsp (312M events, 9 transactions).
 	PatternSharded Pattern = "sharded"
+	// PatternPhase is a phase-changing workload: a chain burst (densely
+	// entangled token passing, the shape that demotes hybrid tree clocks
+	// to flat) for the first PhaseSplit of the body, then a sharded steady
+	// state (thread-private accesses, where tree clocks win and demoted
+	// clocks should re-promote). Exercises the hysteresis levers of the
+	// adaptive clock representations.
+	PatternPhase Pattern = "phase"
 )
 
 // Violation selects the kind of conflict-serializability violation to
@@ -98,8 +105,12 @@ type Config struct {
 	// per-event cycle-check cost faster.
 	AbsorbEvery int
 	// TxnFraction is the fraction of body rounds that run inside a
-	// transaction (sharded pattern only; 0 = all unary, as in philo).
+	// transaction (sharded and phase patterns; 0 = all unary, as in philo).
 	TxnFraction float64
+	// PhaseSplit is the fraction of Events spent in the chain burst before
+	// the phase pattern switches to the sharded steady state (phase
+	// pattern only; defaults to 0.3).
+	PhaseSplit float64
 	// Seed makes the stream deterministic.
 	Seed int64
 }
@@ -135,6 +146,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Inject == "" {
 		c.Inject = ViolationNone
+	}
+	if c.PhaseSplit <= 0 || c.PhaseSplit >= 1 {
+		c.PhaseSplit = 0.3
 	}
 	if c.InjectAt <= 0 || c.InjectAt > 1 {
 		c.InjectAt = 0.9
@@ -332,6 +346,12 @@ func (g *Generator) refill() {
 		g.chainRound()
 	case PatternSharded:
 		g.shardedRound()
+	case PatternPhase:
+		if g.emitted < int64(float64(g.cfg.Events)*g.cfg.PhaseSplit) {
+			g.chainRound()
+		} else {
+			g.shardedRound()
+		}
 	default:
 		g.chainRound()
 	}
