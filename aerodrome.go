@@ -117,17 +117,18 @@ type Event struct {
 }
 
 // Violation reports a detected conflict-serializability (atomicity)
-// violation. It implements error.
+// violation. It implements error. The JSON field names are the wire
+// format of the aerodromed service.
 type Violation struct {
 	// EventIndex is the 0-based position of the event at which the
 	// violation was declared.
-	EventIndex int64
+	EventIndex int64 `json:"event_index"`
 	// Thread is the thread whose active transaction cannot be serialized.
-	Thread int
+	Thread int `json:"thread"`
 	// Check names the algorithm rule that fired (e.g. "read-after-write").
-	Check string
+	Check string `json:"check"`
 	// Algorithm names the engine that reported.
-	Algorithm string
+	Algorithm string `json:"algorithm"`
 }
 
 // Error implements error.
@@ -237,17 +238,22 @@ func (c *Checker) Violation() *Violation { return c.viol }
 // Processed returns the number of events consumed.
 func (c *Checker) Processed() int64 { return c.eng.Processed() }
 
-// Report is the outcome of checking a whole trace.
+// Algorithm returns the name of the engine backing this checker (e.g.
+// "aerodrome-optimized"), as it appears in Report.Algorithm.
+func (c *Checker) Algorithm() string { return c.eng.Name() }
+
+// Report is the outcome of checking a whole trace. The JSON field names
+// are the wire format of the aerodromed service.
 type Report struct {
 	// Serializable is true iff no violation was found.
-	Serializable bool
+	Serializable bool `json:"serializable"`
 	// Violation is non-nil iff not serializable.
-	Violation *Violation
+	Violation *Violation `json:"violation,omitempty"`
 	// Events is the number of events consumed (analysis stops at the first
 	// violation, as in the paper).
-	Events int64
+	Events int64 `json:"events"`
 	// Algorithm names the engine used.
-	Algorithm string
+	Algorithm string `json:"algorithm"`
 }
 
 // CheckSTD analyzes a trace log in the RAPID STD text format

@@ -6,6 +6,8 @@
 //
 //	aerodrome [-algo optimized] [-format std] [-pipeline] [trace-file]
 //	aerodrome [-algo optimized] -parallel N trace-file...
+//	aerodrome [-algo auto] -serve :8421
+//	aerodrome [-algo A] -remote http://host:8421 [trace-file]
 //
 // With no file argument the trace is read from standard input. -pipeline
 // overlaps parsing and checking on separate goroutines; -parallel N checks
@@ -13,13 +15,23 @@
 // (N < 0 selects one per CPU; the format of each file is sniffed). The
 // exit code is 0 when every trace is conflict serializable, 1 when a
 // violation was found, and 2 on usage or input errors.
+//
+// -serve runs the aerodromed service in-process on the given address
+// (equivalent to the aerodromed command with default limits; -algo sets
+// the server's default algorithm). -remote streams the trace to a running
+// aerodromed instead of checking locally: same output, same exit codes,
+// the format is sniffed by the server.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"aerodrome"
@@ -27,6 +39,7 @@ import (
 	"aerodrome/internal/doublechecker"
 	"aerodrome/internal/pipeline"
 	"aerodrome/internal/rapidio"
+	"aerodrome/internal/server"
 	"aerodrome/internal/trace"
 	"aerodrome/internal/velodrome"
 )
@@ -87,8 +100,36 @@ func run(args []string, stdout, stderr io.Writer) int {
 	quiet := fs.Bool("q", false, "suppress everything except the verdict line")
 	pipe := fs.Bool("pipeline", false, "pipeline parsing and checking on separate goroutines")
 	parallel := fs.Int("parallel", 0, "check multiple trace files concurrently on this many workers (<0 = one per CPU); implies -pipeline, sniffs each file's format (-format and -q are ignored)")
+	serve := fs.String("serve", "", "run the aerodromed service on this address instead of checking a trace (server default algo is auto unless -algo is set)")
+	remote := fs.String("remote", "", "stream the trace to a running aerodromed at this base URL instead of checking locally (the server's default algorithm applies unless -algo is set)")
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	// The flag default "optimized" is the local-check default; the server
+	// modes must be able to tell "unset" from an explicit choice, so the
+	// server-side defaults (-serve boots with auto, -remote defers to the
+	// remote server's configured default) are not silently overridden.
+	algoSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "algo" {
+			algoSet = true
+		}
+	})
+	if *serve != "" {
+		if fs.NArg() > 0 {
+			fmt.Fprintln(stderr, "usage: aerodrome -serve ADDR takes no trace-file arguments")
+			return 2
+		}
+		if !algoSet {
+			*algo = "auto"
+		}
+		return runServe(*serve, *algo, stderr)
+	}
+	if *remote != "" {
+		if !algoSet {
+			*algo = "" // let the server apply its configured default
+		}
+		return runRemote(*remote, *algo, fs.Args(), *quiet, stdout, stderr)
 	}
 	if *parallel != 0 {
 		return runParallel(fs.Args(), *algo, *parallel, stdout, stderr)
@@ -153,6 +194,73 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// normalizeAlgo resolves the CLI-only alias "aerodrome" to the canonical
+// engine name, in one place for every front-end mode. The empty string
+// passes through: it means "caller's default" (the public API and the
+// remote server each resolve it themselves).
+func normalizeAlgo(algo string) string {
+	if algo == "aerodrome" {
+		return "optimized"
+	}
+	return algo
+}
+
+// runServe fronts the aerodromed daemon from the main CLI: same service,
+// default limits, same auto default engine; an explicit -algo overrides.
+// It blocks until SIGINT or SIGTERM, then drains gracefully.
+func runServe(addr, algo string, stderr io.Writer) int {
+	algo = normalizeAlgo(algo)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err := server.RunDaemon(ctx, server.DaemonConfig{
+		Addr:   addr,
+		Server: server.Config{Algorithm: aerodrome.Algorithm(algo)},
+		Log:    stderr,
+	})
+	if err != nil {
+		fmt.Fprintln(stderr, "aerodrome:", err)
+		return 2
+	}
+	return 0
+}
+
+// runRemote streams one trace (file or stdin) to a running aerodromed and
+// renders the report exactly like a local check.
+func runRemote(baseURL, algo string, args []string, quiet bool, stdout, stderr io.Writer) int {
+	if len(args) > 1 {
+		fmt.Fprintln(stderr, "usage: aerodrome -remote URL [trace-file]")
+		return 2
+	}
+	var r io.Reader = os.Stdin
+	if len(args) == 1 && args[0] != "-" {
+		f, err := os.Open(args[0])
+		if err != nil {
+			fmt.Fprintln(stderr, "aerodrome:", err)
+			return 2
+		}
+		defer f.Close()
+		r = f
+	}
+	algo = normalizeAlgo(algo)
+	client := &server.Client{BaseURL: baseURL}
+	start := time.Now()
+	rep, err := client.Check(r, algo)
+	if err != nil {
+		fmt.Fprintln(stderr, "aerodrome:", err)
+		return 2
+	}
+	if !quiet {
+		fmt.Fprintf(stdout, "algorithm: %s\nevents:    %d\ntime:      %v (remote)\n",
+			rep.Algorithm, rep.Events, time.Since(start))
+	}
+	if !rep.Serializable {
+		fmt.Fprintf(stdout, "result: NOT conflict serializable — %v\n", rep.Violation)
+		return 1
+	}
+	fmt.Fprintf(stdout, "result: conflict serializable (no atomicity violation)\n")
+	return 0
+}
+
 // runParallel checks every file argument concurrently (one engine and one
 // parse/check pipeline per trace) and prints one verdict line per file, in
 // input order.
@@ -161,9 +269,7 @@ func runParallel(paths []string, algo string, workers int, stdout, stderr io.Wri
 		fmt.Fprintln(stderr, "usage: aerodrome -parallel N trace-file...")
 		return 2
 	}
-	if algo == "aerodrome" || algo == "" {
-		algo = "optimized"
-	}
+	algo = normalizeAlgo(algo)
 	reports, err := aerodrome.CheckFilesParallel(paths, aerodrome.Algorithm(algo), workers)
 	if err != nil {
 		fmt.Fprintln(stderr, "aerodrome:", err)
@@ -173,7 +279,14 @@ func runParallel(paths []string, algo string, workers int, stdout, stderr io.Wri
 	for _, fr := range reports {
 		switch {
 		case fr.Err != nil:
-			fmt.Fprintf(stdout, "%s: error: %v\n", fr.Path, fr.Err)
+			// FileReport errors are typed *aerodrome.FileError carrying the
+			// path; unwrap so the path prints once.
+			msg := fr.Err.Error()
+			var fe *aerodrome.FileError
+			if errors.As(fr.Err, &fe) {
+				msg = fe.Err.Error()
+			}
+			fmt.Fprintf(stdout, "%s: error: %s\n", fr.Path, msg)
 			code = 2
 		case !fr.Report.Serializable:
 			fmt.Fprintf(stdout, "%s: NOT conflict serializable — %v\n", fr.Path, fr.Report.Violation)

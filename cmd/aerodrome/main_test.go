@@ -2,10 +2,13 @@ package main
 
 import (
 	"bytes"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"aerodrome/internal/server"
 )
 
 func writeTemp(t *testing.T, name, content string) string {
@@ -139,6 +142,62 @@ func TestParallelMode(t *testing.T) {
 	// No files at all is a usage error.
 	if code := run([]string{"-parallel", "4"}, &out, &errOut); code != 2 {
 		t.Fatalf("no files: exit %d", code)
+	}
+}
+
+// TestRemoteMode fronts an in-process aerodromed and requires the client
+// mode to render remote verdicts exactly like local checks, with the same
+// exit codes.
+func TestRemoteMode(t *testing.T) {
+	s, err := server.New(server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	ok := writeTemp(t, "rho1.std", rho1STD)
+	viol := writeTemp(t, "rho2.std", rho2STD)
+
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-remote", ts.URL, ok}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d\n%s%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "events:    10") ||
+		!strings.Contains(out.String(), "result: conflict serializable") {
+		t.Fatalf("output %q", out.String())
+	}
+	// With -algo unset, the server's configured default (auto here) must
+	// apply rather than the CLI's local "optimized" flag default.
+	if !strings.Contains(out.String(), "auto") {
+		t.Fatalf("server default algorithm not applied: %q", out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{"-remote", ts.URL, "-algo", "basic", viol}, &out, &errOut); code != 1 {
+		t.Fatalf("exit = %d, want 1\n%s%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "NOT conflict serializable") ||
+		!strings.Contains(out.String(), "aerodrome-basic") {
+		t.Fatalf("output %q", out.String())
+	}
+
+	// Remote failures are input errors: unknown algo, malformed trace,
+	// unreachable server.
+	out.Reset()
+	if code := run([]string{"-remote", ts.URL, "-algo", "bogus", ok}, &out, &errOut); code != 2 {
+		t.Fatalf("unknown algo via remote: exit %d", code)
+	}
+	bad := writeTemp(t, "bad.std", "garbage\n")
+	if code := run([]string{"-remote", ts.URL, bad}, &out, &errOut); code != 2 {
+		t.Fatalf("malformed trace via remote: exit %d", code)
+	}
+	if code := run([]string{"-remote", "http://127.0.0.1:1", ok}, &out, &errOut); code != 2 {
+		t.Fatalf("unreachable server: exit %d", code)
+	}
+	if code := run([]string{"-remote", ts.URL, "a", "b"}, &out, &errOut); code != 2 {
+		t.Fatalf("extra args: exit %d", code)
 	}
 }
 

@@ -1,0 +1,85 @@
+// Command aerodromed is the multi-session streaming atomicity-checking
+// service: an HTTP daemon that accepts trace streams and returns
+// conflict-serializability verdicts, multiplexing many concurrent checks
+// over the AeroDrome single-pass vector-clock algorithm.
+//
+// Usage:
+//
+//	aerodromed [-addr :8421] [-algo auto] [-max-sessions N]
+//	           [-max-checks N] [-max-body BYTES] [-session-ttl D]
+//	           [-shutdown-timeout D]
+//
+// Endpoints: POST /v1/check (whole trace in, JSON report out; STD or
+// binary format, sniffed), the incremental session API under
+// /v1/sessions, GET /healthz and GET /metrics. See the package
+// documentation of aerodrome/internal/server for the wire format.
+//
+// On SIGINT/SIGTERM the daemon drains: health flips to 503, new work is
+// rejected, in-flight requests finish within -shutdown-timeout, then it
+// exits 0. The exit code is 1 when serving or draining failed, 2 on usage
+// errors.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"aerodrome"
+	"aerodrome/internal/server"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stderr, nil))
+}
+
+// run is main with its wiring exposed: args in, logs out, and an optional
+// ready channel that receives the bound address (tests listen on :0).
+func run(args []string, logw io.Writer, ready chan<- string) int {
+	fs := flag.NewFlagSet("aerodromed", flag.ContinueOnError)
+	fs.SetOutput(logw)
+	addr := fs.String("addr", ":8421", "listen address")
+	algo := fs.String("algo", "auto", "default checking algorithm for requests that do not name one")
+	maxSessions := fs.Int("max-sessions", 0, "max concurrent incremental sessions (0 = default 1024)")
+	maxChecks := fs.Int("max-checks", 0, "max concurrent /v1/check requests (0 = default 2x GOMAXPROCS)")
+	maxBody := fs.Int64("max-body", 0, "max request body bytes (0 = default 64 MiB)")
+	sessionTTL := fs.Duration("session-ttl", 0, "evict sessions idle longer than this (0 = default 5m)")
+	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second, "graceful drain deadline on SIGTERM")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintln(logw, "usage: aerodromed [flags]; aerodromed takes no arguments")
+		return 2
+	}
+	if _, err := aerodrome.NewCheckerErr(aerodrome.Algorithm(*algo)); err != nil {
+		fmt.Fprintln(logw, "aerodromed:", err)
+		return 2
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	err := server.RunDaemon(ctx, server.DaemonConfig{
+		Addr: *addr,
+		Server: server.Config{
+			Algorithm:           aerodrome.Algorithm(*algo),
+			MaxSessions:         *maxSessions,
+			MaxConcurrentChecks: *maxChecks,
+			MaxBodyBytes:        *maxBody,
+			SessionTTL:          *sessionTTL,
+		},
+		ShutdownTimeout: *shutdownTimeout,
+		Log:             logw,
+		Ready:           ready,
+	})
+	if err != nil {
+		fmt.Fprintln(logw, "aerodromed:", err)
+		return 1
+	}
+	return 0
+}

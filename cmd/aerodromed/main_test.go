@@ -1,0 +1,89 @@
+package main
+
+// Daemon wiring tests: flag validation, boot on an ephemeral port, a real
+// check over HTTP, and the SIGTERM drain path (the process sends itself
+// the signal the deployment environment would).
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"aerodrome"
+)
+
+func TestUsageErrors(t *testing.T) {
+	var logs bytes.Buffer
+	if code := run([]string{"-algo", "bogus"}, &logs, nil); code != 2 {
+		t.Fatalf("unknown algo: exit %d\n%s", code, logs.String())
+	}
+	if code := run([]string{"stray-arg"}, &logs, nil); code != 2 {
+		t.Fatalf("stray argument: exit %d", code)
+	}
+	if code := run([]string{"-not-a-flag"}, &logs, nil); code != 2 {
+		t.Fatalf("bad flag: exit %d", code)
+	}
+}
+
+func TestServeCheckAndSigtermDrain(t *testing.T) {
+	var logs bytes.Buffer
+	ready := make(chan string, 1)
+	exit := make(chan int, 1)
+	go func() {
+		exit <- run([]string{"-addr", "127.0.0.1:0", "-session-ttl", "1m"}, &logs, ready)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("daemon never became ready\n%s", logs.String())
+	}
+	base := "http://" + addr
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: HTTP %d", resp.StatusCode)
+	}
+
+	resp, err = http.Post(base+"/v1/check", "text/plain",
+		strings.NewReader("t0|begin|0\nt0|w(x)|1\nt0|end|0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep aerodrome.Report
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !rep.Serializable || rep.Events != 3 {
+		t.Fatalf("report %+v, want serializable with 3 events", rep)
+	}
+	// The daemon default is the auto engine.
+	if !strings.Contains(rep.Algorithm, "auto") {
+		t.Fatalf("algorithm %q, want the auto default", rep.Algorithm)
+	}
+
+	// SIGTERM → graceful drain → exit 0.
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case code := <-exit:
+		if code != 0 {
+			t.Fatalf("exit = %d after SIGTERM, want 0\n%s", code, logs.String())
+		}
+	case <-time.After(15 * time.Second):
+		t.Fatalf("daemon did not drain after SIGTERM\n%s", logs.String())
+	}
+	if !strings.Contains(logs.String(), "drained cleanly") {
+		t.Fatalf("drain log missing:\n%s", logs.String())
+	}
+}

@@ -113,6 +113,12 @@ func benchJSON(stdout, stderr io.Writer, label, path string, events int64, runs 
 	for _, cfg := range cfgs {
 		rep.Rows = append(rep.Rows, bench.MeasureIngestRows(cfg, runs)...)
 	}
+	// Server rows: the same bytes through an in-process aerodromed, so
+	// serve-check vs ingest-pipe isolates the HTTP service tax.
+	fmt.Fprintf(stderr, "measuring %d serve rows (aerodromed /v1/check)...\n", len(cfgs))
+	for _, cfg := range cfgs {
+		rep.Rows = append(rep.Rows, bench.MeasureServeRows(cfg, runs)...)
+	}
 	if path == "" {
 		return rep.WriteJSON(stdout)
 	}

@@ -76,6 +76,34 @@
 // concurrency-differential suite that runs under the race detector in CI
 // and by a dedicated fuzz target (FuzzPipelineDifferential).
 //
+// For streams that arrive in pieces rather than behind an io.Reader — a
+// network session, a log follower — IncrementalChecker accepts arbitrary
+// byte chunks of an STD log (boundaries need not align with lines) and is
+// likewise pinned to CheckSTD over the concatenated bytes. Monitor.Event
+// is the equivalent hook at the Monitor level for already-decoded events.
+//
+// # The aerodromed service
+//
+// cmd/aerodromed (and `aerodrome -serve`) exposes all of the above as a
+// long-running, stdlib-only HTTP service: the algorithm is a single-pass,
+// bounded-memory sweep, so one daemon multiplexes many concurrent trace
+// streams, each on its own engine. POST /v1/check streams a whole trace
+// (STD or binary, sniffed) through the ingestion pipeline and returns the
+// JSON Report; the /v1/sessions API is the incremental mode — create a
+// session, feed STD chunks, poll the snapshot, finalize for the Report —
+// backed by IncrementalChecker per session. Admission is controlled, not
+// queued: concurrent sessions and checks are capped (429/503 +
+// Retry-After beyond the caps), request bodies are bounded, idle sessions
+// are evicted after a TTL, and SIGTERM drains in-flight work before
+// exiting. GET /healthz flips to 503 while draining; GET /metrics serves
+// expvar-style JSON (sessions, checks, events/sec, verdicts, per-engine
+// selection counts — the observability for the server's `auto` engine
+// default). The CLI fronts a remote daemon via `aerodrome -remote URL`.
+// The httptest-based end-to-end suite replays the golden corpus and the
+// paper traces through both endpoints and pins them byte-identical to
+// sequential CheckSTD, under -race with ≥64 concurrent sessions; see
+// examples/server for a quickstart.
+//
 // # Testing strategy
 //
 // A hybrid representation diverges structurally from the reference

@@ -1,0 +1,94 @@
+package bench
+
+// Server benchmarking: end-to-end cost of one trace check through the
+// aerodromed HTTP front end — connection, request framing, pipelined
+// parse+check, JSON report — against the same bytes through the in-process
+// pipelined reader (the ingest-pipe row). The delta is the service tax; a
+// regression here that does not show in ingest-pipe is in the HTTP layer,
+// not the checker.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"time"
+
+	"aerodrome"
+	"aerodrome/internal/rapidio"
+	"aerodrome/internal/server"
+	"aerodrome/internal/workload"
+)
+
+// ServeCheck is the engine label of the server row.
+const ServeCheck = "serve-check"
+
+// MeasureServeRows renders cfg's trace to an in-memory STD log once,
+// boots an in-process aerodromed (httptest transport, real HTTP stack)
+// and measures POST /v1/check round trips with the default (flat
+// Optimized) engine — the same engine and bytes as the ingest rows, so
+// serve-check vs ingest-pipe isolates the HTTP layer. Rows follow the
+// MeasureRow protocol (warmup, best of runs, one instrumented run).
+func MeasureServeRows(cfg workload.Config, runs int) []BenchRow {
+	var buf bytes.Buffer
+	if _, err := rapidio.WriteSource(&buf, workload.New(cfg)); err != nil {
+		panic(fmt.Sprintf("bench: rendering %s: %v", cfg.Name, err))
+	}
+	data := buf.Bytes()
+
+	srv, err := server.New(server.Config{Algorithm: aerodrome.Optimized})
+	if err != nil {
+		panic(fmt.Sprintf("bench: server: %v", err))
+	}
+	defer srv.Close()
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := ts.Client()
+
+	run := func() int64 {
+		resp, err := client.Post(ts.URL+"/v1/check", "application/octet-stream", bytes.NewReader(data))
+		if err != nil {
+			panic(fmt.Sprintf("bench: serve %s: %v", cfg.Name, err))
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			panic(fmt.Sprintf("bench: serve %s: HTTP %d", cfg.Name, resp.StatusCode))
+		}
+		var rep aerodrome.Report
+		if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+			panic(fmt.Sprintf("bench: serve %s: %v", cfg.Name, err))
+		}
+		if !rep.Serializable {
+			panic(fmt.Sprintf("bench: serve %s: unexpected violation %v", cfg.Name, rep.Violation))
+		}
+		return rep.Events
+	}
+
+	row := BenchRow{
+		Workload: cfg.Name,
+		Pattern:  string(cfg.Pattern),
+		Threads:  cfg.Threads,
+		Engine:   ServeCheck,
+		Runs:     runs,
+	}
+	row.Events = run() // warmup
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < runs; i++ {
+		start := time.Now()
+		run()
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	row.NsPerEvent = float64(best.Nanoseconds()) / float64(row.Events)
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	run()
+	runtime.ReadMemStats(&after)
+	row.AllocsPerEvent = float64(after.Mallocs-before.Mallocs) / float64(row.Events)
+	row.BytesPerEvent = float64(after.TotalAlloc-before.TotalAlloc) / float64(row.Events)
+	return []BenchRow{row}
+}

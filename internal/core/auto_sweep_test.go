@@ -1,0 +1,130 @@
+package core
+
+// Bench-backed sweep of AutoWidthThreshold, the observed-thread-width
+// cutover at which the Auto engine's thread clocks switch from flat to
+// tree (ROADMAP PR 3 open item: the 16 was inherited from the PR 2
+// chain-t8 observation, not swept per pattern). The interesting regimes
+// straddle the cutover: a width just above the candidate thresholds (the
+// engine spends the trace deciding) and a width well past all of them
+// (the cost is the promotion churn of the early flat clocks).
+//
+// Run the sweep with:
+//
+//	go test ./internal/core -run '^$' -bench AutoWidthThreshold -benchtime 3x
+//
+// The winner is pinned in AutoWidthThreshold (see its doc comment and the
+// ROADMAP PR 4 notes for the recorded numbers) and guarded by
+// TestAutoWidthThresholdPinned; TestAutoWidthThresholdSemanticInvariance
+// proves the knob cannot change verdicts, only constants.
+
+import (
+	"fmt"
+	"testing"
+
+	"aerodrome/internal/testutil"
+	"aerodrome/internal/trace"
+	"aerodrome/internal/workload"
+)
+
+// autoSweepConfigs returns the sweep grid: sharded, chain and phase-shift
+// patterns at a straddling width (12: candidate thresholds 8 and 12 push
+// it to trees, 16+ keep it flat) and a wide one (48: every candidate
+// promotes, earlier or later).
+func autoSweepConfigs() []workload.Config {
+	var out []workload.Config
+	for _, p := range []workload.Pattern{
+		workload.PatternSharded, workload.PatternChain, workload.PatternPhase,
+	} {
+		for _, threads := range []int{12, 48} {
+			out = append(out, workload.Config{
+				Name: fmt.Sprintf("%s-t%d", p, threads), Threads: threads,
+				Vars: 256, Locks: 8, Events: 60_000, OpsPerTxn: 4,
+				Pattern: p, Inject: workload.ViolationNone,
+				TxnFraction: 0.5, AbsorbEvery: 4, Seed: 20260726,
+			})
+		}
+	}
+	return out
+}
+
+func BenchmarkAutoWidthThreshold(b *testing.B) {
+	for _, cfg := range autoSweepConfigs() {
+		tr := trace.Collect(workload.New(cfg))
+		for _, threshold := range []int{8, 12, 16, 24, 32} {
+			b.Run(fmt.Sprintf("%s/threshold=%d", cfg.Name, threshold), func(b *testing.B) {
+				b.ReportMetric(float64(len(tr.Events)), "events")
+				for i := 0; i < b.N; i++ {
+					eng := newOptimizedAutoWidth(threshold)
+					if v, _ := Run(eng, tr.Cursor()); v != nil {
+						b.Fatalf("unexpected violation: %v", v)
+					}
+				}
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(len(tr.Events)), "ns/event")
+			})
+		}
+	}
+}
+
+// TestAutoWidthThresholdSemanticInvariance sweeps the threshold across its
+// extremes — 0 (every thread clock starts as a tree) through 2^20 (none
+// ever promote by width) — and requires bit-identical outcomes from the
+// width-keyed engine on sharded/chain/phase and injected-violation traces:
+// the knob may only move constants, never verdicts, indices or event
+// counts. Flat Optimized anchors the expected outcome.
+func TestAutoWidthThresholdSemanticInvariance(t *testing.T) {
+	traces := map[string]*trace.Trace{
+		"phase": testutil.PhaseShiftTrace(testutil.PhaseShiftOpts{
+			Threads: 24, BurstRounds: 4, SteadyRounds: 10,
+		}),
+	}
+	for _, cfg := range autoSweepConfigs() {
+		small := cfg
+		small.Events = 4000
+		traces[small.Name] = trace.Collect(workload.New(small))
+	}
+	for _, inj := range []workload.Violation{workload.ViolationCross, workload.ViolationDelayed} {
+		cfg := workload.Config{
+			Name: "sweep-" + string(inj), Threads: 24, Vars: 64, Locks: 4,
+			Events: 4000, OpsPerTxn: 3, Pattern: workload.PatternChain,
+			Inject: inj, InjectAt: 0.6, TxnFraction: 0.5, Seed: 44,
+		}
+		traces[cfg.Name] = trace.Collect(workload.New(cfg))
+	}
+
+	type outcome struct {
+		violated bool
+		index    int64
+		check    CheckKind
+		n        int64
+	}
+	for name, tr := range traces {
+		flat := NewOptimized()
+		vRef, nRef := Run(flat, tr.Cursor())
+		want := outcome{violated: vRef != nil, n: nRef}
+		if vRef != nil {
+			want.index, want.check = vRef.Index, vRef.Check
+		}
+		for _, threshold := range []int{0, 1, 8, 16, 32, 1 << 20} {
+			eng := newOptimizedAutoWidth(threshold)
+			v, n := Run(eng, tr.Cursor())
+			got := outcome{violated: v != nil, n: n}
+			if v != nil {
+				got.index, got.check = v.Index, v.Check
+			}
+			if got != want {
+				t.Fatalf("%s: threshold %d: outcome %+v, want %+v", name, threshold, got, want)
+			}
+		}
+	}
+}
+
+// TestAutoWidthThresholdPinned guards the swept default: changing it
+// requires re-running the sweep and updating the doc comment and the
+// ROADMAP notes.
+func TestAutoWidthThresholdPinned(t *testing.T) {
+	if AutoWidthThreshold != 16 {
+		t.Fatalf("AutoWidthThreshold = %d; the swept default is 16 — re-run "+
+			"BenchmarkAutoWidthThreshold and update its doc before changing it",
+			AutoWidthThreshold)
+	}
+}

@@ -52,6 +52,14 @@ func NewOptimizedHybrid() *OptimizedHybrid {
 // widths — see the ROADMAP perf trajectory), later ones start as trees,
 // and the earlier flat clocks promote themselves once the width crosses
 // (hybridClock.maybePromote).
+//
+// Swept 8–32 over sharded/chain/phase workloads at widths 12 and 48
+// (BenchmarkAutoWidthThreshold, ROADMAP PR 4): 8–24 plateau within this
+// machine's noise on sharded and chain; 32 loses ~30% on chain-t48 (the
+// late promotions churn against already-entangled clocks) and ~40% on
+// phase-t12. 16 sits on every plateau and is kept; guarded by
+// TestAutoWidthThresholdPinned, semantically invisible by
+// TestAutoWidthThresholdSemanticInvariance.
 const AutoWidthThreshold = 16
 
 // NewOptimizedAuto returns a fresh Algorithm 3 engine on the

@@ -1,0 +1,103 @@
+package pipeline
+
+// Feeder is the resumable counterpart of Run, for STD streams that arrive
+// in pieces rather than behind an io.Reader: the aerodromed session API
+// feeds each request body as one chunk and reads the verdict back between
+// chunks. Parsing reuses the pull pipeline's batching discipline (one
+// pooled batch, refilled by whole-buffer sweeps in rapidio) but runs on
+// the caller's goroutine — an incremental session is latency-bound, not
+// throughput-bound, and a synchronous Feed means the response to a chunk
+// already reflects every event in it.
+
+import (
+	"io"
+
+	"aerodrome/internal/core"
+	"aerodrome/internal/rapidio"
+	"aerodrome/internal/trace"
+)
+
+// Feeder drives an engine incrementally from byte chunks of an STD log.
+// It is observationally identical to running the engine over the
+// concatenated chunks with the sequential checker: same verdict, same
+// violation index, same event count. In particular, once a violation is
+// latched, later chunks are accepted and discarded without parsing — the
+// sequential checker would have stopped reading — so a parse error
+// positioned after the violation is never reported.
+type Feeder struct {
+	eng   core.Engine
+	src   *rapidio.Feeder
+	batch []trace.Event
+	viol  *core.Violation
+	err   error // terminal parse error (never io.EOF)
+}
+
+// NewFeeder returns a Feeder over eng. cfg follows the Run defaults;
+// only BatchSize applies (there is no producer goroutine to bound).
+func NewFeeder(eng core.Engine, cfg Config) *Feeder {
+	cfg = cfg.withDefaults()
+	return &Feeder{
+		eng:   eng,
+		src:   rapidio.NewFeeder(),
+		batch: make([]trace.Event, cfg.BatchSize),
+	}
+}
+
+// Feed appends one chunk of the STD stream (chunk boundaries need not
+// align with line boundaries) and processes every event whose line is now
+// complete. It returns the latched violation, if any, and the terminal
+// parse error, if the stream just turned out to be malformed. Feeding
+// after either is terminal is a no-op returning the same outcome.
+func (f *Feeder) Feed(chunk []byte) (*core.Violation, error) {
+	if f.viol != nil || f.err != nil {
+		return f.viol, f.err
+	}
+	f.src.Feed(chunk)
+	return f.drain()
+}
+
+// drain processes every completed event buffered in the parser, stopping
+// at a violation or terminal parse error.
+func (f *Feeder) drain() (*core.Violation, error) {
+	for {
+		n, err := f.src.ReadBatch(f.batch)
+		for _, e := range f.batch[:n] {
+			if v := f.eng.Process(e); v != nil {
+				f.viol = v
+				// The rest of the stream is discarded by definition; free
+				// the unconsumed tail rather than pinning it for the
+				// session's remaining lifetime.
+				f.src.Discard()
+				return v, nil
+			}
+		}
+		if err == io.EOF || (err == nil && n < len(f.batch)) {
+			return nil, nil
+		}
+		if err != nil {
+			f.err = err
+			return nil, err
+		}
+	}
+}
+
+// Close marks the end of the stream (a final unterminated line is parsed)
+// and returns the verdict: the violation (nil if the stream is accepted),
+// the number of events consumed, and the terminal parse error, if any.
+// Close is idempotent.
+func (f *Feeder) Close() (*core.Violation, int64, error) {
+	if f.viol == nil && f.err == nil {
+		f.src.Close()
+		f.drain()
+	}
+	return f.viol, f.eng.Processed(), f.err
+}
+
+// Violation returns the latched violation, if any.
+func (f *Feeder) Violation() *core.Violation { return f.viol }
+
+// Processed returns the number of events consumed so far.
+func (f *Feeder) Processed() int64 { return f.eng.Processed() }
+
+// Err returns the latched terminal parse error, if any.
+func (f *Feeder) Err() error { return f.err }

@@ -1,0 +1,318 @@
+package rapidio
+
+// Feeder tests: the push-mode parser must be chunking-invariant — any way
+// of slicing an STD log into Feed calls yields exactly the event sequence
+// the pull Reader produces on the same bytes, including the error.
+
+import (
+	"bufio"
+	"bytes"
+	"io"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"aerodrome/internal/trace"
+)
+
+// drainFeeder pushes data into f in the given chunk sizes (cycling) and
+// collects everything ReadBatch yields, closing at the end.
+func drainFeeder(t *testing.T, data []byte, chunkSizes []int) ([]trace.Event, error) {
+	t.Helper()
+	f := NewFeeder()
+	var got []trace.Event
+	batch := make([]trace.Event, 7) // deliberately small and odd
+	drain := func() error {
+		for {
+			n, err := f.ReadBatch(batch)
+			got = append(got, batch[:n]...)
+			if err != nil {
+				return err
+			}
+			if n < len(batch) {
+				return nil
+			}
+		}
+	}
+	for i, ci := 0, 0; i < len(data); ci++ {
+		sz := chunkSizes[ci%len(chunkSizes)]
+		if sz > len(data)-i {
+			sz = len(data) - i
+		}
+		f.Feed(data[i : i+sz])
+		i += sz
+		if err := drain(); err != nil {
+			return got, err
+		}
+	}
+	f.Close()
+	return got, drain()
+}
+
+func readAll(t *testing.T, data []byte) ([]trace.Event, error) {
+	t.Helper()
+	rd := NewReader(bytes.NewReader(data))
+	var got []trace.Event
+	for {
+		ev, err := rd.Read()
+		if err != nil {
+			return got, err
+		}
+		got = append(got, ev)
+	}
+}
+
+func sameEvents(a, b []trace.Event) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestFeederMatchesReaderAllChunkings(t *testing.T) {
+	logs := map[string]string{
+		"clean": "t0|begin|1\nt0|w(x)|2\nt1|r(x)|3\nt0|end|4\n",
+		"messy": "# header\n\n t0 | begin | 1 \nt0|fork(t1)|0\nt1|acq(l0)|9\nt1|rel(l0)|9\nt0|join(t1)|0",
+		"error": "t0|begin|1\nt0|oops|2\nt0|end|3\n",
+	}
+	chunkings := [][]int{{1}, {2}, {3}, {5}, {1, 7, 2}, {1 << 10}}
+	for name, log := range logs {
+		data := []byte(log)
+		want, wantErr := readAll(t, data)
+		for _, sizes := range chunkings {
+			got, gotErr := drainFeeder(t, data, sizes)
+			if !sameEvents(got, want) {
+				t.Fatalf("%s chunks %v: events %v, want %v", name, sizes, got, want)
+			}
+			if (wantErr == io.EOF) != (gotErr == io.EOF) {
+				t.Fatalf("%s chunks %v: terminal %v, want %v", name, sizes, gotErr, wantErr)
+			}
+			if pe, ok := wantErr.(*ParseError); ok {
+				ge, ok := gotErr.(*ParseError)
+				if !ok || ge.Line != pe.Line || ge.Reason != pe.Reason {
+					t.Fatalf("%s chunks %v: error %v, want %v", name, sizes, gotErr, wantErr)
+				}
+			}
+		}
+	}
+}
+
+func TestFeederMatchesReaderRandomChunking(t *testing.T) {
+	var sb strings.Builder
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 500; i++ {
+		switch rng.Intn(5) {
+		case 0:
+			sb.WriteString("t0|begin|0\n")
+		case 1:
+			sb.WriteString("t0|end|0\n")
+		case 2:
+			sb.WriteString("t1|w(x12)|44\n")
+		case 3:
+			sb.WriteString("t2|r(x12)|44\n")
+		case 4:
+			sb.WriteString("t0|acq(lk)|1\nt0|rel(lk)|1\n")
+		}
+	}
+	data := []byte(sb.String())
+	want, _ := readAll(t, data)
+	for trial := 0; trial < 20; trial++ {
+		sizes := make([]int, 1+rng.Intn(6))
+		for i := range sizes {
+			sizes[i] = 1 + rng.Intn(97)
+		}
+		got, err := drainFeeder(t, data, sizes)
+		if err != io.EOF {
+			t.Fatalf("chunks %v: terminal %v, want io.EOF", sizes, err)
+		}
+		if !sameEvents(got, want) {
+			t.Fatalf("chunks %v: %d events, want %d", sizes, len(got), len(want))
+		}
+	}
+}
+
+func TestFeederLatchesAndBounds(t *testing.T) {
+	f := NewFeeder()
+	f.Feed([]byte("t0|bogus|\n"))
+	batch := make([]trace.Event, 4)
+	if _, err := f.ReadBatch(batch); err == nil {
+		t.Fatal("want parse error")
+	}
+	if f.Err() == nil {
+		t.Fatal("Err: want latched parse error")
+	}
+	// Terminal feeder discards further input rather than buffering it.
+	f.Feed([]byte("t0|begin|0\n"))
+	if f.Buffered() != 0 {
+		t.Fatalf("Buffered = %d after terminal feed, want 0", f.Buffered())
+	}
+	if n, err := f.ReadBatch(batch); n != 0 || err == nil {
+		t.Fatalf("ReadBatch after latch = (%d, %v), want (0, latched error)", n, err)
+	}
+
+	// A drained healthy feeder retains only the partial line.
+	f2 := NewFeeder()
+	f2.Feed([]byte("t0|begin|0\nt0|w(x"))
+	if n, err := f2.ReadBatch(batch); n != 1 || err != nil {
+		t.Fatalf("ReadBatch = (%d, %v), want (1, nil)", n, err)
+	}
+	f2.Feed([]byte(")|5\n"))
+	if got := f2.Buffered(); got != len("t0|w(x)|5\n") {
+		t.Fatalf("Buffered = %d, want %d", got, len("t0|w(x)|5\n"))
+	}
+	if n, err := f2.ReadBatch(batch); n != 1 || err != nil {
+		t.Fatalf("ReadBatch = (%d, %v), want (1, nil)", n, err)
+	}
+	f2.Close()
+	if n, err := f2.ReadBatch(batch); n != 0 || err != io.EOF {
+		t.Fatalf("ReadBatch after Close = (%d, %v), want (0, io.EOF)", n, err)
+	}
+	if f2.Err() != nil {
+		t.Fatalf("Err after clean EOF = %v, want nil", f2.Err())
+	}
+}
+
+// TestFeederLineTooLongMatchesReader pins the shared 1 MiB line bound: a
+// newline-free stream must latch bufio.ErrTooLong on both the push and
+// pull paths (so a server session cannot buffer unboundedly, and the two
+// paths stay chunking-equivalent even on pathological input).
+func TestFeederLineTooLongMatchesReader(t *testing.T) {
+	half := bytes.Repeat([]byte{'x'}, 1<<19)
+	batch := make([]trace.Event, 4)
+
+	f := NewFeeder()
+	f.Feed(half)
+	if n, err := f.ReadBatch(batch); n != 0 || err != nil {
+		t.Fatalf("half-line ReadBatch = (%d, %v), want (0, nil)", n, err)
+	}
+	f.Feed(half)
+	if _, err := f.ReadBatch(batch); err != bufio.ErrTooLong {
+		t.Fatalf("1 MiB partial line: err %v, want bufio.ErrTooLong", err)
+	}
+	// The latch is terminal and further feeds are discarded.
+	f.Feed([]byte("t0|begin|0\n"))
+	if f.Buffered() != 0 {
+		t.Fatalf("Buffered = %d after terminal feed, want 0", f.Buffered())
+	}
+
+	rd := NewReader(io.MultiReader(bytes.NewReader(half), bytes.NewReader(half)))
+	if _, err := rd.Read(); err != bufio.ErrTooLong {
+		t.Fatalf("Reader on the same bytes: err %v, want bufio.ErrTooLong", err)
+	}
+
+	// The bound applies even when the terminating newline is already
+	// buffered: the Reader can never see such a line complete, so the
+	// Feeder must reject it too or the verdict would depend on chunking.
+	line := append(append([]byte("t0|w("), bytes.Repeat([]byte{'a'}, 1<<20)...), []byte(")|1\n")...)
+	f2 := NewFeeder()
+	f2.Feed(append([]byte("t0|begin|0\n"), line...))
+	if n, err := f2.ReadBatch(batch); n != 1 || err != bufio.ErrTooLong {
+		t.Fatalf("huge complete line: (%d, %v), want (1, bufio.ErrTooLong)", n, err)
+	}
+	rd2 := NewReader(bytes.NewReader(append([]byte("t0|begin|0\n"), line...)))
+	if _, err := rd2.Read(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rd2.Read(); err != bufio.ErrTooLong {
+		t.Fatalf("Reader on huge complete line: err %v, want bufio.ErrTooLong", err)
+	}
+}
+
+// TestFeederShrinksAfterDrain pins the capacity bound: a drained feeder
+// must not keep the backing array of its largest chunk alive for the
+// session's remaining lifetime.
+func TestFeederShrinksAfterDrain(t *testing.T) {
+	f := NewFeeder()
+	f.Feed(bytes.Repeat([]byte("t0|begin|0\nt0|end|0\n"), 100_000)) // ~2 MB
+	batch := make([]trace.Event, 1024)
+	for {
+		n, err := f.ReadBatch(batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n < len(batch) {
+			break
+		}
+	}
+	if f.Buffered() != 0 {
+		t.Fatalf("Buffered = %d after drain, want 0", f.Buffered())
+	}
+	if cap(f.buf) > feederKeepBuf {
+		t.Fatalf("backing array still %d bytes after drain, want ≤ %d", cap(f.buf), feederKeepBuf)
+	}
+}
+
+// noProgressReader returns (0, nil) forever — legal under io.Reader.
+type noProgressReader struct{}
+
+func (noProgressReader) Read(p []byte) (int, error) { return 0, nil }
+
+// TestReaderNoProgress pins the bufio-style guard: a source that never
+// makes progress errors out instead of spinning the goroutine (on the
+// server this would pin a check slot forever and stall the drain).
+func TestReaderNoProgress(t *testing.T) {
+	rd := NewReader(noProgressReader{})
+	if _, err := rd.Read(); err != io.ErrNoProgress {
+		t.Fatalf("err %v, want io.ErrNoProgress", err)
+	}
+}
+
+// dataThenErrReader delivers all its data and a non-EOF error in the same
+// Read call — legal under io.Reader, and what a broken network body does.
+type dataThenErrReader struct {
+	data []byte
+	done bool
+}
+
+func (r *dataThenErrReader) Read(p []byte) (int, error) {
+	if r.done {
+		return 0, io.ErrUnexpectedEOF
+	}
+	r.done = true
+	return copy(p, r.data), io.ErrUnexpectedEOF
+}
+
+// TestReaderDataWithError pins scanner parity on sources that return data
+// and error together: every buffered line (including a final partial one)
+// is tokenized before the error surfaces.
+func TestReaderDataWithError(t *testing.T) {
+	rd := NewReader(&dataThenErrReader{data: []byte("t0|begin|0\nt0|w(x)|1\nt0|end")})
+	var events int
+	for {
+		_, err := rd.Read()
+		if err != nil {
+			if err != io.ErrUnexpectedEOF {
+				t.Fatalf("terminal err %v, want io.ErrUnexpectedEOF", err)
+			}
+			break
+		}
+		events++
+	}
+	if events != 3 {
+		t.Fatalf("parsed %d events before the error, want 3 (incl. the partial final line)", events)
+	}
+	if rd.Err() != io.ErrUnexpectedEOF {
+		t.Fatalf("Err() = %v, want io.ErrUnexpectedEOF", rd.Err())
+	}
+}
+
+func TestIsBinary(t *testing.T) {
+	var buf bytes.Buffer
+	bw := NewBinaryWriter(&buf)
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if !IsBinary(buf.Bytes()) {
+		t.Fatal("IsBinary(binary header) = false")
+	}
+	for _, head := range [][]byte{nil, []byte("ADB"), []byte("t0|begin|0\n")} {
+		if IsBinary(head) {
+			t.Fatalf("IsBinary(%q) = true", head)
+		}
+	}
+}

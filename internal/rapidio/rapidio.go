@@ -53,10 +53,10 @@ func (e *ParseError) Error() string {
 // Unwrap lets errors.Is(err, ErrFormat) succeed.
 func (e *ParseError) Unwrap() error { return ErrFormat }
 
-// Reader streams events from an STD-format log. It implements trace.Source
-// by panicking on malformed input; use Read for error-returning iteration.
-type Reader struct {
-	sc      *bufio.Scanner
+// parser holds the line-level STD tokenizer state shared by the pull-mode
+// Reader and the push-mode Feeder: the intern tables and the running line
+// number for error reporting.
+type parser struct {
 	line    int
 	threads map[string]trace.ThreadID
 	vars    map[string]trace.VarID
@@ -65,50 +65,151 @@ type Reader struct {
 	threadNames []string
 	varNames    []string
 	lockNames   []string
-
-	err  error
-	done bool
 }
 
-// NewReader returns a Reader over r. Lines may be up to 1 MiB.
-func NewReader(r io.Reader) *Reader {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 64*1024), 1<<20)
-	return &Reader{
-		sc:      sc,
+func newParser() parser {
+	return parser{
 		threads: map[string]trace.ThreadID{},
 		vars:    map[string]trace.VarID{},
 		locks:   map[string]trace.LockID{},
 	}
 }
 
+// Names returns the interned symbol tables accumulated so far.
+func (p *parser) Names() (threads, vars, locks []string) {
+	return p.threadNames, p.varNames, p.lockNames
+}
+
+const (
+	// readerBufSize is the initial fill-buffer size (matches the old
+	// bufio.Scanner configuration).
+	readerBufSize = 64 * 1024
+	// maxLineSize bounds a single line; longer lines fail with
+	// bufio.ErrTooLong, as the scanner-based reader did. The push-mode
+	// Feeder enforces the same bound, so a newline-free stream cannot
+	// buffer unboundedly in a server session.
+	maxLineSize = 1 << 20
+	// maxConsecutiveEmptyReads mirrors bufio's tolerance for sources
+	// that return (0, nil) before failing with io.ErrNoProgress.
+	maxConsecutiveEmptyReads = 100
+)
+
+// Reader streams events from an STD-format log. It implements trace.Source
+// by stopping the stream at the first error (recorded for Err); use Read
+// for error-returning iteration. Lines may be up to 1 MiB.
+//
+// The reader manages its own fill buffer rather than delegating to
+// bufio.Scanner: ReadBatch tokenizes every complete line already buffered
+// with a bytes.IndexByte sweep over the whole window — the hot path of the
+// pipelined checker and the aerodromed /v1/check endpoint — instead of a
+// scanner round trip per line.
+type Reader struct {
+	parser
+	src io.Reader
+	buf []byte
+	pos int // buf[pos:end] is the unconsumed window
+	end int
+	// finalErr is the error that ended the source (io.EOF or a read
+	// error). Like bufio.Scanner, everything buffered before it —
+	// including a final line without a newline — is still tokenized
+	// before the error surfaces.
+	finalErr   error
+	emptyReads int
+	err        error
+}
+
+// NewReader returns a Reader over r.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{
+		parser: newParser(),
+		src:    r,
+		buf:    make([]byte, readerBufSize),
+	}
+}
+
+// nextLine returns the next raw line (newline stripped) from the fill
+// buffer, touching the underlying reader only when the buffered window
+// holds no complete line. The returned slice aliases the buffer and is
+// valid until the next call.
+func (r *Reader) nextLine() ([]byte, error) {
+	for {
+		if i := bytes.IndexByte(r.buf[r.pos:r.end], '\n'); i >= 0 {
+			line := r.buf[r.pos : r.pos+i]
+			r.pos += i + 1
+			return line, nil
+		}
+		if r.finalErr != nil {
+			if r.pos == r.end {
+				return nil, r.finalErr
+			}
+			line := r.buf[r.pos:r.end] // final line without trailing newline
+			r.pos = r.end
+			return line, nil
+		}
+		// No newline buffered: slide the partial line to the front, grow if
+		// it fills the buffer, and refill.
+		if r.pos > 0 {
+			r.end = copy(r.buf, r.buf[r.pos:r.end])
+			r.pos = 0
+		}
+		if r.end == len(r.buf) {
+			if len(r.buf) >= maxLineSize {
+				return nil, bufio.ErrTooLong
+			}
+			next := 2 * len(r.buf)
+			if next > maxLineSize {
+				next = maxLineSize
+			}
+			grown := make([]byte, next)
+			r.end = copy(grown, r.buf[:r.end])
+			r.buf = grown
+		}
+		n, err := r.src.Read(r.buf[r.end:])
+		r.end += n
+		if err != nil {
+			// Don't return yet: a source may deliver data and its error in
+			// one call, and the buffered lines must be tokenized first.
+			r.finalErr = err
+			r.emptyReads = 0
+		} else if n == 0 {
+			// Mirror bufio.Scanner's guard: a source that keeps returning
+			// (0, nil) — legal under io.Reader — must error, not spin.
+			r.emptyReads++
+			if r.emptyReads >= maxConsecutiveEmptyReads {
+				r.finalErr = io.ErrNoProgress
+			}
+		} else {
+			r.emptyReads = 0
+		}
+	}
+}
+
 // Read returns the next event, io.EOF at the end of input, or a
 // *ParseError for malformed lines. Parsing tokenizes in place over the
-// scanner's byte buffer: the only per-line allocations are the first
-// interning of each thread/variable/lock name (and error paths).
+// fill buffer: the only per-line allocations are the first interning of
+// each thread/variable/lock name (and error paths).
 func (r *Reader) Read() (trace.Event, error) {
 	if r.err != nil {
 		return trace.Event{}, r.err
 	}
-	for r.sc.Scan() {
-		r.line++
-		line := bytes.TrimSpace(r.sc.Bytes())
-		if len(line) == 0 || line[0] == '#' {
-			continue
-		}
-		ev, err := r.parseLine(line)
+	for {
+		raw, err := r.nextLine()
 		if err != nil {
 			r.err = err
 			return trace.Event{}, err
 		}
+		r.line++
+		line := bytes.TrimSpace(raw)
+		if len(line) == 0 || line[0] == '#' {
+			continue
+		}
+		ev, perr := r.parseLine(line)
+		if perr != nil {
+			r.err = perr
+			return trace.Event{}, perr
+		}
 		return ev, nil
 	}
-	if err := r.sc.Err(); err != nil {
-		r.err = err
-		return trace.Event{}, err
-	}
-	r.err = io.EOF
-	return trace.Event{}, io.EOF
 }
 
 // Next implements trace.Source: it stops the stream at the first error and
@@ -126,13 +227,58 @@ func (r *Reader) Next() (trace.Event, bool) {
 // (io.EOF for a clean end, a *ParseError or scanner error otherwise). A
 // non-nil error means no further events will ever come; n may still be
 // positive alongside it. This is the producer side of the pipelined
-// checker: one call amortizes the scanner loop over a whole batch.
+// checker: one call tokenizes every complete line already in the fill
+// buffer in a single sweep, refilling through the general path only when
+// the window runs dry.
 func (r *Reader) ReadBatch(dst []trace.Event) (int, error) {
-	return readBatch(r.Read, dst)
+	if r.err != nil {
+		return 0, r.err
+	}
+	n := 0
+	for n < len(dst) {
+		// Whole-buffer fast path: consume complete lines straight out of
+		// the window, deferring all buffer management to the slow path.
+		win := r.buf[r.pos:r.end]
+		base := 0
+		for n < len(dst) {
+			i := bytes.IndexByte(win[base:], '\n')
+			if i < 0 {
+				break
+			}
+			raw := win[base : base+i]
+			base += i + 1
+			r.line++
+			line := bytes.TrimSpace(raw)
+			if len(line) == 0 || line[0] == '#' {
+				continue
+			}
+			ev, perr := r.parseLine(line)
+			if perr != nil {
+				r.pos += base
+				r.err = perr
+				return n, perr
+			}
+			dst[n] = ev
+			n++
+		}
+		r.pos += base
+		if n == len(dst) {
+			break
+		}
+		// Window dry: one event through the refilling path, then resume
+		// the buffer sweep.
+		ev, err := r.Read()
+		if err != nil {
+			return n, err
+		}
+		dst[n] = ev
+		n++
+	}
+	return n, nil
 }
 
-// readBatch is the shared fill-until-error loop behind both readers'
-// ReadBatch (one place to change the batch contract).
+// readBatch is the shared fill-until-error loop behind the binary reader's
+// ReadBatch (the STD Reader overrides it with the buffer-sweep fast path).
 func readBatch(read func() (trace.Event, error), dst []trace.Event) (int, error) {
 	n := 0
 	for n < len(dst) {
@@ -155,16 +301,11 @@ func (r *Reader) Err() error {
 	return r.err
 }
 
-// Names returns the interned symbol tables accumulated so far.
-func (r *Reader) Names() (threads, vars, locks []string) {
-	return r.threadNames, r.varNames, r.lockNames
-}
-
 // parseLine parses one trimmed, non-empty line. The []byte slices index
-// into the scanner's buffer and must not be retained; the intern tables
-// copy names only on first sight (map lookups with string(bytes) keys do
-// not allocate).
-func (r *Reader) parseLine(line []byte) (trace.Event, error) {
+// into the caller's fill buffer and must not be retained; the intern
+// tables copy names only on first sight (map lookups with string(bytes)
+// keys do not allocate).
+func (r *parser) parseLine(line []byte) (trace.Event, error) {
 	fail := func(reason string) (trace.Event, error) {
 		return trace.Event{}, &ParseError{Line: r.line, Text: string(line), Reason: reason}
 	}
@@ -227,7 +368,7 @@ func (r *Reader) parseLine(line []byte) (trace.Event, error) {
 	return fail("unknown operation " + string(name))
 }
 
-func (r *Reader) internThread(name []byte) trace.ThreadID {
+func (r *parser) internThread(name []byte) trace.ThreadID {
 	if id, ok := r.threads[string(name)]; ok {
 		return id
 	}
@@ -238,7 +379,7 @@ func (r *Reader) internThread(name []byte) trace.ThreadID {
 	return id
 }
 
-func (r *Reader) internVar(name []byte) trace.VarID {
+func (r *parser) internVar(name []byte) trace.VarID {
 	if id, ok := r.vars[string(name)]; ok {
 		return id
 	}
@@ -249,7 +390,7 @@ func (r *Reader) internVar(name []byte) trace.VarID {
 	return id
 }
 
-func (r *Reader) internLock(name []byte) trace.LockID {
+func (r *parser) internLock(name []byte) trace.LockID {
 	if id, ok := r.locks[string(name)]; ok {
 		return id
 	}
@@ -258,6 +399,146 @@ func (r *Reader) internLock(name []byte) trace.LockID {
 	r.locks[s] = id
 	r.lockNames = append(r.lockNames, s)
 	return id
+}
+
+// Feeder is the push-mode twin of Reader, for event streams that arrive
+// in pieces (the aerodromed incremental session API): the caller Feeds raw
+// STD-format byte chunks as they come off the wire — chunk boundaries need
+// not align with line boundaries — and drains the events completed so far
+// with ReadBatch. Close marks the end of the stream, making a final
+// unterminated line parseable.
+type Feeder struct {
+	parser
+	buf    []byte
+	pos    int // buf[pos:] is unconsumed
+	closed bool
+	err    error
+}
+
+// NewFeeder returns an empty Feeder.
+func NewFeeder() *Feeder {
+	return &Feeder{parser: newParser()}
+}
+
+// Feed appends chunk to the parse buffer (copying it; the caller may reuse
+// chunk). Events become available to ReadBatch once their terminating
+// newline has been fed. Feeding after Close or after a parse error is a
+// no-op: the stream is already terminal.
+func (f *Feeder) Feed(chunk []byte) {
+	if f.closed || f.err != nil {
+		return
+	}
+	if f.pos > 0 {
+		// Compact the consumed prefix before appending; after a drain the
+		// pending tail is at most one partial line.
+		f.buf = append(f.buf[:0], f.buf[f.pos:]...)
+		f.pos = 0
+	}
+	f.buf = append(f.buf, chunk...)
+}
+
+// Close marks the end of the stream: a trailing line without a newline
+// becomes available to ReadBatch, after which ReadBatch returns io.EOF.
+func (f *Feeder) Close() {
+	f.closed = true
+}
+
+// Discard drops any buffered input and stops accepting more: the caller
+// has decided the rest of the stream is irrelevant (a violation latched
+// mid-chunk) and the tail must not stay pinned in memory.
+func (f *Feeder) Discard() {
+	f.closed = true
+	f.buf, f.pos = nil, 0
+}
+
+// Buffered returns the number of fed bytes not yet consumed by ReadBatch
+// (at most one partial line once the feeder has been drained; zero once
+// the stream is terminal).
+func (f *Feeder) Buffered() int { return len(f.buf) - f.pos }
+
+// latch records the terminal error and releases the parse buffer — a
+// terminal feeder (a failed or finished server session) must not pin its
+// last chunk in memory.
+func (f *Feeder) latch(err error) error {
+	f.err = err
+	f.buf, f.pos = nil, 0
+	return err
+}
+
+// feederKeepBuf is the backing-array size a drained Feeder may keep.
+const feederKeepBuf = 64 * 1024
+
+// shrink releases an oversized backing array once the pending tail is
+// small again: an idle session that once fed a huge chunk must not pin
+// that chunk's capacity until eviction.
+func (f *Feeder) shrink() {
+	if cap(f.buf) > feederKeepBuf && len(f.buf)-f.pos <= feederKeepBuf/4 {
+		f.buf = append(make([]byte, 0, feederKeepBuf), f.buf[f.pos:]...)
+		f.pos = 0
+	}
+}
+
+// ReadBatch fills dst with events whose lines are complete and returns how
+// many were filled. Unlike Reader.ReadBatch, n < len(dst) with a nil error
+// does not end the stream — it means every complete buffered line has been
+// consumed and the caller should Feed more bytes. The terminal errors are
+// io.EOF (after Close, once the buffer is drained) and *ParseError, both
+// latched.
+func (f *Feeder) ReadBatch(dst []trace.Event) (int, error) {
+	if f.err != nil {
+		return 0, f.err
+	}
+	n := 0
+	for n < len(dst) {
+		win := f.buf[f.pos:]
+		var raw []byte
+		if i := bytes.IndexByte(win, '\n'); i >= 0 {
+			raw = win[:i]
+			f.pos += i + 1
+		} else if !f.closed {
+			if len(win) >= maxLineSize {
+				// Same bound (and error) as Reader: a line this long can
+				// never complete, and an unbounded partial line would let
+				// one newline-free session buffer without limit.
+				return n, f.latch(bufio.ErrTooLong)
+			}
+			f.shrink()
+			return n, nil // need more input
+		} else if len(win) > 0 {
+			raw = win // final line without trailing newline
+			f.pos = len(f.buf)
+		} else {
+			return n, f.latch(io.EOF)
+		}
+		if len(raw) >= maxLineSize {
+			// Reader errors on any line this long (its fill buffer caps at
+			// maxLineSize before the newline could arrive); the push path
+			// must agree even when the newline is already buffered, or the
+			// verdict would depend on chunk boundaries.
+			return n, f.latch(bufio.ErrTooLong)
+		}
+		f.line++
+		line := bytes.TrimSpace(raw)
+		if len(line) == 0 || line[0] == '#' {
+			continue
+		}
+		ev, perr := f.parseLine(line)
+		if perr != nil {
+			return n, f.latch(perr)
+		}
+		dst[n] = ev
+		n++
+	}
+	return n, nil
+}
+
+// Err returns the terminal error of the stream, if any (nil after a clean
+// EOF).
+func (f *Feeder) Err() error {
+	if f.err == io.EOF {
+		return nil
+	}
+	return f.err
 }
 
 // ReadTrace materializes a whole STD log.
@@ -371,6 +652,14 @@ func WriteSource(w io.Writer, src trace.Source) (int64, error) {
 // --- binary format -----------------------------------------------------------
 
 var binMagic = [4]byte{'A', 'D', 'B', '1'}
+
+// IsBinary reports whether head (the first bytes of a trace stream, at
+// least 4 to be conclusive) carries the binary-format magic. Format
+// sniffers — CheckFilesParallel, the aerodromed /v1/check endpoint — share
+// this so the magic lives in one place.
+func IsBinary(head []byte) bool {
+	return len(head) >= len(binMagic) && [4]byte(head[:4]) == binMagic
+}
 
 // BinaryWriter emits the compact binary format.
 type BinaryWriter struct {

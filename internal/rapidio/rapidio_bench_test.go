@@ -8,9 +8,11 @@ package rapidio
 
 import (
 	"bytes"
+	"io"
 	"strings"
 	"testing"
 
+	"aerodrome/internal/trace"
 	"aerodrome/internal/workload"
 )
 
@@ -46,6 +48,34 @@ func BenchmarkParseSTD(b *testing.B) {
 		}
 		if err := rd.Err(); err != nil {
 			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(events), "ns/event")
+}
+
+// BenchmarkParseSTDBatch is the batch-path twin of BenchmarkParseSTD: the
+// producer side of the pipelined checker and the server's /v1/check path
+// pull events through ReadBatch, so this row gates the whole-buffer
+// tokenization fast path (scan the fill buffer with bytes.IndexByte
+// instead of a scanner round trip per line).
+func BenchmarkParseSTDBatch(b *testing.B) {
+	data := benchSTD(b)
+	b.SetBytes(int64(len(data)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	var events int64
+	batch := make([]trace.Event, 4096)
+	for i := 0; i < b.N; i++ {
+		rd := NewReader(bytes.NewReader(data))
+		for {
+			n, err := rd.ReadBatch(batch)
+			events += int64(n)
+			if err != nil {
+				if err != io.EOF {
+					b.Fatal(err)
+				}
+				break
+			}
 		}
 	}
 	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(events), "ns/event")

@@ -1,0 +1,145 @@
+package server
+
+// Client is the thin HTTP client behind `aerodrome -remote`: it speaks
+// the /v1 wire format and maps service errors back to Go errors, so the
+// CLI front end renders remote verdicts exactly like local ones.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	neturl "net/url"
+	"strings"
+
+	"aerodrome"
+)
+
+// Client calls an aerodromed instance.
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8421".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) url(path string) string {
+	return strings.TrimRight(c.BaseURL, "/") + path
+}
+
+// remoteError decodes the service's {"error": ...} body into an error.
+func remoteError(resp *http.Response) error {
+	var e struct {
+		Error string `json:"error"`
+	}
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Errorf("remote: %s (HTTP %d)", e.Error, resp.StatusCode)
+	}
+	return fmt.Errorf("remote: HTTP %d", resp.StatusCode)
+}
+
+// Check streams one whole trace (STD or binary; the server sniffs) to
+// POST /v1/check with the given algorithm ("" for the server default) and
+// returns the Report.
+func (c *Client) Check(r io.Reader, algo string) (*aerodrome.Report, error) {
+	url := c.url("/v1/check")
+	if algo != "" {
+		url += "?" + neturl.Values{"algo": {algo}}.Encode()
+	}
+	resp, err := c.httpClient().Post(url, "application/octet-stream", r)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, remoteError(resp)
+	}
+	var rep aerodrome.Report
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("remote: decoding report: %w", err)
+	}
+	return &rep, nil
+}
+
+// Session is a remote incremental session.
+type Session struct {
+	c  *Client
+	ID string
+}
+
+// NewSession opens an incremental session ("" selects the server's
+// default algorithm).
+func (c *Client) NewSession(algo string) (*Session, error) {
+	url := c.url("/v1/sessions")
+	if algo != "" {
+		url += "?" + neturl.Values{"algo": {algo}}.Encode()
+	}
+	resp, err := c.httpClient().Post(url, "application/json", nil)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		return nil, remoteError(resp)
+	}
+	var v SessionView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return nil, fmt.Errorf("remote: decoding session: %w", err)
+	}
+	return &Session{c: c, ID: v.ID}, nil
+}
+
+// Feed posts one STD chunk and returns the post-chunk snapshot.
+func (s *Session) Feed(chunk []byte) (*SessionView, error) {
+	resp, err := s.c.httpClient().Post(
+		s.c.url("/v1/sessions/"+s.ID+"/events"), "text/plain", bytes.NewReader(chunk))
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK, http.StatusBadRequest, http.StatusConflict:
+		// All three carry a SessionView body: 400 = this chunk failed the
+		// session, 409 = the session had already failed.
+	default:
+		return nil, remoteError(resp)
+	}
+	var v SessionView
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		return nil, fmt.Errorf("remote: decoding snapshot: %w", err)
+	}
+	if v.State == stateFailed {
+		return &v, fmt.Errorf("remote: session failed: %s", v.Error)
+	}
+	return &v, nil
+}
+
+// Close finalizes the session and returns the final Report.
+func (s *Session) Close() (*aerodrome.Report, error) {
+	req, err := http.NewRequest(http.MethodDelete, s.c.url("/v1/sessions/"+s.ID), nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := s.c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, remoteError(resp)
+	}
+	var rep aerodrome.Report
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		return nil, fmt.Errorf("remote: decoding report: %w", err)
+	}
+	return &rep, nil
+}

@@ -1,0 +1,100 @@
+package server
+
+// Daemon glue shared by cmd/aerodromed and `aerodrome -serve`: listen,
+// serve, and on context cancellation drain gracefully — flip healthz to
+// draining, stop admitting new work, let in-flight requests finish under
+// the shutdown deadline, then finalize remaining sessions.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"time"
+)
+
+// DaemonConfig configures RunDaemon.
+type DaemonConfig struct {
+	// Addr is the listen address (default ":8421").
+	Addr string
+	// Server is the service configuration.
+	Server Config
+	// ShutdownTimeout bounds the graceful drain after cancellation
+	// (default 10s); when exceeded, remaining connections are closed hard
+	// and RunDaemon returns an error.
+	ShutdownTimeout time.Duration
+	// Log receives the daemon's log lines (default: discarded).
+	Log io.Writer
+	// Ready, when non-nil, receives the bound listen address once the
+	// server is accepting (the tests and -addr :0 users read the actual
+	// port from it).
+	Ready chan<- string
+}
+
+// RunDaemon serves an aerodromed instance until ctx is cancelled, then
+// drains. It returns nil after a clean drain, or the error that stopped
+// the server.
+func RunDaemon(ctx context.Context, cfg DaemonConfig) error {
+	if cfg.Addr == "" {
+		cfg.Addr = ":8421"
+	}
+	if cfg.ShutdownTimeout <= 0 {
+		cfg.ShutdownTimeout = 10 * time.Second
+	}
+	logw := cfg.Log
+	if logw == nil {
+		logw = io.Discard
+	}
+	logger := log.New(logw, "aerodromed: ", log.LstdFlags)
+
+	s, err := New(cfg.Server)
+	if err != nil {
+		return err
+	}
+	defer s.Close()
+
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return err
+	}
+	// ReadHeaderTimeout/IdleTimeout reap slow-loris and abandoned keepalive
+	// connections before they pin admission slots. There is deliberately no
+	// whole-request ReadTimeout: a trace body streaming at producer speed
+	// is the service's core use case and is bounded by MaxBodyBytes and
+	// admission control instead.
+	httpSrv := &http.Server{
+		Handler:           s,
+		ReadHeaderTimeout: 10 * time.Second,
+		IdleTimeout:       2 * time.Minute,
+	}
+	logger.Printf("listening on %s (default algo %s)", ln.Addr(), s.cfg.Algorithm)
+	if cfg.Ready != nil {
+		cfg.Ready <- ln.Addr().String()
+	}
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+
+	logger.Printf("draining (deadline %s)", cfg.ShutdownTimeout)
+	s.SetDraining(true)
+	sctx, cancel := context.WithTimeout(context.Background(), cfg.ShutdownTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(sctx); err != nil {
+		httpSrv.Close()
+		return fmt.Errorf("drain deadline exceeded: %w", err)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	logger.Printf("drained cleanly")
+	return nil
+}

@@ -1,0 +1,95 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// metrics is the server's counter set, served as expvar-style JSON from
+// GET /metrics. Everything is monotonic except the two active gauges; all
+// updates are atomic so handlers never contend on a metrics lock.
+type metrics struct {
+	start time.Time
+
+	sessionsActive   atomic.Int64
+	sessionsOpened   atomic.Int64
+	sessionsClosed   atomic.Int64
+	sessionsEvicted  atomic.Int64
+	sessionsRejected atomic.Int64
+
+	checksActive   atomic.Int64
+	checksTotal    atomic.Int64
+	checksRejected atomic.Int64
+
+	eventsTotal     atomic.Int64
+	violationsTotal atomic.Int64
+
+	// engineMu guards insertion into engines; the counters themselves are
+	// atomic. Keyed by engine name, counting how often each engine was
+	// selected (one per /v1/check and one per session) — the observability
+	// for the `auto` default.
+	engineMu sync.Mutex
+	engines  map[string]*atomic.Int64
+}
+
+func newMetrics() *metrics {
+	return &metrics{start: time.Now(), engines: map[string]*atomic.Int64{}}
+}
+
+func (m *metrics) selectEngine(name string) {
+	m.engineMu.Lock()
+	c, ok := m.engines[name]
+	if !ok {
+		c = &atomic.Int64{}
+		m.engines[name] = c
+	}
+	m.engineMu.Unlock()
+	c.Add(1)
+}
+
+// snapshot renders the counters. The JSON shape is part of the service
+// interface (the bench harness and the e2e script read it).
+func (m *metrics) snapshot() map[string]any {
+	uptime := time.Since(m.start).Seconds()
+	events := m.eventsTotal.Load()
+	perSec := 0.0
+	if uptime > 0 {
+		perSec = float64(events) / uptime
+	}
+	// encoding/json emits map keys sorted, so a plain copy suffices.
+	m.engineMu.Lock()
+	engines := make(map[string]int64, len(m.engines))
+	for name, c := range m.engines {
+		engines[name] = c.Load()
+	}
+	m.engineMu.Unlock()
+	return map[string]any{
+		"uptime_seconds": uptime,
+		"sessions": map[string]int64{
+			"active":   m.sessionsActive.Load(),
+			"opened":   m.sessionsOpened.Load(),
+			"closed":   m.sessionsClosed.Load(),
+			"evicted":  m.sessionsEvicted.Load(),
+			"rejected": m.sessionsRejected.Load(),
+		},
+		"checks": map[string]int64{
+			"active":   m.checksActive.Load(),
+			"total":    m.checksTotal.Load(),
+			"rejected": m.checksRejected.Load(),
+		},
+		"events_total":      events,
+		"events_per_second": perSec,
+		"violations_total":  m.violationsTotal.Load(),
+		"engine_selections": engines,
+	}
+}
+
+func (m *metrics) handler(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(m.snapshot())
+}

@@ -1,0 +1,427 @@
+package server
+
+// The incremental session layer: one session is one network-attached
+// IncrementalChecker — created by POST /v1/sessions, fed STD chunks by
+// POST /v1/sessions/{id}/events, inspected by GET, finalized by DELETE,
+// and evicted by the janitor when idle past the TTL. The session manager
+// is the admission-control point: at most MaxSessions live at once
+// (over-admission is rejected with 429, never queued), each chunk body is
+// bounded, and concurrent feeds to one session are rejected busy rather
+// than queued, because chunk order defines the trace.
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"os"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"aerodrome"
+)
+
+// sessionState is the lifecycle of one session.
+type sessionState string
+
+const (
+	// stateActive: accepting events, no violation yet.
+	stateActive sessionState = "active"
+	// stateViolated: a violation latched; further chunks are accepted and
+	// discarded (the sequential checker would have stopped reading).
+	stateViolated sessionState = "violated"
+	// stateFailed: a chunk was malformed; the session is terminal.
+	stateFailed sessionState = "failed"
+)
+
+type session struct {
+	id      string
+	algo    string
+	created time.Time
+
+	// feedMu serializes the event stream: at most one feed — or the
+	// finalizing Close — drives the checker at a time. Feed handlers use
+	// TryLock: a concurrent chunk to the same session is a client
+	// protocol error (chunk order defines the trace), answered 429
+	// rather than queued.
+	feedMu  sync.Mutex
+	checker *aerodrome.IncrementalChecker // guarded by feedMu
+
+	// mu guards only the snapshot fields below, which the feed loop
+	// refreshes per block — so GET, the janitor scan and metrics never
+	// wait behind a slow upload holding feedMu. Lock order: feedMu may
+	// be held while taking mu, never the reverse.
+	mu         sync.Mutex
+	lastActive time.Time
+	state      sessionState
+	parseErr   error
+	events     int64
+	viol       *aerodrome.Violation
+	// removed is set (under mu) when the session leaves the table — by
+	// DELETE, eviction or server close. A feed that raced the removal
+	// must see it and stop rather than stream into a finalized checker.
+	removed bool
+}
+
+// SessionView is the JSON shape of GET /v1/sessions/{id} and the feed
+// response.
+type SessionView struct {
+	ID         string               `json:"id"`
+	Algorithm  string               `json:"algorithm"`
+	State      sessionState         `json:"state"`
+	Events     int64                `json:"events"`
+	Violation  *aerodrome.Violation `json:"violation,omitempty"`
+	Error      string               `json:"error,omitempty"`
+	Created    time.Time            `json:"created"`
+	LastActive time.Time            `json:"last_active"`
+}
+
+// view snapshots the session from the cached fields only — no checker
+// access, so it is safe (and fast) while a feed is in flight. Callers
+// hold s.mu.
+func (s *session) view() SessionView {
+	v := SessionView{
+		ID:         s.id,
+		Algorithm:  s.algo,
+		State:      s.state,
+		Events:     s.events,
+		Violation:  s.viol,
+		Created:    s.created,
+		LastActive: s.lastActive,
+	}
+	if s.parseErr != nil {
+		v.Error = s.parseErr.Error()
+	}
+	return v
+}
+
+func newSessionID() string {
+	var b [16]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("server: session id entropy: " + err.Error())
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// handleSessionCreate is POST /v1/sessions.
+func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	var req struct {
+		Algo string `json:"algo"`
+	}
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+			return
+		}
+	}
+	if q := r.URL.Query().Get("algo"); q != "" {
+		req.Algo = q
+	}
+	algo := aerodrome.Algorithm(req.Algo)
+	if req.Algo == "" {
+		algo = s.cfg.Algorithm
+	}
+	checker, err := aerodrome.NewIncrementalChecker(algo)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	sess := &session{
+		id:      newSessionID(),
+		algo:    checker.Algorithm(),
+		created: time.Now(),
+		checker: checker,
+		state:   stateActive,
+	}
+	sess.lastActive = sess.created
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "shutting down")
+		return
+	}
+	if len(s.sessions) >= s.cfg.MaxSessions {
+		s.mu.Unlock()
+		s.metrics.sessionsRejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "session limit reached")
+		return
+	}
+	s.sessions[sess.id] = sess
+	s.mu.Unlock()
+
+	s.metrics.sessionsOpened.Add(1)
+	s.metrics.sessionsActive.Add(1)
+	s.metrics.selectEngine(sess.algo)
+
+	sess.mu.Lock()
+	view := sess.view()
+	sess.mu.Unlock()
+	writeJSON(w, http.StatusCreated, view)
+}
+
+// lookupSession resolves {id} or answers 404.
+func (s *Server) lookupSession(w http.ResponseWriter, r *http.Request) *session {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	sess := s.sessions[id]
+	s.mu.Unlock()
+	if sess == nil {
+		writeError(w, http.StatusNotFound, "no such session")
+	}
+	return sess
+}
+
+// handleSessionEvents is POST /v1/sessions/{id}/events: one STD chunk in,
+// the post-chunk snapshot out. The body is bounded by MaxBodyBytes; chunk
+// boundaries need not align with line boundaries.
+func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
+	sess := s.lookupSession(w, r)
+	if sess == nil {
+		return
+	}
+	if !sess.feedMu.TryLock() {
+		// A feed is already in flight: reject before buffering anything —
+		// chunks must be ordered, so queueing a concurrent one (or its
+		// body bytes) would only hide a client protocol error.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "session busy: serialize event chunks")
+		return
+	}
+	defer sess.feedMu.Unlock()
+
+	body := s.bodyReader(w, http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	sess.mu.Lock()
+	if sess.removed {
+		sess.mu.Unlock()
+		// Lost a race with DELETE / eviction between lookup and lock.
+		writeError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	sess.lastActive = time.Now()
+	state, view := sess.state, sess.view()
+	sess.mu.Unlock()
+	if state != stateActive {
+		// Terminal states accept and discard the chunk; drain it so the
+		// client receives the snapshot instead of a connection reset
+		// mid-upload (the per-read deadline still bounds a stalled drain).
+		io.Copy(io.Discard, body)
+		if state == stateFailed {
+			writeJSON(w, http.StatusConflict, view)
+			return
+		}
+		writeJSON(w, http.StatusOK, view)
+		return
+	}
+
+	// Stream the body into the checker in fixed-size blocks: O(block)
+	// extra memory per feed instead of a whole buffered chunk; the
+	// snapshot fields refresh per block so GET and the janitor see live
+	// state without waiting on feedMu; and every block read carries a
+	// fresh deadline, so a stalled upload fails within BodyReadTimeout.
+	// Chunks are stream fragments, not transactions: events already fed
+	// when an upload dies stay fed.
+	before := sess.checker.Processed()
+	block := make([]byte, 64*1024)
+	var v *aerodrome.Violation
+	var ferr error
+	removedMidFeed := false
+	for {
+		n, rerr := body.Read(block)
+		if n > 0 {
+			v, ferr = sess.checker.Feed(block[:n])
+			sess.mu.Lock()
+			sess.lastActive = time.Now()
+			sess.events = sess.checker.Processed()
+			removedMidFeed = sess.removed
+			sess.mu.Unlock()
+			if ferr != nil || v != nil || removedMidFeed {
+				break
+			}
+		}
+		if rerr == io.EOF {
+			break
+		}
+		if rerr != nil {
+			s.metrics.eventsTotal.Add(sess.checker.Processed() - before)
+			if errors.Is(rerr, os.ErrDeadlineExceeded) {
+				writeError(w, http.StatusRequestTimeout, "chunk upload stalled")
+				return
+			}
+			writeBodyError(w, rerr)
+			return
+		}
+	}
+	s.metrics.eventsTotal.Add(sess.checker.Processed() - before)
+	if removedMidFeed {
+		// DELETE or eviction signalled mid-stream; stop so the remover's
+		// pending feedMu acquisition (and finalization) can proceed.
+		writeError(w, http.StatusNotFound, "session closed during feed")
+		return
+	}
+	if ferr != nil || v != nil {
+		// Terminal mid-body: discard the tail for connection hygiene.
+		io.Copy(io.Discard, body)
+	}
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	status := http.StatusOK
+	switch {
+	case ferr != nil:
+		sess.state = stateFailed
+		sess.parseErr = ferr
+		status = http.StatusBadRequest
+	case v != nil:
+		sess.state = stateViolated
+		sess.viol = v
+		s.metrics.violationsTotal.Add(1)
+	}
+	writeJSON(w, status, sess.view())
+}
+
+// handleSessionGet is GET /v1/sessions/{id}.
+func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
+	sess := s.lookupSession(w, r)
+	if sess == nil {
+		return
+	}
+	sess.mu.Lock()
+	view := sess.view()
+	sess.mu.Unlock()
+	writeJSON(w, http.StatusOK, view)
+}
+
+// handleSessionDelete is DELETE /v1/sessions/{id}: finalize the stream (a
+// trailing line without a newline is parsed) and return the final Report.
+func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
+	sess := s.lookupSession(w, r)
+	if sess == nil {
+		return
+	}
+	if !s.removeSession(sess.id) {
+		// A concurrent DELETE or eviction got there first; exactly one
+		// caller finalizes (and counts) the session.
+		writeError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	rep, err := s.finalizeSession(sess, &s.metrics.sessionsClosed)
+	sess.mu.Lock()
+	defer sess.mu.Unlock()
+	if err != nil {
+		sess.state = stateFailed
+		sess.parseErr = err
+		writeJSON(w, http.StatusBadRequest, sess.view())
+		return
+	}
+	if !rep.Serializable && sess.state == stateActive {
+		// The trailing flushed line completed a violation.
+		sess.state = stateViolated
+		sess.viol = rep.Violation
+		s.metrics.violationsTotal.Add(1)
+	}
+	writeJSON(w, http.StatusOK, rep)
+}
+
+// finalizeSession closes a session's checker after it has been removed
+// from the table, settling the shared counters; counter is the terminal
+// metric this path owns (closed vs evicted). The caller must have won
+// removeSession. Sequence: signal any in-flight feed via the removed flag
+// (it aborts at its next block), then take the stream lock — never while
+// holding sess.mu, the feed loop acquires them in the opposite order.
+func (s *Server) finalizeSession(sess *session, counter *atomic.Int64) (*aerodrome.Report, error) {
+	sess.mu.Lock()
+	sess.removed = true
+	sess.mu.Unlock()
+	sess.feedMu.Lock()
+	defer sess.feedMu.Unlock()
+	before := sess.checker.Processed()
+	rep, err := sess.checker.Close()
+	// Close may parse a final unterminated line; count those events too.
+	s.metrics.eventsTotal.Add(sess.checker.Processed() - before)
+	counter.Add(1)
+	sess.mu.Lock()
+	sess.events = sess.checker.Processed()
+	sess.mu.Unlock()
+	return rep, err
+}
+
+// removeSession unregisters id and reports whether this call was the one
+// that removed it — exactly one racing remover wins and owns finalizing
+// the session (and its closed/evicted counter). The caller settles
+// metrics besides the active gauge.
+func (s *Server) removeSession(id string) bool {
+	s.mu.Lock()
+	_, ok := s.sessions[id]
+	delete(s.sessions, id)
+	s.mu.Unlock()
+	if ok {
+		s.metrics.sessionsActive.Add(-1)
+	}
+	return ok
+}
+
+// janitor evicts sessions idle past the TTL. It runs every ttl/4 (clamped
+// to [10ms, 30s]) until the server closes.
+func (s *Server) janitor(ttl time.Duration) {
+	interval := ttl / 4
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	if interval > 30*time.Second {
+		interval = 30 * time.Second
+	}
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-tick.C:
+			cutoff := time.Now().Add(-ttl)
+			s.mu.Lock()
+			var idle []*session
+			for _, sess := range s.sessions {
+				if sess.mu.TryLock() {
+					if sess.lastActive.Before(cutoff) {
+						idle = append(idle, sess)
+					}
+					sess.mu.Unlock()
+				}
+			}
+			s.mu.Unlock()
+			for _, sess := range idle {
+				// Re-check under the session lock: a feed acknowledged
+				// between the scan and this point refreshed lastActive,
+				// and evicting it anyway would lose an active session.
+				// (Holding sess.mu while removeSession takes s.mu cannot
+				// deadlock against the scan above: the scan only TryLocks.)
+				sess.mu.Lock()
+				if sess.removed || !sess.lastActive.Before(cutoff) {
+					sess.mu.Unlock()
+					continue
+				}
+				if !s.removeSession(sess.id) {
+					sess.mu.Unlock()
+					continue // a DELETE won the race and owns finalization
+				}
+				sess.mu.Unlock()
+				s.finalizeSession(sess, &s.metrics.sessionsEvicted)
+			}
+		}
+	}
+}
+
+// isBodyTooLarge reports whether err is the MaxBytesReader limit.
+func isBodyTooLarge(err error) bool {
+	var mbe *http.MaxBytesError
+	return errors.As(err, &mbe)
+}

@@ -116,6 +116,49 @@ func (m *Monitor) Events() int64 {
 	return m.events
 }
 
+// Snapshot returns the event count and the first violation in one
+// consistent read — the introspection hook a serving front end polls
+// between feeds (Events followed by Violation could straddle a concurrent
+// event).
+func (m *Monitor) Snapshot() (events int64, v *Violation) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.events, m.viol
+}
+
+// Algorithm returns the name of the engine backing this monitor, as it
+// appears in Report.Algorithm.
+func (m *Monitor) Algorithm() string {
+	return m.eng.Name()
+}
+
+// Event feeds one explicit event, the hook for front ends that receive an
+// already-encoded stream (a network session, a decoded trace log) rather
+// than instrumenting live code. Identities are interned per key exactly
+// like the handle-based API — the Event's integer Thread/Target are keys,
+// not raw engine IDs, so an int key and a string key used elsewhere on the
+// same monitor never collide, and fork/join targets intern as threads.
+// Unknown kinds are ignored, mirroring Checker.Event.
+func (m *Monitor) Event(e Event) *Violation {
+	kind, ok := kindToInternal[e.Kind]
+	if !ok {
+		return m.Violation()
+	}
+	m.mu.Lock()
+	t := m.internThread(e.Thread)
+	var target int32
+	switch e.Kind {
+	case OpRead, OpWrite:
+		target = int32(m.internVar(e.Target))
+	case OpAcquire, OpRelease:
+		target = int32(m.internLock(e.Target))
+	case OpFork, OpJoin:
+		target = int32(m.internThread(e.Target))
+	}
+	m.mu.Unlock()
+	return m.process(trace.Event{Thread: t, Kind: kind, Target: target})
+}
+
 func (m *Monitor) process(e trace.Event) *Violation {
 	m.mu.Lock()
 	defer m.mu.Unlock()

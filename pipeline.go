@@ -2,8 +2,6 @@ package aerodrome
 
 import (
 	"bufio"
-	"bytes"
-	"fmt"
 	"io"
 	"os"
 	"runtime"
@@ -56,9 +54,23 @@ func CheckBinaryReaderPipelined(r io.Reader, a Algorithm) (*Report, error) {
 	}, nil
 }
 
+// FileError is the typed per-file error of a CheckFilesParallel run: it
+// names the file and wraps the underlying failure (open failure, parse
+// error), so batch callers — the CLI's -parallel mode, a service's batch
+// endpoint — can both render the path and errors.Is/As into the cause.
+type FileError struct {
+	Path string
+	Err  error
+}
+
+// Error implements error.
+func (e *FileError) Error() string { return e.Path + ": " + e.Err.Error() }
+
+// Unwrap exposes the underlying failure to errors.Is and errors.As.
+func (e *FileError) Unwrap() error { return e.Err }
+
 // FileReport is the outcome of checking one file of a CheckFilesParallel
-// run: the report, or the error that prevented one (open failure, parse
-// error).
+// run: the report, or the *FileError that prevented one.
 type FileReport struct {
 	Path   string
 	Report *Report
@@ -69,10 +81,11 @@ type FileReport struct {
 // independent engine (and one parse/check pipeline) per trace, using up
 // to workers goroutines (GOMAXPROCS when ≤0). The format of each file is
 // sniffed from its first bytes (binary "ADB1" magic vs. STD text).
-// Results are returned in input order; per-file failures land in the
-// corresponding FileReport rather than aborting the batch. The only
-// call-level error is an unknown algorithm. Each file's verdict and
-// violation index are identical to checking it alone with CheckSTD.
+// Results are returned in input order regardless of completion order;
+// per-file failures land in the corresponding FileReport as a *FileError
+// rather than aborting the batch. The only call-level error is an unknown
+// algorithm. Each file's verdict and violation index are identical to
+// checking it alone with CheckSTD.
 func CheckFilesParallel(paths []string, a Algorithm, workers int) ([]FileReport, error) {
 	if _, err := newEngine(a); err != nil {
 		return nil, err
@@ -92,6 +105,9 @@ func CheckFilesParallel(paths []string, a Algorithm, workers int) ([]FileReport,
 			defer wg.Done()
 			for i := range jobs {
 				rep, err := checkFilePipelined(paths[i], a)
+				if err != nil {
+					err = &FileError{Path: paths[i], Err: err}
+				}
 				out[i] = FileReport{Path: paths[i], Report: rep, Err: err}
 			}
 		}()
@@ -104,9 +120,6 @@ func CheckFilesParallel(paths []string, a Algorithm, workers int) ([]FileReport,
 	return out, nil
 }
 
-// binaryMagic mirrors rapidio's "ADB1" header for format sniffing.
-var binaryMagic = []byte{'A', 'D', 'B', '1'}
-
 // checkFilePipelined opens one trace file, sniffs its format and runs the
 // pipelined checker over it.
 func checkFilePipelined(path string, a Algorithm) (*Report, error) {
@@ -116,15 +129,77 @@ func checkFilePipelined(path string, a Algorithm) (*Report, error) {
 	}
 	defer f.Close()
 	br := bufio.NewReaderSize(f, 1<<16)
-	head, _ := br.Peek(len(binaryMagic))
-	var rep *Report
-	if bytes.Equal(head, binaryMagic) {
-		rep, err = CheckBinaryReaderPipelined(br, a)
-	} else {
-		rep, err = CheckReaderPipelined(br, a)
+	head, _ := br.Peek(4)
+	if rapidio.IsBinary(head) {
+		return CheckBinaryReaderPipelined(br, a)
+	}
+	return CheckReaderPipelined(br, a)
+}
+
+// IncrementalChecker checks an STD trace that arrives in byte chunks —
+// the engine behind one aerodromed session, and the library hook for any
+// front end that receives a trace stream over a wire rather than from a
+// file. Chunk boundaries need not align with line boundaries. It is not
+// safe for concurrent use; callers serialize (the chunk order defines the
+// trace).
+type IncrementalChecker struct {
+	f    *pipeline.Feeder
+	algo string
+	viol *Violation
+}
+
+// NewIncrementalChecker returns an incremental checker using the given
+// algorithm (Optimized when empty).
+func NewIncrementalChecker(a Algorithm) (*IncrementalChecker, error) {
+	eng, err := newEngine(a)
+	if err != nil {
+		return nil, err
+	}
+	return &IncrementalChecker{f: pipeline.NewFeeder(eng, pipeline.Config{}), algo: eng.Name()}, nil
+}
+
+// Feed appends one chunk of the STD stream and processes every event whose
+// line is now complete. It returns the latched violation, if any, and the
+// terminal parse error if the stream is malformed. After a violation,
+// further chunks are accepted and discarded — the verdict, violation index
+// and event count equal running CheckSTD over the concatenated chunks.
+func (c *IncrementalChecker) Feed(chunk []byte) (*Violation, error) {
+	v, err := c.f.Feed(chunk)
+	if v != nil && c.viol == nil {
+		c.viol = fromInternal(v)
+	}
+	return c.viol, err
+}
+
+// Close marks the end of the stream (parsing a final unterminated line)
+// and returns the final Report. The error is the terminal parse error, if
+// any. Close is idempotent.
+func (c *IncrementalChecker) Close() (*Report, error) {
+	v, n, err := c.f.Close()
+	if v != nil && c.viol == nil {
+		c.viol = fromInternal(v)
 	}
 	if err != nil {
-		return nil, fmt.Errorf("%s: %w", path, err)
+		return nil, err
 	}
-	return rep, nil
+	return &Report{
+		Serializable: c.viol == nil,
+		Violation:    c.viol,
+		Events:       n,
+		Algorithm:    c.algo,
+	}, nil
 }
+
+// Violation returns the latched violation, if any.
+func (c *IncrementalChecker) Violation() *Violation {
+	if v := c.f.Violation(); v != nil && c.viol == nil {
+		c.viol = fromInternal(v)
+	}
+	return c.viol
+}
+
+// Processed returns the number of events consumed so far.
+func (c *IncrementalChecker) Processed() int64 { return c.f.Processed() }
+
+// Algorithm returns the name of the engine backing this checker.
+func (c *IncrementalChecker) Algorithm() string { return c.algo }

@@ -1,0 +1,86 @@
+#!/usr/bin/env bash
+# End-to-end smoke of the real aerodromed binary, as CI runs it: build,
+# boot on an ephemeral port, replay golden traces over HTTP (verdicts must
+# match the local CLI byte for byte), exercise the session API with curl,
+# then SIGTERM and require a clean drain within the deadline.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BINDIR=$(mktemp -d)
+BIN="$BINDIR/aerodromed"
+LOG=$(mktemp)
+PID=
+trap 'kill "$PID" 2>/dev/null || true; rm -rf "$BINDIR"; rm -f "$LOG"' EXIT
+
+go build -o "$BIN" ./cmd/aerodromed
+
+"$BIN" -addr 127.0.0.1:0 -session-ttl 1m >"$LOG" 2>&1 &
+PID=$!
+
+# Wait for the daemon to announce its port.
+ADDR=
+for _ in $(seq 1 100); do
+    ADDR=$(sed -n 's/.*listening on \([0-9.:]*\).*/\1/p' "$LOG" | head -1)
+    [ -n "$ADDR" ] && break
+    kill -0 "$PID" 2>/dev/null || { echo "daemon died:"; cat "$LOG"; exit 1; }
+    sleep 0.1
+done
+[ -n "$ADDR" ] || { echo "daemon never became ready:"; cat "$LOG"; exit 1; }
+BASE="http://$ADDR"
+echo "daemon up at $BASE"
+
+curl -fsS "$BASE/healthz" | grep -q '"ok"' || { echo "healthz failed"; exit 1; }
+
+# Golden replay over HTTP: the remote CLI verdict must match the local
+# one on verdict, violation index and check kind (the local renderer has
+# symbol names the wire format deliberately does not carry).
+normalize() {
+    printf '%s\n' "$1" | sed -E \
+        -e 's/^(result: (NOT )?conflict serializable).*/\1/' \
+        -e "s/\$/ $(printf '%s' "$2" | grep -oE 'at event [0-9]+' || true)/" \
+        -e "s/\$/ $(printf '%s' "$2" | grep -oE '[a-z]+-[a-z-]+ check' || true)/"
+}
+for trace in sharded-none sharded-cross chain-lock phase-delayed; do
+    f="testdata/golden/$trace.std"
+    local_out=$(go run ./cmd/aerodrome -q -algo auto "$f" 2>/dev/null || true)
+    remote_out=$(go run ./cmd/aerodrome -q -algo auto -remote "$BASE" "$f" 2>/dev/null || true)
+    local_norm=$(normalize "$local_out" "$local_out")
+    remote_norm=$(normalize "$remote_out" "$remote_out")
+    if [ "$local_norm" != "$remote_norm" ]; then
+        echo "verdict mismatch on $trace:"
+        echo "  local:  $local_out"
+        echo "  remote: $remote_out"
+        exit 1
+    fi
+    echo "golden $trace: verdicts agree ($local_norm)"
+done
+
+# Raw curl check: the wire format is plain HTTP + JSON.
+curl -fsS --data-binary @testdata/golden/sharded-cross.std "$BASE/v1/check" \
+    | grep -q '"serializable":false' || { echo "curl check failed"; exit 1; }
+
+# Session API with curl: create, feed two chunks (split mid-line), final report.
+SID=$(curl -fsS -X POST "$BASE/v1/sessions" | sed 's/.*"id":"\([^"]*\)".*/\1/')
+printf 't1|begin|0\nt1|w(' | curl -fsS --data-binary @- "$BASE/v1/sessions/$SID/events" >/dev/null
+printf 'x)|1\nt1|end|0\n'  | curl -fsS --data-binary @- "$BASE/v1/sessions/$SID/events" >/dev/null
+curl -fsS -X DELETE "$BASE/v1/sessions/$SID" \
+    | grep -q '"serializable":true.*"events":3\|"events":3.*"serializable":true' \
+    || { echo "session flow failed"; exit 1; }
+echo "session flow ok"
+
+curl -fsS "$BASE/metrics" | grep -q '"events_total"' || { echo "metrics failed"; exit 1; }
+
+# Graceful-shutdown drain check: SIGTERM must exit 0 within the deadline.
+kill -TERM "$PID"
+for _ in $(seq 1 100); do
+    kill -0 "$PID" 2>/dev/null || break
+    sleep 0.1
+done
+if kill -0 "$PID" 2>/dev/null; then
+    echo "daemon did not exit within 10s of SIGTERM"; cat "$LOG"; exit 1
+fi
+set +e; wait "$PID"; CODE=$?; set -e
+[ "$CODE" -eq 0 ] || { echo "daemon exited $CODE after SIGTERM:"; cat "$LOG"; exit 1; }
+grep -q "drained cleanly" "$LOG" || { echo "no clean-drain log:"; cat "$LOG"; exit 1; }
+echo "graceful drain ok"
+echo "e2e: all checks passed"
