@@ -102,6 +102,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	parallel := fs.Int("parallel", 0, "check multiple trace files concurrently on this many workers (<0 = one per CPU); implies -pipeline, sniffs each file's format (-format and -q are ignored)")
 	serve := fs.String("serve", "", "run the aerodromed service on this address instead of checking a trace (server default algo is auto unless -algo is set)")
 	remote := fs.String("remote", "", "stream the trace to a running aerodromed at this base URL instead of checking locally (the server's default algorithm applies unless -algo is set)")
+	tenant := fs.String("tenant", "", "tenant name sent with -remote requests (the server's quota and metrics bucket)")
+	traceKey := fs.String("trace", "", "trace routing key sent with -remote requests (pins the request to one backend behind a shard router)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -129,7 +131,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if !algoSet {
 			*algo = "" // let the server apply its configured default
 		}
-		return runRemote(*remote, *algo, fs.Args(), *quiet, stdout, stderr)
+		return runRemote(*remote, *algo, *tenant, *traceKey, fs.Args(), *quiet, stdout, stderr)
 	}
 	if *parallel != 0 {
 		return runParallel(fs.Args(), *algo, *parallel, stdout, stderr)
@@ -224,9 +226,9 @@ func runServe(addr, algo string, stderr io.Writer) int {
 	return 0
 }
 
-// runRemote streams one trace (file or stdin) to a running aerodromed and
-// renders the report exactly like a local check.
-func runRemote(baseURL, algo string, args []string, quiet bool, stdout, stderr io.Writer) int {
+// runRemote streams one trace (file or stdin) to a running aerodromed (or
+// shard router) and renders the report exactly like a local check.
+func runRemote(baseURL, algo, tenant, traceKey string, args []string, quiet bool, stdout, stderr io.Writer) int {
 	if len(args) > 1 {
 		fmt.Fprintln(stderr, "usage: aerodrome -remote URL [trace-file]")
 		return 2
@@ -242,7 +244,7 @@ func runRemote(baseURL, algo string, args []string, quiet bool, stdout, stderr i
 		r = f
 	}
 	algo = normalizeAlgo(algo)
-	client := &server.Client{BaseURL: baseURL}
+	client := &server.Client{BaseURL: baseURL, Tenant: tenant, TraceKey: traceKey}
 	start := time.Now()
 	rep, err := client.Check(r, algo)
 	if err != nil {

@@ -7,12 +7,26 @@
 //
 //	aerodromed [-addr :8421] [-algo auto] [-max-sessions N]
 //	           [-max-checks N] [-max-body BYTES] [-session-ttl D]
+//	           [-tenant-sessions N] [-tenant-checks N] [-tenant-bytes-per-sec N]
 //	           [-shutdown-timeout D]
+//	aerodromed -shard -backends URL,URL,... [-addr :8421]
+//	           [-probe-interval D] [-shutdown-timeout D]
 //
 // Endpoints: POST /v1/check (whole trace in, JSON report out; STD or
 // binary format, sniffed), the incremental session API under
 // /v1/sessions, GET /healthz and GET /metrics. See the package
 // documentation of aerodrome/internal/server for the wire format.
+//
+// The -tenant-* flags set the default per-tenant admission budget; the
+// tenant is named by the X-Aerodrome-Tenant request header, and
+// over-budget requests are rejected 429 + Retry-After, never queued.
+//
+// With -shard the daemon is a consistent-hash router instead of a
+// checking backend: sessions and /v1/check requests are spread across the
+// -backends aerodromed instances by the X-Aerodrome-Trace header (or
+// ?trace=, or the tenant header), backends are health-probed, and a
+// session whose backend dies answers 409. Every routed response carries
+// X-Aerodrome-Backend.
 //
 // On SIGINT/SIGTERM the daemon drains: health flips to 503, new work is
 // rejected, in-flight requests finish within -shutdown-timeout, then it
@@ -27,6 +41,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -49,6 +64,12 @@ func run(args []string, logw io.Writer, ready chan<- string) int {
 	maxChecks := fs.Int("max-checks", 0, "max concurrent /v1/check requests (0 = default 2x GOMAXPROCS)")
 	maxBody := fs.Int64("max-body", 0, "max request body bytes (0 = default 64 MiB)")
 	sessionTTL := fs.Duration("session-ttl", 0, "evict sessions idle longer than this (0 = default 5m)")
+	tenantSessions := fs.Int("tenant-sessions", 0, "per-tenant concurrent-session budget (0 = unlimited)")
+	tenantChecks := fs.Int("tenant-checks", 0, "per-tenant concurrent-check budget (0 = unlimited)")
+	tenantBytes := fs.Int64("tenant-bytes-per-sec", 0, "per-tenant sustained ingest budget in bytes/sec (0 = unlimited)")
+	shard := fs.Bool("shard", false, "run as a consistent-hash router over -backends instead of a checking backend")
+	backends := fs.String("backends", "", "comma-separated backend base URLs (required with -shard)")
+	probeInterval := fs.Duration("probe-interval", 0, "router backend health-probe cadence (0 = default 500ms)")
 	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second, "graceful drain deadline on SIGTERM")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -57,13 +78,46 @@ func run(args []string, logw io.Writer, ready chan<- string) int {
 		fmt.Fprintln(logw, "usage: aerodromed [flags]; aerodromed takes no arguments")
 		return 2
 	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *shard {
+		if *backends == "" {
+			fmt.Fprintln(logw, "aerodromed: -shard requires -backends URL,URL,...")
+			return 2
+		}
+		var urls []string
+		for _, u := range strings.Split(*backends, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, u)
+			}
+		}
+		err := server.RunRouterDaemon(ctx, server.RouterDaemonConfig{
+			Addr: *addr,
+			Router: server.RouterConfig{
+				Backends:      urls,
+				ProbeInterval: *probeInterval,
+			},
+			ShutdownTimeout: *shutdownTimeout,
+			Log:             logw,
+			Ready:           ready,
+		})
+		if err != nil {
+			fmt.Fprintln(logw, "aerodromed:", err)
+			return 1
+		}
+		return 0
+	}
+
+	if *backends != "" {
+		fmt.Fprintln(logw, "aerodromed: -backends requires -shard")
+		return 2
+	}
 	if _, err := aerodrome.NewCheckerErr(aerodrome.Algorithm(*algo)); err != nil {
 		fmt.Fprintln(logw, "aerodromed:", err)
 		return 2
 	}
-
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
 	err := server.RunDaemon(ctx, server.DaemonConfig{
 		Addr: *addr,
 		Server: server.Config{
@@ -72,6 +126,11 @@ func run(args []string, logw io.Writer, ready chan<- string) int {
 			MaxConcurrentChecks: *maxChecks,
 			MaxBodyBytes:        *maxBody,
 			SessionTTL:          *sessionTTL,
+			TenantQuota: server.TenantQuota{
+				MaxSessions:         *tenantSessions,
+				MaxConcurrentChecks: *tenantChecks,
+				BytesPerSec:         *tenantBytes,
+			},
 		},
 		ShutdownTimeout: *shutdownTimeout,
 		Log:             logw,

@@ -27,6 +27,83 @@ func TestUsageErrors(t *testing.T) {
 	if code := run([]string{"-not-a-flag"}, &logs, nil); code != 2 {
 		t.Fatalf("bad flag: exit %d", code)
 	}
+	if code := run([]string{"-shard"}, &logs, nil); code != 2 {
+		t.Fatalf("-shard without -backends: exit %d", code)
+	}
+	if code := run([]string{"-backends", "http://x"}, &logs, nil); code != 2 {
+		t.Fatalf("-backends without -shard: exit %d", code)
+	}
+}
+
+// TestShardRouterDaemon boots two backend daemons and a router daemon over
+// them, checks a trace through the router (asserting backend attribution),
+// then SIGTERMs the process: every daemon must drain cleanly.
+func TestShardRouterDaemon(t *testing.T) {
+	var backendLogs [2]bytes.Buffer
+	var routerLogs bytes.Buffer
+	exits := make(chan int, 3)
+	var urls []string
+	for i := 0; i < 2; i++ {
+		ready := make(chan string, 1)
+		logs := &backendLogs[i]
+		go func() { exits <- run([]string{"-addr", "127.0.0.1:0"}, logs, ready) }()
+		select {
+		case addr := <-ready:
+			urls = append(urls, "http://"+addr)
+		case <-time.After(10 * time.Second):
+			t.Fatalf("backend %d never ready\n%s", i, logs.String())
+		}
+	}
+	ready := make(chan string, 1)
+	go func() {
+		exits <- run([]string{"-shard", "-backends", strings.Join(urls, ","),
+			"-addr", "127.0.0.1:0", "-probe-interval", "50ms"}, &routerLogs, ready)
+	}()
+	var routerAddr string
+	select {
+	case routerAddr = <-ready:
+	case <-time.After(10 * time.Second):
+		t.Fatalf("router never ready\n%s", routerLogs.String())
+	}
+
+	req, err := http.NewRequest(http.MethodPost, "http://"+routerAddr+"/v1/check?trace=t-1",
+		strings.NewReader("t0|begin|0\nt0|w(x)|1\nt0|end|0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep aerodrome.Report
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if !rep.Serializable || rep.Events != 3 {
+		t.Fatalf("routed report %+v, want serializable with 3 events", rep)
+	}
+	if got := resp.Header.Get("X-Aerodrome-Backend"); got != urls[0] && got != urls[1] {
+		t.Fatalf("X-Aerodrome-Backend = %q, want one of %v", got, urls)
+	}
+
+	if err := syscall.Kill(syscall.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		select {
+		case code := <-exits:
+			if code != 0 {
+				t.Fatalf("daemon exit = %d after SIGTERM, want 0\nrouter: %s\nb0: %s\nb1: %s",
+					code, routerLogs.String(), backendLogs[0].String(), backendLogs[1].String())
+			}
+		case <-time.After(15 * time.Second):
+			t.Fatal("a daemon did not drain after SIGTERM")
+		}
+	}
+	if !strings.Contains(routerLogs.String(), "drained cleanly") {
+		t.Fatalf("router drain log missing:\n%s", routerLogs.String())
+	}
 }
 
 func TestServeCheckAndSigtermDrain(t *testing.T) {

@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"time"
 
 	"aerodrome/internal/bench"
@@ -31,7 +32,7 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	what := fs.String("run", "tables", "what to run: tables, table1, table2, figures, ablation, bench, doublechecker, all")
+	what := fs.String("run", "tables", "what to run: tables, table1, table2, figures, ablation, bench, saturate, doublechecker, all")
 	events := fs.Int64("events", 2_000_000, "event budget per benchmark row (the paper's traces go up to 2.8B)")
 	maxVars := fs.Int("vars", 20_000, "variable-pool cap per row")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-engine timeout per row (the paper used 10h at full scale)")
@@ -39,6 +40,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	label := fs.String("label", "after", "label recorded in the -run bench JSON report")
 	jsonOut := fs.String("json", "", "write the -run bench report to this file (default stdout)")
 	runs := fs.Int("runs", 5, "timed runs per -run bench row (fastest wins)")
+	gate := fs.Bool("gate", false, "with -run bench: run the CI perf-regression gate (pinned row subset vs the baseline's gate_rows; exit 1 on breach) instead of the full grid")
+	updateGate := fs.Bool("update-gate", false, "with -run bench: re-measure the gate rows and rewrite them into the baseline file")
+	baseline := fs.String("baseline", "BENCH_baseline.json", "baseline report for -gate / -update-gate")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -66,7 +70,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 	case "ablation":
 		ablation(stdout, o)
 	case "bench":
-		if err := benchJSON(stdout, stderr, *label, *jsonOut, *events, *runs); err != nil {
+		switch {
+		case *gate:
+			if err := bench.RunGate(stdout, *baseline); err != nil {
+				fmt.Fprintf(stderr, "experiments: %v\n", err)
+				return 1
+			}
+		case *updateGate:
+			if err := bench.UpdateGateBaseline(stdout, *baseline); err != nil {
+				fmt.Fprintf(stderr, "experiments: %v\n", err)
+				return 1
+			}
+		default:
+			if err := benchJSON(stdout, stderr, *label, *jsonOut, *events, *runs); err != nil {
+				fmt.Fprintf(stderr, "experiments: %v\n", err)
+				return 1
+			}
+		}
+	case "saturate":
+		if err := saturateJSON(stdout, stderr, *label, *jsonOut); err != nil {
 			fmt.Fprintf(stderr, "experiments: %v\n", err)
 			return 1
 		}
@@ -119,6 +141,23 @@ func benchJSON(stdout, stderr io.Writer, label, path string, events int64, runs 
 	for _, cfg := range cfgs {
 		rep.Rows = append(rep.Rows, bench.MeasureServeRows(cfg, runs)...)
 	}
+	// Saturation rows: aggregate throughput under concurrent clients,
+	// single server vs router+2 backends (see internal/bench/saturate.go).
+	fmt.Fprintf(stderr, "measuring saturation rows (N clients, single vs router topology)...\n")
+	rep.Rows = append(rep.Rows, bench.MeasureSaturationRows()...)
+	return writeReport(rep, stdout, path)
+}
+
+// saturateJSON runs only the saturation grid — the iteration loop for the
+// scale-out rows, without re-measuring the engine grid.
+func saturateJSON(stdout, stderr io.Writer, label, path string) error {
+	fmt.Fprintf(stderr, "measuring saturation rows (N clients, single vs router topology)...\n")
+	rep := bench.BenchReport{Label: label, GoVersion: runtime.Version()}
+	rep.Rows = bench.MeasureSaturationRows()
+	return writeReport(rep, stdout, path)
+}
+
+func writeReport(rep bench.BenchReport, stdout io.Writer, path string) error {
 	if path == "" {
 		return rep.WriteJSON(stdout)
 	}

@@ -78,9 +78,11 @@
 //
 // For streams that arrive in pieces rather than behind an io.Reader — a
 // network session, a log follower — IncrementalChecker accepts arbitrary
-// byte chunks of an STD log (boundaries need not align with lines) and is
-// likewise pinned to CheckSTD over the concatenated bytes. Monitor.Event
-// is the equivalent hook at the Monitor level for already-decoded events.
+// byte chunks of a trace log (STD text or ADB1 binary, sniffed from the
+// first bytes; boundaries need not align with lines or records) and is
+// likewise pinned to the sequential checkers over the concatenated bytes.
+// Monitor.Event is the equivalent hook at the Monitor level for
+// already-decoded events.
 //
 // # The aerodromed service
 //
@@ -98,11 +100,35 @@
 // exiting. GET /healthz flips to 503 while draining; GET /metrics serves
 // expvar-style JSON (sessions, checks, events/sec, verdicts, per-engine
 // selection counts — the observability for the server's `auto` engine
-// default). The CLI fronts a remote daemon via `aerodrome -remote URL`.
-// The httptest-based end-to-end suite replays the golden corpus and the
-// paper traces through both endpoints and pins them byte-identical to
-// sequential CheckSTD, under -race with ≥64 concurrent sessions; see
-// examples/server for a quickstart.
+// default — plus a per-tenant section). The CLI fronts a remote daemon via
+// `aerodrome -remote URL`. The httptest-based end-to-end suite replays the
+// golden corpus and the paper traces through both endpoints and pins them
+// byte-identical to sequential CheckSTD, under -race with ≥64 concurrent
+// sessions; see examples/server for a quickstart.
+//
+// # Scale-out: multi-tenant quotas and the shard router
+//
+// Two layers turn one daemon into a fleet. Per-tenant quotas
+// (server.TenantQuota; tenant named by the X-Aerodrome-Tenant header)
+// budget concurrent sessions, concurrent checks and sustained ingest
+// bytes/sec per tenant on top of the global caps — over-budget requests
+// are rejected 429 + Retry-After, never queued, and every tenant gets its
+// own /metrics counters. The shard router (`aerodromed -shard -backends
+// URL,URL,...`) consistent-hashes sessions and one-shot checks across N
+// backend instances by a client-supplied trace key (X-Aerodrome-Trace or
+// ?trace=, falling back to the tenant): the ring is a pure function of
+// the backend URLs, so a restarted router routes identically, and a lost
+// backend (detected by /healthz probes and proxy failures) deterministically
+// moves exactly its keys to the ring's next backend — and back on
+// recovery. Sessions stay backend-affine; when a session's backend dies
+// the router answers 409 rather than silently rehashing a half-checked
+// stream, while buffered session creations fail over transparently. Every
+// routed response carries X-Aerodrome-Backend. The serve-sat-* rows in
+// BENCH_after.json (from `experiments -run saturate`) measure aggregate
+// events/sec under N concurrent clients for the single-server and
+// router+2-backend topologies, and a bench-gate CI job re-measures pinned
+// engine/ingest rows against BENCH_baseline.json's gate_rows so the perf
+// work of PR 1–4 cannot regress silently (internal/bench/gate.go).
 //
 // # Testing strategy
 //

@@ -183,6 +183,65 @@ func TestIncrementalChecker(t *testing.T) {
 	}
 }
 
+// TestIncrementalCheckerBinary pins the chunk-fed checker against
+// CheckBinaryReader... semantics on the same bytes: the feeder sniffs the
+// ADB1 magic like /v1/check, so a binary session's verdict, violation
+// index and event count match the pull path regardless of how the records
+// were chunked (including splits inside the magic and inside records).
+func TestIncrementalCheckerBinary(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		data string
+	}{{"violating", rho2STD}, {"serializable", serializableSTD}} {
+		rd := rapidio.NewReader(strings.NewReader(tc.data))
+		var bin bytes.Buffer
+		bw := rapidio.NewBinaryWriter(&bin)
+		for {
+			ev, ok := rd.Next()
+			if !ok {
+				break
+			}
+			if err := bw.Write(ev); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := rd.Err(); err != nil {
+			t.Fatal(err)
+		}
+		if err := bw.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		want, err := aerodrome.CheckBinaryReaderPipelined(bytes.NewReader(bin.Bytes()), aerodrome.Optimized)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, chunk := range []int{1, 3, 8, 1 << 16} {
+			ic, err := aerodrome.NewIncrementalChecker(aerodrome.Optimized)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data := bin.Bytes()
+			for i := 0; i < len(data); i += chunk {
+				end := min(i+chunk, len(data))
+				if _, err := ic.Feed(data[i:end]); err != nil {
+					t.Fatalf("%s/%d: feed: %v", tc.name, chunk, err)
+				}
+			}
+			rep, err := ic.Close()
+			if err != nil {
+				t.Fatalf("%s/%d: close: %v", tc.name, chunk, err)
+			}
+			if rep.Serializable != want.Serializable || rep.Events != want.Events {
+				t.Fatalf("%s/%d: report %+v, want %+v", tc.name, chunk, rep, want)
+			}
+			if !rep.Serializable && (rep.Violation.EventIndex != want.Violation.EventIndex ||
+				rep.Violation.Check != want.Violation.Check) {
+				t.Fatalf("%s/%d: violation %+v, want %+v", tc.name, chunk, rep.Violation, want.Violation)
+			}
+		}
+	}
+}
+
 // TestIncrementalCheckerParseError pins the failure mode a session turns
 // into an HTTP 400: malformed chunks latch a typed parse error.
 func TestIncrementalCheckerParseError(t *testing.T) {

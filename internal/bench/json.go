@@ -35,6 +35,12 @@ type BenchReport struct {
 	Label     string     `json:"label"`
 	GoVersion string     `json:"go_version"`
 	Rows      []BenchRow `json:"rows"`
+	// GateRows is the pinned CI perf-regression baseline (see gate.go):
+	// a small row subset re-measured by the bench-gate CI job and compared
+	// against these numbers. Refreshed by `experiments -run bench
+	// -update-gate`, deliberately separate from Rows so the historical
+	// seed-engine measurements stay untouched.
+	GateRows []BenchRow `json:"gate_rows,omitempty"`
 }
 
 // ThreadScalingConfigs returns the thread-heavy workload grid used by the

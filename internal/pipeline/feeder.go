@@ -17,10 +17,11 @@ import (
 	"aerodrome/internal/trace"
 )
 
-// Feeder drives an engine incrementally from byte chunks of an STD log.
-// It is observationally identical to running the engine over the
-// concatenated chunks with the sequential checker: same verdict, same
-// violation index, same event count. In particular, once a violation is
+// Feeder drives an engine incrementally from byte chunks of a trace log —
+// STD text or the compact ADB1 binary format, sniffed from the first bytes
+// exactly like the one-shot endpoints. It is observationally identical to
+// running the engine over the concatenated chunks with the sequential
+// checker: same verdict, same violation index, same event count. In particular, once a violation is
 // latched, later chunks are accepted and discarded without parsing — the
 // sequential checker would have stopped reading — so a parse error
 // positioned after the violation is never reported.
@@ -43,9 +44,9 @@ func NewFeeder(eng core.Engine, cfg Config) *Feeder {
 	}
 }
 
-// Feed appends one chunk of the STD stream (chunk boundaries need not
-// align with line boundaries) and processes every event whose line is now
-// complete. It returns the latched violation, if any, and the terminal
+// Feed appends one chunk of the stream (chunk boundaries need not align
+// with line or record boundaries) and processes every event whose line or
+// record is now complete. It returns the latched violation, if any, and the terminal
 // parse error, if the stream just turned out to be malformed. Feeding
 // after either is terminal is a no-op returning the same outcome.
 func (f *Feeder) Feed(chunk []byte) (*core.Violation, error) {

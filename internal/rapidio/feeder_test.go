@@ -301,6 +301,169 @@ func TestReaderDataWithError(t *testing.T) {
 	}
 }
 
+// binaryLog renders n pseudo-random events (plus begin/end framing) in the
+// compact binary format and returns both encodings, so the push path can be
+// pinned against the pull path on identical event sequences.
+func binaryLog(t *testing.T, n int, seed int64) (bin []byte, events []trace.Event) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < n; i++ {
+		th := trace.ThreadID(rng.Intn(4))
+		switch rng.Intn(4) {
+		case 0:
+			events = append(events,
+				trace.Event{Thread: th, Kind: trace.Begin},
+				trace.Event{Thread: th, Kind: trace.Write, Target: int32(rng.Intn(8))},
+				trace.Event{Thread: th, Kind: trace.End})
+		case 1:
+			events = append(events, trace.Event{Thread: th, Kind: trace.Read, Target: int32(rng.Intn(8))})
+		case 2:
+			events = append(events,
+				trace.Event{Thread: th, Kind: trace.Acquire, Target: int32(rng.Intn(2))},
+				trace.Event{Thread: th, Kind: trace.Release, Target: int32(rng.Intn(2))})
+		case 3:
+			events = append(events, trace.Event{Thread: th, Kind: trace.Write, Target: int32(rng.Intn(8))})
+		}
+	}
+	var buf bytes.Buffer
+	bw := NewBinaryWriter(&buf)
+	for _, e := range events {
+		if err := bw.Write(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), events
+}
+
+// readAllBinary drains a pull-mode BinaryReader.
+func readAllBinary(t *testing.T, data []byte) ([]trace.Event, error) {
+	t.Helper()
+	br := NewBinaryReader(bytes.NewReader(data))
+	var got []trace.Event
+	for {
+		ev, err := br.Read()
+		if err != nil {
+			return got, err
+		}
+		got = append(got, ev)
+	}
+}
+
+// TestFeederBinaryMatchesBinaryReaderAllChunkings pins the push-mode
+// binary splitter to the pull-mode BinaryReader: any chunking of an ADB1
+// stream — including splits inside the magic, the header and individual
+// records — yields the identical event sequence and terminal error.
+func TestFeederBinaryMatchesBinaryReaderAllChunkings(t *testing.T) {
+	bin, _ := binaryLog(t, 40, 11)
+	// Malformed variants: a bad op kind mid-stream, a truncated record, a
+	// truncated header.
+	badKind := append([]byte(nil), bin...)
+	badKind[16+8*5+2] = 0xEE
+	truncRecord := bin[:len(bin)-3]
+	truncHeader := bin[:9]
+	inputs := map[string][]byte{
+		"clean":        bin,
+		"bad-kind":     badKind,
+		"trunc-record": truncRecord,
+		"trunc-header": truncHeader,
+		"header-only":  bin[:16],
+	}
+	chunkings := [][]int{{1}, {2}, {3}, {5}, {7}, {8}, {16}, {1, 7, 2}, {1 << 10}}
+	for name, data := range inputs {
+		want, wantErr := readAllBinary(t, data)
+		for _, sizes := range chunkings {
+			got, gotErr := drainFeeder(t, data, sizes)
+			if !sameEvents(got, want) {
+				t.Fatalf("%s chunks %v: %d events, want %d", name, sizes, len(got), len(want))
+			}
+			if (wantErr == io.EOF) != (gotErr == io.EOF) {
+				t.Fatalf("%s chunks %v: terminal %v, want %v", name, sizes, gotErr, wantErr)
+			}
+			if wantErr != io.EOF {
+				if gotErr == nil || gotErr.Error() != wantErr.Error() {
+					t.Fatalf("%s chunks %v: error %q, want %q", name, sizes, gotErr, wantErr)
+				}
+			}
+		}
+	}
+}
+
+func TestFeederBinaryRandomChunking(t *testing.T) {
+	bin, want := binaryLog(t, 500, 23)
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 20; trial++ {
+		sizes := make([]int, 1+rng.Intn(6))
+		for i := range sizes {
+			sizes[i] = 1 + rng.Intn(97)
+		}
+		got, err := drainFeeder(t, bin, sizes)
+		if err != io.EOF {
+			t.Fatalf("chunks %v: terminal %v, want io.EOF", sizes, err)
+		}
+		if !sameEvents(got, want) {
+			t.Fatalf("chunks %v: %d events, want %d", sizes, len(got), len(want))
+		}
+	}
+}
+
+// TestFeederSniffEdgeCases pins the sniffing contract to the pull side's
+// 4-byte Peek: an inconclusive head (shorter than the magic) is STD text,
+// and the decision never depends on how the first bytes were chunked.
+func TestFeederSniffEdgeCases(t *testing.T) {
+	batch := make([]trace.Event, 4)
+
+	// A 3-byte stream that is a strict prefix of the magic: the pull
+	// sniffers would select the STD parser, which fails on the line "ADB".
+	f := NewFeeder()
+	f.Feed([]byte("ADB"))
+	if n, err := f.ReadBatch(batch); n != 0 || err != nil {
+		t.Fatalf("pre-sniff ReadBatch = (%d, %v), want (0, nil)", n, err)
+	}
+	f.Close()
+	if _, err := f.ReadBatch(batch); err == nil || err == io.EOF {
+		t.Fatalf("magic-prefix stream: err %v, want STD parse error", err)
+	} else if _, ok := err.(*ParseError); !ok {
+		t.Fatalf("magic-prefix stream: err %T (%v), want *ParseError", err, err)
+	}
+
+	// The magic split 1+3 across feeds still selects binary.
+	bin, want := binaryLog(t, 3, 5)
+	f2 := NewFeeder()
+	f2.Feed(bin[:1])
+	if n, err := f2.ReadBatch(batch); n != 0 || err != nil {
+		t.Fatalf("split-magic ReadBatch = (%d, %v), want (0, nil)", n, err)
+	}
+	f2.Feed(bin[1:])
+	f2.Close()
+	var got []trace.Event
+	for {
+		n, err := f2.ReadBatch(batch)
+		got = append(got, batch[:n]...)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !sameEvents(got, want) {
+		t.Fatalf("split-magic: %d events, want %d", len(got), len(want))
+	}
+
+	// An empty stream is STD (clean EOF), matching the sniffed pull path.
+	f3 := NewFeeder()
+	f3.Close()
+	if n, err := f3.ReadBatch(batch); n != 0 || err != io.EOF {
+		t.Fatalf("empty stream: (%d, %v), want (0, io.EOF)", n, err)
+	}
+	if f3.Err() != nil {
+		t.Fatalf("empty stream Err = %v, want nil", f3.Err())
+	}
+}
+
 func TestIsBinary(t *testing.T) {
 	var buf bytes.Buffer
 	bw := NewBinaryWriter(&buf)

@@ -401,18 +401,37 @@ func (r *parser) internLock(name []byte) trace.LockID {
 	return id
 }
 
-// Feeder is the push-mode twin of Reader, for event streams that arrive
-// in pieces (the aerodromed incremental session API): the caller Feeds raw
-// STD-format byte chunks as they come off the wire — chunk boundaries need
-// not align with line boundaries — and drains the events completed so far
-// with ReadBatch. Close marks the end of the stream, making a final
-// unterminated line parseable.
+// feedMode is the wire format a Feeder has sniffed from its first bytes.
+type feedMode uint8
+
+const (
+	// feedSniff: not enough bytes fed yet to decide the format.
+	feedSniff feedMode = iota
+	// feedSTD: RAPID STD text, one event per line.
+	feedSTD
+	// feedBinary: the compact ADB1 format, fixed 8-byte records.
+	feedBinary
+)
+
+// Feeder is the push-mode twin of Reader and BinaryReader, for event
+// streams that arrive in pieces (the aerodromed incremental session API):
+// the caller Feeds raw byte chunks as they come off the wire — chunk
+// boundaries need not align with line or record boundaries — and drains
+// the events completed so far with ReadBatch. The format is sniffed from
+// the first four bytes exactly like the /v1/check endpoint (the ADB1
+// magic selects the binary record splitter, anything else the STD
+// tokenizer), so the verdict never depends on how the stream was chunked.
+// Close marks the end of the stream, making a final unterminated STD line
+// parseable.
 type Feeder struct {
 	parser
 	buf    []byte
 	pos    int // buf[pos:] is unconsumed
 	closed bool
 	err    error
+	mode   feedMode
+	// binHeader records that the 16-byte binary header has been consumed.
+	binHeader bool
 }
 
 // NewFeeder returns an empty Feeder.
@@ -478,15 +497,34 @@ func (f *Feeder) shrink() {
 	}
 }
 
-// ReadBatch fills dst with events whose lines are complete and returns how
-// many were filled. Unlike Reader.ReadBatch, n < len(dst) with a nil error
-// does not end the stream — it means every complete buffered line has been
-// consumed and the caller should Feed more bytes. The terminal errors are
-// io.EOF (after Close, once the buffer is drained) and *ParseError, both
-// latched.
+// ReadBatch fills dst with events whose lines (or binary records) are
+// complete and returns how many were filled. Unlike Reader.ReadBatch,
+// n < len(dst) with a nil error does not end the stream — it means every
+// complete buffered unit has been consumed and the caller should Feed more
+// bytes. The terminal errors are io.EOF (after Close, once the buffer is
+// drained), *ParseError, and the BinaryReader format errors, all latched.
 func (f *Feeder) ReadBatch(dst []trace.Event) (int, error) {
 	if f.err != nil {
 		return 0, f.err
+	}
+	if f.mode == feedSniff {
+		if len(f.buf)-f.pos >= len(binMagic) {
+			if IsBinary(f.buf[f.pos:]) {
+				f.mode = feedBinary
+			} else {
+				f.mode = feedSTD
+			}
+		} else if f.closed {
+			// Fewer than four bytes will ever arrive. The pull-side sniffers
+			// Peek(4) and get an inconclusive head, which IsBinary rejects,
+			// so the stream is treated as STD text; match them.
+			f.mode = feedSTD
+		} else {
+			return 0, nil // need more input to sniff
+		}
+	}
+	if f.mode == feedBinary {
+		return f.readBatchBinary(dst)
 	}
 	n := 0
 	for n < len(dst) {
@@ -527,6 +565,53 @@ func (f *Feeder) ReadBatch(dst []trace.Event) (int, error) {
 			return n, f.latch(perr)
 		}
 		dst[n] = ev
+		n++
+	}
+	return n, nil
+}
+
+// readBatchBinary is ReadBatch for a stream sniffed as the ADB1 binary
+// format: consume the 16-byte header once, then fixed 8-byte records. The
+// decode and every error (short header, bad op kind, truncated record) are
+// BinaryReader's, so a binary session is byte-identical to CheckBinaryReader
+// over the concatenated chunks regardless of chunk boundaries.
+func (f *Feeder) readBatchBinary(dst []trace.Event) (int, error) {
+	if !f.binHeader {
+		if len(f.buf)-f.pos < 16 {
+			if f.closed {
+				return 0, f.latch(fmt.Errorf("rapidio: short binary header: %w", ErrFormat))
+			}
+			f.shrink()
+			return 0, nil // need more input
+		}
+		// The magic was verified by the sniff; the other 12 header bytes are
+		// reserved and skipped, as in BinaryReader.
+		f.pos += 16
+		f.binHeader = true
+	}
+	n := 0
+	for n < len(dst) {
+		win := f.buf[f.pos:]
+		if len(win) < 8 {
+			if !f.closed {
+				f.shrink()
+				return n, nil // need more input
+			}
+			if len(win) == 0 {
+				return n, f.latch(io.EOF)
+			}
+			return n, f.latch(fmt.Errorf("rapidio: truncated record: %w", ErrFormat))
+		}
+		kind := trace.OpKind(win[2])
+		if kind > trace.Join {
+			return n, f.latch(fmt.Errorf("rapidio: bad op kind %d: %w", win[2], ErrFormat))
+		}
+		dst[n] = trace.Event{
+			Thread: trace.ThreadID(binary.LittleEndian.Uint16(win[0:2])),
+			Kind:   kind,
+			Target: int32(binary.LittleEndian.Uint32(win[4:8])),
+		}
+		f.pos += 8
 		n++
 	}
 	return n, nil

@@ -16,10 +16,17 @@ import (
 	"aerodrome"
 )
 
-// Client calls an aerodromed instance.
+// Client calls an aerodromed instance — or a shard router, which speaks
+// the same wire format plus two routing headers.
 type Client struct {
 	// BaseURL is the server root, e.g. "http://127.0.0.1:8421".
 	BaseURL string
+	// Tenant, when set, is sent as the tenant header: the server's quota
+	// and metrics bucket, and the router's routing-key fallback.
+	Tenant string
+	// TraceKey, when set, is sent as the trace routing key, pinning this
+	// client's requests to one consistent-hash backend behind a router.
+	TraceKey string
 	// HTTPClient defaults to http.DefaultClient.
 	HTTPClient *http.Client
 }
@@ -33,6 +40,24 @@ func (c *Client) httpClient() *http.Client {
 
 func (c *Client) url(path string) string {
 	return strings.TrimRight(c.BaseURL, "/") + path
+}
+
+// do sends a request with the client's routing headers applied.
+func (c *Client) do(method, url, contentType string, body io.Reader) (*http.Response, error) {
+	req, err := http.NewRequest(method, url, body)
+	if err != nil {
+		return nil, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	if c.Tenant != "" {
+		req.Header.Set(DefaultTenantHeader, c.Tenant)
+	}
+	if c.TraceKey != "" {
+		req.Header.Set(RouterTraceHeader, c.TraceKey)
+	}
+	return c.httpClient().Do(req)
 }
 
 // remoteError decodes the service's {"error": ...} body into an error.
@@ -55,7 +80,7 @@ func (c *Client) Check(r io.Reader, algo string) (*aerodrome.Report, error) {
 	if algo != "" {
 		url += "?" + neturl.Values{"algo": {algo}}.Encode()
 	}
-	resp, err := c.httpClient().Post(url, "application/octet-stream", r)
+	resp, err := c.do(http.MethodPost, url, "application/octet-stream", r)
 	if err != nil {
 		return nil, err
 	}
@@ -83,7 +108,7 @@ func (c *Client) NewSession(algo string) (*Session, error) {
 	if algo != "" {
 		url += "?" + neturl.Values{"algo": {algo}}.Encode()
 	}
-	resp, err := c.httpClient().Post(url, "application/json", nil)
+	resp, err := c.do(http.MethodPost, url, "application/json", nil)
 	if err != nil {
 		return nil, err
 	}
@@ -100,7 +125,7 @@ func (c *Client) NewSession(algo string) (*Session, error) {
 
 // Feed posts one STD chunk and returns the post-chunk snapshot.
 func (s *Session) Feed(chunk []byte) (*SessionView, error) {
-	resp, err := s.c.httpClient().Post(
+	resp, err := s.c.do(http.MethodPost,
 		s.c.url("/v1/sessions/"+s.ID+"/events"), "text/plain", bytes.NewReader(chunk))
 	if err != nil {
 		return nil, err
@@ -125,11 +150,7 @@ func (s *Session) Feed(chunk []byte) (*SessionView, error) {
 
 // Close finalizes the session and returns the final Report.
 func (s *Session) Close() (*aerodrome.Report, error) {
-	req, err := http.NewRequest(http.MethodDelete, s.c.url("/v1/sessions/"+s.ID), nil)
-	if err != nil {
-		return nil, err
-	}
-	resp, err := s.c.httpClient().Do(req)
+	resp, err := s.c.do(http.MethodDelete, s.c.url("/v1/sessions/"+s.ID), "", nil)
 	if err != nil {
 		return nil, err
 	}

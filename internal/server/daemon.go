@@ -38,25 +38,72 @@ type DaemonConfig struct {
 // drains. It returns nil after a clean drain, or the error that stopped
 // the server.
 func RunDaemon(ctx context.Context, cfg DaemonConfig) error {
-	if cfg.Addr == "" {
-		cfg.Addr = ":8421"
-	}
-	if cfg.ShutdownTimeout <= 0 {
-		cfg.ShutdownTimeout = 10 * time.Second
-	}
-	logw := cfg.Log
-	if logw == nil {
-		logw = io.Discard
-	}
-	logger := log.New(logw, "aerodromed: ", log.LstdFlags)
-
 	s, err := New(cfg.Server)
 	if err != nil {
 		return err
 	}
 	defer s.Close()
+	banner := fmt.Sprintf("(default algo %s)", s.cfg.Algorithm)
+	return serveDrainable(ctx, cfg.Addr, s, cfg.ShutdownTimeout, cfg.Log, cfg.Ready, "aerodromed: ", banner)
+}
 
-	ln, err := net.Listen("tcp", cfg.Addr)
+// RouterDaemonConfig configures RunRouterDaemon.
+type RouterDaemonConfig struct {
+	// Addr is the listen address (default ":8421").
+	Addr string
+	// Router is the shard-router configuration.
+	Router RouterConfig
+	// ShutdownTimeout bounds the graceful drain after cancellation
+	// (default 10s).
+	ShutdownTimeout time.Duration
+	// Log receives the daemon's log lines (default: discarded).
+	Log io.Writer
+	// Ready, when non-nil, receives the bound listen address once the
+	// router is accepting.
+	Ready chan<- string
+}
+
+// RunRouterDaemon serves a shard router until ctx is cancelled, then
+// drains: new checks and sessions are rejected, proxied requests already
+// in flight finish under the shutdown deadline, and the backends — which
+// drain on their own SIGTERM — keep the session state.
+func RunRouterDaemon(ctx context.Context, cfg RouterDaemonConfig) error {
+	rcfg := cfg.Router
+	if rcfg.Log == nil {
+		rcfg.Log = cfg.Log
+	}
+	rt, err := NewRouter(rcfg)
+	if err != nil {
+		return err
+	}
+	defer rt.Close()
+	banner := fmt.Sprintf("(routing %d backends)", len(rt.backends))
+	return serveDrainable(ctx, cfg.Addr, rt, cfg.ShutdownTimeout, cfg.Log, cfg.Ready, "aerodromed-router: ", banner)
+}
+
+// drainable is what the daemon loop needs from a service: serve requests
+// and flip into drain mode while http.Server.Shutdown runs them out.
+type drainable interface {
+	http.Handler
+	SetDraining(bool)
+}
+
+// serveDrainable is the listen/serve/drain loop shared by the backend and
+// router daemons.
+func serveDrainable(ctx context.Context, addr string, h drainable, shutdownTimeout time.Duration,
+	logw io.Writer, ready chan<- string, prefix, banner string) error {
+	if addr == "" {
+		addr = ":8421"
+	}
+	if shutdownTimeout <= 0 {
+		shutdownTimeout = 10 * time.Second
+	}
+	if logw == nil {
+		logw = io.Discard
+	}
+	logger := log.New(logw, prefix, log.LstdFlags)
+
+	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
@@ -66,13 +113,13 @@ func RunDaemon(ctx context.Context, cfg DaemonConfig) error {
 	// is the service's core use case and is bounded by MaxBodyBytes and
 	// admission control instead.
 	httpSrv := &http.Server{
-		Handler:           s,
+		Handler:           h,
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
-	logger.Printf("listening on %s (default algo %s)", ln.Addr(), s.cfg.Algorithm)
-	if cfg.Ready != nil {
-		cfg.Ready <- ln.Addr().String()
+	logger.Printf("listening on %s %s", ln.Addr(), banner)
+	if ready != nil {
+		ready <- ln.Addr().String()
 	}
 
 	serveErr := make(chan error, 1)
@@ -84,9 +131,9 @@ func RunDaemon(ctx context.Context, cfg DaemonConfig) error {
 	case <-ctx.Done():
 	}
 
-	logger.Printf("draining (deadline %s)", cfg.ShutdownTimeout)
-	s.SetDraining(true)
-	sctx, cancel := context.WithTimeout(context.Background(), cfg.ShutdownTimeout)
+	logger.Printf("draining (deadline %s)", shutdownTimeout)
+	h.SetDraining(true)
+	sctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
 	defer cancel()
 	if err := httpSrv.Shutdown(sctx); err != nil {
 		httpSrv.Close()

@@ -87,9 +87,13 @@ func (m *metrics) snapshot() map[string]any {
 	}
 }
 
-func (m *metrics) handler(w http.ResponseWriter, r *http.Request) {
+// handleMetrics is GET /metrics: the global counter snapshot plus the
+// per-tenant section.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	snap := s.metrics.snapshot()
+	snap["tenants"] = s.snapshotTenants()
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	enc.Encode(m.snapshot())
+	enc.Encode(snap)
 }

@@ -1,0 +1,555 @@
+package server
+
+// The shard router: aerodromed's scale-out front end. One engine per
+// stream is the service's unit of work, so horizontal scaling is routing —
+// spread sessions and one-shot checks across N backend aerodromed
+// instances and keep every stream pinned to one backend (the checker is
+// stateful per trace). Routing is a consistent hash over a client-supplied
+// trace key (or the tenant, or round-robin for keyless one-shots): the
+// ring is built deterministically from the backend URLs alone, so a
+// restarted router reroutes every key identically, and a lost backend
+// moves exactly the keys it owned to the next backend on the ring — back
+// again when it recovers.
+//
+// Sessions are strictly backend-affine: the router learns id→backend at
+// creation and proxies every subresource request to that backend. When the
+// backend dies the session's state died with it, so the router answers 409
+// (affinity lost) rather than silently rehashing a half-checked stream
+// onto a backend that has never seen it. One-shot checks carry their whole
+// trace and are safely rehashed.
+//
+// The router is stdlib-only like the rest of the service: per-backend
+// net/http/httputil reverse proxies, a background /healthz prober, and a
+// router-level /metrics.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httputil"
+	"net/url"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// RouterTraceHeader carries the routing key of a request; the "trace"
+// query parameter is the curl-friendly equivalent.
+const RouterTraceHeader = "X-Aerodrome-Trace"
+
+// RouterBackendHeader names the backend that served a routed response —
+// the observability hook the e2e harness and operators use to see ring
+// placement without guessing.
+const RouterBackendHeader = "X-Aerodrome-Backend"
+
+// RouterConfig tunes the shard router. Zero values select the defaults.
+type RouterConfig struct {
+	// Backends are the base URLs of the aerodromed instances to route
+	// across (e.g. "http://10.0.0.1:8421"). At least one is required.
+	Backends []string
+	// Replicas is the number of virtual nodes per backend on the hash ring
+	// (default 64): enough to keep the key split near-uniform with few
+	// backends while keeping ring walks trivial.
+	Replicas int
+	// ProbeInterval is the /healthz probe cadence (default 500ms).
+	ProbeInterval time.Duration
+	// FailAfter is the number of consecutive probe failures that mark a
+	// backend down (default 2). Proxy-level connection failures mark it
+	// down immediately — the prober brings it back.
+	FailAfter int
+	// TenantHeader is the tenant header consulted as the routing-key
+	// fallback (default "X-Aerodrome-Tenant"), so a tenant without
+	// per-trace keys still gets a stable backend.
+	TenantHeader string
+	// AffinityTTL prunes session-affinity entries not used for this long
+	// (default 15m): sessions that end by backend TTL eviction or client
+	// abandonment never see a DELETE through the router, and their
+	// entries must not accumulate forever. Set it comfortably above the
+	// backends' SessionTTL — a pruned-but-live session is still reachable
+	// with its trace key.
+	AffinityTTL time.Duration
+	// Log receives router log lines (default: discarded).
+	Log io.Writer
+}
+
+func (c RouterConfig) withDefaults() RouterConfig {
+	if c.Replicas <= 0 {
+		c.Replicas = 64
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 500 * time.Millisecond
+	}
+	if c.FailAfter <= 0 {
+		c.FailAfter = 2
+	}
+	if c.TenantHeader == "" {
+		c.TenantHeader = DefaultTenantHeader
+	}
+	if c.AffinityTTL <= 0 {
+		c.AffinityTTL = 15 * time.Minute
+	}
+	return c
+}
+
+// backend is one aerodromed instance behind the router.
+type backend struct {
+	name    string // the configured base URL, verbatim — the ring seed
+	url     *url.URL
+	proxy   *httputil.ReverseProxy
+	healthy atomic.Bool
+	fails   int // consecutive probe failures; prober goroutine only
+
+	routed      atomic.Int64
+	proxyErrors atomic.Int64
+}
+
+// ringPoint is one virtual node: a backend at a position on the hash ring.
+type ringPoint struct {
+	h uint64
+	b *backend
+}
+
+// affinity pins one session to its backend; last drives TTL pruning.
+type affinity struct {
+	b    *backend
+	last time.Time
+}
+
+// Router is the shard-routing http.Handler. Create with NewRouter, serve
+// with any http.Server, stop with Close.
+type Router struct {
+	cfg      RouterConfig
+	mux      *http.ServeMux
+	backends []*backend
+	ring     []ringPoint // sorted by h; fixed for the router's lifetime
+	client   *http.Client
+	logger   *log.Logger
+	draining atomic.Bool
+	rr       atomic.Uint64 // round-robin cursor for keyless one-shots
+
+	mu       sync.Mutex
+	sessions map[string]*affinity // id → affine backend + last use
+
+	start        time.Time
+	checksRouted atomic.Int64
+	sessRouted   atomic.Int64
+	affinityLost atomic.Int64
+	unroutable   atomic.Int64
+
+	stop     chan struct{}
+	stopOnce sync.Once
+}
+
+// ringHash is FNV-1a with a murmur3-style 64-bit finalizer, inlined so
+// ring placement is a pure function of the configured backend URLs and the
+// key bytes — the determinism the restart and rehash tests pin. The
+// finalizer matters: raw FNV of strings differing only in a trailing
+// counter ("url#0", "url#1", …) lands one prime apart, clustering all of a
+// backend's virtual nodes into one arc and starving the others.
+func ringHash(s string) uint64 {
+	const offset, prime = 14695981039346656037, 1099511628211
+	h := uint64(offset)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}
+
+// NewRouter validates cfg and returns a ready-to-serve Router.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Backends) == 0 {
+		return nil, fmt.Errorf("server: router needs at least one backend")
+	}
+	logw := cfg.Log
+	if logw == nil {
+		logw = io.Discard
+	}
+	rt := &Router{
+		cfg:      cfg,
+		mux:      http.NewServeMux(),
+		client:   &http.Client{Timeout: 10 * time.Second},
+		logger:   log.New(logw, "aerodromed-router: ", log.LstdFlags),
+		sessions: map[string]*affinity{},
+		start:    time.Now(),
+		stop:     make(chan struct{}),
+	}
+	seen := map[string]bool{}
+	for _, raw := range cfg.Backends {
+		raw = strings.TrimRight(raw, "/")
+		if seen[raw] {
+			return nil, fmt.Errorf("server: duplicate backend %q", raw)
+		}
+		seen[raw] = true
+		u, err := url.Parse(raw)
+		if err != nil || u.Scheme == "" || u.Host == "" {
+			return nil, fmt.Errorf("server: bad backend URL %q", raw)
+		}
+		b := &backend{name: raw, url: u}
+		b.healthy.Store(true) // optimistic: the prober and proxy errors correct
+		b.proxy = rt.newProxy(b)
+		rt.backends = append(rt.backends, b)
+		for i := 0; i < cfg.Replicas; i++ {
+			rt.ring = append(rt.ring, ringPoint{h: ringHash(fmt.Sprintf("%s#%d", raw, i)), b: b})
+		}
+	}
+	sort.Slice(rt.ring, func(i, j int) bool { return rt.ring[i].h < rt.ring[j].h })
+
+	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	rt.mux.HandleFunc("GET /metrics", rt.handleMetrics)
+	rt.mux.HandleFunc("POST /v1/check", rt.handleCheck)
+	rt.mux.HandleFunc("POST /v1/sessions", rt.handleSessionCreate)
+	rt.mux.HandleFunc("/v1/sessions/{id}", rt.handleSessionSub)
+	rt.mux.HandleFunc("/v1/sessions/{id}/{rest...}", rt.handleSessionSub)
+	go rt.prober()
+	return rt, nil
+}
+
+// newProxy builds the reverse proxy for one backend: responses are tagged
+// with the backend name, connection-level failures mark the backend down
+// immediately (the request itself cannot be retried — its body may be
+// half-streamed), and a finished DELETE drops the affinity entry.
+func (rt *Router) newProxy(b *backend) *httputil.ReverseProxy {
+	p := httputil.NewSingleHostReverseProxy(b.url)
+	p.ModifyResponse = func(resp *http.Response) error {
+		resp.Header.Set(RouterBackendHeader, b.name)
+		if req := resp.Request; req != nil && req.Method == http.MethodDelete {
+			if id := req.PathValue("id"); id != "" {
+				rt.forgetSession(id)
+			}
+		}
+		return nil
+	}
+	p.ErrorHandler = func(w http.ResponseWriter, r *http.Request, err error) {
+		b.proxyErrors.Add(1)
+		rt.markDown(b, err)
+		writeError(w, http.StatusBadGateway, "backend unavailable: "+err.Error())
+	}
+	return p
+}
+
+// markDown flips a backend unhealthy (idempotently); the prober flips it
+// back once /healthz answers again.
+func (rt *Router) markDown(b *backend, err error) {
+	if b.healthy.CompareAndSwap(true, false) {
+		rt.logger.Printf("backend %s down: %v", b.name, err)
+	}
+}
+
+// prober polls every backend's /healthz. A backend is marked down after
+// FailAfter consecutive failures (a draining backend answers 503 and is
+// routed around before it disappears) and back up on the first success.
+func (rt *Router) prober() {
+	tick := time.NewTicker(rt.cfg.ProbeInterval)
+	defer tick.Stop()
+	client := &http.Client{Timeout: rt.cfg.ProbeInterval}
+	for {
+		select {
+		case <-rt.stop:
+			return
+		case <-tick.C:
+			rt.pruneAffinity()
+			for _, b := range rt.backends {
+				resp, err := client.Get(b.name + "/healthz")
+				ok := err == nil && resp.StatusCode == http.StatusOK
+				if resp != nil {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+				}
+				if ok {
+					b.fails = 0
+					if b.healthy.CompareAndSwap(false, true) {
+						rt.logger.Printf("backend %s healthy", b.name)
+					}
+					continue
+				}
+				b.fails++
+				if b.fails >= rt.cfg.FailAfter {
+					if err == nil {
+						err = fmt.Errorf("healthz HTTP %d", resp.StatusCode)
+					}
+					rt.markDown(b, err)
+				}
+			}
+		}
+	}
+}
+
+// ServeHTTP implements http.Handler.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	rt.mux.ServeHTTP(w, r)
+}
+
+// SetDraining flips drain mode: healthz answers 503 and new checks and
+// sessions are rejected, while feeds and deletes to existing sessions keep
+// flowing (their backends drain independently).
+func (rt *Router) SetDraining(v bool) {
+	rt.draining.Store(v)
+}
+
+// Close stops the health prober. In-flight proxied requests are the
+// http.Server's to drain.
+func (rt *Router) Close() {
+	rt.stopOnce.Do(func() { close(rt.stop) })
+}
+
+// routingKey extracts the consistent-hash key of a request: the trace
+// header, the trace query parameter, then the tenant header. Empty means
+// "any backend" (round-robin) for one-shots.
+func (rt *Router) routingKey(r *http.Request) string {
+	if k := r.Header.Get(RouterTraceHeader); k != "" {
+		return k
+	}
+	if k := r.URL.Query().Get("trace"); k != "" {
+		return k
+	}
+	return r.Header.Get(rt.cfg.TenantHeader)
+}
+
+// pick walks the ring from key's position and returns the first healthy
+// backend not vetoed by skip (nil skip allows all). Keys owned by a down
+// backend land deterministically on the next distinct backend along the
+// ring, and return home when it recovers.
+func (rt *Router) pick(key string, skip map[*backend]bool) *backend {
+	h := ringHash(key)
+	idx := sort.Search(len(rt.ring), func(i int) bool { return rt.ring[i].h >= h })
+	for i := 0; i < len(rt.ring); i++ {
+		p := rt.ring[(idx+i)%len(rt.ring)]
+		if p.b.healthy.Load() && !skip[p.b] {
+			return p.b
+		}
+	}
+	return nil
+}
+
+// pickAny round-robins over healthy backends, for keyless one-shots where
+// affinity buys nothing and spreading load does.
+func (rt *Router) pickAny(skip map[*backend]bool) *backend {
+	n := len(rt.backends)
+	start := int(rt.rr.Add(1) % uint64(n))
+	for i := 0; i < n; i++ {
+		b := rt.backends[(start+i)%n]
+		if b.healthy.Load() && !skip[b] {
+			return b
+		}
+	}
+	return nil
+}
+
+// route resolves a request to a backend by key (or round-robin).
+func (rt *Router) route(r *http.Request) *backend {
+	if key := rt.routingKey(r); key != "" {
+		return rt.pick(key, nil)
+	}
+	return rt.pickAny(nil)
+}
+
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if rt.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	healthy := 0
+	for _, b := range rt.backends {
+		if b.healthy.Load() {
+			healthy++
+		}
+	}
+	if healthy == 0 {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "no healthy backends"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ok", "backends_healthy": healthy, "backends_total": len(rt.backends),
+	})
+}
+
+func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	rt.mu.Lock()
+	affine := make(map[string]int, len(rt.backends))
+	for _, a := range rt.sessions {
+		affine[a.b.name]++
+	}
+	rt.mu.Unlock()
+	backends := map[string]any{}
+	for _, b := range rt.backends {
+		backends[b.name] = map[string]any{
+			"healthy":         b.healthy.Load(),
+			"routed_total":    b.routed.Load(),
+			"proxy_errors":    b.proxyErrors.Load(),
+			"sessions_affine": affine[b.name],
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"uptime_seconds":      time.Since(rt.start).Seconds(),
+		"backends":            backends,
+		"checks_routed":       rt.checksRouted.Load(),
+		"sessions_routed":     rt.sessRouted.Load(),
+		"affinity_lost_total": rt.affinityLost.Load(),
+		"unroutable_total":    rt.unroutable.Load(),
+	})
+}
+
+// handleCheck proxies POST /v1/check to the key's backend. The body
+// streams through, so a mid-flight backend failure is a 502 to retry —
+// only session creation, whose body is buffered, fails over transparently.
+func (rt *Router) handleCheck(w http.ResponseWriter, r *http.Request) {
+	if rt.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	b := rt.route(r)
+	if b == nil {
+		rt.unroutable.Add(1)
+		writeError(w, http.StatusBadGateway, "no healthy backend")
+		return
+	}
+	rt.checksRouted.Add(1)
+	b.routed.Add(1)
+	b.proxy.ServeHTTP(w, r)
+}
+
+// handleSessionCreate places a new session on the key's backend. The tiny
+// JSON body is buffered, so creation retries across the ring when the
+// first choice turns out to be down — the one place admission-time backend
+// loss is invisible to the client.
+func (rt *Router) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
+	if rt.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<16))
+	if err != nil {
+		writeBodyError(w, err)
+		return
+	}
+	key := rt.routingKey(r)
+	tried := map[*backend]bool{}
+	for {
+		var b *backend
+		if key != "" {
+			b = rt.pick(key, tried)
+		} else {
+			b = rt.pickAny(tried)
+		}
+		if b == nil {
+			rt.unroutable.Add(1)
+			writeError(w, http.StatusBadGateway, "no healthy backend")
+			return
+		}
+		req, rerr := http.NewRequestWithContext(r.Context(), http.MethodPost,
+			b.name+r.URL.RequestURI(), strings.NewReader(string(body)))
+		if rerr != nil {
+			writeError(w, http.StatusInternalServerError, rerr.Error())
+			return
+		}
+		req.Header = r.Header.Clone()
+		resp, derr := rt.client.Do(req)
+		if derr != nil {
+			// Nothing streamed to the client yet: mark the backend down and
+			// try the next one on the ring.
+			b.proxyErrors.Add(1)
+			rt.markDown(b, derr)
+			tried[b] = true
+			continue
+		}
+		data, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr != nil {
+			writeError(w, http.StatusBadGateway, "backend response: "+rerr.Error())
+			return
+		}
+		if resp.StatusCode == http.StatusCreated {
+			var v SessionView
+			if json.Unmarshal(data, &v) == nil && v.ID != "" {
+				rt.rememberSession(v.ID, b)
+			}
+			rt.sessRouted.Add(1)
+			b.routed.Add(1)
+		}
+		for k, vals := range resp.Header {
+			w.Header()[k] = vals
+		}
+		w.Header().Set(RouterBackendHeader, b.name)
+		w.WriteHeader(resp.StatusCode)
+		w.Write(data)
+		return
+	}
+}
+
+// handleSessionSub proxies feeds, snapshots and deletes to the session's
+// affine backend. A session whose backend died answers 409: its checker
+// state died with the backend, and rehashing the remaining chunks onto a
+// fresh engine would silently produce a verdict for a trace nobody sent.
+func (rt *Router) handleSessionSub(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	rt.mu.Lock()
+	var b *backend
+	if a := rt.sessions[id]; a != nil {
+		a.last = time.Now()
+		b = a.b
+	}
+	rt.mu.Unlock()
+	if b != nil && !b.healthy.Load() {
+		rt.forgetSession(id)
+		rt.affinityLost.Add(1)
+		writeError(w, http.StatusConflict,
+			"session affinity lost: backend "+b.name+" is down; open a new session and replay the trace")
+		return
+	}
+	if b == nil {
+		// Not in the affinity table (router restarted, or the id never
+		// existed). With a routing key the lookup is deterministic — the
+		// ring finds the same backend the key hashed to at creation; the
+		// backend 404s if the session is truly gone. Without a key there is
+		// nothing to hash, which is itself an affinity failure: the session
+		// may well be alive on some backend this router no longer knows.
+		if key := rt.routingKey(r); key != "" {
+			b = rt.pick(key, nil)
+		}
+		if b == nil {
+			rt.affinityLost.Add(1)
+			writeError(w, http.StatusConflict,
+				"session affinity unknown: pass the trace routing key ("+RouterTraceHeader+" or ?trace=)")
+			return
+		}
+	}
+	b.routed.Add(1)
+	b.proxy.ServeHTTP(w, r)
+}
+
+func (rt *Router) rememberSession(id string, b *backend) {
+	rt.mu.Lock()
+	rt.sessions[id] = &affinity{b: b, last: time.Now()}
+	rt.mu.Unlock()
+}
+
+// pruneAffinity drops affinity entries idle past AffinityTTL. Sessions
+// that ended without a DELETE through the router (backend TTL eviction,
+// abandoned clients) would otherwise leak an entry each.
+func (rt *Router) pruneAffinity() {
+	cutoff := time.Now().Add(-rt.cfg.AffinityTTL)
+	rt.mu.Lock()
+	for id, a := range rt.sessions {
+		if a.last.Before(cutoff) {
+			delete(rt.sessions, id)
+		}
+	}
+	rt.mu.Unlock()
+}
+
+func (rt *Router) forgetSession(id string) {
+	rt.mu.Lock()
+	delete(rt.sessions, id)
+	rt.mu.Unlock()
+}

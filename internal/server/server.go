@@ -67,6 +67,20 @@ type Config struct {
 	// progress, so a stalled upload cannot pin a session lock or an
 	// admission slot indefinitely.
 	BodyReadTimeout time.Duration
+	// TenantHeader names the request header that identifies the tenant
+	// (default "X-Aerodrome-Tenant"); requests without it share the
+	// "default" tenant.
+	TenantHeader string
+	// TenantQuota is the admission budget applied to every tenant (the
+	// zero value disables per-tenant admission; the global caps above
+	// always apply).
+	TenantQuota TenantQuota
+	// TenantQuotas overrides TenantQuota for specific tenant names.
+	TenantQuotas map[string]TenantQuota
+	// MaxTenants bounds the tenant table (default 4096): the tenant header
+	// is client-supplied, so names beyond the cap share one overflow
+	// budget instead of growing state without bound.
+	MaxTenants int
 }
 
 func (c Config) withDefaults() Config {
@@ -88,6 +102,12 @@ func (c Config) withDefaults() Config {
 	if c.BodyReadTimeout <= 0 {
 		c.BodyReadTimeout = 30 * time.Second
 	}
+	if c.TenantHeader == "" {
+		c.TenantHeader = DefaultTenantHeader
+	}
+	if c.MaxTenants <= 0 {
+		c.MaxTenants = 4096
+	}
 	return c
 }
 
@@ -104,6 +124,9 @@ type Server struct {
 	mu       sync.Mutex
 	sessions map[string]*session
 	closed   bool
+
+	tenantMu sync.Mutex
+	tenants  map[string]*tenant
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -122,10 +145,11 @@ func New(cfg Config) (*Server, error) {
 		checkSem: make(chan struct{}, cfg.MaxConcurrentChecks),
 		metrics:  newMetrics(),
 		sessions: map[string]*session{},
+		tenants:  map[string]*tenant{},
 		stop:     make(chan struct{}),
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /metrics", s.metrics.handler)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("POST /v1/check", s.handleCheck)
 	s.mux.HandleFunc("POST /v1/sessions", s.handleSessionCreate)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/events", s.handleSessionEvents)
@@ -184,6 +208,16 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
+	// Tenant admission precedes the global semaphore so one over-quota
+	// tenant cannot burn global slots on requests that were never going to
+	// run.
+	ten := s.tenant(r)
+	release, ok := ten.admitCheck()
+	if !ok {
+		writeQuotaRejection(w, 0, "tenant check concurrency limit reached")
+		return
+	}
+	defer release()
 	select {
 	case s.checkSem <- struct{}{}:
 		defer func() { <-s.checkSem }()
@@ -195,7 +229,6 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	}
 	s.metrics.checksActive.Add(1)
 	defer s.metrics.checksActive.Add(-1)
-	s.metrics.checksTotal.Add(1)
 
 	algo := s.cfg.Algorithm
 	if q := r.URL.Query().Get("algo"); q != "" {
@@ -208,10 +241,29 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusRequestEntityTooLarge, "request body too large")
 		return
 	}
+	// Declared body cost is debited from the tenant's byte budget before
+	// any parsing; chunked bodies (unknown length) are debited as they
+	// stream instead. A body larger than the bucket itself can never be
+	// admitted, so it gets a terminal 413 rather than a 429 that would
+	// send an obedient client into a retry loop.
+	if ok, retry, never := ten.admitBytes(r.ContentLength); !ok {
+		if never {
+			writeError(w, http.StatusRequestEntityTooLarge, "request body exceeds tenant byte budget capacity")
+			return
+		}
+		writeQuotaRejection(w, retry, "tenant byte budget exhausted")
+		return
+	}
+	s.metrics.checksTotal.Add(1)
+	ten.checksTotal.Add(1)
 	// For chunked bodies the limit can only trip mid-stream; track it so
 	// the resulting truncated-line parse error still maps to 413.
 	limited := &limitTrackReader{r: http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)}
-	body := bufio.NewReaderSize(s.bodyReader(w, limited), 1<<16)
+	var raw io.Reader = limited
+	if r.ContentLength < 0 {
+		raw = &tenantBytesReader{r: limited, t: ten}
+	}
+	body := bufio.NewReaderSize(s.bodyReader(w, raw), 1<<16)
 	head, _ := body.Peek(4)
 	var rep *aerodrome.Report
 	var err error
@@ -221,9 +273,12 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		rep, err = aerodrome.CheckReaderPipelined(body, algo)
 	}
 	if err != nil {
+		var budget *errTenantBudget
 		switch {
 		case limited.tripped:
 			writeError(w, http.StatusRequestEntityTooLarge, "request body too large")
+		case errors.As(err, &budget):
+			writeQuotaRejection(w, budget.retryAfter, "tenant byte budget exhausted")
 		case errors.Is(err, os.ErrDeadlineExceeded):
 			writeError(w, http.StatusRequestTimeout, "request body stalled")
 		default:
@@ -232,8 +287,10 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.metrics.eventsTotal.Add(rep.Events)
+	ten.eventsTotal.Add(rep.Events)
 	if !rep.Serializable {
 		s.metrics.violationsTotal.Add(1)
+		ten.violationsTotal.Add(1)
 	}
 	s.metrics.selectEngine(rep.Algorithm)
 	writeJSON(w, http.StatusOK, rep)

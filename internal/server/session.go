@@ -17,6 +17,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -41,6 +42,8 @@ type session struct {
 	id      string
 	algo    string
 	created time.Time
+	// tenant owns this session's quota slot, released on finalization.
+	tenant *tenant
 
 	// feedMu serializes the event stream: at most one feed — or the
 	// finalizing Close — drives the checker at a time. Feed handlers use
@@ -134,10 +137,20 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// The tenant slot is taken before the global table insert and released
+	// on any rejection path below; once the session is registered, the
+	// slot is owned by finalizeSession.
+	ten := s.tenant(r)
+	if !ten.admitSession() {
+		writeQuotaRejection(w, 0, "tenant session limit reached")
+		return
+	}
+
 	sess := &session{
 		id:      newSessionID(),
 		algo:    checker.Algorithm(),
 		created: time.Now(),
+		tenant:  ten,
 		checker: checker,
 		state:   stateActive,
 	}
@@ -146,11 +159,13 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
+		ten.releaseSession()
 		writeError(w, http.StatusServiceUnavailable, "shutting down")
 		return
 	}
 	if len(s.sessions) >= s.cfg.MaxSessions {
 		s.mu.Unlock()
+		ten.releaseSession()
 		s.metrics.sessionsRejected.Add(1)
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusTooManyRequests, "session limit reached")
@@ -160,6 +175,7 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	s.mu.Unlock()
 
 	s.metrics.sessionsOpened.Add(1)
+	ten.sessionsOpened.Add(1)
 	s.metrics.sessionsActive.Add(1)
 	s.metrics.selectEngine(sess.algo)
 
@@ -199,7 +215,22 @@ func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
 	}
 	defer sess.feedMu.Unlock()
 
-	body := s.bodyReader(w, http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
+	// One chunk is one admission unit of the tenant's byte budget:
+	// declared lengths are debited upfront, chunked bodies as they stream.
+	// A chunk larger than the bucket capacity can never be admitted → 413.
+	if ok, retry, never := sess.tenant.admitBytes(r.ContentLength); !ok {
+		if never {
+			writeError(w, http.StatusRequestEntityTooLarge, "chunk exceeds tenant byte budget capacity")
+			return
+		}
+		writeQuotaRejection(w, retry, "tenant byte budget exhausted")
+		return
+	}
+	var raw io.Reader = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if r.ContentLength < 0 {
+		raw = &tenantBytesReader{r: raw, t: sess.tenant}
+	}
+	body := s.bodyReader(w, raw)
 	sess.mu.Lock()
 	if sess.removed {
 		sess.mu.Unlock()
@@ -252,7 +283,22 @@ func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
 			break
 		}
 		if rerr != nil {
-			s.metrics.eventsTotal.Add(sess.checker.Processed() - before)
+			s.countFeedEvents(sess, before)
+			var budget *errTenantBudget
+			if errors.As(rerr, &budget) {
+				// Mid-stream exhaustion of a chunked feed: a prefix of the
+				// chunk is already applied (chunks are stream fragments, not
+				// transactions), so answer with the snapshot — its event
+				// count tells the client exactly where to resume instead of
+				// blindly retrying the whole chunk.
+				secs := int64(budget.retryAfter/time.Second) + 1
+				w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+				sess.mu.Lock()
+				view := sess.view()
+				sess.mu.Unlock()
+				writeJSON(w, http.StatusTooManyRequests, view)
+				return
+			}
 			if errors.Is(rerr, os.ErrDeadlineExceeded) {
 				writeError(w, http.StatusRequestTimeout, "chunk upload stalled")
 				return
@@ -261,7 +307,7 @@ func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	s.metrics.eventsTotal.Add(sess.checker.Processed() - before)
+	s.countFeedEvents(sess, before)
 	if removedMidFeed {
 		// DELETE or eviction signalled mid-stream; stop so the remover's
 		// pending feedMu acquisition (and finalization) can proceed.
@@ -284,8 +330,17 @@ func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
 		sess.state = stateViolated
 		sess.viol = v
 		s.metrics.violationsTotal.Add(1)
+		sess.tenant.violationsTotal.Add(1)
 	}
 	writeJSON(w, status, sess.view())
+}
+
+// countFeedEvents settles the events consumed by one feed into the global
+// and per-tenant counters.
+func (s *Server) countFeedEvents(sess *session, before int64) {
+	delta := sess.checker.Processed() - before
+	s.metrics.eventsTotal.Add(delta)
+	sess.tenant.eventsTotal.Add(delta)
 }
 
 // handleSessionGet is GET /v1/sessions/{id}.
@@ -327,6 +382,7 @@ func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 		sess.state = stateViolated
 		sess.viol = rep.Violation
 		s.metrics.violationsTotal.Add(1)
+		sess.tenant.violationsTotal.Add(1)
 	}
 	writeJSON(w, http.StatusOK, rep)
 }
@@ -346,8 +402,9 @@ func (s *Server) finalizeSession(sess *session, counter *atomic.Int64) (*aerodro
 	before := sess.checker.Processed()
 	rep, err := sess.checker.Close()
 	// Close may parse a final unterminated line; count those events too.
-	s.metrics.eventsTotal.Add(sess.checker.Processed() - before)
+	s.countFeedEvents(sess, before)
 	counter.Add(1)
+	sess.tenant.releaseSession()
 	sess.mu.Lock()
 	sess.events = sess.checker.Processed()
 	sess.mu.Unlock()

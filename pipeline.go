@@ -136,10 +136,12 @@ func checkFilePipelined(path string, a Algorithm) (*Report, error) {
 	return CheckReaderPipelined(br, a)
 }
 
-// IncrementalChecker checks an STD trace that arrives in byte chunks —
-// the engine behind one aerodromed session, and the library hook for any
+// IncrementalChecker checks a trace that arrives in byte chunks — the
+// engine behind one aerodromed session, and the library hook for any
 // front end that receives a trace stream over a wire rather than from a
-// file. Chunk boundaries need not align with line boundaries. It is not
+// file. The format (STD text or ADB1 binary) is sniffed from the first
+// bytes, exactly like the one-shot /v1/check endpoint, and chunk
+// boundaries need not align with line or record boundaries. It is not
 // safe for concurrent use; callers serialize (the chunk order defines the
 // trace).
 type IncrementalChecker struct {
@@ -158,8 +160,8 @@ func NewIncrementalChecker(a Algorithm) (*IncrementalChecker, error) {
 	return &IncrementalChecker{f: pipeline.NewFeeder(eng, pipeline.Config{}), algo: eng.Name()}, nil
 }
 
-// Feed appends one chunk of the STD stream and processes every event whose
-// line is now complete. It returns the latched violation, if any, and the
+// Feed appends one chunk of the stream and processes every event whose
+// line (or binary record) is now complete. It returns the latched violation, if any, and the
 // terminal parse error if the stream is malformed. After a violation,
 // further chunks are accepted and discarded — the verdict, violation index
 // and event count equal running CheckSTD over the concatenated chunks.

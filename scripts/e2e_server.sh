@@ -2,30 +2,57 @@
 # End-to-end smoke of the real aerodromed binary, as CI runs it: build,
 # boot on an ephemeral port, replay golden traces over HTTP (verdicts must
 # match the local CLI byte for byte), exercise the session API with curl,
-# then SIGTERM and require a clean drain within the deadline.
+# then SIGTERM and require a clean drain within the deadline. Then the
+# sharded topology: a router over two backends, golden replay through the
+# router, a killed backend (orphaned sessions answer 409, the survivor
+# keeps feeding) and a clean drain of the survivors.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BINDIR=$(mktemp -d)
 BIN="$BINDIR/aerodromed"
-LOG=$(mktemp)
-PID=
-trap 'kill "$PID" 2>/dev/null || true; rm -rf "$BINDIR"; rm -f "$LOG"' EXIT
+TMPDIR_E2E=$(mktemp -d)
+PIDS=()
+trap 'for p in "${PIDS[@]:-}"; do kill "$p" 2>/dev/null || true; done; rm -rf "$BINDIR" "$TMPDIR_E2E"' EXIT
 
 go build -o "$BIN" ./cmd/aerodromed
 
-"$BIN" -addr 127.0.0.1:0 -session-ttl 1m >"$LOG" 2>&1 &
-PID=$!
+# boot_daemon LOGFILE ARGS... — starts an aerodromed in this shell (so
+# `wait` works) and leaves its pid/address in BOOT_PID/BOOT_ADDR.
+boot_daemon() {
+    local log="$1"; shift
+    "$BIN" "$@" >"$log" 2>&1 &
+    BOOT_PID=$!
+    PIDS+=("$BOOT_PID")
+    BOOT_ADDR=
+    for _ in $(seq 1 100); do
+        BOOT_ADDR=$(sed -n 's/.*listening on \([0-9.:]*\).*/\1/p' "$log" | head -1)
+        [ -n "$BOOT_ADDR" ] && break
+        kill -0 "$BOOT_PID" 2>/dev/null || { echo "daemon died:"; cat "$log"; exit 1; }
+        sleep 0.1
+    done
+    [ -n "$BOOT_ADDR" ] || { echo "daemon never became ready:"; cat "$log"; exit 1; }
+}
 
-# Wait for the daemon to announce its port.
-ADDR=
-for _ in $(seq 1 100); do
-    ADDR=$(sed -n 's/.*listening on \([0-9.:]*\).*/\1/p' "$LOG" | head -1)
-    [ -n "$ADDR" ] && break
-    kill -0 "$PID" 2>/dev/null || { echo "daemon died:"; cat "$LOG"; exit 1; }
-    sleep 0.1
-done
-[ -n "$ADDR" ] || { echo "daemon never became ready:"; cat "$LOG"; exit 1; }
+# await_exit PID LOGFILE NAME — SIGTERM already sent; require exit 0 and a
+# clean-drain log line within the deadline.
+await_exit() {
+    local pid="$1" log="$2" name="$3"
+    for _ in $(seq 1 100); do
+        kill -0 "$pid" 2>/dev/null || break
+        sleep 0.1
+    done
+    if kill -0 "$pid" 2>/dev/null; then
+        echo "$name did not exit within 10s of SIGTERM"; cat "$log"; exit 1
+    fi
+    set +e; wait "$pid"; local code=$?; set -e
+    [ "$code" -eq 0 ] || { echo "$name exited $code after SIGTERM:"; cat "$log"; exit 1; }
+    grep -q "drained cleanly" "$log" || { echo "no clean-drain log for $name:"; cat "$log"; exit 1; }
+}
+
+LOG="$TMPDIR_E2E/single.log"
+boot_daemon "$LOG" -addr 127.0.0.1:0 -session-ttl 1m
+PID=$BOOT_PID ADDR=$BOOT_ADDR
 BASE="http://$ADDR"
 echo "daemon up at $BASE"
 
@@ -72,15 +99,89 @@ curl -fsS "$BASE/metrics" | grep -q '"events_total"' || { echo "metrics failed";
 
 # Graceful-shutdown drain check: SIGTERM must exit 0 within the deadline.
 kill -TERM "$PID"
+await_exit "$PID" "$LOG" "daemon"
+echo "graceful drain ok"
+
+# ---- Sharded topology: router + two backends -------------------------------
+
+LOG_B0="$TMPDIR_E2E/backend0.log"
+LOG_B1="$TMPDIR_E2E/backend1.log"
+LOG_RT="$TMPDIR_E2E/router.log"
+boot_daemon "$LOG_B0" -addr 127.0.0.1:0
+PID_B0=$BOOT_PID ADDR_B0=$BOOT_ADDR
+boot_daemon "$LOG_B1" -addr 127.0.0.1:0
+PID_B1=$BOOT_PID ADDR_B1=$BOOT_ADDR
+boot_daemon "$LOG_RT" -shard \
+    -backends "http://$ADDR_B0,http://$ADDR_B1" -probe-interval 100ms -addr 127.0.0.1:0
+PID_RT=$BOOT_PID ADDR_RT=$BOOT_ADDR
+RBASE="http://$ADDR_RT"
+echo "router up at $RBASE over http://$ADDR_B0 and http://$ADDR_B1"
+
+curl -fsS "$RBASE/healthz" | grep -q '"backends_healthy":2' \
+    || { echo "router healthz failed"; curl -sS "$RBASE/healthz"; exit 1; }
+
+# Golden replay through the router: verdicts must match the local CLI,
+# exactly as for the single daemon.
+for trace in sharded-none sharded-cross; do
+    f="testdata/golden/$trace.std"
+    local_out=$(go run ./cmd/aerodrome -q -algo auto "$f" 2>/dev/null || true)
+    remote_out=$(go run ./cmd/aerodrome -q -algo auto -remote "$RBASE" -trace "$trace" "$f" 2>/dev/null || true)
+    local_norm=$(normalize "$local_out" "$local_out")
+    remote_norm=$(normalize "$remote_out" "$remote_out")
+    if [ "$local_norm" != "$remote_norm" ]; then
+        echo "routed verdict mismatch on $trace:"
+        echo "  local:  $local_out"
+        echo "  remote: $remote_out"
+        exit 1
+    fi
+    echo "routed golden $trace: verdicts agree ($local_norm)"
+done
+
+# Open keyed sessions until both backends hold one (the ring splits keys;
+# a handful of attempts suffices). Remember one session per backend.
+SID_B0= SID_B1= KEY_B0= KEY_B1=
+for i in $(seq 1 32); do
+    HDRS="$TMPDIR_E2E/create-$i.hdrs"
+    SID=$(curl -fsS -D "$HDRS" -X POST "$RBASE/v1/sessions?trace=key-$i" \
+        | sed 's/.*"id":"\([^"]*\)".*/\1/')
+    BACKEND=$(tr -d '\r' <"$HDRS" | sed -n 's/^[Xx]-[Aa]erodrome-[Bb]ackend: *//p' | head -1)
+    case "$BACKEND" in
+        "http://$ADDR_B0") [ -n "$SID_B0" ] || { SID_B0=$SID; KEY_B0="key-$i"; } ;;
+        "http://$ADDR_B1") [ -n "$SID_B1" ] || { SID_B1=$SID; KEY_B1="key-$i"; } ;;
+        *) echo "unexpected backend header '$BACKEND'"; exit 1 ;;
+    esac
+    [ -n "$SID_B0" ] && [ -n "$SID_B1" ] && break
+done
+[ -n "$SID_B0" ] && [ -n "$SID_B1" ] || { echo "sessions never landed on both backends"; exit 1; }
+echo "sessions placed: $SID_B0 on backend0, $SID_B1 on backend1"
+
+# Kill backend0 hard (no drain — this is the failure case) and wait for
+# the router's prober to notice.
+kill -9 "$PID_B0"
 for _ in $(seq 1 100); do
-    kill -0 "$PID" 2>/dev/null || break
+    curl -fsS "$RBASE/healthz" 2>/dev/null | grep -q '"backends_healthy":1' && break
     sleep 0.1
 done
-if kill -0 "$PID" 2>/dev/null; then
-    echo "daemon did not exit within 10s of SIGTERM"; cat "$LOG"; exit 1
-fi
-set +e; wait "$PID"; CODE=$?; set -e
-[ "$CODE" -eq 0 ] || { echo "daemon exited $CODE after SIGTERM:"; cat "$LOG"; exit 1; }
-grep -q "drained cleanly" "$LOG" || { echo "no clean-drain log:"; cat "$LOG"; exit 1; }
-echo "graceful drain ok"
+curl -fsS "$RBASE/healthz" | grep -q '"backends_healthy":1' \
+    || { echo "router never noticed the dead backend"; exit 1; }
+
+# The orphaned session answers 409 (affinity lost), the survivor's keeps
+# feeding, and new sessions are still admitted (failover placement).
+CODE=$(printf 't9|begin|0\n' | curl -s -o /dev/null -w '%{http_code}' \
+    --data-binary @- -H "X-Aerodrome-Trace: $KEY_B0" "$RBASE/v1/sessions/$SID_B0/events")
+[ "$CODE" = "409" ] || { echo "orphaned session feed: HTTP $CODE, want 409"; exit 1; }
+printf 't9|begin|0\nt9|w(y)|1\nt9|end|0\n' | curl -fsS --data-binary @- \
+    -H "X-Aerodrome-Trace: $KEY_B1" "$RBASE/v1/sessions/$SID_B1/events" >/dev/null \
+    || { echo "surviving session feed failed"; exit 1; }
+curl -fsS -X POST "$RBASE/v1/sessions?trace=failover" >/dev/null \
+    || { echo "create after backend loss failed"; exit 1; }
+echo "backend loss: 409 on orphan, survivor feeds, creates fail over"
+
+# Drain the survivors: the router and the surviving backend (with its live
+# session) must both exit 0 with a clean-drain log on SIGTERM.
+kill -TERM "$PID_RT"
+await_exit "$PID_RT" "$LOG_RT" "router"
+kill -TERM "$PID_B1"
+await_exit "$PID_B1" "$LOG_B1" "backend1"
+echo "sharded drain ok"
 echo "e2e: all checks passed"
