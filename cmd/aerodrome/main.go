@@ -7,7 +7,7 @@
 //	aerodrome [-algo optimized] [-format std] [-pipeline] [trace-file]
 //	aerodrome [-algo optimized] -parallel N trace-file...
 //	aerodrome [-algo auto] -serve :8421
-//	aerodrome [-algo A] -remote http://host:8421 [trace-file]
+//	aerodrome [-algo A] -remote http://host:8421 [-incremental] [trace-file]
 //
 // With no file argument the trace is read from standard input. -pipeline
 // overlaps parsing and checking on separate goroutines; -parallel N checks
@@ -20,10 +20,21 @@
 // (equivalent to the aerodromed command with default limits; -algo sets
 // the server's default algorithm). -remote streams the trace to a running
 // aerodromed instead of checking locally: same output, same exit codes,
-// the format is sniffed by the server.
+// the format is sniffed by the server. Remote requests run under
+// per-attempt timeouts (-timeout) and are retried with backoff (-retries)
+// on transport errors and retryable statuses, honoring Retry-After.
+//
+// -remote -incremental replays the trace through the session API in
+// -chunk-bytes chunks instead of one POST — the mode that exercises (and
+// survives) the router's journaled session failover. If the session is
+// lost beyond recovery (HTTP 409: the replay journal was truncated or the
+// chunk sequence gapped; HTTP 404: the session vanished with its router),
+// the client re-opens a fresh session and replays the file from the
+// start, up to three times.
 package main
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"flag"
@@ -31,6 +42,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -104,6 +116,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 	remote := fs.String("remote", "", "stream the trace to a running aerodromed at this base URL instead of checking locally (the server's default algorithm applies unless -algo is set)")
 	tenant := fs.String("tenant", "", "tenant name sent with -remote requests (the server's quota and metrics bucket)")
 	traceKey := fs.String("trace", "", "trace routing key sent with -remote requests (pins the request to one backend behind a shard router)")
+	incremental := fs.Bool("incremental", false, "with -remote: replay the trace through the incremental session API in -chunk-bytes chunks")
+	chunkBytes := fs.Int("chunk-bytes", 64<<10, "with -remote -incremental: feed chunk size in bytes")
+	timeout := fs.Duration("timeout", 0, "with -remote: per-attempt request timeout (0 = default 30s, negative = none)")
+	retries := fs.Int("retries", 0, "with -remote: retry attempts for failed requests (0 = default 4, negative = none)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -131,7 +147,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if !algoSet {
 			*algo = "" // let the server apply its configured default
 		}
-		return runRemote(*remote, *algo, *tenant, *traceKey, fs.Args(), *quiet, stdout, stderr)
+		return runRemote(remoteOpts{
+			baseURL: *remote, algo: *algo, tenant: *tenant, traceKey: *traceKey,
+			incremental: *incremental, chunkBytes: *chunkBytes,
+			timeout: *timeout, retries: *retries, quiet: *quiet,
+		}, fs.Args(), stdout, stderr)
 	}
 	if *parallel != 0 {
 		return runParallel(fs.Args(), *algo, *parallel, stdout, stderr)
@@ -226,9 +246,19 @@ func runServe(addr, algo string, stderr io.Writer) int {
 	return 0
 }
 
+// remoteOpts bundles the -remote mode's knobs.
+type remoteOpts struct {
+	baseURL, algo, tenant, traceKey string
+	incremental                     bool
+	chunkBytes                      int
+	timeout                         time.Duration
+	retries                         int
+	quiet                           bool
+}
+
 // runRemote streams one trace (file or stdin) to a running aerodromed (or
 // shard router) and renders the report exactly like a local check.
-func runRemote(baseURL, algo, tenant, traceKey string, args []string, quiet bool, stdout, stderr io.Writer) int {
+func runRemote(opts remoteOpts, args []string, stdout, stderr io.Writer) int {
 	if len(args) > 1 {
 		fmt.Fprintln(stderr, "usage: aerodrome -remote URL [trace-file]")
 		return 2
@@ -243,15 +273,24 @@ func runRemote(baseURL, algo, tenant, traceKey string, args []string, quiet bool
 		defer f.Close()
 		r = f
 	}
-	algo = normalizeAlgo(algo)
-	client := &server.Client{BaseURL: baseURL, Tenant: tenant, TraceKey: traceKey}
+	algo := normalizeAlgo(opts.algo)
+	client := &server.Client{
+		BaseURL: opts.baseURL, Tenant: opts.tenant, TraceKey: opts.traceKey,
+		Timeout: opts.timeout, MaxRetries: opts.retries,
+	}
 	start := time.Now()
-	rep, err := client.Check(r, algo)
+	var rep *aerodrome.Report
+	var err error
+	if opts.incremental {
+		rep, err = remoteIncremental(client, r, algo, opts.chunkBytes)
+	} else {
+		rep, err = client.Check(r, algo)
+	}
 	if err != nil {
 		fmt.Fprintln(stderr, "aerodrome:", err)
 		return 2
 	}
-	if !quiet {
+	if !opts.quiet {
 		fmt.Fprintf(stdout, "algorithm: %s\nevents:    %d\ntime:      %v (remote)\n",
 			rep.Algorithm, rep.Events, time.Since(start))
 	}
@@ -261,6 +300,76 @@ func runRemote(baseURL, algo, tenant, traceKey string, args []string, quiet bool
 	}
 	fmt.Fprintf(stdout, "result: conflict serializable (no atomicity violation)\n")
 	return 0
+}
+
+// remoteIncremental replays the trace through the session API chunk by
+// chunk. Behind a fault-tolerant router a backend death is invisible here
+// (the journal replays on another backend); only the unrecoverable 409 —
+// journal truncated past the replay horizon — surfaces, and then the
+// whole trace is replayed into a fresh session, which is exact because
+// the checker is a deterministic single pass. Restart needs the trace
+// bytes again, so stdin input is only retried when it fit in memory — a
+// file is rewound with Seek.
+func remoteIncremental(client *server.Client, r io.Reader, algo string, chunkBytes int) (*aerodrome.Report, error) {
+	if chunkBytes <= 0 {
+		chunkBytes = 64 << 10
+	}
+	seeker, rewindable := r.(io.ReadSeeker)
+	if !rewindable {
+		data, err := io.ReadAll(r)
+		if err != nil {
+			return nil, err
+		}
+		seeker = bytes.NewReader(data)
+	}
+	const maxRestarts = 3
+	var lastErr error
+	for restart := 0; restart <= maxRestarts; restart++ {
+		if _, err := seeker.Seek(0, io.SeekStart); err != nil {
+			return nil, err
+		}
+		rep, err := feedSession(client, seeker, algo, chunkBytes)
+		if err == nil {
+			return rep, nil
+		}
+		lastErr = err
+		// 409: affinity or replay horizon lost, or a chunk-sequence gap —
+		// the session's server-side state can no longer be trusted. 404:
+		// the session vanished outright (e.g. a restarted router re-derived
+		// a placement on a backend that never held it). Both are recovered
+		// the same way: a fresh session and a full replay.
+		if !strings.Contains(err.Error(), "HTTP 409") && !strings.Contains(err.Error(), "HTTP 404") {
+			return nil, err
+		}
+		time.Sleep(time.Duration(restart+1) * 200 * time.Millisecond)
+	}
+	return nil, fmt.Errorf("session lost %d times, giving up: %w", maxRestarts+1, lastErr)
+}
+
+// feedSession drives one session: create, feed chunks, finalize.
+func feedSession(client *server.Client, r io.Reader, algo string, chunkBytes int) (*aerodrome.Report, error) {
+	sess, err := client.NewSession(algo)
+	if err != nil {
+		return nil, err
+	}
+	buf := make([]byte, chunkBytes)
+	for {
+		n, rerr := io.ReadFull(r, buf)
+		if n > 0 {
+			if _, err := sess.Feed(buf[:n]); err != nil {
+				sess.Close()
+				return nil, err
+			}
+		}
+		if rerr == io.EOF || rerr == io.ErrUnexpectedEOF {
+			break
+		}
+		if rerr != nil {
+			sess.Close()
+			return nil, rerr
+		}
+	}
+	return sess.Close()
 }
 
 // runParallel checks every file argument concurrently (one engine and one

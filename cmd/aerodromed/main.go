@@ -10,7 +10,9 @@
 //	           [-tenant-sessions N] [-tenant-checks N] [-tenant-bytes-per-sec N]
 //	           [-shutdown-timeout D]
 //	aerodromed -shard -backends URL,URL,... [-addr :8421]
-//	           [-probe-interval D] [-shutdown-timeout D]
+//	           [-probe-interval D] [-probe-on-start] [-journal-mem BYTES]
+//	           [-journal-max BYTES] [-journal-total BYTES] [-journal-spill DIR]
+//	           [-shutdown-timeout D]
 //
 // Endpoints: POST /v1/check (whole trace in, JSON report out; STD or
 // binary format, sniffed), the incremental session API under
@@ -24,9 +26,20 @@
 // With -shard the daemon is a consistent-hash router instead of a
 // checking backend: sessions and /v1/check requests are spread across the
 // -backends aerodromed instances by the X-Aerodrome-Trace header (or
-// ?trace=, or the tenant header), backends are health-probed, and a
-// session whose backend dies answers 409. Every routed response carries
+// ?trace=, or the tenant header), and backends are health-probed. The
+// router journals every session chunk a backend acknowledged (bounded by
+// the -journal-* flags); when a backend dies, its sessions fail over —
+// recreated on the next ring point with the journal replayed — and only a
+// session whose journal was truncated past the replay horizon answers a
+// Retry-After-guarded 409. Every routed response carries
 // X-Aerodrome-Backend.
+//
+// -chaos SPEC (or the AERODROME_CHAOS environment variable) enables
+// seeded fault injection for the chaos harness: connection resets,
+// partial writes, transport errors and latency, e.g.
+// "reset=0.02,partial=0.01,error=0.05,latency=2ms@0.1,seed=7". Faults
+// apply to this instance's own listener and, for -shard, to its backend
+// transport. Never enable it in production.
 //
 // On SIGINT/SIGTERM the daemon drains: health flips to 503, new work is
 // rejected, in-flight requests finish within -shutdown-timeout, then it
@@ -46,6 +59,7 @@ import (
 	"time"
 
 	"aerodrome"
+	"aerodrome/internal/faultinject"
 	"aerodrome/internal/server"
 )
 
@@ -70,6 +84,13 @@ func run(args []string, logw io.Writer, ready chan<- string) int {
 	shard := fs.Bool("shard", false, "run as a consistent-hash router over -backends instead of a checking backend")
 	backends := fs.String("backends", "", "comma-separated backend base URLs (required with -shard)")
 	probeInterval := fs.Duration("probe-interval", 0, "router backend health-probe cadence (0 = default 500ms)")
+	probeOnStart := fs.Bool("probe-on-start", false, "router: probe every backend once before serving (restart hygiene)")
+	journalMem := fs.Int64("journal-mem", 0, "router: per-session in-memory journal cap in bytes (0 = default 256 KiB)")
+	journalMax := fs.Int64("journal-max", 0, "router: per-session total journal cap in bytes (0 = default 4 MiB)")
+	journalTotal := fs.Int64("journal-total", 0, "router: shared in-memory journal budget in bytes (0 = default 64 MiB)")
+	journalSpill := fs.String("journal-spill", "", "router: directory for journal spill files (empty = no spill)")
+	chaosSpec := fs.String("chaos", os.Getenv("AERODROME_CHAOS"),
+		"fault-injection spec, e.g. reset=0.02,error=0.05,latency=2ms@0.1,seed=7 (testing only)")
 	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second, "graceful drain deadline on SIGTERM")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -78,6 +99,12 @@ func run(args []string, logw io.Writer, ready chan<- string) int {
 		fmt.Fprintln(logw, "usage: aerodromed [flags]; aerodromed takes no arguments")
 		return 2
 	}
+	chaosCfg, err := faultinject.ParseSpec(*chaosSpec)
+	if err != nil {
+		fmt.Fprintln(logw, "aerodromed:", err)
+		return 2
+	}
+	chaos := faultinject.New(chaosCfg)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -96,12 +123,18 @@ func run(args []string, logw io.Writer, ready chan<- string) int {
 		err := server.RunRouterDaemon(ctx, server.RouterDaemonConfig{
 			Addr: *addr,
 			Router: server.RouterConfig{
-				Backends:      urls,
-				ProbeInterval: *probeInterval,
+				Backends:          urls,
+				ProbeInterval:     *probeInterval,
+				ProbeOnStart:      *probeOnStart,
+				JournalMemBytes:   *journalMem,
+				JournalMaxBytes:   *journalMax,
+				JournalTotalBytes: *journalTotal,
+				JournalSpillDir:   *journalSpill,
 			},
 			ShutdownTimeout: *shutdownTimeout,
 			Log:             logw,
 			Ready:           ready,
+			Chaos:           chaos,
 		})
 		if err != nil {
 			fmt.Fprintln(logw, "aerodromed:", err)
@@ -118,7 +151,7 @@ func run(args []string, logw io.Writer, ready chan<- string) int {
 		fmt.Fprintln(logw, "aerodromed:", err)
 		return 2
 	}
-	err := server.RunDaemon(ctx, server.DaemonConfig{
+	err = server.RunDaemon(ctx, server.DaemonConfig{
 		Addr: *addr,
 		Server: server.Config{
 			Algorithm:           aerodrome.Algorithm(*algo),
@@ -135,6 +168,7 @@ func run(args []string, logw io.Writer, ready chan<- string) int {
 		ShutdownTimeout: *shutdownTimeout,
 		Log:             logw,
 		Ready:           ready,
+		Chaos:           chaos,
 	})
 	if err != nil {
 		fmt.Fprintln(logw, "aerodromed:", err)

@@ -120,15 +120,31 @@
 // the backend URLs, so a restarted router routes identically, and a lost
 // backend (detected by /healthz probes and proxy failures) deterministically
 // moves exactly its keys to the ring's next backend — and back on
-// recovery. Sessions stay backend-affine; when a session's backend dies
-// the router answers 409 rather than silently rehashing a half-checked
-// stream, while buffered session creations fail over transparently. Every
-// routed response carries X-Aerodrome-Backend. The serve-sat-* rows in
+// recovery. Sessions stay backend-affine, and the router journals every
+// applied session chunk (bounded memory with optional spill): when a
+// session's backend dies, the next feed transparently recreates the
+// session on the ring's next backend and replays the journal first — the
+// client sees an ordinary 200 and a report covering every event. Only a
+// truncated journal (the session outgrew its caps) answers 409 +
+// Retry-After, asking the client for a full replay; chunk-sequence
+// numbers (X-Aerodrome-Chunk-Seq) make blind retries idempotent and turn
+// post-restart placement drift into a detected 409 instead of a silent
+// wrong verdict. server.Client implements the matching retry loop:
+// per-attempt timeouts, capped jittered backoff honoring Retry-After,
+// rewindable bodies, and ring-epoch awareness from /metrics. The
+// internal/faultinject package (wired as `aerodromed -chaos`) injects
+// connection dooms, partial writes, transport errors and latency; the
+// chaos e2e leg (scripts/e2e_server.sh chaos) kill -9s backends and the
+// router mid-stream under injected faults and holds every keyed session's
+// verdict byte-identical to the local sequential check. Every routed
+// response carries X-Aerodrome-Backend. The serve-sat-* rows in
 // BENCH_after.json (from `experiments -run saturate`) measure aggregate
-// events/sec under N concurrent clients for the single-server and
-// router+2-backend topologies, and a bench-gate CI job re-measures pinned
-// engine/ingest rows against BENCH_baseline.json's gate_rows so the perf
-// work of PR 1–4 cannot regress silently (internal/bench/gate.go).
+// events/sec under N concurrent clients for the single-server,
+// router+2-backend, and fault-injected router topologies — the chaos row
+// asserts zero client-visible hard failures — and a bench-gate CI job
+// re-measures pinned engine/ingest rows against BENCH_baseline.json's
+// gate_rows so the perf work of PR 1–4 cannot regress silently
+// (internal/bench/gate.go).
 //
 // # Testing strategy
 //

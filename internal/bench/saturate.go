@@ -30,15 +30,18 @@ import (
 	"time"
 
 	"aerodrome"
+	"aerodrome/internal/faultinject"
 	"aerodrome/internal/rapidio"
 	"aerodrome/internal/server"
 	"aerodrome/internal/workload"
 )
 
-// SatSingle and SatRouter2 are the engine labels of the saturation rows.
+// SatSingle, SatRouter2, and SatRouter2Chaos are the engine labels of
+// the saturation rows.
 const (
-	SatSingle  = "serve-sat-single"
-	SatRouter2 = "serve-sat-router2"
+	SatSingle       = "serve-sat-single"
+	SatRouter2      = "serve-sat-router2"
+	SatRouter2Chaos = "serve-sat-router2-chaos"
 )
 
 const (
@@ -66,11 +69,28 @@ const (
 	satBackoff = 30 * time.Millisecond
 	// satRuns is how many windows are measured per row.
 	satRuns = 2
+	// satPrimeBudget bounds how long the priming request retries before
+	// the harness declares the topology broken and panics.
+	satPrimeBudget = 10 * time.Second
 )
+
+// satStats counts what the saturation clients saw beyond completed
+// checks. retried covers transport errors and retryable statuses
+// (429/502/503) — expected churn under quota pressure or injected
+// faults. hard counts everything else: client-visible hard failures
+// that no amount of retrying excuses, which the harness asserts to be
+// zero even with fault injection enabled.
+type satStats struct {
+	retried int64
+	hard    int64
+}
 
 // MeasureSaturationRows renders one small sharded trace and measures
 // aggregate events/sec through POST /v1/check at N ∈ {1, 8, 32} clients,
-// for the single-server and router+2-backend topologies back-to-back.
+// for the single-server, router+2-backend, and fault-injected
+// router+2-backend topologies back-to-back. Every topology asserts zero
+// client-visible hard failures — the chaos row is the robustness gate:
+// injected transport faults must surface only as retryable 503s.
 // Rows report aggregate ns/event (1e9 / events-per-second); the alloc
 // columns are zero — process-wide allocation accounting is meaningless
 // with client goroutines in the same process.
@@ -104,7 +124,11 @@ func MeasureSaturationRows() []BenchRow {
 	var rows []BenchRow
 	measureTopology := func(label, baseURL string) {
 		for _, clients := range []int{1, 8, 32} {
-			events, window := saturate(baseURL, data, clients)
+			events, window, stats := saturate(baseURL, data, clients)
+			if stats.hard > 0 {
+				panic(fmt.Sprintf("bench: saturate %s n=%d: %d client-visible hard failures",
+					label, clients, stats.hard))
+			}
 			row := BenchRow{
 				Workload: fmt.Sprintf("%s-n%d", cfg.Name, clients),
 				Pattern:  string(cfg.Pattern),
@@ -141,12 +165,47 @@ func MeasureSaturationRows() []BenchRow {
 	ts2.Close()
 	s1.Close()
 	s2.Close()
+
+	// Router + 2 backends with fault injection on the router→backend
+	// path: a few percent of proxied round trips fail outright and a few
+	// pick up extra latency. The router turns transport failures into
+	// 503 + Retry-After and marks the backend down until the (clean)
+	// health prober restores it; the clients retry. The row exists less
+	// for its throughput number than for its invariant — the hard-failure
+	// assertion above proves injected faults stay invisible to clients.
+	s3, ts3 := newBackend()
+	s4, ts4 := newBackend()
+	inj := faultinject.New(faultinject.Config{
+		ErrorProb:   0.05,
+		LatencyProb: 0.05,
+		Latency:     2 * time.Millisecond,
+		Seed:        42,
+	})
+	crt, err := server.NewRouter(server.RouterConfig{
+		Backends:  []string{ts3.URL, ts4.URL},
+		Transport: inj.WrapTransport(nil),
+	})
+	if err != nil {
+		panic(fmt.Sprintf("bench: chaos router: %v", err))
+	}
+	crts := httptest.NewServer(crt)
+	measureTopology(SatRouter2Chaos, crts.URL)
+	crts.Close()
+	crt.Close()
+	ts3.Close()
+	ts4.Close()
+	s3.Close()
+	s4.Close()
 	return rows
 }
 
 // saturate hammers baseURL with n concurrent clients for satRuns windows
-// and returns the event count of the best window and the window length.
-func saturate(baseURL string, data []byte, n int) (int64, time.Duration) {
+// and returns the event count of the best window, the window length, and
+// what the clients saw along the way. Transport errors and retryable
+// statuses back off and retry — under fault injection they are the
+// expected texture of the run, not harness bugs — while anything else
+// counts as a hard failure for the caller to assert on.
+func saturate(baseURL string, data []byte, n int) (int64, time.Duration, satStats) {
 	client := &http.Client{
 		Transport: &http.Transport{
 			MaxIdleConnsPerHost: n,
@@ -164,7 +223,7 @@ func saturate(baseURL string, data []byte, n int) (int64, time.Duration) {
 	evPerCheck := primeCheck(client, baseURL, data)
 
 	var stop atomic.Bool
-	var completed atomic.Int64
+	var completed, retried, hard atomic.Int64
 	var wg sync.WaitGroup
 	for c := 0; c < n; c++ {
 		wg.Add(1)
@@ -187,7 +246,11 @@ func saturate(baseURL string, data []byte, n int) (int64, time.Duration) {
 					if stop.Load() {
 						return
 					}
-					panic(fmt.Sprintf("bench: saturate: %v", err))
+					// Connection resets and injected transport faults are
+					// retryable churn, same as a 503.
+					retried.Add(1)
+					time.Sleep(satBackoff)
+					continue
 				}
 				switch resp.StatusCode {
 				case http.StatusOK:
@@ -196,12 +259,17 @@ func saturate(baseURL string, data []byte, n int) (int64, time.Duration) {
 					json.NewDecoder(resp.Body).Decode(&rep)
 					resp.Body.Close()
 					completed.Add(1)
-				case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+				case http.StatusTooManyRequests, http.StatusServiceUnavailable, http.StatusBadGateway:
 					resp.Body.Close()
+					retried.Add(1)
 					time.Sleep(satBackoff)
 				default:
+					// Anything else is a client-visible hard failure: no
+					// retry can excuse it, so count it and let the caller
+					// fail the run.
 					resp.Body.Close()
-					panic(fmt.Sprintf("bench: saturate: HTTP %d", resp.StatusCode))
+					hard.Add(1)
+					time.Sleep(satBackoff)
 				}
 			}
 		}(c)
@@ -225,12 +293,17 @@ func saturate(baseURL string, data []byte, n int) (int64, time.Duration) {
 	}
 	stop.Store(true)
 	wg.Wait()
-	return bestChecks * evPerCheck, window
+	return bestChecks * evPerCheck, window, satStats{retried: retried.Load(), hard: hard.Load()}
 }
 
-// primeCheck runs one admitted check and returns its event count.
+// primeCheck runs one admitted check and returns its event count. It
+// retries transport errors and retryable statuses within satPrimeBudget —
+// fault injection can hit the very first request — and panics only once
+// the budget is spent or a non-retryable status arrives.
 func primeCheck(client *http.Client, baseURL string, data []byte) int64 {
-	for {
+	deadline := time.Now().Add(satPrimeBudget)
+	var lastErr error
+	for time.Now().Before(deadline) {
 		req, err := http.NewRequest(http.MethodPost, baseURL+"/v1/check", bytes.NewReader(data))
 		if err != nil {
 			panic(err)
@@ -238,9 +311,13 @@ func primeCheck(client *http.Client, baseURL string, data []byte) int64 {
 		req.Header.Set(server.DefaultTenantHeader, satTenant)
 		resp, err := client.Do(req)
 		if err != nil {
-			panic(fmt.Sprintf("bench: saturate prime: %v", err))
+			lastErr = err
+			time.Sleep(satBackoff)
+			continue
 		}
-		if resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable {
+		switch resp.StatusCode {
+		case http.StatusTooManyRequests, http.StatusServiceUnavailable, http.StatusBadGateway:
+			lastErr = fmt.Errorf("HTTP %d", resp.StatusCode)
 			resp.Body.Close()
 			time.Sleep(satBackoff)
 			continue
@@ -258,4 +335,5 @@ func primeCheck(client *http.Client, baseURL string, data []byte) int64 {
 		}
 		return rep.Events
 	}
+	panic(fmt.Sprintf("bench: saturate prime: no admitted check within %v (last: %v)", satPrimeBudget, lastErr))
 }

@@ -1,0 +1,141 @@
+package bench
+
+// Pins the saturation harness's fault-tolerance contract: transport
+// resets and retryable statuses are counted and retried (never fatal),
+// while non-retryable statuses are counted as hard failures for the
+// caller to assert on. The chaos saturation row in
+// MeasureSaturationRows relies on exactly this split.
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+
+	"aerodrome"
+	"aerodrome/internal/rapidio"
+	"aerodrome/internal/server"
+	"aerodrome/internal/workload"
+)
+
+// satTestTrace renders a small sharded trace for the flaky-front tests.
+func satTestTrace(t *testing.T) []byte {
+	t.Helper()
+	cfg := workload.Config{
+		Name: "sat-test", Threads: 4, Vars: 256, Locks: 8,
+		Events: 2_000, OpsPerTxn: 4, Pattern: workload.PatternSharded,
+		TxnFraction: 0.5, Inject: workload.ViolationNone, Seed: 7,
+	}
+	var buf bytes.Buffer
+	if _, err := rapidio.WriteSource(&buf, workload.New(cfg)); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// flakyFront wraps a real aerodromed handler with periodic injected
+// failures chosen by pick (keyed by request ordinal, 1-based).
+func flakyFront(t *testing.T, pick func(k int64) string) *httptest.Server {
+	t.Helper()
+	s, err := server.New(server.Config{Algorithm: aerodrome.Optimized})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(s.Close)
+	var n atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch pick(n.Add(1)) {
+		case "503":
+			w.Header().Set("Retry-After", "0")
+			http.Error(w, "injected unavailable", http.StatusServiceUnavailable)
+		case "reset":
+			// Kill the connection mid-request: the client sees a
+			// transport error, not an HTTP status.
+			hj, ok := w.(http.Hijacker)
+			if !ok {
+				t.Error("ResponseWriter is not a Hijacker")
+				return
+			}
+			conn, _, err := hj.Hijack()
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			conn.Close()
+		case "teapot":
+			http.Error(w, "injected hard failure", http.StatusTeapot)
+		default:
+			s.ServeHTTP(w, r)
+		}
+	}))
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func TestSaturateToleratesInjectedFaults(t *testing.T) {
+	if testing.Short() {
+		t.Skip("saturation window too long for -short")
+	}
+	data := satTestTrace(t)
+	// Every 5th request 503s and every 7th dies on the wire; the rest
+	// reach a real backend. The harness must ride through all of it.
+	ts := flakyFront(t, func(k int64) string {
+		switch {
+		case k > 1 && k%5 == 0:
+			return "503"
+		case k > 1 && k%7 == 0:
+			return "reset"
+		}
+		return "ok"
+	})
+	events, _, stats := saturate(ts.URL, data, 4)
+	if stats.hard != 0 {
+		t.Fatalf("hard failures = %d, want 0", stats.hard)
+	}
+	if stats.retried == 0 {
+		t.Fatal("no retries counted despite injected faults")
+	}
+	if events == 0 {
+		t.Fatal("no events completed despite a live backend")
+	}
+}
+
+func TestSaturateCountsHardFailures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("saturation window too long for -short")
+	}
+	data := satTestTrace(t)
+	// The prime request must succeed, then sporadic non-retryable
+	// statuses show up: those are hard failures, counted not retried.
+	ts := flakyFront(t, func(k int64) string {
+		if k > 1 && k%4 == 0 {
+			return "teapot"
+		}
+		return "ok"
+	})
+	_, _, stats := saturate(ts.URL, data, 2)
+	if stats.hard == 0 {
+		t.Fatal("non-retryable statuses were not counted as hard failures")
+	}
+}
+
+// TestPrimeCheckRetriesThenSucceeds pins the priming path: early
+// transport faults and 503s must not kill the run.
+func TestPrimeCheckRetriesThenSucceeds(t *testing.T) {
+	data := satTestTrace(t)
+	ts := flakyFront(t, func(k int64) string {
+		switch k {
+		case 1:
+			return "reset"
+		case 2:
+			return "503"
+		}
+		return "ok"
+	})
+	client := &http.Client{}
+	ev := primeCheck(client, ts.URL, data)
+	if ev <= 0 {
+		t.Fatalf("primeCheck returned %d events", ev)
+	}
+}

@@ -1,0 +1,361 @@
+// Package faultinject is the chaos layer of the fault-tolerant session
+// plane: deterministic, seeded injection of the failures the service
+// claims to survive — connection resets, added latency, partial response
+// writes, and transport-level errors — at the two choke points every byte
+// of service traffic crosses: the server's accept loop (WrapListener) and
+// the router's proxy transport (WrapTransport).
+//
+// The package exists so the chaos e2e harness proves fault tolerance
+// against the real binary rather than against mocks: `aerodromed
+// -chaos "reset=0.02,latency=2ms@0.1"` makes every accepted connection a
+// coin-flip away from dying mid-stream, and the differential harness then
+// asserts that keyed sessions still finish with verdicts byte-identical
+// to sequential checking. Probabilities are low and the generator is
+// seeded, so a failing run reproduces.
+//
+// An Injector is nil-safe: a nil *Injector wraps nothing and injects
+// nothing, so callers thread it unconditionally.
+package faultinject
+
+import (
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config selects which faults to inject and how often. The zero value
+// injects nothing.
+type Config struct {
+	// Seed makes the injection sequence reproducible; 0 selects 1.
+	Seed int64
+	// ResetProb is the probability that an accepted connection is doomed:
+	// after a random number of bytes (read or written), it is closed hard,
+	// so the peer sees a mid-stream connection reset.
+	ResetProb float64
+	// PartialProb is the probability that one Write delivers only a prefix
+	// before the connection is closed — a partially-written response.
+	PartialProb float64
+	// ErrorProb is the probability that a proxied round trip fails with a
+	// synthetic transport error before reaching the backend.
+	ErrorProb float64
+	// LatencyProb is the probability that one conn Read or one round trip
+	// is delayed by Latency.
+	LatencyProb float64
+	// Latency is the injected delay (default 5ms when LatencyProb > 0).
+	Latency time.Duration
+}
+
+// enabled reports whether any fault has a nonzero probability.
+func (c Config) enabled() bool {
+	return c.ResetProb > 0 || c.PartialProb > 0 || c.ErrorProb > 0 || c.LatencyProb > 0
+}
+
+// ParseSpec parses the -chaos flag / AERODROME_CHAOS syntax: a
+// comma-separated list of fault=probability terms, e.g.
+//
+//	reset=0.02,partial=0.01,error=0.05,latency=2ms@0.1,seed=7
+//
+// latency takes duration@probability; seed takes an integer. An empty
+// spec is the zero Config (nothing injected).
+func ParseSpec(spec string) (Config, error) {
+	var cfg Config
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return cfg, nil
+	}
+	for _, term := range strings.Split(spec, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(term), "=")
+		if !ok {
+			return cfg, fmt.Errorf("faultinject: bad term %q (want fault=value)", term)
+		}
+		switch k {
+		case "reset", "partial", "error":
+			p, err := strconv.ParseFloat(v, 64)
+			if err != nil || p < 0 || p > 1 {
+				return cfg, fmt.Errorf("faultinject: %s wants a probability in [0,1], got %q", k, v)
+			}
+			switch k {
+			case "reset":
+				cfg.ResetProb = p
+			case "partial":
+				cfg.PartialProb = p
+			case "error":
+				cfg.ErrorProb = p
+			}
+		case "latency":
+			d, p, ok := strings.Cut(v, "@")
+			if !ok {
+				return cfg, fmt.Errorf("faultinject: latency wants duration@probability, got %q", v)
+			}
+			dur, err := time.ParseDuration(d)
+			if err != nil || dur < 0 {
+				return cfg, fmt.Errorf("faultinject: bad latency duration %q", d)
+			}
+			prob, err := strconv.ParseFloat(p, 64)
+			if err != nil || prob < 0 || prob > 1 {
+				return cfg, fmt.Errorf("faultinject: bad latency probability %q", p)
+			}
+			cfg.Latency, cfg.LatencyProb = dur, prob
+		case "seed":
+			s, err := strconv.ParseInt(v, 10, 64)
+			if err != nil {
+				return cfg, fmt.Errorf("faultinject: bad seed %q", v)
+			}
+			cfg.Seed = s
+		default:
+			return cfg, fmt.Errorf("faultinject: unknown fault %q (want reset, partial, error, latency, seed)", k)
+		}
+	}
+	if cfg.LatencyProb > 0 && cfg.Latency == 0 {
+		cfg.Latency = 5 * time.Millisecond
+	}
+	return cfg, nil
+}
+
+// Injector injects the configured faults. Create with New; nil is valid
+// and injects nothing.
+type Injector struct {
+	cfg Config
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	resets   atomic.Int64
+	partials atomic.Int64
+	errors   atomic.Int64
+	delays   atomic.Int64
+}
+
+// New returns an Injector for cfg, or nil when cfg injects nothing — so
+// the caller's nil check doubles as the enabled check.
+func New(cfg Config) *Injector {
+	if !cfg.enabled() {
+		return nil
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Injector{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Enabled reports whether this injector injects anything.
+func (in *Injector) Enabled() bool { return in != nil }
+
+// String summarizes the active faults for the daemon's startup banner.
+func (in *Injector) String() string {
+	if in == nil {
+		return "off"
+	}
+	var parts []string
+	if in.cfg.ResetProb > 0 {
+		parts = append(parts, fmt.Sprintf("reset=%g", in.cfg.ResetProb))
+	}
+	if in.cfg.PartialProb > 0 {
+		parts = append(parts, fmt.Sprintf("partial=%g", in.cfg.PartialProb))
+	}
+	if in.cfg.ErrorProb > 0 {
+		parts = append(parts, fmt.Sprintf("error=%g", in.cfg.ErrorProb))
+	}
+	if in.cfg.LatencyProb > 0 {
+		parts = append(parts, fmt.Sprintf("latency=%s@%g", in.cfg.Latency, in.cfg.LatencyProb))
+	}
+	return strings.Join(parts, ",")
+}
+
+// Counters snapshots how many of each fault fired, for logs and tests.
+func (in *Injector) Counters() map[string]int64 {
+	if in == nil {
+		return nil
+	}
+	return map[string]int64{
+		"resets":   in.resets.Load(),
+		"partials": in.partials.Load(),
+		"errors":   in.errors.Load(),
+		"delays":   in.delays.Load(),
+	}
+}
+
+// roll returns true with probability p, under the injector's seeded rng.
+func (in *Injector) roll(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	in.mu.Lock()
+	v := in.rng.Float64()
+	in.mu.Unlock()
+	return v < p
+}
+
+// intn returns a seeded random int in [0, n).
+func (in *Injector) intn(n int) int {
+	in.mu.Lock()
+	v := in.rng.Intn(n)
+	in.mu.Unlock()
+	return v
+}
+
+// maybeDelay sleeps Latency with probability LatencyProb.
+func (in *Injector) maybeDelay() {
+	if in.roll(in.cfg.LatencyProb) {
+		in.delays.Add(1)
+		time.Sleep(in.cfg.Latency)
+	}
+}
+
+// errInjected is the synthetic failure injected faults surface as.
+type errInjected struct{ kind string }
+
+func (e *errInjected) Error() string { return "faultinject: injected " + e.kind }
+
+// Timeout and Temporary mark the error as transient, like the real
+// network failures it stands in for.
+func (e *errInjected) Timeout() bool   { return false }
+func (e *errInjected) Temporary() bool { return true }
+
+// WrapListener wraps ln so accepted connections carry the configured
+// connection-level faults. A nil injector returns ln unchanged.
+func (in *Injector) WrapListener(ln net.Listener) net.Listener {
+	if in == nil {
+		return ln
+	}
+	return &faultListener{Listener: ln, in: in}
+}
+
+type faultListener struct {
+	net.Listener
+	in *Injector
+}
+
+func (l *faultListener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return c, err
+	}
+	fc := &faultConn{Conn: c, in: l.in, doomAfter: -1}
+	if l.in.roll(l.in.cfg.ResetProb) {
+		// Doomed: die after a random number of transferred bytes, so the
+		// reset lands anywhere in the request/response cycle — including
+		// mid-chunk and mid-response.
+		fc.doomAfter = int64(1 + l.in.intn(16<<10))
+	}
+	return fc, nil
+}
+
+// faultConn injects latency, mid-stream resets and partial writes on one
+// accepted connection.
+type faultConn struct {
+	net.Conn
+	in          *Injector
+	mu          sync.Mutex
+	transferred int64
+	doomAfter   int64 // -1: not doomed
+	dead        bool
+}
+
+// account moves the transferred-byte counter and reports whether the doom
+// threshold was crossed by this operation (and how many bytes of it are
+// still before the threshold).
+func (c *faultConn) account(n int) (doomed bool, allowed int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.dead {
+		return true, 0
+	}
+	before := c.transferred
+	c.transferred += int64(n)
+	if c.doomAfter >= 0 && c.transferred >= c.doomAfter {
+		c.dead = true
+		allowed = int(c.doomAfter - before)
+		if allowed < 0 {
+			allowed = 0
+		}
+		return true, allowed
+	}
+	return false, n
+}
+
+func (c *faultConn) Read(p []byte) (int, error) {
+	c.in.maybeDelay()
+	c.mu.Lock()
+	dead := c.dead
+	c.mu.Unlock()
+	if dead {
+		return 0, &errInjected{kind: "connection reset"}
+	}
+	n, err := c.Conn.Read(p)
+	if doomed, allowed := c.account(n); doomed {
+		c.in.resets.Add(1)
+		c.Conn.Close()
+		return allowed, &errInjected{kind: "connection reset"}
+	}
+	return n, err
+}
+
+func (c *faultConn) Write(p []byte) (int, error) {
+	c.mu.Lock()
+	dead := c.dead
+	c.mu.Unlock()
+	if dead {
+		return 0, &errInjected{kind: "connection reset"}
+	}
+	if c.in.roll(c.in.cfg.PartialProb) && len(p) > 1 {
+		// Deliver a prefix, then kill the conn: the peer sees a truncated
+		// response body (or header) followed by a reset.
+		c.in.partials.Add(1)
+		n, _ := c.Conn.Write(p[:len(p)/2])
+		c.mu.Lock()
+		c.dead = true
+		c.mu.Unlock()
+		c.Conn.Close()
+		return n, &errInjected{kind: "partial write"}
+	}
+	n, err := c.Conn.Write(p)
+	if doomed, allowed := c.account(n); doomed {
+		c.in.resets.Add(1)
+		c.Conn.Close()
+		if allowed > n {
+			allowed = n
+		}
+		return allowed, &errInjected{kind: "connection reset"}
+	}
+	return n, err
+}
+
+// WrapTransport wraps rt (nil selects http.DefaultTransport) so proxied
+// round trips carry the configured error and latency faults. A nil
+// injector returns rt (or the default transport) unchanged.
+func (in *Injector) WrapTransport(rt http.RoundTripper) http.RoundTripper {
+	if rt == nil {
+		rt = http.DefaultTransport
+	}
+	if in == nil {
+		return rt
+	}
+	return &faultTransport{next: rt, in: in}
+}
+
+type faultTransport struct {
+	next http.RoundTripper
+	in   *Injector
+}
+
+func (t *faultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.in.maybeDelay()
+	if t.in.roll(t.in.cfg.ErrorProb) {
+		t.in.errors.Add(1)
+		// Drain-and-close mirrors what a transport does with a request body
+		// it failed to deliver.
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, &errInjected{kind: "transport error"}
+	}
+	return t.next.RoundTrip(req)
+}

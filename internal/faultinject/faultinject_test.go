@@ -1,0 +1,151 @@
+package faultinject
+
+import (
+	"errors"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func TestParseSpec(t *testing.T) {
+	cfg, err := ParseSpec("reset=0.02,partial=0.01,error=0.05,latency=2ms@0.1,seed=7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.ResetProb != 0.02 || cfg.PartialProb != 0.01 || cfg.ErrorProb != 0.05 {
+		t.Fatalf("probabilities wrong: %+v", cfg)
+	}
+	if cfg.Latency != 2*time.Millisecond || cfg.LatencyProb != 0.1 || cfg.Seed != 7 {
+		t.Fatalf("latency/seed wrong: %+v", cfg)
+	}
+
+	if cfg, err := ParseSpec(""); err != nil || cfg.enabled() {
+		t.Fatalf("empty spec: cfg=%+v err=%v", cfg, err)
+	}
+	if cfg, err := ParseSpec("latency=3ms@1"); err != nil || cfg.Latency != 3*time.Millisecond {
+		t.Fatalf("latency-only spec: cfg=%+v err=%v", cfg, err)
+	}
+	for _, bad := range []string{"reset=2", "reset=x", "latency=5ms", "latency=x@0.5", "bogus=1", "reset"} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Fatalf("ParseSpec(%q) should fail", bad)
+		}
+	}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if in.Enabled() {
+		t.Fatal("nil injector reports enabled")
+	}
+	if in.String() != "off" {
+		t.Fatalf("nil String = %q", in.String())
+	}
+	if in.Counters() != nil {
+		t.Fatal("nil Counters should be nil")
+	}
+	if New(Config{}) != nil {
+		t.Fatal("New with zero config should return nil")
+	}
+	rt := in.WrapTransport(nil)
+	if rt != http.DefaultTransport {
+		t.Fatal("nil WrapTransport(nil) should be the default transport")
+	}
+}
+
+// TestListenerResets pins the connection-doom fault: with ResetProb=1
+// every accepted connection dies mid-stream, and the client sees it.
+func TestListenerResets(t *testing.T) {
+	in := New(Config{ResetProb: 1, Seed: 42})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrapped := in.WrapListener(ln)
+	defer wrapped.Close()
+
+	// Echo server over the doomed listener.
+	go func() {
+		for {
+			c, err := wrapped.Accept()
+			if err != nil {
+				return
+			}
+			go io.Copy(c, c)
+		}
+	}()
+
+	// Pump data until the injected reset shows up on either side.
+	conn, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	conn.SetDeadline(time.Now().Add(5 * time.Second))
+	buf := make([]byte, 1024)
+	var failed bool
+	for i := 0; i < 1024; i++ {
+		if _, err := conn.Write(buf); err != nil {
+			failed = true
+			break
+		}
+		if _, err := conn.Read(buf); err != nil {
+			failed = true
+			break
+		}
+	}
+	if !failed {
+		t.Fatal("doomed connection survived 1 MiB of echo traffic")
+	}
+	if in.Counters()["resets"] < 1 {
+		t.Fatalf("reset counter = %d, want ≥1", in.Counters()["resets"])
+	}
+}
+
+// TestTransportErrors pins the proxy-path fault: with ErrorProb=1 every
+// round trip fails with a temporary injected error.
+func TestTransportErrors(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer backend.Close()
+
+	in := New(Config{ErrorProb: 1, Seed: 1})
+	client := &http.Client{Transport: in.WrapTransport(nil)}
+	_, err := client.Get(backend.URL)
+	if err == nil {
+		t.Fatal("ErrorProb=1 round trip should fail")
+	}
+	var inj *errInjected
+	if !errors.As(err, &inj) {
+		t.Fatalf("error %v is not the injected kind", err)
+	}
+	if !inj.Temporary() {
+		t.Fatal("injected transport error should be Temporary")
+	}
+	if in.Counters()["errors"] != 1 {
+		t.Fatalf("error counter = %d, want 1", in.Counters()["errors"])
+	}
+}
+
+// TestTransportLatency pins the delay fault: LatencyProb=1 adds Latency
+// to every round trip.
+func TestTransportLatency(t *testing.T) {
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	defer backend.Close()
+
+	in := New(Config{LatencyProb: 1, Latency: 30 * time.Millisecond, Seed: 1})
+	client := &http.Client{Transport: in.WrapTransport(nil)}
+	start := time.Now()
+	resp, err := client.Get(backend.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if elapsed := time.Since(start); elapsed < 30*time.Millisecond {
+		t.Fatalf("round trip took %v, want ≥30ms of injected latency", elapsed)
+	}
+	if in.Counters()["delays"] < 1 {
+		t.Fatal("delay counter not incremented")
+	}
+}

@@ -391,6 +391,40 @@ func TestFeederBinaryMatchesBinaryReaderAllChunkings(t *testing.T) {
 	}
 }
 
+// TestFeederBinaryTruncationEveryBoundary sweeps every possible
+// truncation point of an ADB1 stream — mid-header, mid-record, between
+// records — and requires the push-mode Feeder (under several chunkings of
+// the truncated bytes, including byte-at-a-time) to reproduce the
+// pull-mode BinaryReader exactly: same event prefix, same terminal error.
+// The older tests only pinned a handful of truncation points; a feed
+// arriving over a faulty network can end anywhere.
+func TestFeederBinaryTruncationEveryBoundary(t *testing.T) {
+	bin, _ := binaryLog(t, 12, 7)
+	chunkings := [][]int{{1}, {3}, {8}, {1 << 10}}
+	// Cuts shorter than the 4-byte magic are excluded by design: the
+	// sniffer cannot yet classify the stream, so the Feeder falls back to
+	// STD text (pinned by TestFeederSniffEdgeCases) while a direct
+	// BinaryReader assumes binary.
+	for cut := 4; cut <= len(bin); cut++ {
+		data := bin[:cut]
+		want, wantErr := readAllBinary(t, data)
+		for _, sizes := range chunkings {
+			got, gotErr := drainFeeder(t, data, sizes)
+			if !sameEvents(got, want) {
+				t.Fatalf("cut %d chunks %v: %d events, want %d", cut, sizes, len(got), len(want))
+			}
+			if (wantErr == io.EOF) != (gotErr == io.EOF) {
+				t.Fatalf("cut %d chunks %v: terminal %v, want %v", cut, sizes, gotErr, wantErr)
+			}
+			if wantErr != io.EOF {
+				if gotErr == nil || gotErr.Error() != wantErr.Error() {
+					t.Fatalf("cut %d chunks %v: error %q, want %q", cut, sizes, gotErr, wantErr)
+				}
+			}
+		}
+	}
+}
+
 func TestFeederBinaryRandomChunking(t *testing.T) {
 	bin, want := binaryLog(t, 500, 23)
 	rng := rand.New(rand.NewSource(99))

@@ -14,6 +14,8 @@ import (
 	"net"
 	"net/http"
 	"time"
+
+	"aerodrome/internal/faultinject"
 )
 
 // DaemonConfig configures RunDaemon.
@@ -32,6 +34,9 @@ type DaemonConfig struct {
 	// server is accepting (the tests and -addr :0 users read the actual
 	// port from it).
 	Ready chan<- string
+	// Chaos, when non-nil, wraps the listener with fault injection — the
+	// chaos harness's way of making this instance unreliable on purpose.
+	Chaos *faultinject.Injector
 }
 
 // RunDaemon serves an aerodromed instance until ctx is cancelled, then
@@ -44,7 +49,10 @@ func RunDaemon(ctx context.Context, cfg DaemonConfig) error {
 	}
 	defer s.Close()
 	banner := fmt.Sprintf("(default algo %s)", s.cfg.Algorithm)
-	return serveDrainable(ctx, cfg.Addr, s, cfg.ShutdownTimeout, cfg.Log, cfg.Ready, "aerodromed: ", banner)
+	if cfg.Chaos.Enabled() {
+		banner += " [chaos " + cfg.Chaos.String() + "]"
+	}
+	return serveDrainable(ctx, cfg.Addr, s, cfg.ShutdownTimeout, cfg.Log, cfg.Ready, "aerodromed: ", banner, cfg.Chaos)
 }
 
 // RouterDaemonConfig configures RunRouterDaemon.
@@ -61,6 +69,9 @@ type RouterDaemonConfig struct {
 	// Ready, when non-nil, receives the bound listen address once the
 	// router is accepting.
 	Ready chan<- string
+	// Chaos, when non-nil, wraps both the router's listener and its
+	// backend transport with fault injection.
+	Chaos *faultinject.Injector
 }
 
 // RunRouterDaemon serves a shard router until ctx is cancelled, then
@@ -72,13 +83,19 @@ func RunRouterDaemon(ctx context.Context, cfg RouterDaemonConfig) error {
 	if rcfg.Log == nil {
 		rcfg.Log = cfg.Log
 	}
+	if cfg.Chaos.Enabled() {
+		rcfg.Transport = cfg.Chaos.WrapTransport(rcfg.Transport)
+	}
 	rt, err := NewRouter(rcfg)
 	if err != nil {
 		return err
 	}
 	defer rt.Close()
 	banner := fmt.Sprintf("(routing %d backends)", len(rt.backends))
-	return serveDrainable(ctx, cfg.Addr, rt, cfg.ShutdownTimeout, cfg.Log, cfg.Ready, "aerodromed-router: ", banner)
+	if cfg.Chaos.Enabled() {
+		banner += " [chaos " + cfg.Chaos.String() + "]"
+	}
+	return serveDrainable(ctx, cfg.Addr, rt, cfg.ShutdownTimeout, cfg.Log, cfg.Ready, "aerodromed-router: ", banner, cfg.Chaos)
 }
 
 // drainable is what the daemon loop needs from a service: serve requests
@@ -91,7 +108,7 @@ type drainable interface {
 // serveDrainable is the listen/serve/drain loop shared by the backend and
 // router daemons.
 func serveDrainable(ctx context.Context, addr string, h drainable, shutdownTimeout time.Duration,
-	logw io.Writer, ready chan<- string, prefix, banner string) error {
+	logw io.Writer, ready chan<- string, prefix, banner string, chaos *faultinject.Injector) error {
 	if addr == "" {
 		addr = ":8421"
 	}
@@ -106,6 +123,12 @@ func serveDrainable(ctx context.Context, addr string, h drainable, shutdownTimeo
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
+	}
+	// The chaos listener sits in front of the real one, so every accepted
+	// connection — including health probes — can carry injected faults.
+	wrapped := net.Listener(ln)
+	if chaos.Enabled() {
+		wrapped = chaos.WrapListener(ln)
 	}
 	// ReadHeaderTimeout/IdleTimeout reap slow-loris and abandoned keepalive
 	// connections before they pin admission slots. There is deliberately no
@@ -123,7 +146,7 @@ func serveDrainable(ctx context.Context, addr string, h drainable, shutdownTimeo
 	}
 
 	serveErr := make(chan error, 1)
-	go func() { serveErr <- httpSrv.Serve(ln) }()
+	go func() { serveErr <- httpSrv.Serve(wrapped) }()
 
 	select {
 	case err := <-serveErr:

@@ -11,19 +11,28 @@ package server
 // moves exactly the keys it owned to the next backend on the ring — back
 // again when it recovers.
 //
-// Sessions are strictly backend-affine: the router learns id→backend at
-// creation and proxies every subresource request to that backend. When the
-// backend dies the session's state died with it, so the router answers 409
-// (affinity lost) rather than silently rehashing a half-checked stream
-// onto a backend that has never seen it. One-shot checks carry their whole
-// trace and are safely rehashed.
+// Sessions are backend-affine but no longer die with their backend: the
+// router journals every chunk a backend acknowledged (see journal.go),
+// and when the backend is lost it recreates the session on the next ring
+// point, replays the journal through the backend's chunk-agnostic Feeder
+// — the checker is a deterministic single pass, so the replayed engine is
+// byte-identical to the lost one — and re-sends the in-flight request.
+// Only a session whose journal was truncated past the replay horizon
+// (over-budget, or created before a router restart) still answers 409,
+// now Retry-After-guarded so well-behaved clients back off before
+// replaying from scratch.
 //
 // The router is stdlib-only like the rest of the service: per-backend
-// net/http/httputil reverse proxies, a background /healthz prober, and a
-// router-level /metrics.
+// net/http/httputil reverse proxies for one-shot checks, direct forwarding
+// for session traffic, a background /healthz prober, and a router-level
+// /metrics that publishes a ring epoch — bumped on every health
+// transition — so ring-aware clients can detect topology change instead
+// of hammering a dead backend.
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"log"
@@ -61,17 +70,41 @@ type RouterConfig struct {
 	// backend down (default 2). Proxy-level connection failures mark it
 	// down immediately — the prober brings it back.
 	FailAfter int
+	// ProbeOnStart runs one synchronous probe round before the router
+	// serves, so a backend that is already dead at boot is never picked.
+	// A restarted router would otherwise route the first requests to
+	// backends it has not probed yet — exactly the window in which a
+	// re-attached session would be misdirected at a corpse and lost.
+	ProbeOnStart bool
 	// TenantHeader is the tenant header consulted as the routing-key
 	// fallback (default "X-Aerodrome-Tenant"), so a tenant without
 	// per-trace keys still gets a stable backend.
 	TenantHeader string
-	// AffinityTTL prunes session-affinity entries not used for this long
-	// (default 15m): sessions that end by backend TTL eviction or client
+	// AffinityTTL prunes session routes not used for this long (default
+	// 15m): sessions that end by backend TTL eviction or client
 	// abandonment never see a DELETE through the router, and their
-	// entries must not accumulate forever. Set it comfortably above the
-	// backends' SessionTTL — a pruned-but-live session is still reachable
-	// with its trace key.
+	// entries (and journals) must not accumulate forever. Set it
+	// comfortably above the backends' SessionTTL — a pruned-but-live
+	// session is still reachable with its trace key.
 	AffinityTTL time.Duration
+	// JournalMemBytes caps one session's in-memory journal (default
+	// 256 KiB); chunks beyond it spill to JournalSpillDir, or truncate the
+	// journal when spill is disabled.
+	JournalMemBytes int64
+	// JournalMaxBytes caps one session's total journal, memory plus spill
+	// (default 4 MiB). A session past it loses its replay horizon:
+	// backend death becomes a terminal 409 again.
+	JournalMaxBytes int64
+	// JournalTotalBytes caps in-memory journal bytes across all sessions
+	// (default 64 MiB); sessions over the shared budget spill or truncate.
+	JournalTotalBytes int64
+	// JournalSpillDir, when set, lets journals overflow to unlinked temp
+	// files there instead of truncating at the memory caps.
+	JournalSpillDir string
+	// Transport is the round tripper used for all backend traffic except
+	// health probes (default http.DefaultTransport). The chaos harness
+	// wraps it to inject proxy-path faults.
+	Transport http.RoundTripper
 	// Log receives router log lines (default: discarded).
 	Log io.Writer
 }
@@ -91,6 +124,18 @@ func (c RouterConfig) withDefaults() RouterConfig {
 	}
 	if c.AffinityTTL <= 0 {
 		c.AffinityTTL = 15 * time.Minute
+	}
+	if c.JournalMemBytes <= 0 {
+		c.JournalMemBytes = 256 << 10
+	}
+	if c.JournalMaxBytes <= 0 {
+		c.JournalMaxBytes = 4 << 20
+	}
+	if c.JournalTotalBytes <= 0 {
+		c.JournalTotalBytes = 64 << 20
+	}
+	if c.Transport == nil {
+		c.Transport = http.DefaultTransport
 	}
 	return c
 }
@@ -113,10 +158,22 @@ type ringPoint struct {
 	b *backend
 }
 
-// affinity pins one session to its backend; last drives TTL pruning.
-type affinity struct {
-	b    *backend
-	last time.Time
+// sessionRoute is the router's state for one client-visible session: its
+// affine backend, the backend-local id (which diverges from the client id
+// after a failover), the recreation parameters, and the replay journal.
+// route.mu serializes forwards and failover per session; last is guarded
+// by Router.mu (the prune scan).
+type sessionRoute struct {
+	mu        sync.Mutex
+	b         *backend // current affine backend; nil until first resolve
+	backendID string   // session id on b
+	key       string   // consistent-hash routing key ("" = placed round-robin)
+	algo      string   // requested algorithm, replayed on recreation
+	tenant    string   // tenant header value, replayed on recreation
+	journal   *journal
+	lastSeq   int64 // last journaled chunk sequence (-1 = none)
+
+	last time.Time // guarded by Router.mu
 }
 
 // Router is the shard-routing http.Handler. Create with NewRouter, serve
@@ -125,20 +182,29 @@ type Router struct {
 	cfg      RouterConfig
 	mux      *http.ServeMux
 	backends []*backend
-	ring     []ringPoint // sorted by h; fixed for the router's lifetime
-	client   *http.Client
+	ring     []ringPoint  // sorted by h; fixed for the router's lifetime
+	client   *http.Client // buffered session creates (small bodies, bounded)
+	forward  *http.Client // session forwards and journal replay (streaming)
 	logger   *log.Logger
 	draining atomic.Bool
 	rr       atomic.Uint64 // round-robin cursor for keyless one-shots
+	epoch    atomic.Uint64 // bumped on every backend health transition
 
-	mu       sync.Mutex
-	sessions map[string]*affinity // id → affine backend + last use
+	budget *journalBudget
 
-	start        time.Time
-	checksRouted atomic.Int64
-	sessRouted   atomic.Int64
-	affinityLost atomic.Int64
-	unroutable   atomic.Int64
+	mu     sync.Mutex
+	routes map[string]*sessionRoute // client session id → route
+
+	start            time.Time
+	checksRouted     atomic.Int64
+	sessRouted       atomic.Int64
+	affinityLost     atomic.Int64
+	unroutable       atomic.Int64
+	failovers        atomic.Int64
+	failoverFailures atomic.Int64
+	replayedBytes    atomic.Int64
+	journalTruncated atomic.Int64
+	reattached       atomic.Int64
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -176,13 +242,15 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		logw = io.Discard
 	}
 	rt := &Router{
-		cfg:      cfg,
-		mux:      http.NewServeMux(),
-		client:   &http.Client{Timeout: 10 * time.Second},
-		logger:   log.New(logw, "aerodromed-router: ", log.LstdFlags),
-		sessions: map[string]*affinity{},
-		start:    time.Now(),
-		stop:     make(chan struct{}),
+		cfg:     cfg,
+		mux:     http.NewServeMux(),
+		client:  &http.Client{Timeout: 10 * time.Second, Transport: cfg.Transport},
+		forward: &http.Client{Transport: cfg.Transport},
+		logger:  log.New(logw, "aerodromed-router: ", log.LstdFlags),
+		budget:  &journalBudget{max: cfg.JournalTotalBytes},
+		routes:  map[string]*sessionRoute{},
+		start:   time.Now(),
+		stop:    make(chan struct{}),
 	}
 	seen := map[string]bool{}
 	for _, raw := range cfg.Backends {
@@ -205,6 +273,10 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	}
 	sort.Slice(rt.ring, func(i, j int) bool { return rt.ring[i].h < rt.ring[j].h })
 
+	if cfg.ProbeOnStart {
+		rt.probeOnce()
+	}
+
 	rt.mux.HandleFunc("GET /healthz", rt.handleHealthz)
 	rt.mux.HandleFunc("GET /metrics", rt.handleMetrics)
 	rt.mux.HandleFunc("POST /v1/check", rt.handleCheck)
@@ -215,34 +287,59 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	return rt, nil
 }
 
-// newProxy builds the reverse proxy for one backend: responses are tagged
-// with the backend name, connection-level failures mark the backend down
-// immediately (the request itself cannot be retried — its body may be
-// half-streamed), and a finished DELETE drops the affinity entry.
+// newProxy builds the reverse proxy for one backend's one-shot checks:
+// responses are tagged with the backend name, and connection-level
+// failures mark the backend down in the same pass they are answered —
+// with 503 + Retry-After, not a bare 502, so a well-behaved client backs
+// off and retries into the rerouted ring instead of the dead point. (The
+// failed request itself cannot be transparently retried: its body may be
+// half-streamed.)
 func (rt *Router) newProxy(b *backend) *httputil.ReverseProxy {
 	p := httputil.NewSingleHostReverseProxy(b.url)
+	p.Transport = rt.cfg.Transport
 	p.ModifyResponse = func(resp *http.Response) error {
 		resp.Header.Set(RouterBackendHeader, b.name)
-		if req := resp.Request; req != nil && req.Method == http.MethodDelete {
-			if id := req.PathValue("id"); id != "" {
-				rt.forgetSession(id)
-			}
-		}
 		return nil
 	}
 	p.ErrorHandler = func(w http.ResponseWriter, r *http.Request, err error) {
 		b.proxyErrors.Add(1)
 		rt.markDown(b, err)
-		writeError(w, http.StatusBadGateway, "backend unavailable: "+err.Error())
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "backend unavailable: "+err.Error())
 	}
 	return p
 }
 
-// markDown flips a backend unhealthy (idempotently); the prober flips it
-// back once /healthz answers again.
+// markDown flips a backend unhealthy (idempotently) and bumps the ring
+// epoch; the prober flips it back once /healthz answers again.
 func (rt *Router) markDown(b *backend, err error) {
 	if b.healthy.CompareAndSwap(true, false) {
+		rt.epoch.Add(1)
 		rt.logger.Printf("backend %s down: %v", b.name, err)
+	}
+}
+
+// probeOnce is the synchronous bootstrap probe round: every backend gets
+// one short-deadline /healthz before the router serves.
+func (rt *Router) probeOnce() {
+	timeout := rt.cfg.ProbeInterval
+	if timeout > 500*time.Millisecond {
+		timeout = 500 * time.Millisecond
+	}
+	client := &http.Client{Timeout: timeout}
+	for _, b := range rt.backends {
+		resp, err := client.Get(b.name + "/healthz")
+		ok := err == nil && resp.StatusCode == http.StatusOK
+		if resp != nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		if !ok {
+			if err == nil {
+				err = fmt.Errorf("healthz HTTP %d", resp.StatusCode)
+			}
+			rt.markDown(b, fmt.Errorf("startup probe: %w", err))
+		}
 	}
 }
 
@@ -258,7 +355,7 @@ func (rt *Router) prober() {
 		case <-rt.stop:
 			return
 		case <-tick.C:
-			rt.pruneAffinity()
+			rt.pruneRoutes()
 			for _, b := range rt.backends {
 				resp, err := client.Get(b.name + "/healthz")
 				ok := err == nil && resp.StatusCode == http.StatusOK
@@ -269,6 +366,7 @@ func (rt *Router) prober() {
 				if ok {
 					b.fails = 0
 					if b.healthy.CompareAndSwap(false, true) {
+						rt.epoch.Add(1)
 						rt.logger.Printf("backend %s healthy", b.name)
 					}
 					continue
@@ -297,10 +395,17 @@ func (rt *Router) SetDraining(v bool) {
 	rt.draining.Store(v)
 }
 
-// Close stops the health prober. In-flight proxied requests are the
-// http.Server's to drain.
+// Close stops the health prober and frees the session journals. In-flight
+// proxied requests are the http.Server's to drain.
 func (rt *Router) Close() {
 	rt.stopOnce.Do(func() { close(rt.stop) })
+	rt.mu.Lock()
+	routes := rt.routes
+	rt.routes = map[string]*sessionRoute{}
+	rt.mu.Unlock()
+	for _, route := range routes {
+		route.journal.free()
+	}
 }
 
 // routingKey extracts the consistent-hash key of a request: the trace
@@ -377,8 +482,12 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	rt.mu.Lock()
 	affine := make(map[string]int, len(rt.backends))
-	for _, a := range rt.sessions {
-		affine[a.b.name]++
+	var journaled int64
+	for _, route := range rt.routes {
+		if route.b != nil {
+			affine[route.b.name]++
+		}
+		journaled += route.journal.size()
 	}
 	rt.mu.Unlock()
 	backends := map[string]any{}
@@ -392,17 +501,28 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"uptime_seconds":      time.Since(rt.start).Seconds(),
+		"ring_epoch":          rt.epoch.Load(),
 		"backends":            backends,
 		"checks_routed":       rt.checksRouted.Load(),
 		"sessions_routed":     rt.sessRouted.Load(),
 		"affinity_lost_total": rt.affinityLost.Load(),
 		"unroutable_total":    rt.unroutable.Load(),
+		"journal": map[string]int64{
+			"bytes":           journaled,
+			"mem_bytes":       rt.budget.used.Load(),
+			"truncated_total": rt.journalTruncated.Load(),
+		},
+		"failovers_total":           rt.failovers.Load(),
+		"failover_failures_total":   rt.failoverFailures.Load(),
+		"replayed_bytes_total":      rt.replayedBytes.Load(),
+		"sessions_reattached_total": rt.reattached.Load(),
 	})
 }
 
 // handleCheck proxies POST /v1/check to the key's backend. The body
-// streams through, so a mid-flight backend failure is a 502 to retry —
-// only session creation, whose body is buffered, fails over transparently.
+// streams through, so a mid-flight backend failure is a 503 + Retry-After
+// to retry — only session traffic, whose chunks are journaled, fails over
+// transparently.
 func (rt *Router) handleCheck(w http.ResponseWriter, r *http.Request) {
 	if rt.draining.Load() {
 		writeError(w, http.StatusServiceUnavailable, "draining")
@@ -411,7 +531,8 @@ func (rt *Router) handleCheck(w http.ResponseWriter, r *http.Request) {
 	b := rt.route(r)
 	if b == nil {
 		rt.unroutable.Add(1)
-		writeError(w, http.StatusBadGateway, "no healthy backend")
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, "no healthy backend")
 		return
 	}
 	rt.checksRouted.Add(1)
@@ -419,10 +540,26 @@ func (rt *Router) handleCheck(w http.ResponseWriter, r *http.Request) {
 	b.proxy.ServeHTTP(w, r)
 }
 
+// createAlgo extracts the requested algorithm from a session-create
+// request (query, then the buffered JSON body) — stored verbatim so a
+// failover recreates the session with exactly what the client asked for.
+func createAlgo(r *http.Request, body []byte) string {
+	if q := r.URL.Query().Get("algo"); q != "" {
+		return q
+	}
+	var req struct {
+		Algo string `json:"algo"`
+	}
+	if len(body) > 0 && json.Unmarshal(body, &req) == nil {
+		return req.Algo
+	}
+	return ""
+}
+
 // handleSessionCreate places a new session on the key's backend. The tiny
 // JSON body is buffered, so creation retries across the ring when the
-// first choice turns out to be down — the one place admission-time backend
-// loss is invisible to the client.
+// first choice turns out to be down — admission-time backend loss is
+// invisible to the client.
 func (rt *Router) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	if rt.draining.Load() {
 		writeError(w, http.StatusServiceUnavailable, "draining")
@@ -444,7 +581,8 @@ func (rt *Router) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		}
 		if b == nil {
 			rt.unroutable.Add(1)
-			writeError(w, http.StatusBadGateway, "no healthy backend")
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusServiceUnavailable, "no healthy backend")
 			return
 		}
 		req, rerr := http.NewRequestWithContext(r.Context(), http.MethodPost,
@@ -472,7 +610,20 @@ func (rt *Router) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		if resp.StatusCode == http.StatusCreated {
 			var v SessionView
 			if json.Unmarshal(data, &v) == nil && v.ID != "" {
-				rt.rememberSession(v.ID, b)
+				route := &sessionRoute{
+					b:         b,
+					backendID: v.ID,
+					key:       key,
+					algo:      createAlgo(r, body),
+					tenant:    r.Header.Get(rt.cfg.TenantHeader),
+					journal: newJournal(rt.cfg.JournalMemBytes, rt.cfg.JournalMaxBytes,
+						rt.cfg.JournalSpillDir, rt.budget),
+					lastSeq: -1,
+					last:    time.Now(),
+				}
+				rt.mu.Lock()
+				rt.routes[v.ID] = route
+				rt.mu.Unlock()
 			}
 			rt.sessRouted.Add(1)
 			b.routed.Add(1)
@@ -487,69 +638,485 @@ func (rt *Router) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleSessionSub proxies feeds, snapshots and deletes to the session's
-// affine backend. A session whose backend died answers 409: its checker
-// state died with the backend, and rehashing the remaining chunks onto a
-// fresh engine would silently produce a verdict for a trace nobody sent.
+// lookupRoute resolves a session id to its route, re-attaching by routing
+// key when the id is unknown (a restarted router): the ring finds the
+// same backend the key hashed to at creation, but the replay horizon is
+// lost — this router never saw the earlier chunks — so the re-attached
+// journal starts truncated. Returns nil when there is no route and no key
+// to derive one from.
+func (rt *Router) lookupRoute(id string, r *http.Request) *sessionRoute {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if route := rt.routes[id]; route != nil {
+		route.last = time.Now()
+		return route
+	}
+	key := rt.routingKey(r)
+	if key == "" {
+		return nil
+	}
+	route := &sessionRoute{
+		b:         rt.pick(key, nil), // nil when every backend is down
+		backendID: id,
+		key:       key,
+		tenant:    r.Header.Get(rt.cfg.TenantHeader),
+		journal:   newTruncatedJournal(),
+		lastSeq:   -1,
+		last:      time.Now(),
+	}
+	rt.routes[id] = route
+	rt.reattached.Add(1)
+	return route
+}
+
+// Failover outcomes surfaced to clients.
+var (
+	// errReplayHorizon: the journal was truncated, replay is impossible.
+	errReplayHorizon = errors.New("session unrecoverable: journal truncated past replay horizon; open a new session and replay the trace")
+	// errNoBackend: nothing healthy to fail over to.
+	errNoBackend = errors.New("no healthy backend")
+)
+
+// errBackendDeclined: the failover target answered but refused the
+// recreate (admission limits); retryable.
+type errBackendDeclined struct {
+	status     int
+	retryAfter string
+}
+
+func (e *errBackendDeclined) Error() string {
+	return fmt.Sprintf("failover target declined recreate: HTTP %d", e.status)
+}
+
+// respondFailoverError maps a failover failure to the wire: the truncated
+// journal is the one terminal case (409, Retry-After-guarded so obedient
+// clients pause before replaying from scratch); everything else is a
+// retryable 503.
+func (rt *Router) respondFailoverError(w http.ResponseWriter, err error) {
+	var declined *errBackendDeclined
+	switch {
+	case errors.Is(err, errReplayHorizon):
+		rt.affinityLost.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusConflict, err.Error())
+	case errors.As(err, &declined):
+		retry := declined.retryAfter
+		if retry == "" {
+			retry = "1"
+		}
+		w.Header().Set("Retry-After", retry)
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	default:
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+	}
+}
+
+// failoverLocked moves route to the next healthy ring point: recreate the
+// session there (same algorithm, same tenant) and replay the journal
+// through the backend's chunk-agnostic feeder. The caller holds route.mu.
+func (rt *Router) failoverLocked(route *sessionRoute) error {
+	skip := map[*backend]bool{}
+	if route.b != nil {
+		skip[route.b] = true
+	}
+	for {
+		var nb *backend
+		if route.key != "" {
+			nb = rt.pick(route.key, skip)
+		} else {
+			nb = rt.pickAny(skip)
+		}
+		if nb == nil {
+			rt.failoverFailures.Add(1)
+			return errNoBackend
+		}
+		if route.journal.isTruncated() {
+			// There is somewhere to go but nothing to replay: the session
+			// state is unreproducible and the loss is terminal.
+			rt.failoverFailures.Add(1)
+			return errReplayHorizon
+		}
+		newID, replayed, err := rt.recreateOn(nb, route)
+		if err != nil {
+			var declined *errBackendDeclined
+			if errors.As(err, &declined) {
+				rt.failoverFailures.Add(1)
+				return err
+			}
+			nb.proxyErrors.Add(1)
+			rt.markDown(nb, err)
+			skip[nb] = true
+			continue
+		}
+		rt.logger.Printf("session %s failed over to %s (replayed %d journal bytes)",
+			route.backendID, nb.name, replayed)
+		route.b, route.backendID = nb, newID
+		rt.failovers.Add(1)
+		nb.routed.Add(1)
+		return nil
+	}
+}
+
+// recreateOn creates a fresh session on nb with route's parameters and
+// replays the journal into it. Returns the new backend-local session id.
+// A transport-level error means nb is unreachable (the caller marks it
+// down and moves on); an HTTP-level refusal is *errBackendDeclined.
+func (rt *Router) recreateOn(nb *backend, route *sessionRoute) (string, int64, error) {
+	u := nb.name + "/v1/sessions"
+	if route.algo != "" {
+		u += "?algo=" + url.QueryEscape(route.algo)
+	}
+	req, err := http.NewRequest(http.MethodPost, u, nil)
+	if err != nil {
+		return "", 0, err
+	}
+	rt.sessionHeaders(req, route)
+	resp, err := rt.client.Do(req)
+	if err != nil {
+		return "", 0, err
+	}
+	data, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if rerr != nil {
+		return "", 0, rerr
+	}
+	if resp.StatusCode != http.StatusCreated {
+		return "", 0, &errBackendDeclined{status: resp.StatusCode, retryAfter: resp.Header.Get("Retry-After")}
+	}
+	var v SessionView
+	if err := json.Unmarshal(data, &v); err != nil || v.ID == "" {
+		return "", 0, fmt.Errorf("recreate: bad session body: %v", err)
+	}
+
+	rr, n := route.journal.replayReader()
+	if n == 0 {
+		return v.ID, 0, nil
+	}
+	req, err = http.NewRequest(http.MethodPost, nb.name+"/v1/sessions/"+v.ID+"/events", rr)
+	if err != nil {
+		return "", 0, err
+	}
+	req.ContentLength = n
+	rt.sessionHeaders(req, route)
+	if route.lastSeq >= 0 {
+		// Prime the backend's idempotency cache with the pre-failover
+		// sequence number: a client retry of the last acknowledged chunk is
+		// then answered from the replayed state instead of being applied a
+		// second time.
+		req.Header.Set(ChunkSeqHeader, fmt.Sprint(route.lastSeq))
+	}
+	resp, err = rt.forward.Do(req)
+	if err != nil {
+		return "", 0, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK, http.StatusBadRequest, http.StatusConflict:
+		// 200 is the live replay; 400/409 reproduce a terminal session,
+		// which is equally exact.
+	default:
+		return "", 0, &errBackendDeclined{status: resp.StatusCode, retryAfter: resp.Header.Get("Retry-After")}
+	}
+	rt.replayedBytes.Add(n)
+	return v.ID, n, nil
+}
+
+// sessionHeaders applies route's recreation headers to a backend request.
+func (rt *Router) sessionHeaders(req *http.Request, route *sessionRoute) {
+	if route.tenant != "" {
+		req.Header.Set(rt.cfg.TenantHeader, route.tenant)
+	}
+	if route.key != "" {
+		req.Header.Set(RouterTraceHeader, route.key)
+	}
+}
+
+// handleSessionSub routes feeds, snapshots and deletes to the session's
+// affine backend, failing over — recreate plus journal replay — when that
+// backend is lost. Only a session whose journal was truncated answers the
+// terminal 409.
 func (rt *Router) handleSessionSub(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
-	rt.mu.Lock()
-	var b *backend
-	if a := rt.sessions[id]; a != nil {
-		a.last = time.Now()
-		b = a.b
-	}
-	rt.mu.Unlock()
-	if b != nil && !b.healthy.Load() {
-		rt.forgetSession(id)
+	route := rt.lookupRoute(id, r)
+	if route == nil {
 		rt.affinityLost.Add(1)
 		writeError(w, http.StatusConflict,
-			"session affinity lost: backend "+b.name+" is down; open a new session and replay the trace")
+			"session affinity unknown: pass the trace routing key ("+RouterTraceHeader+" or ?trace=)")
 		return
 	}
-	if b == nil {
-		// Not in the affinity table (router restarted, or the id never
-		// existed). With a routing key the lookup is deterministic — the
-		// ring finds the same backend the key hashed to at creation; the
-		// backend 404s if the session is truly gone. Without a key there is
-		// nothing to hash, which is itself an affinity failure: the session
-		// may well be alive on some backend this router no longer knows.
-		if key := rt.routingKey(r); key != "" {
-			b = rt.pick(key, nil)
-		}
-		if b == nil {
-			rt.affinityLost.Add(1)
-			writeError(w, http.StatusConflict,
-				"session affinity unknown: pass the trace routing key ("+RouterTraceHeader+" or ?trace=)")
+	route.mu.Lock()
+	defer route.mu.Unlock()
+	if r.Method == http.MethodPost && r.PathValue("rest") == "events" {
+		rt.forwardFeed(w, r, id, route)
+		return
+	}
+	rt.forwardOther(w, r, id, route)
+}
+
+// feedApplied reports whether a feed response status means the backend
+// consumed the chunk (and the journal must record it). 429/503 rejections
+// leave the session untouched; 200 is a live or discarded-terminal feed;
+// 400/409 latch or report a terminal state the chunk is part of.
+func feedApplied(status int) bool {
+	return status == http.StatusOK || status == http.StatusBadRequest || status == http.StatusConflict
+}
+
+// viewTerminal reports whether a feed response body describes a session
+// in a terminal state — the journal freezes there: the recorded prefix
+// reproduces the verdict and later discarded chunks must not grow it.
+func viewTerminal(data []byte) bool {
+	var v struct {
+		State string `json:"state"`
+	}
+	if json.Unmarshal(data, &v) != nil {
+		return false
+	}
+	return v.State == string(stateViolated) || v.State == string(stateFailed)
+}
+
+// forwardFeed is the journaled feed path: buffer the chunk (bounded by
+// the journal's remaining capacity), forward it, journal it once the
+// backend acknowledged it, and fail over with a full replay when the
+// backend is unreachable. Chunks past the journal bound stream through
+// unbuffered and cost the session its replay horizon.
+func (rt *Router) forwardFeed(w http.ResponseWriter, r *http.Request, clientID string, route *sessionRoute) {
+	seq, ok := parseChunkSeq(r.Header)
+	if !ok {
+		writeError(w, http.StatusBadRequest, "bad "+ChunkSeqHeader+" header")
+		return
+	}
+	frozen := route.journal.isFrozen()
+	var buffered []byte
+	var stream io.Reader
+	if frozen {
+		// The session is terminal: the backend discards chunk bytes anyway,
+		// so drain them here and forward an empty feed — it still refreshes
+		// the backend's idle timer and returns the authoritative snapshot.
+		io.Copy(io.Discard, r.Body)
+	} else {
+		capLeft := route.journal.capLeft()
+		var err error
+		buffered, err = io.ReadAll(io.LimitReader(r.Body, capLeft+1))
+		if err != nil {
+			writeBodyError(w, err)
 			return
 		}
+		if int64(len(buffered)) > capLeft {
+			route.journal.truncate()
+			rt.journalTruncated.Add(1)
+			stream = r.Body
+		}
 	}
-	b.routed.Add(1)
-	b.proxy.ServeHTTP(w, r)
+
+	attempts := 0
+	retriedSame := false
+	for {
+		b := route.b
+		if b == nil || !b.healthy.Load() {
+			if ferr := rt.failoverLocked(route); ferr != nil {
+				rt.respondFailoverError(w, ferr)
+				return
+			}
+			b = route.b
+		}
+		var body io.Reader = bytes.NewReader(buffered)
+		n := int64(len(buffered))
+		if stream != nil {
+			body = io.MultiReader(bytes.NewReader(buffered), stream)
+			n = r.ContentLength // may be -1 (chunked): preserved downstream
+		}
+		resp, err := rt.backendDo(r, b, http.MethodPost,
+			"/v1/sessions/"+route.backendID+"/events", body, n)
+		var data []byte
+		if err == nil {
+			data, err = io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				err = fmt.Errorf("backend response: %w", err)
+			}
+		}
+		if err != nil {
+			b.proxyErrors.Add(1)
+			if !retriedSame && stream == nil && seq >= 0 {
+				// One transient fault (a doomed connection, an injected
+				// error) should cost a retry, not a failover — and for a
+				// session whose journal is already truncated, a failover
+				// would cost the session itself. The chunk carries a
+				// sequence number, so even an applied-but-unacknowledged
+				// re-POST dedups at the backend.
+				retriedSame = true
+				continue
+			}
+			rt.markDown(b, err)
+			if stream != nil {
+				// Part of the chunk went down with the connection and was
+				// never journaled; the stream cannot be reproduced.
+				rt.failoverFailures.Add(1)
+				rt.respondFailoverError(w, errReplayHorizon)
+				return
+			}
+			attempts++
+			if attempts > len(rt.backends) {
+				rt.respondFailoverError(w, errNoBackend)
+				return
+			}
+			if ferr := rt.failoverLocked(route); ferr != nil {
+				rt.respondFailoverError(w, ferr)
+				return
+			}
+			continue
+		}
+		if stream == nil && !frozen && feedApplied(resp.StatusCode) {
+			// Journal exactly the chunks the backend consumed, once: a
+			// retried sequence number was already recorded (the backend
+			// answered from its idempotency cache).
+			if seq < 0 || seq != route.lastSeq {
+				route.journal.append(buffered)
+				if seq >= 0 {
+					route.lastSeq = seq
+				}
+			}
+			if resp.StatusCode != http.StatusOK || viewTerminal(data) {
+				route.journal.freeze()
+			}
+		}
+		b.routed.Add(1)
+		rt.relaySessionResponse(w, resp, data, route, clientID, b)
+		return
+	}
 }
 
-func (rt *Router) rememberSession(id string, b *backend) {
+// forwardOther handles GET (snapshot) and DELETE (finalize) for a routed
+// session, with the same failover discipline as feeds. A finished DELETE
+// — or a backend 404, the session is gone — drops the route and frees its
+// journal.
+func (rt *Router) forwardOther(w http.ResponseWriter, r *http.Request, clientID string, route *sessionRoute) {
+	path := "/v1/sessions/" + route.backendID
+	if rest := r.PathValue("rest"); rest != "" {
+		path += "/" + rest
+	}
+	attempts := 0
+	retriedSame := false
+	for {
+		b := route.b
+		if b == nil || !b.healthy.Load() {
+			if ferr := rt.failoverLocked(route); ferr != nil {
+				rt.respondFailoverError(w, ferr)
+				return
+			}
+			b = route.b
+		}
+		resp, err := rt.backendDo(r, b, r.Method, path, nil, 0)
+		var data []byte
+		if err == nil {
+			data, err = io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if err != nil {
+				err = fmt.Errorf("backend response: %w", err)
+			}
+		}
+		if err != nil {
+			b.proxyErrors.Add(1)
+			if !retriedSame {
+				// Bodyless (GET/snapshot, DELETE/finalize) requests are safe
+				// to re-send to the same backend: one transient fault should
+				// not trigger a failover, which a truncated journal would
+				// turn into a lost session.
+				retriedSame = true
+				continue
+			}
+			rt.markDown(b, err)
+			attempts++
+			if attempts > len(rt.backends) {
+				rt.respondFailoverError(w, errNoBackend)
+				return
+			}
+			if ferr := rt.failoverLocked(route); ferr != nil {
+				rt.respondFailoverError(w, ferr)
+				return
+			}
+			// The path tracks the possibly-new backend id after failover.
+			path = "/v1/sessions/" + route.backendID
+			if rest := r.PathValue("rest"); rest != "" {
+				path += "/" + rest
+			}
+			continue
+		}
+		if r.Method == http.MethodDelete && resp.StatusCode == http.StatusOK ||
+			resp.StatusCode == http.StatusNotFound {
+			rt.forgetRoute(clientID)
+		}
+		b.routed.Add(1)
+		rt.relaySessionResponse(w, resp, data, route, clientID, b)
+		return
+	}
+}
+
+// backendDo sends one forwarded request to b, preserving the original
+// headers and context.
+func (rt *Router) backendDo(orig *http.Request, b *backend, method, path string, body io.Reader, n int64) (*http.Response, error) {
+	var u strings.Builder
+	u.WriteString(b.name)
+	u.WriteString(path)
+	if q := orig.URL.RawQuery; q != "" {
+		u.WriteString("?")
+		u.WriteString(q)
+	}
+	req, err := http.NewRequestWithContext(orig.Context(), method, u.String(), body)
+	if err != nil {
+		return nil, err
+	}
+	req.Header = orig.Header.Clone()
+	req.ContentLength = n
+	return rt.forward.Do(req)
+}
+
+// relaySessionResponse writes a forwarded response back to the client,
+// rewriting the backend-local session id to the client-visible one (they
+// diverge after a failover; both are 32-hex, so the rewrite is
+// length-preserving) and tagging the serving backend.
+func (rt *Router) relaySessionResponse(w http.ResponseWriter, resp *http.Response, data []byte, route *sessionRoute, clientID string, b *backend) {
+	if route.backendID != clientID {
+		data = bytes.ReplaceAll(data, []byte(route.backendID), []byte(clientID))
+	}
+	for k, vals := range resp.Header {
+		w.Header()[k] = vals
+	}
+	w.Header().Del("Content-Length")
+	w.Header().Set(RouterBackendHeader, b.name)
+	w.WriteHeader(resp.StatusCode)
+	w.Write(data)
+}
+
+// forgetRoute drops a session route and frees its journal.
+func (rt *Router) forgetRoute(id string) {
 	rt.mu.Lock()
-	rt.sessions[id] = &affinity{b: b, last: time.Now()}
+	route := rt.routes[id]
+	delete(rt.routes, id)
 	rt.mu.Unlock()
+	if route != nil {
+		route.journal.free()
+	}
 }
 
-// pruneAffinity drops affinity entries idle past AffinityTTL. Sessions
-// that ended without a DELETE through the router (backend TTL eviction,
-// abandoned clients) would otherwise leak an entry each.
-func (rt *Router) pruneAffinity() {
+// pruneRoutes drops session routes idle past AffinityTTL. Sessions that
+// ended without a DELETE through the router (backend TTL eviction,
+// abandoned clients) would otherwise leak an entry — and a journal —
+// each.
+func (rt *Router) pruneRoutes() {
 	cutoff := time.Now().Add(-rt.cfg.AffinityTTL)
+	var stale []*sessionRoute
 	rt.mu.Lock()
-	for id, a := range rt.sessions {
-		if a.last.Before(cutoff) {
-			delete(rt.sessions, id)
+	for id, route := range rt.routes {
+		if route.last.Before(cutoff) {
+			stale = append(stale, route)
+			delete(rt.routes, id)
 		}
 	}
 	rt.mu.Unlock()
-}
-
-func (rt *Router) forgetSession(id string) {
-	rt.mu.Lock()
-	delete(rt.sessions, id)
-	rt.mu.Unlock()
+	for _, route := range stale {
+		route.journal.free()
+	}
 }

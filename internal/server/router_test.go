@@ -5,8 +5,9 @@ package server
 // two live backends, must stay byte-identical to sequential CheckSTD —
 // routing is an ingestion topology, not a semantic variant. Failure modes:
 // backend down at admission (creates fail over, checks reroute after
-// mark-down), backend death mid-session (409 affinity lost), hash-ring
-// determinism across router restarts, and drain behavior.
+// mark-down), backend death mid-session (journaled failover onto the
+// survivor, verdict unchanged; 409 only past the replay horizon),
+// hash-ring determinism across router restarts, and drain behavior.
 
 import (
 	"aerodrome"
@@ -31,6 +32,12 @@ type cluster struct {
 // newTestCluster boots n backends and a router over them. Probing is fast
 // and a single failure marks a backend down, so failure tests don't wait.
 func newTestCluster(t *testing.T, n int, cfg Config) *cluster {
+	return newTestClusterTuned(t, n, cfg, nil)
+}
+
+// newTestClusterTuned is newTestCluster with a hook to adjust the router
+// config (journal bounds, transports) before boot.
+func newTestClusterTuned(t *testing.T, n int, cfg Config, tune func(*RouterConfig)) *cluster {
 	t.Helper()
 	c := &cluster{}
 	var urls []string
@@ -40,11 +47,15 @@ func newTestCluster(t *testing.T, n int, cfg Config) *cluster {
 		c.backTS = append(c.backTS, ts)
 		urls = append(urls, ts.URL)
 	}
-	rt, err := NewRouter(RouterConfig{
+	rcfg := RouterConfig{
 		Backends:      urls,
 		ProbeInterval: 25 * time.Millisecond,
 		FailAfter:     1,
-	})
+	}
+	if tune != nil {
+		tune(&rcfg)
+	}
+	rt, err := NewRouter(rcfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,29 +237,35 @@ func TestRouterBackendDownAtAdmission(t *testing.T) {
 		}
 	}
 
-	// One-shot checks stream and cannot retry: at most one 502 marks the
-	// backend down, after which every key routes to the survivor.
-	badGateways := 0
+	// One-shot checks stream and cannot transparently retry: at most one
+	// 503 (Retry-After set) marks the backend down, after which every key
+	// routes to the survivor.
+	unavailable := 0
 	for i := 0; i < 16; i++ {
 		resp := tenantPost(t, c.routerTS, "/v1/check?trace=key-"+fmt.Sprint(i), "", "t0|begin|0\nt0|end|0\n")
 		resp.Body.Close()
 		switch resp.StatusCode {
 		case http.StatusOK:
-		case http.StatusBadGateway:
-			badGateways++
+		case http.StatusServiceUnavailable:
+			if resp.Header.Get("Retry-After") == "" {
+				t.Fatalf("check %d: 503 without Retry-After", i)
+			}
+			unavailable++
 		default:
 			t.Fatalf("check %d: HTTP %d", i, resp.StatusCode)
 		}
 	}
-	if badGateways > 1 {
-		t.Fatalf("%d checks hit 502, want ≤1 (first failure marks the backend down)", badGateways)
+	if unavailable > 1 {
+		t.Fatalf("%d checks hit 503, want ≤1 (first failure marks the backend down)", unavailable)
 	}
 }
 
-// TestRouterBackendDiesMidSession pins the affinity contract: a session
-// whose backend dies answers 409 (not a silent rehash onto an engine that
-// never saw the stream), sessions on the surviving backend keep working,
-// and the loss is visible in the router metrics.
+// TestRouterBackendDiesMidSession pins the failover contract: a session
+// whose backend dies mid-stream resumes transparently — the router
+// recreates it on the survivor, replays the journaled prefix, and the
+// final verdict is byte-identical to sequential CheckSTD over the whole
+// trace. The survivor's own session is untouched, and the failover is
+// visible in the router metrics.
 func TestRouterBackendDiesMidSession(t *testing.T) {
 	c := newTestCluster(t, 2, Config{})
 
@@ -279,8 +296,33 @@ func TestRouterBackendDiesMidSession(t *testing.T) {
 		t.Fatalf("could not place sessions on both backends: %v", byBackend)
 	}
 
-	// Kill the backend holding one of them.
+	// Feed the victim session the first half of a golden trace before the
+	// crash: the journaled prefix is what failover must replay.
 	victim := byBackend[c.backTS[0].URL]
+	std := goldenSTD(t)["sharded-cross"]
+	if len(std) == 0 {
+		t.Fatal("golden trace sharded-cross missing")
+	}
+	want := wantReport(t, std, aerodrome.Auto)
+	half := len(std) / 2
+	feedChunk := func(rs routedSession, chunk []byte) *http.Response {
+		t.Helper()
+		req, _ := http.NewRequest(http.MethodPost,
+			c.routerTS.URL+"/v1/sessions/"+rs.id+"/events", strings.NewReader(string(chunk)))
+		req.Header.Set(RouterTraceHeader, rs.key)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp
+	}
+	resp := feedChunk(victim, std[:half])
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pre-crash feed: HTTP %d", resp.StatusCode)
+	}
+
+	// Kill the victim's backend hard.
 	c.backTS[0].Close()
 
 	// Wait until the prober notices (FailAfter=1, 25ms interval).
@@ -304,25 +346,39 @@ func TestRouterBackendDiesMidSession(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 
-	// Feeding the orphaned session is 409 affinity-lost.
-	feed := func(rs routedSession) *http.Response {
-		req, _ := http.NewRequest(http.MethodPost,
-			c.routerTS.URL+"/v1/sessions/"+rs.id+"/events", strings.NewReader("t0|begin|0\n"))
-		req.Header.Set(RouterTraceHeader, rs.key)
-		resp, err := http.DefaultClient.Do(req)
-		if err != nil {
-			t.Fatal(err)
-		}
-		return resp
-	}
-	resp := feed(victim)
+	// Feeding the orphaned session now fails over: the router recreates it
+	// on the survivor, replays the journaled prefix, and applies the rest.
+	resp = feedChunk(victim, std[half:])
+	servedBy := resp.Header.Get(RouterBackendHeader)
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusConflict {
-		t.Fatalf("orphaned session feed: HTTP %d, want 409", resp.StatusCode)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-crash feed: HTTP %d, want 200 (failover)", resp.StatusCode)
 	}
-	// The survivor's session is untouched.
+	if servedBy != c.backTS[1].URL {
+		t.Fatalf("post-crash feed served by %q, want survivor %q", servedBy, c.backTS[1].URL)
+	}
+
+	// Finalize through the router: the report must match sequential
+	// CheckSTD over the whole trace — failover is semantically invisible.
+	req, _ := http.NewRequest(http.MethodDelete, c.routerTS.URL+"/v1/sessions/"+victim.id, nil)
+	req.Header.Set(RouterTraceHeader, victim.key)
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("post-failover DELETE: HTTP %d", dresp.StatusCode)
+	}
+	var rep aerodrome.Report
+	if err := json.NewDecoder(dresp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	sameReport(t, "failover-session", &rep, want)
+
+	// The survivor's own session is untouched.
 	survivor := byBackend[c.backTS[1].URL]
-	resp = feed(survivor)
+	resp = feedChunk(survivor, []byte("t0|begin|0\n"))
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("surviving session feed: HTTP %d, want 200", resp.StatusCode)
@@ -333,12 +389,20 @@ func TestRouterBackendDiesMidSession(t *testing.T) {
 		t.Fatal(err)
 	}
 	var m struct {
-		AffinityLost int64 `json:"affinity_lost_total"`
+		Failovers     int64 `json:"failovers_total"`
+		ReplayedBytes int64 `json:"replayed_bytes_total"`
+		RingEpoch     int64 `json:"ring_epoch"`
 	}
 	json.NewDecoder(mresp.Body).Decode(&m)
 	mresp.Body.Close()
-	if m.AffinityLost < 1 {
-		t.Fatalf("affinity_lost_total = %d, want ≥1", m.AffinityLost)
+	if m.Failovers < 1 {
+		t.Fatalf("failovers_total = %d, want ≥1", m.Failovers)
+	}
+	if m.ReplayedBytes < int64(half) {
+		t.Fatalf("replayed_bytes_total = %d, want ≥%d", m.ReplayedBytes, half)
+	}
+	if m.RingEpoch < 1 {
+		t.Fatalf("ring_epoch = %d, want ≥1 after a backend loss", m.RingEpoch)
 	}
 }
 
@@ -367,7 +431,7 @@ func TestRouterUnknownSession(t *testing.T) {
 
 // TestRouterDrainAndNoBackends pins the operational edges: draining
 // rejects new work but keeps existing-session traffic flowing, and a
-// router with every backend down is 503 on healthz and 502 on checks.
+// router with every backend down is 503 + Retry-After everywhere.
 func TestRouterDrainAndNoBackends(t *testing.T) {
 	c := newTestCluster(t, 2, Config{})
 	client := &Client{BaseURL: c.routerTS.URL, TraceKey: "drain-key"}
@@ -407,8 +471,12 @@ func TestRouterDrainAndNoBackends(t *testing.T) {
 		t.Fatalf("no-backend healthz: HTTP %d, want 503", resp.StatusCode)
 	}
 	resp = tenantPost(t, c.routerTS, "/v1/check", "", "t0|begin|0\nt0|end|0\n")
+	ra := resp.Header.Get("Retry-After")
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusBadGateway {
-		t.Fatalf("no-backend check: HTTP %d, want 502", resp.StatusCode)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("no-backend check: HTTP %d, want 503", resp.StatusCode)
+	}
+	if ra == "" {
+		t.Fatal("no-backend check: 503 without Retry-After")
 	}
 }

@@ -25,6 +25,31 @@ import (
 	"aerodrome"
 )
 
+// ChunkSeqHeader optionally numbers a feed chunk. When present, the
+// session remembers the last sequence number it applied and the response
+// it sent: re-POSTing the same sequence replays the cached response
+// instead of feeding the chunk twice. This is what makes feed retries —
+// a client that lost the response mid-read, or a router re-sending after
+// failover — idempotent, which the fault-tolerant session plane depends
+// on. Sequence numbers must be non-negative and strictly increasing per
+// session; unnumbered chunks keep the old at-most-once semantics.
+const ChunkSeqHeader = "X-Aerodrome-Chunk-Seq"
+
+// parseChunkSeq extracts the chunk sequence number: (-1, true) when the
+// header is absent, (seq, true) for a valid non-negative integer, and
+// (0, false) for garbage.
+func parseChunkSeq(h http.Header) (int64, bool) {
+	v := h.Get(ChunkSeqHeader)
+	if v == "" {
+		return -1, true
+	}
+	seq, err := strconv.ParseInt(v, 10, 64)
+	if err != nil || seq < 0 {
+		return 0, false
+	}
+	return seq, true
+}
+
 // sessionState is the lifecycle of one session.
 type sessionState string
 
@@ -67,6 +92,14 @@ type session struct {
 	// DELETE, eviction or server close. A feed that raced the removal
 	// must see it and stop rather than stream into a finalized checker.
 	removed bool
+
+	// Feed idempotency cache (under mu): the last applied chunk sequence
+	// number and the exact response bytes it was answered with. One entry
+	// suffices — retries target the most recent chunk, and sequence
+	// numbers are strictly increasing.
+	lastSeq       int64
+	lastSeqStatus int
+	lastSeqResp   []byte
 }
 
 // SessionView is the JSON shape of GET /v1/sessions/{id} and the feed
@@ -205,6 +238,11 @@ func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
 	if sess == nil {
 		return
 	}
+	seq, seqOK := parseChunkSeq(r.Header)
+	if !seqOK {
+		writeError(w, http.StatusBadRequest, "bad "+ChunkSeqHeader+" header: want a non-negative integer")
+		return
+	}
 	if !sess.feedMu.TryLock() {
 		// A feed is already in flight: reject before buffering anything —
 		// chunks must be ordered, so queueing a concurrent one (or its
@@ -214,6 +252,38 @@ func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer sess.feedMu.Unlock()
+
+	// Retry of the last applied chunk: replay the cached response without
+	// feeding (or billing) the body again. The check runs before byte
+	// admission — a retried chunk was already debited when it was applied.
+	if seq >= 0 {
+		sess.mu.Lock()
+		dup := sess.lastSeqResp != nil && seq == sess.lastSeq
+		gap := sess.lastSeqResp != nil && !dup && seq != sess.lastSeq+1
+		status, cached := sess.lastSeqStatus, sess.lastSeqResp
+		if dup {
+			sess.lastActive = time.Now()
+		}
+		sess.mu.Unlock()
+		if dup {
+			io.Copy(io.Discard, s.bodyReader(w, http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)))
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(status)
+			w.Write(cached)
+			return
+		}
+		if gap {
+			// A sequence jump means chunks between lastSeq and seq were
+			// applied somewhere this engine never saw them — e.g. a router
+			// failed the session over elsewhere, then a restarted router
+			// re-derived the original placement. Feeding past the hole
+			// would silently produce a wrong verdict; refuse so the client
+			// replays the trace from the start.
+			io.Copy(io.Discard, s.bodyReader(w, http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)))
+			writeError(w, http.StatusConflict, "chunk sequence gap: session state diverged, replay from the start")
+			return
+		}
+	}
 
 	// One chunk is one admission unit of the tenant's byte budget:
 	// declared lengths are debited upfront, chunked bodies as they stream.
@@ -247,10 +317,10 @@ func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
 		// mid-upload (the per-read deadline still bounds a stalled drain).
 		io.Copy(io.Discard, body)
 		if state == stateFailed {
-			writeJSON(w, http.StatusConflict, view)
+			s.writeFeedResult(w, sess, seq, http.StatusConflict, view)
 			return
 		}
-		writeJSON(w, http.StatusOK, view)
+		s.writeFeedResult(w, sess, seq, http.StatusOK, view)
 		return
 	}
 
@@ -319,7 +389,6 @@ func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
 		io.Copy(io.Discard, body)
 	}
 	sess.mu.Lock()
-	defer sess.mu.Unlock()
 	status := http.StatusOK
 	switch {
 	case ferr != nil:
@@ -332,7 +401,34 @@ func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
 		s.metrics.violationsTotal.Add(1)
 		sess.tenant.violationsTotal.Add(1)
 	}
-	writeJSON(w, status, sess.view())
+	view = sess.view()
+	sess.mu.Unlock()
+	s.writeFeedResult(w, sess, seq, status, view)
+}
+
+// writeFeedResult writes one feed response and, when the chunk carried a
+// sequence number, caches the exact response bytes under it for
+// idempotent retries. Callers only reach here with statuses that mean
+// the chunk was consumed (200 applied or discarded-terminal, 400/409
+// terminal); rejections (429/503/408/413) bypass this path — the chunk
+// was not applied, so its retry must run for real.
+func (s *Server) writeFeedResult(w http.ResponseWriter, sess *session, seq int64, status int, view SessionView) {
+	data, err := json.Marshal(view)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	// Trailing newline matches writeJSON's json.Encoder framing, so cached
+	// replays are byte-identical to first-time responses.
+	data = append(data, '\n')
+	if seq >= 0 {
+		sess.mu.Lock()
+		sess.lastSeq, sess.lastSeqStatus, sess.lastSeqResp = seq, status, data
+		sess.mu.Unlock()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(data)
 }
 
 // countFeedEvents settles the events consumed by one feed into the global
