@@ -140,8 +140,14 @@ func retryAfter(resp *http.Response) time.Duration {
 // backoff computes the jittered, capped exponential delay before retry
 // attempt (0-based), floored by the server's Retry-After when present.
 func (c *Client) backoff(attempt int, resp *http.Response) time.Duration {
-	d := c.retryBase() << attempt
-	if max := c.retryMax(); d > max {
+	max := c.retryMax()
+	d := c.retryBase()
+	// Double step by step, stopping at the cap: a single shift by attempt
+	// would overflow for large MaxRetries and feed rand.Int63n a negative.
+	for i := 0; i < attempt && d < max; i++ {
+		d <<= 1
+	}
+	if d <= 0 || d > max {
 		d = max
 	}
 	// Full jitter in [d/2, d): desynchronizes a fleet of retrying clients

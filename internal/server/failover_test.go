@@ -63,6 +63,40 @@ func TestJournalBounds(t *testing.T) {
 		j.free()
 	})
 
+	t.Run("spill preserves feed order for varying chunks", func(t *testing.T) {
+		// Distinct, varying-size chunks across the spill crossover: once a
+		// chunk has spilled, a later smaller chunk must not slip back into
+		// the in-memory list — replay emits memory before spill, so it
+		// would reorder the replayed stream and silently change verdicts.
+		j := newJournal(100, 10000, t.TempDir(), nil)
+		chunks := [][]byte{
+			bytes.Repeat([]byte("a"), 90), // fits memory
+			bytes.Repeat([]byte("b"), 70), // over memLimit → starts the spill
+			[]byte("cc"),                  // would fit memory; must spill anyway
+			bytes.Repeat([]byte("d"), 30),
+		}
+		var want []byte
+		for _, ch := range chunks {
+			j.append(ch)
+			want = append(want, ch...)
+		}
+		if j.isTruncated() {
+			t.Fatal("spill-backed journal truncated")
+		}
+		r, n := j.replayReader()
+		if n != int64(len(want)) {
+			t.Fatalf("replay length = %d, want %d", n, len(want))
+		}
+		data, err := io.ReadAll(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(data, want) {
+			t.Fatalf("replay bytes diverge from feed order:\n  got:  %q\n  want: %q", data, want)
+		}
+		j.free()
+	})
+
 	t.Run("total cap truncates even with spill", func(t *testing.T) {
 		j := newJournal(100, 150, t.TempDir(), nil)
 		j.append(chunk)
@@ -285,6 +319,129 @@ func TestRouterJournalHorizon(t *testing.T) {
 	}
 	if ra == "" {
 		t.Fatal("horizon 409 without Retry-After")
+	}
+}
+
+// TestRouterGapRejectionNotJournaled pins the journaling discipline for
+// refused chunks: a backend 409 for a chunk-sequence gap left the session
+// untouched, so the router must not record the rejected chunk (a later
+// failover replay would otherwise reproduce state containing it) nor
+// freeze the journal.
+func TestRouterGapRejectionNotJournaled(t *testing.T) {
+	c := newTestCluster(t, 2, Config{})
+	key := "gap-journal-key"
+	req, _ := http.NewRequest(http.MethodPost, c.routerTS.URL+"/v1/sessions", nil)
+	req.Header.Set(RouterTraceHeader, key)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v SessionView
+	json.NewDecoder(resp.Body).Decode(&v)
+	resp.Body.Close()
+	sid := v.ID
+
+	feed := func(seq, body string) int {
+		t.Helper()
+		req, _ := http.NewRequest(http.MethodPost, c.routerTS.URL+"/v1/sessions/"+sid+"/events",
+			strings.NewReader(body))
+		req.Header.Set(RouterTraceHeader, key)
+		req.Header.Set(ChunkSeqHeader, seq)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode
+	}
+
+	first := "t1|begin|0\n"
+	if status := feed("0", first); status != http.StatusOK {
+		t.Fatalf("feed seq 0: HTTP %d", status)
+	}
+	if status := feed("5", "t1|end|0\n"); status != http.StatusConflict {
+		t.Fatalf("gapped seq 5: HTTP %d, want 409", status)
+	}
+
+	c.router.mu.Lock()
+	route := c.router.routes[sid]
+	c.router.mu.Unlock()
+	if route == nil {
+		t.Fatal("no route for routed session")
+	}
+	if got := route.journal.size(); got != int64(len(first)) {
+		t.Fatalf("journal size = %d after gap rejection, want %d (rejected chunk must not be recorded)",
+			got, len(first))
+	}
+	if route.journal.isFrozen() {
+		t.Fatal("gap rejection froze the journal: later applied chunks would be lost to replay")
+	}
+
+	// The true successor still applies and is journaled.
+	second := "t1|end|0\n"
+	if status := feed("1", second); status != http.StatusOK {
+		t.Fatalf("feed seq 1 after rejected gap: HTTP %d", status)
+	}
+	if got := route.journal.size(); got != int64(len(first)+len(second)) {
+		t.Fatalf("journal size = %d after seq 1, want %d", got, len(first)+len(second))
+	}
+}
+
+// TestFinalizeIdempotentDelete pins the backend's finalize cache: a
+// re-sent DELETE within the cache window replays the first response
+// byte-identically instead of answering 404 — the lost-response retry a
+// client or router issues must not surface a successful finalize as a
+// hard failure.
+func TestFinalizeIdempotentDelete(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	sid := createSession(t, ts)
+
+	resp, err := http.Post(ts.URL+"/v1/sessions/"+sid+"/events", "text/plain",
+		strings.NewReader("t1|begin|0\nt1|w(x)|1\nt1|end|0\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	del := func(id string) (int, string) {
+		t.Helper()
+		req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/sessions/"+id, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(data)
+	}
+
+	status, first := del(sid)
+	if status != http.StatusOK {
+		t.Fatalf("DELETE: HTTP %d", status)
+	}
+	status, replay := del(sid)
+	if status != http.StatusOK {
+		t.Fatalf("retried DELETE: HTTP %d, want 200 (cached finalize replay)", status)
+	}
+	if replay != first {
+		t.Fatalf("retried DELETE response differs:\n  first:  %s\n  replay: %s", first, replay)
+	}
+	if status, _ := del("00000000000000000000000000000000"); status != http.StatusNotFound {
+		t.Fatalf("DELETE of never-existed session: HTTP %d, want 404", status)
+	}
+}
+
+// TestClientBackoffClamp pins the overflow guard: attempts far past the
+// shift width must neither panic nor exceed RetryMax.
+func TestClientBackoffClamp(t *testing.T) {
+	c := &Client{RetryBase: time.Second, RetryMax: 2 * time.Second}
+	for _, attempt := range []int{0, 1, 34, 63, 500} {
+		d := c.backoff(attempt, nil)
+		if d <= 0 || d > 2*time.Second {
+			t.Fatalf("backoff(attempt=%d) = %v, want in (0, 2s]", attempt, d)
+		}
 	}
 }
 

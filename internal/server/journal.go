@@ -95,7 +95,10 @@ func (j *journal) append(chunk []byte) {
 		j.truncateLocked()
 		return
 	}
-	if j.memBytes+n <= j.memLimit && (j.budget == nil || j.budget.reserve(n)) {
+	// Once spill has started, every later chunk spills too — even one that
+	// would fit memory: replayReader emits the memory list before the spill
+	// section, so mixing after the crossover would reorder the replay.
+	if j.spill == nil && j.memBytes+n <= j.memLimit && (j.budget == nil || j.budget.reserve(n)) {
 		j.chunks = append(j.chunks, append([]byte(nil), chunk...))
 		j.memBytes += n
 		return

@@ -161,15 +161,17 @@ type ringPoint struct {
 // sessionRoute is the router's state for one client-visible session: its
 // affine backend, the backend-local id (which diverges from the client id
 // after a failover), the recreation parameters, and the replay journal.
-// route.mu serializes forwards and failover per session; last is guarded
-// by Router.mu (the prune scan).
+// route.mu serializes forwards and failover per session; b is atomic so
+// the metrics scan can read it without route.mu (a feed may hold that
+// lock for a whole chunk upload); last is guarded by Router.mu (the prune
+// scan).
 type sessionRoute struct {
 	mu        sync.Mutex
-	b         *backend // current affine backend; nil until first resolve
-	backendID string   // session id on b
-	key       string   // consistent-hash routing key ("" = placed round-robin)
-	algo      string   // requested algorithm, replayed on recreation
-	tenant    string   // tenant header value, replayed on recreation
+	b         atomic.Pointer[backend] // current affine backend; nil until first resolve
+	backendID string                  // session id on b
+	key       string                  // consistent-hash routing key ("" = placed round-robin)
+	algo      string                  // requested algorithm, replayed on recreation
+	tenant    string                  // tenant header value, replayed on recreation
 	journal   *journal
 	lastSeq   int64 // last journaled chunk sequence (-1 = none)
 
@@ -484,8 +486,8 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	affine := make(map[string]int, len(rt.backends))
 	var journaled int64
 	for _, route := range rt.routes {
-		if route.b != nil {
-			affine[route.b.name]++
+		if b := route.b.Load(); b != nil {
+			affine[b.name]++
 		}
 		journaled += route.journal.size()
 	}
@@ -611,7 +613,6 @@ func (rt *Router) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 			var v SessionView
 			if json.Unmarshal(data, &v) == nil && v.ID != "" {
 				route := &sessionRoute{
-					b:         b,
 					backendID: v.ID,
 					key:       key,
 					algo:      createAlgo(r, body),
@@ -621,6 +622,7 @@ func (rt *Router) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 					lastSeq: -1,
 					last:    time.Now(),
 				}
+				route.b.Store(b)
 				rt.mu.Lock()
 				rt.routes[v.ID] = route
 				rt.mu.Unlock()
@@ -656,7 +658,6 @@ func (rt *Router) lookupRoute(id string, r *http.Request) *sessionRoute {
 		return nil
 	}
 	route := &sessionRoute{
-		b:         rt.pick(key, nil), // nil when every backend is down
 		backendID: id,
 		key:       key,
 		tenant:    r.Header.Get(rt.cfg.TenantHeader),
@@ -664,6 +665,7 @@ func (rt *Router) lookupRoute(id string, r *http.Request) *sessionRoute {
 		lastSeq:   -1,
 		last:      time.Now(),
 	}
+	route.b.Store(rt.pick(key, nil)) // nil when every backend is down
 	rt.routes[id] = route
 	rt.reattached.Add(1)
 	return route
@@ -717,8 +719,8 @@ func (rt *Router) respondFailoverError(w http.ResponseWriter, err error) {
 // through the backend's chunk-agnostic feeder. The caller holds route.mu.
 func (rt *Router) failoverLocked(route *sessionRoute) error {
 	skip := map[*backend]bool{}
-	if route.b != nil {
-		skip[route.b] = true
+	if b := route.b.Load(); b != nil {
+		skip[b] = true
 	}
 	for {
 		var nb *backend
@@ -751,7 +753,8 @@ func (rt *Router) failoverLocked(route *sessionRoute) error {
 		}
 		rt.logger.Printf("session %s failed over to %s (replayed %d journal bytes)",
 			route.backendID, nb.name, replayed)
-		route.b, route.backendID = nb, newID
+		route.b.Store(nb)
+		route.backendID = newID
 		rt.failovers.Add(1)
 		nb.routed.Add(1)
 		return nil
@@ -855,25 +858,39 @@ func (rt *Router) handleSessionSub(w http.ResponseWriter, r *http.Request) {
 	rt.forwardOther(w, r, id, route)
 }
 
-// feedApplied reports whether a feed response status means the backend
+// feedApplied reports whether a feed response status can mean the backend
 // consumed the chunk (and the journal must record it). 429/503 rejections
 // leave the session untouched; 200 is a live or discarded-terminal feed;
-// 400/409 latch or report a terminal state the chunk is part of.
+// 400/409 latch or report a terminal state the chunk is part of. A
+// consuming status is necessary but not sufficient: 400/409 are also the
+// backend's refusal statuses (bad seq header, chunk sequence gap), whose
+// bodies are plain errors — the journaling path additionally requires the
+// body to decode to a session view before recording the chunk.
 func feedApplied(status int) bool {
 	return status == http.StatusOK || status == http.StatusBadRequest || status == http.StatusConflict
 }
 
-// viewTerminal reports whether a feed response body describes a session
-// in a terminal state — the journal freezes there: the recorded prefix
-// reproduces the verdict and later discarded chunks must not grow it.
-func viewTerminal(data []byte) bool {
+// parseFeedView decodes the session-view fields of a feed response the
+// journaling decisions need. ok is false when the body is not a session
+// view (the {"error": ...} shape of a gap or bad-header rejection) — the
+// backend did not consume that chunk.
+func parseFeedView(data []byte) (view struct{ ID, State string }, ok bool) {
 	var v struct {
+		ID    string `json:"id"`
 		State string `json:"state"`
 	}
-	if json.Unmarshal(data, &v) != nil {
-		return false
+	if json.Unmarshal(data, &v) != nil || v.ID == "" {
+		return view, false
 	}
-	return v.State == string(stateViolated) || v.State == string(stateFailed)
+	view.ID, view.State = v.ID, v.State
+	return view, true
+}
+
+// viewTerminal reports whether a feed-view state is terminal — the
+// journal freezes there: the recorded prefix reproduces the verdict and
+// later discarded chunks must not grow it.
+func viewTerminal(state string) bool {
+	return state == string(stateViolated) || state == string(stateFailed)
 }
 
 // forwardFeed is the journaled feed path: buffer the chunk (bounded by
@@ -913,13 +930,13 @@ func (rt *Router) forwardFeed(w http.ResponseWriter, r *http.Request, clientID s
 	attempts := 0
 	retriedSame := false
 	for {
-		b := route.b
+		b := route.b.Load()
 		if b == nil || !b.healthy.Load() {
 			if ferr := rt.failoverLocked(route); ferr != nil {
 				rt.respondFailoverError(w, ferr)
 				return
 			}
-			b = route.b
+			b = route.b.Load()
 		}
 		var body io.Reader = bytes.NewReader(buffered)
 		n := int64(len(buffered))
@@ -969,17 +986,23 @@ func (rt *Router) forwardFeed(w http.ResponseWriter, r *http.Request, clientID s
 			continue
 		}
 		if stream == nil && !frozen && feedApplied(resp.StatusCode) {
-			// Journal exactly the chunks the backend consumed, once: a
-			// retried sequence number was already recorded (the backend
-			// answered from its idempotency cache).
-			if seq < 0 || seq != route.lastSeq {
-				route.journal.append(buffered)
-				if seq >= 0 {
-					route.lastSeq = seq
+			// Journal exactly the chunks the backend consumed, once. The
+			// body must be a session view: a 400/409 with an error body is
+			// a refusal (chunk sequence gap, bad header) that left the
+			// session untouched, so recording it would make a later replay
+			// reproduce state containing a rejected chunk. Re-sent or stale
+			// sequence numbers (seq <= lastSeq) were already recorded — the
+			// backend answered those from its idempotency cache.
+			if fv, isView := parseFeedView(data); isView {
+				if seq < 0 || seq > route.lastSeq {
+					route.journal.append(buffered)
+					if seq >= 0 {
+						route.lastSeq = seq
+					}
 				}
-			}
-			if resp.StatusCode != http.StatusOK || viewTerminal(data) {
-				route.journal.freeze()
+				if resp.StatusCode != http.StatusOK || viewTerminal(fv.State) {
+					route.journal.freeze()
+				}
 			}
 		}
 		b.routed.Add(1)
@@ -1000,13 +1023,13 @@ func (rt *Router) forwardOther(w http.ResponseWriter, r *http.Request, clientID 
 	attempts := 0
 	retriedSame := false
 	for {
-		b := route.b
+		b := route.b.Load()
 		if b == nil || !b.healthy.Load() {
 			if ferr := rt.failoverLocked(route); ferr != nil {
 				rt.respondFailoverError(w, ferr)
 				return
 			}
-			b = route.b
+			b = route.b.Load()
 		}
 		resp, err := rt.backendDo(r, b, r.Method, path, nil, 0)
 		var data []byte
@@ -1020,10 +1043,12 @@ func (rt *Router) forwardOther(w http.ResponseWriter, r *http.Request, clientID 
 		if err != nil {
 			b.proxyErrors.Add(1)
 			if !retriedSame {
-				// Bodyless (GET/snapshot, DELETE/finalize) requests are safe
-				// to re-send to the same backend: one transient fault should
-				// not trigger a failover, which a truncated journal would
-				// turn into a lost session.
+				// Bodyless requests are safe to re-send to the same backend
+				// — GET is naturally idempotent, and a DELETE the backend
+				// applied before the connection died replays from its
+				// finalize cache instead of 404ing — so one transient fault
+				// costs a retry, not a failover, which a truncated journal
+				// would turn into a lost session.
 				retriedSame = true
 				continue
 			}

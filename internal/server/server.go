@@ -125,6 +125,14 @@ type Server struct {
 	sessions map[string]*session
 	closed   bool
 
+	// finalized caches each DELETE's exact response bytes for a short
+	// window (see finalizedTTL in session.go), making finalize idempotent:
+	// a retried DELETE — a client that lost the response, or a router
+	// re-sending after a connection fault — replays the report instead of
+	// getting a 404 that reads as a lost session.
+	finalMu   sync.Mutex
+	finalized map[string]finalizedReport
+
 	tenantMu sync.Mutex
 	tenants  map[string]*tenant
 
@@ -140,13 +148,14 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	s := &Server{
-		cfg:      cfg,
-		mux:      http.NewServeMux(),
-		checkSem: make(chan struct{}, cfg.MaxConcurrentChecks),
-		metrics:  newMetrics(),
-		sessions: map[string]*session{},
-		tenants:  map[string]*tenant{},
-		stop:     make(chan struct{}),
+		cfg:       cfg,
+		mux:       http.NewServeMux(),
+		checkSem:  make(chan struct{}, cfg.MaxConcurrentChecks),
+		metrics:   newMetrics(),
+		sessions:  map[string]*session{},
+		finalized: map[string]finalizedReport{},
+		tenants:   map[string]*tenant{},
+		stop:      make(chan struct{}),
 	}
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)

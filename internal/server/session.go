@@ -451,17 +451,39 @@ func (s *Server) handleSessionGet(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, view)
 }
 
+// finalizedTTL bounds the DELETE idempotency cache: a finalize response
+// stays replayable this long after it was first sent. Comfortably longer
+// than any client or router retry window, short enough that the cache
+// stays a footnote next to live sessions.
+const finalizedTTL = time.Minute
+
+// finalizedReport is one cached DELETE response: the exact status and
+// body bytes, replayed verbatim for retries of the same finalize.
+type finalizedReport struct {
+	status int
+	body   []byte
+	at     time.Time
+}
+
 // handleSessionDelete is DELETE /v1/sessions/{id}: finalize the stream (a
 // trailing line without a newline is parsed) and return the final Report.
+// Finalize is idempotent within finalizedTTL: DELETE is the one request
+// whose lost response is unrecoverable any other way (the session is gone
+// after the first application), so a re-sent DELETE replays the cached
+// report instead of answering 404 as if the session never existed.
 func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
-	sess := s.lookupSession(w, r)
+	id := r.PathValue("id")
+	s.mu.Lock()
+	sess := s.sessions[id]
+	s.mu.Unlock()
 	if sess == nil {
+		s.replayFinalized(w, id)
 		return
 	}
 	if !s.removeSession(sess.id) {
 		// A concurrent DELETE or eviction got there first; exactly one
 		// caller finalizes (and counts) the session.
-		writeError(w, http.StatusNotFound, "no such session")
+		s.replayFinalized(w, id)
 		return
 	}
 	rep, err := s.finalizeSession(sess, &s.metrics.sessionsClosed)
@@ -470,7 +492,7 @@ func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		sess.state = stateFailed
 		sess.parseErr = err
-		writeJSON(w, http.StatusBadRequest, sess.view())
+		s.writeDeleteResult(w, id, http.StatusBadRequest, sess.view())
 		return
 	}
 	if !rep.Serializable && sess.state == stateActive {
@@ -480,7 +502,43 @@ func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 		s.metrics.violationsTotal.Add(1)
 		sess.tenant.violationsTotal.Add(1)
 	}
-	writeJSON(w, http.StatusOK, rep)
+	s.writeDeleteResult(w, id, http.StatusOK, rep)
+}
+
+// replayFinalized answers a DELETE for an id not in the session table:
+// the cached finalize response when one exists (an idempotent retry),
+// 404 otherwise.
+func (s *Server) replayFinalized(w http.ResponseWriter, id string) {
+	s.finalMu.Lock()
+	fr, ok := s.finalized[id]
+	s.finalMu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(fr.status)
+	w.Write(fr.body)
+}
+
+// writeDeleteResult writes one finalize response and caches the exact
+// bytes under the session id, so a retried DELETE replays byte-identical
+// to the first.
+func (s *Server) writeDeleteResult(w http.ResponseWriter, id string, status int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	// Trailing newline matches writeJSON's json.Encoder framing, so cached
+	// replays are byte-identical to first-time responses.
+	data = append(data, '\n')
+	s.finalMu.Lock()
+	s.finalized[id] = finalizedReport{status: status, body: data, at: time.Now()}
+	s.finalMu.Unlock()
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(data)
 }
 
 // finalizeSession closes a session's checker after it has been removed
@@ -539,6 +597,7 @@ func (s *Server) janitor(ttl time.Duration) {
 		case <-s.stop:
 			return
 		case <-tick.C:
+			s.pruneFinalized()
 			cutoff := time.Now().Add(-ttl)
 			s.mu.Lock()
 			var idle []*session
@@ -571,6 +630,19 @@ func (s *Server) janitor(ttl time.Duration) {
 			}
 		}
 	}
+}
+
+// pruneFinalized drops finalize-cache entries past finalizedTTL; the
+// janitor calls it each sweep so the cache tracks recent churn only.
+func (s *Server) pruneFinalized() {
+	cutoff := time.Now().Add(-finalizedTTL)
+	s.finalMu.Lock()
+	for id, fr := range s.finalized {
+		if fr.at.Before(cutoff) {
+			delete(s.finalized, id)
+		}
+	}
+	s.finalMu.Unlock()
 }
 
 // isBodyTooLarge reports whether err is the MaxBytesReader limit.

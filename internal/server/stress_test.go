@@ -239,8 +239,9 @@ func TestSessionBusyRejected(t *testing.T) {
 
 // TestSessionRemovalRaces pins the lookup/removal races: a feed that
 // lost the race with DELETE answers 404 instead of silently dropping the
-// chunk, and of two racing DELETEs exactly one wins (the loser gets 404,
-// the closed counter moves once).
+// chunk, and of two sequential DELETEs exactly one finalizes — the
+// second replays the cached report (finalize is idempotent) and the
+// closed counter moves once.
 func TestSessionRemovalRaces(t *testing.T) {
 	s, ts := newTestServer(t, Config{})
 	client := &Client{BaseURL: ts.URL}
@@ -251,18 +252,20 @@ func TestSessionRemovalRaces(t *testing.T) {
 	if _, err := sess.Close(); err != nil {
 		t.Fatal(err)
 	}
-	// Second DELETE: the session is gone.
+	// Second DELETE: the session is gone, but the finalize cache replays
+	// the report instead of 404ing (a retried Close must not surface a
+	// successful finalize as a lost session).
 	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/sessions/"+sess.ID, nil)
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		t.Fatal(err)
 	}
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusNotFound {
-		t.Fatalf("second DELETE: HTTP %d, want 404", resp.StatusCode)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second DELETE: HTTP %d, want 200 (cached finalize replay)", resp.StatusCode)
 	}
 	if got := s.metrics.sessionsClosed.Load(); got != 1 {
-		t.Fatalf("sessions_closed = %d, want 1", got)
+		t.Fatalf("sessions_closed = %d, want 1 (replay must not re-finalize)", got)
 	}
 
 	// Feed racing a removal: the handler's window is lookup-succeeded but
