@@ -22,6 +22,7 @@ import (
 
 	"aerodrome/internal/bench"
 	"aerodrome/internal/core"
+	"aerodrome/internal/loadgen"
 	"aerodrome/internal/workload"
 )
 
@@ -32,7 +33,7 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	what := fs.String("run", "tables", "what to run: tables, table1, table2, figures, ablation, bench, saturate, doublechecker, all")
+	what := fs.String("run", "tables", "what to run: tables, table1, table2, figures, ablation, bench, saturate, load, doublechecker, all")
 	events := fs.Int64("events", 2_000_000, "event budget per benchmark row (the paper's traces go up to 2.8B)")
 	maxVars := fs.Int("vars", 20_000, "variable-pool cap per row")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-engine timeout per row (the paper used 10h at full scale)")
@@ -43,6 +44,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	gate := fs.Bool("gate", false, "with -run bench: run the CI perf-regression gate (pinned row subset vs the baseline's gate_rows; exit 1 on breach) instead of the full grid")
 	updateGate := fs.Bool("update-gate", false, "with -run bench: re-measure the gate rows and rewrite them into the baseline file")
 	baseline := fs.String("baseline", "BENCH_baseline.json", "baseline report for -gate / -update-gate")
+	loadTarget := fs.String("load-target", "", "with -run load: drive this base URL instead of in-process topologies (the e2e script's daemons)")
+	loadScenario := fs.String("load-scenario", "burst-smoke", "with -run load -load-target: which scenario to drive")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -89,6 +92,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	case "saturate":
 		if err := saturateJSON(stdout, stderr, *label, *jsonOut); err != nil {
+			fmt.Fprintf(stderr, "experiments: %v\n", err)
+			return 1
+		}
+	case "load":
+		if err := loadJSON(stdout, stderr, *label, *jsonOut, *loadTarget, *loadScenario); err != nil {
 			fmt.Fprintf(stderr, "experiments: %v\n", err)
 			return 1
 		}
@@ -145,6 +153,31 @@ func benchJSON(stdout, stderr io.Writer, label, path string, events int64, runs 
 	// single server vs router+2 backends (see internal/bench/saturate.go).
 	fmt.Fprintf(stderr, "measuring saturation rows (N clients, single vs router topology)...\n")
 	rep.Rows = append(rep.Rows, bench.MeasureSaturationRows()...)
+	// Load rows: the open-loop scenario zoo — latency quantiles, admission
+	// rejections and failovers per (scenario, topology) pair (see
+	// internal/loadgen).
+	fmt.Fprintf(stderr, "measuring load rows (open-loop scenarios, single vs router topologies)...\n")
+	rep.Rows = append(rep.Rows, loadgen.MeasureLoadRows()...)
+	return writeReport(rep, stdout, path)
+}
+
+// loadJSON runs only the open-loop load grid. With -load-target it
+// instead drives one named scenario against an externally booted
+// topology — the e2e script's daemons — and fails on any client-visible
+// hard failure.
+func loadJSON(stdout, stderr io.Writer, label, path, target, scenario string) error {
+	rep := bench.BenchReport{Label: label, GoVersion: runtime.Version()}
+	if target != "" {
+		fmt.Fprintf(stderr, "driving load scenario %q against %s...\n", scenario, target)
+		row, err := loadgen.MeasureAgainst(scenario, target)
+		if err != nil {
+			return err
+		}
+		rep.Rows = []bench.BenchRow{row}
+		return writeReport(rep, stdout, path)
+	}
+	fmt.Fprintf(stderr, "measuring load rows (open-loop scenarios, single vs router topologies)...\n")
+	rep.Rows = loadgen.MeasureLoadRows()
 	return writeReport(rep, stdout, path)
 }
 

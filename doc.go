@@ -146,6 +146,35 @@
 // gate_rows so the perf work of PR 1–4 cannot regress silently
 // (internal/bench/gate.go).
 //
+// # Open-loop load harness and the scenario zoo
+//
+// Where the saturation rows ask "how much can a topology absorb", the
+// load harness (internal/loadgen, `experiments -run load`) asks "what
+// does a scheduled demand curve experience": each scenario pairs a
+// seeded arrival process — constant, linear ramp, square-wave burst, or
+// long-lived low-rate incremental sessions — with a payload drawn from
+// the scenario-shape workload patterns (producer-consumer hand-offs,
+// barrier phases, a hot-lock convoy, and an adversarial quota-thrash
+// shape whose variable footprint grows without bound). Schedules are
+// computed up front by Poisson thinning from a per-profile seed, so the
+// demand a run applies is reproducible; a dispatcher walks the schedule
+// on the wall clock and hands arrivals to a worker pool through a
+// bounded queue without ever blocking on the server — arrivals that
+// find the queue full are counted as coordinated-omission debt rather
+// than silently delaying the clock, and every latency is measured from
+// the arrival's scheduled time into a lock-free HDR-style histogram.
+// The load-<scenario>-<topology> rows in BENCH_after.json carry
+// p50/p99/p999 end-to-end latency, admission rejections (429/503),
+// failover counts scraped from the router, and the omission debt, for
+// the single, router+2 and fault-injected router topologies (the last
+// with a backend killed mid-run). Retry semantics are shared with the
+// saturation bench through one helper (internal/bench Outcome and
+// RetryPolicy), and every admitted response — one-shot or session
+// finalize — is pinned against a locally computed CheckSTD report: a
+// harness that returns wrong answers quickly is a failure, not a
+// throughput record. A CI leg (scripts/e2e_server.sh load) drives the
+// low-RPS burst-smoke scenario against real daemons behind the router.
+//
 // # Testing strategy
 //
 // A hybrid representation diverges structurally from the reference
@@ -162,8 +191,10 @@
 //   - Native fuzzing: FuzzDifferentialEngines (internal/core) decodes
 //     arbitrary fuzz bytes into well-formed traces through a repairing
 //     byte-program VM (internal/testutil) and cross-checks all engines;
-//     the corpus is seeded with ρ1–ρ4, injected-violation workloads and
-//     the phase-shift (demote-then-repromote) shape. A second target,
+//     the corpus is seeded with ρ1–ρ4, injected-violation workloads, the
+//     phase-shift (demote-then-repromote) shape, and the four scenario-zoo
+//     shapes (producer-consumer, barrier phases, lock convoy,
+//     quota-thrash) via their deterministic builders. A second target,
 //     FuzzPipelineDifferential at the repository root, renders the same
 //     byte programs to STD logs and cross-checks the pipelined against
 //     the sequential ingestion path.

@@ -47,7 +47,8 @@ func goldenConfigs() []workload.Config {
 	var out []workload.Config
 	for _, p := range []workload.Pattern{
 		workload.PatternSharded, workload.PatternChain, workload.PatternHub,
-		workload.PatternPhase,
+		workload.PatternPhase, workload.PatternProducerConsumer,
+		workload.PatternBarrier, workload.PatternConvoy, workload.PatternThrash,
 	} {
 		for _, inj := range []workload.Violation{
 			workload.ViolationNone, workload.ViolationCross,

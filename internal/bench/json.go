@@ -28,6 +28,21 @@ type BenchRow struct {
 	AllocsPerEvent float64 `json:"allocs_per_event"`
 	BytesPerEvent  float64 `json:"bytes_per_event"`
 	Runs           int     `json:"runs"`
+
+	// Load-harness columns, populated only on load-* rows (internal/loadgen):
+	// end-to-end latency quantiles measured from each arrival's *scheduled*
+	// time (so queueing delay inside the harness counts against the server,
+	// never hidden by a blocked generator), plus the open-loop accounting
+	// those quantiles depend on. OmissionDebt counts arrivals the harness
+	// could not dispatch on schedule — reported, not silently absorbed.
+	P50Ms        float64 `json:"p50_ms,omitempty"`
+	P99Ms        float64 `json:"p99_ms,omitempty"`
+	P999Ms       float64 `json:"p999_ms,omitempty"`
+	Arrivals     int64   `json:"arrivals,omitempty"`
+	Completed    int64   `json:"completed,omitempty"`
+	Rejected     int64   `json:"rejected,omitempty"`
+	Failovers    int64   `json:"failovers,omitempty"`
+	OmissionDebt int64   `json:"omission_debt,omitempty"`
 }
 
 // BenchReport is the top-level JSON document.

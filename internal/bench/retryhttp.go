@@ -1,0 +1,92 @@
+package bench
+
+// Shared retry semantics for every harness that drives aerodromed over
+// HTTP: the saturation bench (saturate.go) and the open-loop load
+// harness (internal/loadgen) classify responses and compute backoff
+// through this one helper, so what counts as "retryable" and how
+// Retry-After is honored cannot drift between the two.
+
+import (
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Outcome classifies one HTTP attempt against aerodromed.
+type Outcome int
+
+const (
+	// OutcomeOK is an admitted, completed request.
+	OutcomeOK Outcome = iota
+	// OutcomeRetryable covers transport errors and the statuses the
+	// service emits for transient refusal: 429 (quota), 503 (backend
+	// down/draining) and 502 (proxy-visible backend failure). Clients
+	// back off and retry; under quota pressure or fault injection these
+	// are the expected texture of a run, not failures.
+	OutcomeRetryable
+	// OutcomeHard is everything else — a client-visible failure no
+	// amount of retrying excuses. Harnesses assert these stay zero.
+	OutcomeHard
+)
+
+// ClassifyStatus maps an HTTP status code to an Outcome. Transport
+// errors (no status at all) are OutcomeRetryable by definition; callers
+// with only an error in hand need not call anything.
+func ClassifyStatus(code int) Outcome {
+	switch {
+	case code >= 200 && code < 300:
+		return OutcomeOK
+	case code == http.StatusTooManyRequests,
+		code == http.StatusServiceUnavailable,
+		code == http.StatusBadGateway:
+		return OutcomeRetryable
+	default:
+		return OutcomeHard
+	}
+}
+
+// Attempt executes req once and classifies the result. On a transport
+// error the response is nil and the outcome OutcomeRetryable; otherwise
+// the caller owns the response body.
+func Attempt(client *http.Client, req *http.Request) (*http.Response, Outcome) {
+	resp, err := client.Do(req)
+	if err != nil {
+		return nil, OutcomeRetryable
+	}
+	return resp, ClassifyStatus(resp.StatusCode)
+}
+
+// RetryPolicy decides how long a client waits after a retryable attempt.
+// The zero value never sleeps; both harnesses construct theirs explicitly.
+type RetryPolicy struct {
+	// Backoff is the flat delay after a retryable outcome.
+	Backoff time.Duration
+	// HonorRetryAfter makes Delay prefer the server's Retry-After header
+	// (whole seconds, as aerodromed emits it) over Backoff when present.
+	// The saturation bench deliberately leaves this false — its clients
+	// exist to keep the admission queue full — while the load harness
+	// sets it, mirroring a well-behaved production client.
+	HonorRetryAfter bool
+	// RetryAfterCap clamps an honored Retry-After so a pathological
+	// header cannot stall an open-loop worker for the whole run.
+	RetryAfterCap time.Duration
+}
+
+// Delay returns the wait before the next attempt given the retryable
+// response (nil for transport errors, which always use Backoff).
+func (p RetryPolicy) Delay(resp *http.Response) time.Duration {
+	d := p.Backoff
+	if !p.HonorRetryAfter || resp == nil {
+		return d
+	}
+	if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs >= 0 {
+		ra := time.Duration(secs) * time.Second
+		if ra > d {
+			d = ra
+		}
+	}
+	if p.RetryAfterCap > 0 && d > p.RetryAfterCap {
+		d = p.RetryAfterCap
+	}
+	return d
+}

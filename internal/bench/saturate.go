@@ -63,9 +63,10 @@ const (
 	// reported, mirroring the best-of protocol of the other rows.
 	satWindow = 1500 * time.Millisecond
 	// satBackoff is the client retry delay after a 429/503. Deliberately
-	// shorter than the server's whole-second Retry-After: saturation
-	// clients exist to keep the admission queue full, and the backoff only
-	// bounds the rejection churn the server pays.
+	// shorter than the server's whole-second Retry-After (satPolicy leaves
+	// HonorRetryAfter off): saturation clients exist to keep the admission
+	// queue full, and the backoff only bounds the rejection churn the
+	// server pays.
 	satBackoff = 30 * time.Millisecond
 	// satRuns is how many windows are measured per row.
 	satRuns = 2
@@ -74,12 +75,18 @@ const (
 	satPrimeBudget = 10 * time.Second
 )
 
+// satPolicy is the saturation clients' retry policy: flat satBackoff,
+// Retry-After deliberately ignored (see satBackoff). Classification and
+// delay go through the shared retryhttp helper so the semantics match
+// internal/loadgen's by construction.
+var satPolicy = RetryPolicy{Backoff: satBackoff}
+
 // satStats counts what the saturation clients saw beyond completed
-// checks. retried covers transport errors and retryable statuses
-// (429/502/503) — expected churn under quota pressure or injected
-// faults. hard counts everything else: client-visible hard failures
-// that no amount of retrying excuses, which the harness asserts to be
-// zero even with fault injection enabled.
+// checks. retried covers OutcomeRetryable attempts — transport errors
+// and 429/502/503, expected churn under quota pressure or injected
+// faults. hard counts OutcomeHard: client-visible failures that no
+// amount of retrying excuses, which the harness asserts to be zero even
+// with fault injection enabled.
 type satStats struct {
 	retried int64
 	hard    int64
@@ -241,35 +248,33 @@ func saturate(baseURL string, data []byte, n int) (int64, time.Duration, satStat
 				// rejected attempt hops to another backend's budget.
 				req.Header.Set(server.RouterTraceHeader, fmt.Sprintf("sat-%d-%d", id, attempt))
 				req.Header.Set("Expect", "100-continue")
-				resp, err := client.Do(req)
-				if err != nil {
-					if stop.Load() {
-						return
-					}
-					// Connection resets and injected transport faults are
-					// retryable churn, same as a 503.
-					retried.Add(1)
-					time.Sleep(satBackoff)
-					continue
+				resp, out := Attempt(client, req)
+				if resp == nil && stop.Load() {
+					// Shutdown races a connection teardown; not churn.
+					return
 				}
-				switch resp.StatusCode {
-				case http.StatusOK:
+				switch out {
+				case OutcomeOK:
 					// Drain the report like a real client would.
 					var rep aerodrome.Report
 					json.NewDecoder(resp.Body).Decode(&rep)
 					resp.Body.Close()
 					completed.Add(1)
-				case http.StatusTooManyRequests, http.StatusServiceUnavailable, http.StatusBadGateway:
-					resp.Body.Close()
+				case OutcomeRetryable:
+					// Connection resets and injected transport faults are
+					// retryable churn, same as a 429/503.
+					if resp != nil {
+						resp.Body.Close()
+					}
 					retried.Add(1)
-					time.Sleep(satBackoff)
+					time.Sleep(satPolicy.Delay(resp))
 				default:
 					// Anything else is a client-visible hard failure: no
 					// retry can excuse it, so count it and let the caller
 					// fail the run.
 					resp.Body.Close()
 					hard.Add(1)
-					time.Sleep(satBackoff)
+					time.Sleep(satPolicy.Delay(resp))
 				}
 			}
 		}(c)
@@ -309,20 +314,19 @@ func primeCheck(client *http.Client, baseURL string, data []byte) int64 {
 			panic(err)
 		}
 		req.Header.Set(server.DefaultTenantHeader, satTenant)
-		resp, err := client.Do(req)
-		if err != nil {
-			lastErr = err
-			time.Sleep(satBackoff)
+		resp, out := Attempt(client, req)
+		if resp == nil {
+			lastErr = fmt.Errorf("transport error")
+			time.Sleep(satPolicy.Delay(nil))
 			continue
 		}
-		switch resp.StatusCode {
-		case http.StatusTooManyRequests, http.StatusServiceUnavailable, http.StatusBadGateway:
+		if out == OutcomeRetryable {
 			lastErr = fmt.Errorf("HTTP %d", resp.StatusCode)
 			resp.Body.Close()
-			time.Sleep(satBackoff)
+			time.Sleep(satPolicy.Delay(resp))
 			continue
 		}
-		if resp.StatusCode != http.StatusOK {
+		if out != OutcomeOK {
 			panic(fmt.Sprintf("bench: saturate prime: HTTP %d", resp.StatusCode))
 		}
 		var rep aerodrome.Report

@@ -60,6 +60,32 @@ func fuzzSeeds(f *testing.F) [][]byte {
 		f.Fatal("phase-shift trace does not fit the byte format")
 	}
 	seeds = append(seeds, enc)
+	// The scenario-zoo shapes (PR 7) seed their distinctive structures —
+	// cross-group hand-offs, wide barrier joins, hot-lock convoys and
+	// fresh-variable churn — so mutations explore around each.
+	for _, shape := range []struct {
+		name string
+		tr   *trace.Trace
+	}{
+		{"producer-consumer", testutil.ProducerConsumerTrace(testutil.ProducerConsumerOpts{
+			Producers: 2, Consumers: 2, Rounds: 40, Slots: 4,
+		})},
+		{"barrier-phases", testutil.BarrierPhasesTrace(testutil.BarrierOpts{
+			Threads: 6, Phases: 8, OpsPerTxn: 2,
+		})},
+		{"lock-convoy", testutil.LockConvoyTrace(testutil.LockConvoyOpts{
+			Threads: 6, Rounds: 40, Nested: true,
+		})},
+		{"quota-thrash", testutil.QuotaThrashTrace(testutil.QuotaThrashOpts{
+			Threads: 5, Bursts: 20, TxnsPerBurst: 3,
+		})},
+	} {
+		enc := testutil.EncodeTrace(shape.tr)
+		if enc == nil {
+			f.Fatalf("%s trace does not fit the byte format", shape.name)
+		}
+		seeds = append(seeds, enc)
+	}
 	return seeds
 }
 

@@ -1,0 +1,271 @@
+package loadgen
+
+// Open-loop load generation: a seeded arrival schedule is computed up
+// front (Poisson thinning against the profile's peak rate, so the same
+// profile and seed always yield the same arrivals), then a dispatcher
+// walks it on the wall clock handing arrivals to a worker pool through
+// a bounded queue. The dispatcher never waits for the target: when the
+// queue is full the arrival is counted as coordinated-omission debt and
+// dropped, and every latency is measured from the arrival's *scheduled*
+// time — so a slow server shows up as tail latency and debt, never as a
+// quietly stretched schedule (the closed-loop failure mode this package
+// exists to avoid).
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Shape selects how a profile's rate evolves over the run.
+type Shape string
+
+const (
+	// ShapeConstant holds PeakRPS for the whole run.
+	ShapeConstant Shape = "constant"
+	// ShapeRamp grows linearly from BaseRPS to PeakRPS.
+	ShapeRamp Shape = "ramp"
+	// ShapeSquare alternates Period/2 at BaseRPS with Period/2 at
+	// PeakRPS, starting low — the burst profile.
+	ShapeSquare Shape = "square"
+)
+
+// RateProfile is one tenant's deterministic arrival process.
+type RateProfile struct {
+	Tenant  string
+	Shape   Shape
+	BaseRPS float64
+	PeakRPS float64
+	// Period is the square-wave cycle (ignored by other shapes).
+	Period time.Duration
+	// Seed fixes the schedule: same profile + seed ⇒ identical arrivals.
+	Seed int64
+}
+
+// rate returns the instantaneous RPS at offset t of a run of length d.
+func (p RateProfile) rate(t, d time.Duration) float64 {
+	switch p.Shape {
+	case ShapeRamp:
+		if d <= 0 {
+			return p.PeakRPS
+		}
+		f := float64(t) / float64(d)
+		return p.BaseRPS + (p.PeakRPS-p.BaseRPS)*f
+	case ShapeSquare:
+		period := p.Period
+		if period <= 0 {
+			period = 500 * time.Millisecond
+		}
+		if (t/(period/2))%2 == 0 {
+			return p.BaseRPS
+		}
+		return p.PeakRPS
+	default:
+		return p.PeakRPS
+	}
+}
+
+// Arrival is one scheduled request.
+type Arrival struct {
+	// At is the offset from run start at which the request is due.
+	At time.Duration
+	// Tenant is the profile's tenant (the quota bucket it spends).
+	Tenant string
+	// Seq numbers arrivals within a schedule; targets derive per-request
+	// routing keys from it.
+	Seq int
+}
+
+// Schedule materializes the profile's arrivals for a run of length d by
+// thinning a homogeneous Poisson process at the peak rate: exponential
+// gaps at PeakRPS, each kept with probability rate(t)/PeakRPS. Both
+// draws come from one seeded source, so the schedule is a pure function
+// of (profile, d).
+func (p RateProfile) Schedule(d time.Duration) []Arrival {
+	peak := p.PeakRPS
+	if base := p.BaseRPS; base > peak {
+		peak = base
+	}
+	if peak <= 0 || d <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(p.Seed))
+	var out []Arrival
+	var t time.Duration
+	for {
+		gap := time.Duration(rng.ExpFloat64() / peak * float64(time.Second))
+		if gap <= 0 {
+			gap = time.Nanosecond
+		}
+		t += gap
+		if t >= d {
+			return out
+		}
+		if accept := p.rate(t, d) / peak; rng.Float64() < accept {
+			out = append(out, Arrival{At: t, Tenant: p.Tenant, Seq: len(out)})
+		}
+	}
+}
+
+// Result is what a target reports for one arrival.
+type Result struct {
+	// OK means the request eventually completed (admitted and answered).
+	OK bool
+	// Hard means a client-visible hard failure — wrong verdict, non-
+	// retryable status, lost session. Scenarios assert these stay zero.
+	Hard bool
+	// Rejections counts the retryable refusals (429/502/503, transport
+	// errors) observed on the way to the final outcome.
+	Rejections int64
+	// Events is the number of trace events the request checked.
+	Events int64
+}
+
+// Target performs one request per arrival. Do runs on a fixed worker
+// goroutine (0 ≤ worker < Workers), so targets may keep per-worker
+// state — the session target owns one live session per worker.
+type Target interface {
+	Do(worker int, a Arrival) Result
+}
+
+// TargetFunc adapts a function to the Target interface.
+type TargetFunc func(worker int, a Arrival) Result
+
+func (f TargetFunc) Do(worker int, a Arrival) Result { return f(worker, a) }
+
+// RunnerConfig sizes the open-loop machinery.
+type RunnerConfig struct {
+	// Workers is the pool draining the queue (default 16).
+	Workers int
+	// Queue bounds dispatched-but-unstarted arrivals (default 64). A
+	// full queue turns arrivals into debt instead of blocking the clock.
+	Queue int
+}
+
+func (c RunnerConfig) workers() int {
+	if c.Workers <= 0 {
+		return 16
+	}
+	return c.Workers
+}
+
+func (c RunnerConfig) queue() int {
+	if c.Queue <= 0 {
+		return 64
+	}
+	return c.Queue
+}
+
+// RunStats is one run's accounting.
+type RunStats struct {
+	// Arrivals is the schedule length; Dispatched of them reached the
+	// queue, Debt were dropped on a full queue (coordinated-omission
+	// debt: demand the target never even saw).
+	Arrivals   int64
+	Dispatched int64
+	Debt       int64
+	// Completed/Rejected/Hard aggregate the targets' Results; GaveUp
+	// counts dispatched arrivals that exhausted retries on retryable
+	// refusals (expected under deliberate overload, distinct from Hard).
+	Completed int64
+	Rejected  int64
+	Hard      int64
+	GaveUp    int64
+	// Events sums checked events across completed requests.
+	Events int64
+	// MaxDispatchLag is the worst observed lateness of the dispatcher
+	// against the schedule — the open-loop invariant's witness: it stays
+	// bounded by sleep granularity no matter how slow the target is.
+	MaxDispatchLag time.Duration
+	// Hist holds end-to-end latencies of completed requests, measured
+	// from each arrival's scheduled time.
+	Hist *Hist
+}
+
+// P50, P99 and P999 report the standard latency quantiles in ms.
+func (s RunStats) P50() float64  { return s.Hist.Quantile(0.50) }
+func (s RunStats) P99() float64  { return s.Hist.Quantile(0.99) }
+func (s RunStats) P999() float64 { return s.Hist.Quantile(0.999) }
+
+// Run drives the schedule against the target and blocks until every
+// dispatched arrival has completed. The arrival clock runs on the
+// calling goroutine and never blocks on the target.
+func Run(cfg RunnerConfig, schedule []Arrival, target Target) RunStats {
+	stats := RunStats{Arrivals: int64(len(schedule)), Hist: &Hist{}}
+	type job struct {
+		a         Arrival
+		scheduled time.Time
+	}
+	queue := make(chan job, cfg.queue())
+
+	var completed, rejected, hard, gaveUp, events atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.workers(); w++ {
+		wg.Add(1)
+		go func(worker int) {
+			defer wg.Done()
+			for j := range queue {
+				res := target.Do(worker, j.a)
+				rejected.Add(res.Rejections)
+				switch {
+				case res.Hard:
+					hard.Add(1)
+				case res.OK:
+					completed.Add(1)
+					events.Add(res.Events)
+					stats.Hist.Record(time.Since(j.scheduled))
+				default:
+					gaveUp.Add(1)
+				}
+			}
+		}(w)
+	}
+
+	start := time.Now()
+	var maxLag time.Duration
+	for _, a := range schedule {
+		due := start.Add(a.At)
+		if d := time.Until(due); d > 0 {
+			time.Sleep(d)
+		}
+		if lag := time.Since(due); lag > maxLag {
+			maxLag = lag
+		}
+		select {
+		case queue <- job{a: a, scheduled: due}:
+			stats.Dispatched++
+		default:
+			// Queue full: the schedule does not stretch to hide an
+			// overloaded target — the arrival becomes debt.
+			stats.Debt++
+		}
+	}
+	close(queue)
+	wg.Wait()
+
+	stats.Completed = completed.Load()
+	stats.Rejected = rejected.Load()
+	stats.Hard = hard.Load()
+	stats.GaveUp = gaveUp.Load()
+	stats.Events = events.Load()
+	stats.MaxDispatchLag = maxLag
+	return stats
+}
+
+// ExpectedArrivals returns the profile's mean arrival count over d —
+// useful for sizing assertions, not a promise (the process is Poisson).
+func (p RateProfile) ExpectedArrivals(d time.Duration) float64 {
+	const steps = 1000
+	var sum float64
+	for i := 0; i < steps; i++ {
+		t := time.Duration(float64(d) * (float64(i) + 0.5) / steps)
+		sum += p.rate(t, d)
+	}
+	return sum / steps * d.Seconds()
+}
+
+// round3 rounds to microsecond (3-decimal ms) resolution for stable row
+// fields.
+func round3(v float64) float64 { return math.Round(v*1e3) / 1e3 }

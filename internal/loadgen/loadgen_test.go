@@ -1,0 +1,182 @@
+package loadgen
+
+// Unit tests for the open-loop machinery: schedule determinism and
+// shape, histogram quantile accuracy, the open-loop invariant under a
+// deliberately slow target (debt accumulates, the arrival clock does
+// not stretch), and chunk splitting.
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+)
+
+func testProfile(seed int64) RateProfile {
+	return RateProfile{Tenant: "t", Shape: ShapeConstant, PeakRPS: 200, Seed: seed}
+}
+
+func TestScheduleDeterministic(t *testing.T) {
+	d := 500 * time.Millisecond
+	a := testProfile(7).Schedule(d)
+	b := testProfile(7).Schedule(d)
+	if len(a) == 0 {
+		t.Fatal("empty schedule")
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same profile and seed produced different schedules")
+	}
+	c := testProfile(8).Schedule(d)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical schedules")
+	}
+	for i, arr := range a {
+		if arr.Seq != i {
+			t.Fatalf("arrival %d has seq %d", i, arr.Seq)
+		}
+		if arr.At < 0 || arr.At >= d {
+			t.Fatalf("arrival %d outside the run: %v", i, arr.At)
+		}
+		if i > 0 && arr.At < a[i-1].At {
+			t.Fatalf("schedule not monotone at %d", i)
+		}
+	}
+}
+
+func TestScheduleShapes(t *testing.T) {
+	d := 2 * time.Second
+
+	// Constant: the count concentrates around rate*duration (Poisson;
+	// 4σ ≈ 4·√400 = 80 around 400).
+	n := len(testProfile(1).Schedule(d))
+	if n < 320 || n > 480 {
+		t.Fatalf("constant 200rps over 2s produced %d arrivals", n)
+	}
+
+	// Ramp: the second half must hold most of the arrivals (3/4 in
+	// expectation for a 0→peak ramp; ≥2/3 leaves room for Poisson noise
+	// while still ruling out anything flat).
+	ramp := RateProfile{Shape: ShapeRamp, BaseRPS: 0, PeakRPS: 200, Seed: 2}.Schedule(d)
+	var late int
+	for _, a := range ramp {
+		if a.At > d/2 {
+			late++
+		}
+	}
+	if late*3 < len(ramp)*2 {
+		t.Fatalf("ramp: %d of %d arrivals in the second half, want ≥ 2/3", late, len(ramp))
+	}
+
+	// Square: the high phase must arrive far faster than the low phase.
+	sq := RateProfile{Shape: ShapeSquare, BaseRPS: 10, PeakRPS: 400,
+		Period: 500 * time.Millisecond, Seed: 3}.Schedule(d)
+	var lo, hi int
+	for _, a := range sq {
+		if (a.At/(250*time.Millisecond))%2 == 0 {
+			lo++
+		} else {
+			hi++
+		}
+	}
+	if hi < 10*lo {
+		t.Fatalf("square: %d high-phase vs %d low-phase arrivals, want ≥10×", hi, lo)
+	}
+}
+
+func TestExpectedArrivalsMatchesSchedule(t *testing.T) {
+	p := RateProfile{Shape: ShapeRamp, BaseRPS: 20, PeakRPS: 300, Seed: 9}
+	d := 2 * time.Second
+	want := p.ExpectedArrivals(d)
+	got := float64(len(p.Schedule(d)))
+	if got < want*0.8 || got > want*1.2 {
+		t.Fatalf("schedule has %v arrivals, expectation %v", got, want)
+	}
+}
+
+func TestHistQuantiles(t *testing.T) {
+	var h Hist
+	for i := 1; i <= 1000; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	for _, tc := range []struct {
+		q    float64
+		want float64 // ms
+	}{{0.50, 500}, {0.99, 990}, {0.999, 999}} {
+		got := h.Quantile(tc.q)
+		if got < tc.want*0.95 || got > tc.want*1.05 {
+			t.Fatalf("q%v = %vms, want %vms ±5%%", tc.q, got, tc.want)
+		}
+	}
+	if h.Count() != 1000 {
+		t.Fatalf("count = %d", h.Count())
+	}
+}
+
+func TestHistBucketsMonotone(t *testing.T) {
+	prev := -1
+	for v := uint64(0); v < 1<<20; v += 17 {
+		i := bucketIndex(v)
+		if i < prev {
+			t.Fatalf("bucketIndex not monotone at %d: %d < %d", v, i, prev)
+		}
+		prev = i
+		if mid := bucketMid(i); bucketIndex(mid) != i {
+			t.Fatalf("bucketMid(%d)=%d maps to bucket %d", i, mid, bucketIndex(mid))
+		}
+	}
+}
+
+// TestOpenLoopInvariant pins the property the package exists for: a
+// target far slower than the arrival rate turns excess arrivals into
+// debt while the dispatcher stays on schedule, instead of silently
+// stretching the arrival process the way a closed-loop driver would.
+func TestOpenLoopInvariant(t *testing.T) {
+	slow := TargetFunc(func(_ int, _ Arrival) Result {
+		time.Sleep(100 * time.Millisecond)
+		return Result{OK: true, Events: 1}
+	})
+	sched := testProfile(11).Schedule(400 * time.Millisecond) // ~80 arrivals
+	stats := Run(RunnerConfig{Workers: 2, Queue: 2}, sched, slow)
+
+	if stats.Arrivals != int64(len(sched)) {
+		t.Fatalf("arrivals %d, schedule %d", stats.Arrivals, len(sched))
+	}
+	if stats.Debt == 0 {
+		t.Fatal("a saturated 2-worker pool produced no omission debt")
+	}
+	if stats.Dispatched+stats.Debt != stats.Arrivals {
+		t.Fatalf("dispatched %d + debt %d ≠ arrivals %d",
+			stats.Dispatched, stats.Debt, stats.Arrivals)
+	}
+	// The dispatcher must not have been dragged off schedule by the slow
+	// target: its worst lateness stays within sleep-granularity slack,
+	// far under the 100ms a single blocking dispatch would cost.
+	if stats.MaxDispatchLag > 50*time.Millisecond {
+		t.Fatalf("dispatch lag %v: the arrival clock blocked on the target", stats.MaxDispatchLag)
+	}
+	if stats.Completed != stats.Dispatched || stats.Events != stats.Completed {
+		t.Fatalf("completed %d events %d dispatched %d",
+			stats.Completed, stats.Events, stats.Dispatched)
+	}
+	// Latency is measured from the scheduled time: queued jobs behind a
+	// 100ms target must show ≥100ms tails even though each Do "took"
+	// only 100ms — the coordinated-omission correction in action.
+	if p99 := stats.P99(); p99 < 100 {
+		t.Fatalf("p99 %vms under a 100ms target", p99)
+	}
+}
+
+func TestSplitChunksLineAligned(t *testing.T) {
+	data := []byte("a 1\nb 2\nc 3\nd 4\ne 5\n")
+	for _, n := range []int{1, 2, 3, 5, 9} {
+		chunks := SplitChunks(data, n)
+		if got := bytes.Join(chunks, nil); !bytes.Equal(got, data) {
+			t.Fatalf("n=%d: chunks do not reassemble the input: %q", n, got)
+		}
+		for i, c := range chunks {
+			if len(c) == 0 || c[len(c)-1] != '\n' {
+				t.Fatalf("n=%d: chunk %d not line-aligned: %q", n, i, c)
+			}
+		}
+	}
+}

@@ -1,0 +1,138 @@
+package loadgen
+
+// Integration tests against in-process aerodromed instances: the burst
+// scenario must actually produce admission rejections while every
+// admitted verdict stays pinned to the local reference; the sessions
+// scenario's finalize reports must match the local CheckSTD verdict
+// byte-for-byte (a mismatch is a Hard failure inside the target); and
+// row identity fields must be a pure function of the scenario.
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestBurstSmokeRejectsAndPins(t *testing.T) {
+	s, err := ByName("burst-smoke")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, ts := newLoadBackend(s)
+	defer srv.Close()
+	defer ts.Close()
+
+	row, stats, err := s.Measure(TopoSingle, ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Hard > 0 {
+		t.Fatalf("%d hard failures (verdict mismatch or non-retryable status)", stats.Hard)
+	}
+	if stats.Rejected == 0 {
+		t.Fatal("tight budget produced no rejections")
+	}
+	if stats.Completed == 0 {
+		t.Fatal("no admitted checks — nothing exercised the verdict pin")
+	}
+	if row.Rejected != stats.Rejected || row.Completed != stats.Completed {
+		t.Fatalf("row does not reflect stats: %+v vs %+v", row, stats)
+	}
+	if row.Engine != "load-burst-smoke-single" {
+		t.Fatalf("engine label %q", row.Engine)
+	}
+	if row.P99Ms <= 0 {
+		t.Fatalf("p99 %v with %d completions", row.P99Ms, stats.Completed)
+	}
+}
+
+func TestSessionsVerdictIdentity(t *testing.T) {
+	s, err := ByName("sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Duration = 700 * time.Millisecond
+	srv, ts := newLoadBackend(s)
+	defer srv.Close()
+	defer ts.Close()
+
+	_, exp, err := s.Payload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, stats, err := s.Measure(TopoSingle, ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Hard > 0 {
+		t.Fatalf("%d hard failures — a finalize verdict diverged from local CheckSTD", stats.Hard)
+	}
+	if stats.Events == 0 {
+		t.Fatal("no session ran to finalize; the verdict identity was never checked")
+	}
+	// Events only accumulate at finalize, one whole trace at a time, so
+	// the total must be an exact multiple of the reference event count.
+	if stats.Events%exp.Events != 0 {
+		t.Fatalf("events %d is not a multiple of the trace's %d", stats.Events, exp.Events)
+	}
+}
+
+func TestRowIdentityFieldsDeterministic(t *testing.T) {
+	s, err := ByName("steady")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Duration = 300 * time.Millisecond
+	srv, ts := newLoadBackend(s)
+	defer srv.Close()
+	defer ts.Close()
+
+	a, _, err := s.Measure(TopoSingle, ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := s.Measure(TopoSingle, ts.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identity fields and the schedule-derived column are pure functions
+	// of the scenario; only timing-derived columns may differ run to run.
+	if a.Workload != b.Workload || a.Pattern != b.Pattern ||
+		a.Threads != b.Threads || a.Engine != b.Engine || a.Arrivals != b.Arrivals {
+		t.Fatalf("identity fields differ across runs:\n%+v\n%+v", a, b)
+	}
+	if a.Arrivals == 0 {
+		t.Fatal("empty schedule")
+	}
+}
+
+func TestScenarioZooShape(t *testing.T) {
+	names := map[string]bool{}
+	var nonSmoke int
+	for _, s := range Scenarios() {
+		if names[s.Name] {
+			t.Fatalf("duplicate scenario %q", s.Name)
+		}
+		names[s.Name] = true
+		if !s.Smoke {
+			nonSmoke++
+		}
+		if s.Profile.Seed == 0 {
+			t.Fatalf("%s: unseeded profile", s.Name)
+		}
+		if strings.ContainsAny(s.Name, " /") {
+			t.Fatalf("%s: name must be label-safe", s.Name)
+		}
+		if _, _, err := s.Payload(); err != nil {
+			t.Fatalf("%s: payload: %v", s.Name, err)
+		}
+	}
+	// The BENCH grid promises at least three profiles across both core
+	// topologies.
+	if nonSmoke < 3 {
+		t.Fatalf("only %d non-smoke scenarios", nonSmoke)
+	}
+	if _, err := ByName("no-such"); err == nil {
+		t.Fatal("ByName accepted an unknown scenario")
+	}
+}

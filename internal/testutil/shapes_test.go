@@ -1,0 +1,82 @@
+package testutil
+
+// Tests for the deterministic scenario-zoo shape builders: strict
+// validity (the builders panic internally otherwise), determinism, byte-
+// format round-tripping at fuzz-seed sizes, and the structural property
+// each shape exists for.
+
+import (
+	"reflect"
+	"testing"
+
+	"aerodrome/internal/trace"
+)
+
+func shapeBuilders() map[string]func() *trace.Trace {
+	return map[string]func() *trace.Trace{
+		"producer-consumer": func() *trace.Trace {
+			return ProducerConsumerTrace(ProducerConsumerOpts{Producers: 2, Consumers: 2, Rounds: 40, Slots: 4})
+		},
+		"barrier-phases": func() *trace.Trace {
+			return BarrierPhasesTrace(BarrierOpts{Threads: 6, Phases: 8, OpsPerTxn: 2})
+		},
+		"lock-convoy": func() *trace.Trace {
+			return LockConvoyTrace(LockConvoyOpts{Threads: 6, Rounds: 40, Nested: true})
+		},
+		"quota-thrash": func() *trace.Trace {
+			return QuotaThrashTrace(QuotaThrashOpts{Threads: 5, Bursts: 20, TxnsPerBurst: 3})
+		},
+	}
+}
+
+func TestShapeBuildersDeterministicAndEncodable(t *testing.T) {
+	for name, build := range shapeBuilders() {
+		a, b := build(), build()
+		if !reflect.DeepEqual(a.Events, b.Events) {
+			t.Fatalf("%s: builder is not deterministic", name)
+		}
+		// Fuzz-seed sizes must round-trip the byte-program format exactly.
+		enc := EncodeTrace(a)
+		if enc == nil {
+			t.Fatalf("%s: does not fit the byte format at seed size", name)
+		}
+		dec := TraceFromBytes(enc)
+		if len(dec.Events) != len(a.Events) {
+			t.Fatalf("%s: byte round trip changed length: %d -> %d",
+				name, len(a.Events), len(dec.Events))
+		}
+		for i := range a.Events {
+			if a.Events[i].Kind != dec.Events[i].Kind || a.Events[i].Thread != dec.Events[i].Thread {
+				t.Fatalf("%s: byte round trip changed event %d: %v -> %v",
+					name, i, a.Events[i], dec.Events[i])
+			}
+		}
+	}
+}
+
+func TestShapeBuildersDegenerateOpts(t *testing.T) {
+	// Zero-valued opts must still produce small valid traces (the builders
+	// clamp internally and panic on invalidity).
+	ProducerConsumerTrace(ProducerConsumerOpts{})
+	BarrierPhasesTrace(BarrierOpts{})
+	LockConvoyTrace(LockConvoyOpts{})
+	QuotaThrashTrace(QuotaThrashOpts{})
+}
+
+func TestQuotaThrashFreshVars(t *testing.T) {
+	tr := QuotaThrashTrace(QuotaThrashOpts{Threads: 4, Bursts: 10, TxnsPerBurst: 3})
+	writes := map[int32]int{}
+	for _, e := range tr.Events {
+		if e.Kind == trace.Write {
+			writes[e.Target]++
+		}
+	}
+	if len(writes) != 30 {
+		t.Fatalf("expected 30 distinct written vars, got %d", len(writes))
+	}
+	for v, n := range writes {
+		if n != 1 {
+			t.Fatalf("var %d written %d times; thrash vars must be fresh", v, n)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package workload_test
+
+// Tests for the PR 7 scenario-zoo patterns: producer-consumer, barrier
+// phases, lock convoy and quota-thrash. Each shape must generate
+// well-formed, conflict-serializable bodies (checked against the O(n²)
+// oracle and the Basic engine), stay deterministic per seed, and carry
+// every injected-violation mode exactly like the original patterns.
+
+import (
+	"testing"
+
+	"aerodrome/internal/core"
+	"aerodrome/internal/serial"
+	"aerodrome/internal/trace"
+	"aerodrome/internal/workload"
+)
+
+var shapePatterns = []workload.Pattern{
+	workload.PatternProducerConsumer, workload.PatternBarrier,
+	workload.PatternConvoy, workload.PatternThrash,
+}
+
+func shapeConfig(p workload.Pattern, inj workload.Violation, events int64) workload.Config {
+	return workload.Config{
+		Name: string(p) + "-" + string(inj), Threads: 6, Vars: 64, Locks: 4,
+		Events: events, OpsPerTxn: 3, Pattern: p, Inject: inj,
+		InjectAt: 0.7, Seed: 20260808,
+	}
+}
+
+func TestShapePatternsWellFormedAndSerializable(t *testing.T) {
+	for _, p := range shapePatterns {
+		p := p
+		t.Run(string(p), func(t *testing.T) {
+			tr := workload.Generate(shapeConfig(p, workload.ViolationNone, 3_000))
+			if err := trace.ValidateStrict(tr); err != nil {
+				t.Fatalf("malformed trace: %v", err)
+			}
+			if rep := serial.Check(tr); !rep.Serializable {
+				t.Fatalf("body is not serializable (witness %v)", rep.Witness)
+			}
+			if v, _ := core.Run(core.NewBasic(), tr.Cursor()); v != nil {
+				t.Fatalf("Basic found a violation in a clean body: %v", v)
+			}
+		})
+	}
+}
+
+func TestShapePatternsCarryInjections(t *testing.T) {
+	for _, p := range shapePatterns {
+		for _, inj := range []workload.Violation{
+			workload.ViolationCross, workload.ViolationDelayed, workload.ViolationLock,
+		} {
+			p, inj := p, inj
+			t.Run(string(p)+"/"+string(inj), func(t *testing.T) {
+				cfg := shapeConfig(p, inj, 2_000)
+				tr := workload.Generate(cfg)
+				if err := trace.ValidateStrict(tr); err != nil {
+					t.Fatalf("malformed: %v", err)
+				}
+				v, _ := core.Run(core.NewBasic(), tr.Cursor())
+				if v == nil {
+					t.Fatalf("injected violation not detected")
+				}
+				if min := int64(float64(cfg.Events) * cfg.InjectAt); v.Index < min {
+					t.Fatalf("violation at %d, before injection point %d", v.Index, min)
+				}
+			})
+		}
+	}
+}
+
+func TestShapePatternsDeterministic(t *testing.T) {
+	for _, p := range shapePatterns {
+		cfg := shapeConfig(p, workload.ViolationCross, 2_000)
+		a, b := workload.Generate(cfg), workload.Generate(cfg)
+		if a.Len() != b.Len() {
+			t.Fatalf("%s: lengths differ: %d vs %d", p, a.Len(), b.Len())
+		}
+		for i := range a.Events {
+			if a.Events[i] != b.Events[i] {
+				t.Fatalf("%s: event %d differs: %v vs %v", p, i, a.Events[i], b.Events[i])
+			}
+		}
+	}
+}
+
+// TestThrashGrowsVariableSpace pins the adversarial property: the thrash
+// pattern's variable footprint grows with the trace instead of being
+// bounded by the configured pool.
+func TestThrashGrowsVariableSpace(t *testing.T) {
+	cfg := shapeConfig(workload.PatternThrash, workload.ViolationNone, 6_000)
+	s := trace.ComputeStats(workload.Generate(cfg).Cursor())
+	if s.Vars < 10*cfg.Vars {
+		t.Fatalf("thrash touched only %d vars for a %d-var pool over %d events",
+			s.Vars, cfg.Vars, cfg.Events)
+	}
+}
+
+// TestConvoyFunnelsThroughHotLock pins the convoy property: (almost)
+// every transaction passes through lock 0.
+func TestConvoyFunnelsThroughHotLock(t *testing.T) {
+	cfg := shapeConfig(workload.PatternConvoy, workload.ViolationNone, 3_000)
+	tr := workload.Generate(cfg)
+	var acquires, txns int
+	for _, e := range tr.Events {
+		switch e.Kind {
+		case trace.Acquire:
+			if e.Target == 0 {
+				acquires++
+			}
+		case trace.Begin:
+			txns++
+		}
+	}
+	if acquires < txns*9/10 {
+		t.Fatalf("only %d hot-lock acquires for %d transactions", acquires, txns)
+	}
+}
+
+// TestShapeDegenerateThreadCountsFallBack mirrors the hub fallback: too
+// few threads for the role split degrade to the chain pattern instead of
+// generating a broken shape.
+func TestShapeDegenerateThreadCountsFallBack(t *testing.T) {
+	for _, tc := range []struct {
+		p       workload.Pattern
+		threads int
+	}{
+		{workload.PatternProducerConsumer, 2},
+		{workload.PatternBarrier, 1},
+	} {
+		cfg := shapeConfig(tc.p, workload.ViolationNone, 500)
+		cfg.Threads = tc.threads
+		g := workload.New(cfg)
+		if g.Config().Pattern != workload.PatternChain {
+			t.Fatalf("%s with %d threads: pattern %q, want chain fallback",
+				tc.p, tc.threads, g.Config().Pattern)
+		}
+		tr := trace.Collect(g)
+		if err := trace.ValidateStrict(tr); err != nil {
+			t.Fatalf("fallback trace malformed: %v", err)
+		}
+	}
+}

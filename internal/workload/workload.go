@@ -54,6 +54,38 @@ const (
 	// clocks should re-promote). Exercises the hysteresis levers of the
 	// adaptive clock representations.
 	PatternPhase Pattern = "phase"
+	// PatternProducerConsumer splits the workers into producers and
+	// consumers over a bounded ring of slot variables: each round one
+	// producer transaction writes the next slot and one consumer
+	// transaction reads the slot written half a ring earlier. Conflict
+	// edges flow producer → consumer (write-read on the slot) and
+	// consumer → later producer (the anti-dependency when the slot is
+	// overwritten), always forward in commit order, so the body stays
+	// conflict serializable while every clock join crosses the
+	// producer/consumer group boundary.
+	PatternProducerConsumer Pattern = "prodcons"
+	// PatternBarrier runs the body in barrier-synchronized phases: every
+	// worker transaction does private work and writes its arrival flag,
+	// then a coordinator transaction on the main thread reads all flags
+	// and publishes a new generation variable that the next phase's
+	// workers read first. The coordinator is a fan-in/fan-out hub for
+	// vector-clock joins — the widest join shape the generator produces.
+	PatternBarrier Pattern = "barrier"
+	// PatternConvoy funnels every worker through one hot lock each round:
+	// a short critical section over a single shared variable, then private
+	// work outside the lock. The dense release→acquire chain entangles all
+	// thread clocks through a single lock clock — the convoy shape that
+	// defeats tree-clock pruning and keeps the lock's clock permanently
+	// hot.
+	PatternConvoy Pattern = "convoy"
+	// PatternThrash is the adversarial admission shape: bursts of tiny
+	// one-write transactions, each touching a fresh, never-reused
+	// variable. The variable space (and with it the server's interning
+	// tables and per-variable auxiliary clocks) grows linearly with the
+	// trace while per-transaction work stays minimal — maximum metadata
+	// churn per byte of useful checking work, the trace-shape analogue of
+	// a tenant thrashing its byte quota.
+	PatternThrash Pattern = "thrash"
 )
 
 // Violation selects the kind of conflict-serializability violation to
@@ -142,6 +174,13 @@ func (c Config) withDefaults() Config {
 	// The hub pattern needs two hub threads plus at least one worker per
 	// group; degenerate thread counts fall back to the chain pattern.
 	if c.Pattern == PatternHub && c.Threads < 4 {
+		c.Pattern = PatternChain
+	}
+	// Producer/consumer needs one worker per role; the barrier needs a
+	// coordinator plus at least one worker. Degenerate counts fall back to
+	// the chain pattern, like the hub.
+	if (c.Pattern == PatternProducerConsumer && c.Threads < 3) ||
+		(c.Pattern == PatternBarrier && c.Threads < 2) {
 		c.Pattern = PatternChain
 	}
 	if c.Inject == "" {
@@ -352,6 +391,14 @@ func (g *Generator) refill() {
 		} else {
 			g.shardedRound()
 		}
+	case PatternProducerConsumer:
+		g.prodConsRound()
+	case PatternBarrier:
+		g.barrierRound()
+	case PatternConvoy:
+		g.convoyRound()
+	case PatternThrash:
+		g.thrashRound()
 	default:
 		g.chainRound()
 	}
@@ -501,6 +548,116 @@ func (g *Generator) chainRound() {
 	}
 	g.write(w, g.tokenVar(w))
 	g.end(w)
+}
+
+// prodConsRound emits one producer and one consumer transaction over the
+// bounded slot ring (the token-variable region doubles as the ring). The
+// consumer trails the producer by half the ring, so every slot it reads
+// was written slotLag rounds earlier: the write-read edge points forward
+// into the consumer, and the eventual overwrite's anti-dependency points
+// forward into a later producer — acyclic by construction.
+func (g *Generator) prodConsRound() {
+	producers := (g.cfg.Threads - 1) / 2 // threads 1..producers are producers
+	if producers < 1 {
+		producers = 1
+	}
+	ring := g.cfg.Threads // slot count = token-region size
+	slotLag := ring / 2
+	if slotLag < 1 {
+		slotLag = 1
+	}
+
+	p := 1 + g.round%producers
+	g.begin(p)
+	g.write(p, g.tokenVar(g.round%ring))
+	if g.cfg.Locks > 0 && g.round%3 == 2 {
+		l := int32(g.rng.Intn(g.cfg.Locks))
+		g.acquire(p, l)
+		g.bodyAccess(p)
+		g.release(p, l)
+	}
+	for i := 0; i < g.cfg.OpsPerTxn; i++ {
+		g.bodyAccess(p)
+	}
+	g.end(p)
+
+	if g.round >= slotLag {
+		consumers := g.cfg.Threads - 1 - producers
+		c := 1 + producers + g.round%consumers
+		g.begin(c)
+		g.read(c, g.tokenVar((g.round-slotLag)%ring))
+		for i := 0; i < g.cfg.OpsPerTxn; i++ {
+			g.bodyAccess(c)
+		}
+		g.end(c)
+	}
+}
+
+// barrierRound emits one whole barrier phase: every worker transaction
+// reads the previous phase's generation variable, does private work and
+// writes its arrival flag; then the coordinator (the main thread, which
+// no other pattern uses as a body worker) reads every flag and writes the
+// next generation. Edges fan in to the coordinator and fan out to the
+// next phase — forward only, so the body is conflict serializable.
+func (g *Generator) barrierRound() {
+	genVar := int32(0) // generation lives in the hub-variable region, unused here otherwise
+	for w := 1; w < g.cfg.Threads; w++ {
+		g.begin(w)
+		if g.round > 0 {
+			g.read(w, genVar)
+		}
+		for i := 0; i < g.cfg.OpsPerTxn; i++ {
+			g.bodyAccess(w)
+		}
+		g.write(w, g.tokenVar(w)) // arrival flag
+		g.end(w)
+	}
+	g.begin(0)
+	for w := 1; w < g.cfg.Threads; w++ {
+		g.read(0, g.tokenVar(w))
+	}
+	g.write(0, genVar)
+	g.end(0)
+}
+
+// convoyRound funnels one worker transaction through the hot lock: a
+// short critical section over the shared convoy variable, then private
+// work outside the lock. Every round extends the single release→acquire
+// chain through lock 0. A second, nested lock every few rounds keeps the
+// critical sections properly nested rather than degenerate.
+func (g *Generator) convoyRound() {
+	w := g.bodyWorker()
+	hot := int32(0)
+	convoyVar := int32(0) // shared hot variable, hub region
+	g.begin(w)
+	g.acquire(w, hot)
+	if g.cfg.Locks > 1 && g.round%4 == 1 {
+		inner := int32(1 + g.rng.Intn(g.cfg.Locks-1))
+		g.acquire(w, inner)
+		g.read(w, convoyVar)
+		g.release(w, inner)
+	} else {
+		g.read(w, convoyVar)
+	}
+	g.write(w, convoyVar)
+	g.release(w, hot)
+	for i := 0; i < g.cfg.OpsPerTxn; i++ {
+		g.bodyAccess(w)
+	}
+	g.end(w)
+}
+
+// thrashRound emits a burst of tiny one-write transactions on fresh
+// variables: OpsPerTxn transactions of three events each, every write
+// touching a variable no other event will ever touch again. Serializable
+// trivially; adversarial because the variable space grows without bound.
+func (g *Generator) thrashRound() {
+	w := g.bodyWorker()
+	for i := 0; i < g.cfg.OpsPerTxn; i++ {
+		g.begin(w)
+		g.write(w, g.freshVar())
+		g.end(w)
+	}
 }
 
 // shardedRound emits thread-private accesses, inside a transaction for a

@@ -246,6 +246,10 @@ func pipelineFuzzSeedTraces() []*trace.Trace {
 	seeds := []*trace.Trace{
 		testutil.Rho1(), testutil.Rho2(), testutil.Rho3(), testutil.Rho4(),
 		testutil.PhaseShiftTrace(testutil.PhaseShiftOpts{Threads: 5, BurstRounds: 4, SteadyRounds: 12}),
+		testutil.ProducerConsumerTrace(testutil.ProducerConsumerOpts{Producers: 2, Consumers: 2, Rounds: 40, Slots: 4}),
+		testutil.BarrierPhasesTrace(testutil.BarrierOpts{Threads: 6, Phases: 8, OpsPerTxn: 2}),
+		testutil.LockConvoyTrace(testutil.LockConvoyOpts{Threads: 6, Rounds: 40, Nested: true}),
+		testutil.QuotaThrashTrace(testutil.QuotaThrashOpts{Threads: 5, Bursts: 20, TxnsPerBurst: 3}),
 	}
 	for _, inj := range []workload.Violation{
 		workload.ViolationCross, workload.ViolationDelayed, workload.ViolationLock,
