@@ -6,6 +6,7 @@ import (
 
 	"aerodrome/internal/core"
 	"aerodrome/internal/doublechecker"
+	"aerodrome/internal/parcheck"
 	"aerodrome/internal/rapidio"
 	"aerodrome/internal/trace"
 	"aerodrome/internal/velodrome"
@@ -273,6 +274,67 @@ func CheckSTD(r io.Reader, a Algorithm) (*Report, error) {
 		Violation:    fromInternal(v),
 		Events:       n,
 		Algorithm:    eng.Name(),
+	}, nil
+}
+
+// coreAlgorithm maps public algorithm names onto internal/core variants.
+// Engines outside core (velodrome, velodrome-pk, doublechecker) have no
+// parallel partition path and report ok=false.
+func coreAlgorithm(a Algorithm) (core.Algorithm, bool) {
+	switch a {
+	case Basic:
+		return core.AlgoBasic, true
+	case ReadOpt:
+		return core.AlgoReadOpt, true
+	case Optimized, "":
+		return core.AlgoOptimized, true
+	case OptimizedTree:
+		return core.AlgoOptimizedTree, true
+	case OptimizedHybrid:
+		return core.AlgoOptimizedHybrid, true
+	case Auto:
+		return core.AlgoOptimizedAuto, true
+	}
+	return 0, false
+}
+
+// CheckSTDParallelIntra analyzes one STD trace log on up to `workers`
+// cores: the trace is partitioned into provably independent shards
+// (disjoint variables, locks and fork/join structure, see
+// internal/parcheck) and each shard is checked by its own engine in
+// parallel. When the partition cannot be proven sound — a single
+// connected component, or coordinator-thread clock flow crossing
+// shards — the trace is checked sequentially instead, so the report is
+// always byte-identical to CheckSTD: same verdict, same violation
+// EventIndex, same event count, same algorithm name.
+//
+// Unlike CheckSTD, the trace is materialized in memory (the partition
+// scan is a separate pass from checking). Algorithms without a core
+// engine (Velodrome, VelodromePK, DoubleChecker) and workers <= 1 fall
+// back to CheckSTD unchanged.
+func CheckSTDParallelIntra(r io.Reader, a Algorithm, workers int) (*Report, error) {
+	algo, ok := coreAlgorithm(a)
+	if !ok || workers <= 1 {
+		return CheckSTD(r, a)
+	}
+	rd := rapidio.NewReader(r)
+	var events []trace.Event
+	for {
+		e, more := rd.Next()
+		if !more {
+			break
+		}
+		events = append(events, e)
+	}
+	if err := rd.Err(); err != nil {
+		return nil, err
+	}
+	v, n, _ := parcheck.Check(events, algo, workers)
+	return &Report{
+		Serializable: v == nil,
+		Violation:    fromInternal(v),
+		Events:       n,
+		Algorithm:    algo.String(),
 	}, nil
 }
 

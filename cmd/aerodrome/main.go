@@ -5,16 +5,20 @@
 // Usage:
 //
 //	aerodrome [-algo optimized] [-format std] [-pipeline] [trace-file]
+//	aerodrome [-algo optimized] -par N [trace-file]
 //	aerodrome [-algo optimized] -parallel N trace-file...
 //	aerodrome [-algo auto] -serve :8421
 //	aerodrome [-algo A] -remote http://host:8421 [-incremental] [trace-file]
 //
 // With no file argument the trace is read from standard input. -pipeline
-// overlaps parsing and checking on separate goroutines; -parallel N checks
-// several trace files concurrently, one engine per trace, on N workers
-// (N < 0 selects one per CPU; the format of each file is sniffed). The
-// exit code is 0 when every trace is conflict serializable, 1 when a
-// violation was found, and 2 on usage or input errors.
+// overlaps parsing and checking on separate goroutines; -par N checks ONE
+// trace on up to N cores by partitioning it into provably independent
+// shards (exact verdicts — unprovable traces replay sequentially, see
+// internal/parcheck); -parallel N checks several trace files concurrently,
+// one engine per trace, on N workers (N < 0 selects one per CPU; the
+// format of each file is sniffed). The exit code is 0 when every trace is
+// conflict serializable, 1 when a violation was found, and 2 on usage or
+// input errors.
 //
 // -serve runs the aerodromed service in-process on the given address
 // (equivalent to the aerodromed command with default limits; -algo sets
@@ -42,6 +46,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -49,6 +54,7 @@ import (
 	"aerodrome"
 	"aerodrome/internal/core"
 	"aerodrome/internal/doublechecker"
+	"aerodrome/internal/parcheck"
 	"aerodrome/internal/pipeline"
 	"aerodrome/internal/rapidio"
 	"aerodrome/internal/server"
@@ -112,6 +118,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	quiet := fs.Bool("q", false, "suppress everything except the verdict line")
 	pipe := fs.Bool("pipeline", false, "pipeline parsing and checking on separate goroutines")
 	parallel := fs.Int("parallel", 0, "check multiple trace files concurrently on this many workers (<0 = one per CPU); implies -pipeline, sniffs each file's format (-format and -q are ignored)")
+	par := fs.Int("par", 0, "check ONE trace on this many cores by speculative shard partitioning (<0 = one per CPU); exact verdicts — falls back to a sequential pass when the trace cannot be partitioned; aerodrome engines only")
 	serve := fs.String("serve", "", "run the aerodromed service on this address instead of checking a trace (server default algo is auto unless -algo is set)")
 	remote := fs.String("remote", "", "stream the trace to a running aerodromed at this base URL instead of checking locally (the server's default algorithm applies unless -algo is set)")
 	tenant := fs.String("tenant", "", "tenant name sent with -remote requests (the server's quota and metrics bucket)")
@@ -155,6 +162,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	if *parallel != 0 {
 		return runParallel(fs.Args(), *algo, *parallel, stdout, stderr)
+	}
+	if *par != 0 {
+		if fs.NArg() > 1 {
+			fmt.Fprintln(stderr, "usage: aerodrome -par N [trace-file]")
+			return 2
+		}
+		return runParIntra(fs.Arg(0), *algo, *par, *format, *quiet, stdout, stderr)
 	}
 	if fs.NArg() > 1 {
 		fmt.Fprintln(stderr, "usage: aerodrome [-algo A] [-format F] [-pipeline] [trace-file], or aerodrome -parallel N trace-file...")
@@ -370,6 +384,80 @@ func feedSession(client *server.Client, r io.Reader, algo string, chunkBytes int
 		}
 	}
 	return sess.Close()
+}
+
+// coreAlgo maps the CLI algorithm names onto internal/core variants; the
+// non-core checkers (velodrome, velodrome-pk, doublechecker) are not
+// partitionable and report ok=false.
+func coreAlgo(algo string) (core.Algorithm, bool) {
+	switch normalizeAlgo(algo) {
+	case "basic":
+		return core.AlgoBasic, true
+	case "readopt":
+		return core.AlgoReadOpt, true
+	case "optimized", "":
+		return core.AlgoOptimized, true
+	case "treeclock":
+		return core.AlgoOptimizedTree, true
+	case "hybrid":
+		return core.AlgoOptimizedHybrid, true
+	case "auto":
+		return core.AlgoOptimizedAuto, true
+	}
+	return 0, false
+}
+
+// runParIntra checks one trace with the speculative intra-trace
+// partitioner (internal/parcheck): independent shards of the variable,
+// lock and fork/join space run on their own engines in parallel, and
+// anything unprovable replays sequentially, so the verdict is always
+// identical to a plain run. The non-quiet output adds one line of
+// partition observability.
+func runParIntra(path, algo string, workers int, format string, quiet bool, stdout, stderr io.Writer) int {
+	ca, ok := coreAlgo(algo)
+	if !ok {
+		fmt.Fprintf(stderr, "aerodrome: -par supports the aerodrome engines (basic, readopt, optimized, treeclock, hybrid, auto), not %q\n", algo)
+		return 2
+	}
+	if workers < 0 {
+		workers = runtime.NumCPU()
+	}
+	src, closeSrc, err := openSource(path, format)
+	if err != nil {
+		fmt.Fprintln(stderr, "aerodrome:", err)
+		return 2
+	}
+	defer closeSrc()
+
+	start := time.Now()
+	events := trace.Collect(src).Events
+	if errSrc, ok := src.(interface{ Err() error }); ok {
+		if err := errSrc.Err(); err != nil {
+			fmt.Fprintln(stderr, "aerodrome:", err)
+			return 2
+		}
+	}
+	v, n, stats := parcheck.Check(events, ca, workers)
+	elapsed := time.Since(start)
+
+	if !quiet {
+		fmt.Fprintf(stdout, "algorithm: %s\nevents:    %d\ntime:      %v\n", ca, n, elapsed)
+		detail := ""
+		switch {
+		case stats.Conflict:
+			detail = fmt.Sprintf(" (cross-shard flow at event %d, replayed sequentially)", stats.ConflictIndex)
+		case stats.Replayed:
+			detail = " (not partitionable, ran sequentially)"
+		}
+		fmt.Fprintf(stdout, "par:       %d workers, %d shards, %d components, %d relays%s\n",
+			workers, stats.Shards, stats.Components, stats.Relays, detail)
+	}
+	if v != nil {
+		fmt.Fprintf(stdout, "result: NOT conflict serializable — %v\n", v)
+		return 1
+	}
+	fmt.Fprintf(stdout, "result: conflict serializable (no atomicity violation)\n")
+	return 0
 }
 
 // runParallel checks every file argument concurrently (one engine and one

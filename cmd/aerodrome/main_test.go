@@ -145,6 +145,63 @@ func TestParallelMode(t *testing.T) {
 	}
 }
 
+// TestParIntraMode drives the -par intra-trace partitioner: verdicts
+// and exit codes identical to a plain run, a partition-observability
+// line in the default output, and the documented usage errors.
+func TestParIntraMode(t *testing.T) {
+	viol := writeTemp(t, "rho2.std", rho2STD)
+	ok := writeTemp(t, "rho1.std", rho1STD)
+
+	var out, errOut bytes.Buffer
+	code := run([]string{"-par", "4", viol}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1\n%s%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "NOT conflict serializable") ||
+		!strings.Contains(out.String(), "at event 5") {
+		t.Fatalf("output %q", out.String())
+	}
+	if !strings.Contains(out.String(), "par:") {
+		t.Fatalf("missing partition observability line: %q", out.String())
+	}
+
+	out.Reset()
+	if code := run([]string{"-par", "-1", ok}, &out, &errOut); code != 0 {
+		t.Fatalf("exit = %d, want 0\n%s%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "conflict serializable") {
+		t.Fatalf("output %q", out.String())
+	}
+
+	// -q suppresses everything but the verdict.
+	out.Reset()
+	if code := run([]string{"-par", "2", "-q", ok}, &out, &errOut); code != 0 {
+		t.Fatalf("quiet exit = %d\n%s", code, errOut.String())
+	}
+	if strings.Contains(out.String(), "par:") || strings.Contains(out.String(), "events:") {
+		t.Fatalf("-q leaked detail: %q", out.String())
+	}
+
+	// Non-core checkers cannot be partitioned: usage error, exit 2.
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-par", "2", "-algo", "velodrome", ok}, &out, &errOut); code != 2 {
+		t.Fatalf("velodrome -par: exit %d, want 2", code)
+	}
+	if !strings.Contains(errOut.String(), "-par supports") {
+		t.Fatalf("stderr %q", errOut.String())
+	}
+
+	// More than one file is a usage error; malformed input exits 2.
+	if code := run([]string{"-par", "2", ok, viol}, &out, &errOut); code != 2 {
+		t.Fatalf("two files: exit %d, want 2", code)
+	}
+	bad := writeTemp(t, "bad.std", "garbage\n")
+	if code := run([]string{"-par", "2", bad}, &out, &errOut); code != 2 {
+		t.Fatalf("malformed trace: exit %d, want 2", code)
+	}
+}
+
 // TestRemoteMode fronts an in-process aerodromed and requires the client
 // mode to render remote verdicts exactly like local checks, with the same
 // exit codes.

@@ -137,6 +137,11 @@ func benchJSON(stdout, stderr io.Writer, label, path string, events int64, runs 
 	fmt.Fprintf(stderr, "measuring %d rows × %d engines (%d events, %d runs each)...\n",
 		len(cfgs), len(engines), events, runs)
 	rep := bench.MeasureReport(label, engines, cfgs, runs)
+	// Par rows: the speculative intra-trace parallel checker on the same
+	// grid — par-<pattern>-t<N> next to the single-core engines it is
+	// measured against (see internal/bench/par.go for the reading guide).
+	fmt.Fprintf(stderr, "measuring par rows (intra-trace parallel checker)...\n")
+	rep.Rows = append(rep.Rows, bench.MeasureParRows(events, runs)...)
 	// Ingest rows: parse+check over in-memory STD bytes, sequential vs
 	// pipelined readers on the default engine.
 	fmt.Fprintf(stderr, "measuring %d ingest rows (sequential vs pipelined)...\n", len(cfgs))

@@ -69,12 +69,38 @@
 // steady state allocation-free, and the checker's first violation stops
 // the producer early. CheckReaderPipelined and CheckBinaryReaderPipelined
 // expose it per trace; CheckFilesParallel checks N traces concurrently,
-// one independent engine and pipeline per file (the unit of parallelism
-// is the trace — the analysis itself is inherently sequential). The
-// pipelined paths are observationally identical to the sequential ones:
-// same verdict, same violation index, same event count, enforced by a
-// concurrency-differential suite that runs under the race detector in CI
-// and by a dedicated fuzz target (FuzzPipelineDifferential).
+// one independent engine and pipeline per file. The pipelined paths are
+// observationally identical to the sequential ones: same verdict, same
+// violation index, same event count, enforced by a concurrency-
+// differential suite that runs under the race detector in CI and by a
+// dedicated fuzz target (FuzzPipelineDifferential).
+//
+// # Speculative intra-trace parallelism
+//
+// A single trace can also be checked on several cores without giving up
+// exactness (internal/parcheck; CheckSTDParallelIntra; `aerodrome -par N`).
+// The analysis is inherently sequential in general — every event may
+// observe clocks written by any earlier event — but most traces are not
+// general: a union-find pass over the trace groups threads, variables and
+// locks into connected components of the "touches" relation, components
+// are packed into S shards, and one ordinary engine per shard checks its
+// projection concurrently. Threads that only fork and join other threads
+// (the coordinator shape of every generated workload) would otherwise
+// fuse the whole trace into one component, so they are carved out as
+// relay threads and their fork/join events are replicated into the
+// shards of their counterparties. The speculation is audited, not
+// assumed: each relay carries a taint mask of the shards whose clocks
+// have flowed into it, and an event that would carry clocks from one
+// shard into another (a join from a tainted relay, observed from a
+// different shard) is a detected conflict — the whole trace is then
+// replayed on one engine, so verdicts, violation indices and event
+// counts are exact in every case. Conflict-free sharded runs and
+// replayed runs alike are pinned byte-identical to CheckSTD by a
+// differential suite (golden corpus, paper traces, scenario shapes,
+// fuzz seeds) and a dedicated fuzz target (FuzzParallelDifferential),
+// both under -race in CI. The par-* rows in BENCH_after.json measure
+// the partitioner against the sequential engines on the same grid;
+// wall-clock speedup requires actual cores (see internal/bench/par.go).
 //
 // For streams that arrive in pieces rather than behind an io.Reader — a
 // network session, a log follower — IncrementalChecker accepts arbitrary

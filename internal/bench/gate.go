@@ -51,7 +51,12 @@ func gateWorkload() workload.Config {
 }
 
 // MeasureGateRows measures the pinned gate subset: the flat Optimized
-// engine (engine-only) and the pipelined ingest path, both on sharded-t64.
+// engine (engine-only), the pipelined ingest path, and the speculative
+// intra-trace parallel checker at four workers, all on sharded-t64.
+// The par row guards the partitioner's constant factors (scan, taint
+// tracking, projection) rather than a speedup claim — the 2× budget is
+// against this row's own baseline, which already absorbs whatever core
+// count the baseline machine had.
 func MeasureGateRows() []BenchRow {
 	cfg := gateWorkload()
 	rows := []BenchRow{MeasureRow(AeroDromeVariant(core.AlgoOptimized), cfg, gateRuns)}
@@ -60,6 +65,7 @@ func MeasureGateRows() []BenchRow {
 			rows = append(rows, r)
 		}
 	}
+	rows = append(rows, MeasureParRow(cfg, 4, gateRuns))
 	return rows
 }
 

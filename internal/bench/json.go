@@ -43,6 +43,12 @@ type BenchRow struct {
 	Rejected     int64   `json:"rejected,omitempty"`
 	Failovers    int64   `json:"failovers,omitempty"`
 	OmissionDebt int64   `json:"omission_debt,omitempty"`
+	// GaveUp counts arrivals that exhausted retries; GaveUpMaxMs is the
+	// longest such arrival was held before the harness stopped retrying.
+	// Separate from the completion quantiles above so an overloaded run
+	// cannot shed its slowest arrivals into invisibility.
+	GaveUp      int64   `json:"gave_up,omitempty"`
+	GaveUpMaxMs float64 `json:"gave_up_max_ms,omitempty"`
 }
 
 // BenchReport is the top-level JSON document.

@@ -1,0 +1,114 @@
+package bench
+
+// par-* rows: the speculative intra-trace parallel checker
+// (internal/parcheck) on the same thread-scaling grid as the engine
+// rows, so its ns/event lands directly next to the single-core
+// engines it is trying to beat. Workload names are prefixed "par-"
+// (par-sharded-t64, ...), the engine label records the worker count
+// (par4x-auto). Includes the chain pattern on purpose: it is one
+// connected component, the partitioner falls back to a sequential
+// pass, and the row shows what that honesty costs (scan overhead,
+// nothing more).
+//
+// Note on reading these rows: wall-clock speedup over the sequential
+// engines requires actual cores. On a single-CPU machine the shard
+// goroutines timeshare and a par row can only match the sequential
+// engine plus scan overhead; capture baselines and afters on the same
+// machine class, as with every other row.
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"aerodrome/internal/core"
+	"aerodrome/internal/parcheck"
+	"aerodrome/internal/trace"
+	"aerodrome/internal/workload"
+)
+
+// parAlgo is the per-shard engine of the par rows: Auto, the server
+// default, which also adapts its clock representation to the smaller
+// per-shard thread width.
+const parAlgo = core.AlgoOptimizedAuto
+
+// parAlgoLabel is the short engine-label suffix ("par4x-auto").
+const parAlgoLabel = "auto"
+
+// MeasureParRows measures the intra-trace parallel checker. Events are
+// materialized once per config (the partitioner needs a slice; parse
+// cost is excluded, as in the engine rows), then each row follows the
+// MeasureRow protocol: warmup, best of runs, one instrumented run.
+func MeasureParRows(events int64, runs int) []BenchRow {
+	if runs < 1 {
+		runs = 1
+	}
+	type parCase struct {
+		cfg     workload.Config
+		workers int
+	}
+	var cases []parCase
+	for _, cfg := range ThreadScalingConfigs(events) {
+		cases = append(cases, parCase{cfg, 4})
+		if cfg.Pattern == workload.PatternSharded && cfg.Threads == 64 {
+			// The headline width: add the scaling shape around the default.
+			cases = append(cases, parCase{cfg, 2}, parCase{cfg, 8})
+		}
+	}
+
+	var rows []BenchRow
+	for _, c := range cases {
+		rows = append(rows, MeasureParRow(c.cfg, c.workers, runs))
+	}
+	return rows
+}
+
+// MeasureParRow measures one (config, worker count) cell of the par
+// grid. Exported separately so the CI perf gate (gate.go) can pin a
+// single par row without paying for the whole grid.
+func MeasureParRow(cfg workload.Config, workers, runs int) BenchRow {
+	if runs < 1 {
+		runs = 1
+	}
+	evs := trace.Collect(workload.New(cfg)).Events
+	row := BenchRow{
+		Workload: "par-" + cfg.Name,
+		Pattern:  string(cfg.Pattern),
+		Threads:  cfg.Threads,
+		Engine:   fmt.Sprintf("par%dx-%s", workers, parAlgoLabel),
+		Runs:     runs,
+	}
+
+	run := func() int64 {
+		v, n, stats := parcheck.Check(evs, parAlgo, workers)
+		if v != nil {
+			panic(fmt.Sprintf("bench: par%dx on %s: unexpected violation %v", workers, cfg.Name, v))
+		}
+		if stats.Conflict {
+			panic(fmt.Sprintf("bench: par%dx on %s: unexpected cross-shard conflict at %d",
+				workers, cfg.Name, stats.ConflictIndex))
+		}
+		return n
+	}
+
+	row.Events = run() // warmup
+
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < runs; i++ {
+		start := time.Now()
+		run()
+		if d := time.Since(start); d < best {
+			best = d
+		}
+	}
+	row.NsPerEvent = float64(best.Nanoseconds()) / float64(row.Events)
+
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	run()
+	runtime.ReadMemStats(&after)
+	row.AllocsPerEvent = float64(after.Mallocs-before.Mallocs) / float64(row.Events)
+	row.BytesPerEvent = float64(after.TotalAlloc-before.TotalAlloc) / float64(row.Events)
+	return row
+}

@@ -182,6 +182,13 @@ type RunStats struct {
 	// Hist holds end-to-end latencies of completed requests, measured
 	// from each arrival's scheduled time.
 	Hist *Hist
+	// GaveUpHist holds end-to-end latencies of the GaveUp arrivals —
+	// scheduled time to the moment the target exhausted its retries.
+	// Kept separate from Hist on purpose: folding retry-exhausted
+	// arrivals into the completion quantiles would poison them, but
+	// dropping them entirely lets an overloaded run's tail read rosier
+	// than what clients experienced.
+	GaveUpHist *Hist
 }
 
 // P50, P99 and P999 report the standard latency quantiles in ms.
@@ -189,11 +196,16 @@ func (s RunStats) P50() float64  { return s.Hist.Quantile(0.50) }
 func (s RunStats) P99() float64  { return s.Hist.Quantile(0.99) }
 func (s RunStats) P999() float64 { return s.Hist.Quantile(0.999) }
 
+// GaveUpP99 and GaveUpMax report how long gave-up arrivals were held
+// before the harness stopped retrying (ms; 0 when none gave up).
+func (s RunStats) GaveUpP99() float64 { return s.GaveUpHist.Quantile(0.99) }
+func (s RunStats) GaveUpMax() float64 { return s.GaveUpHist.Quantile(1) }
+
 // Run drives the schedule against the target and blocks until every
 // dispatched arrival has completed. The arrival clock runs on the
 // calling goroutine and never blocks on the target.
 func Run(cfg RunnerConfig, schedule []Arrival, target Target) RunStats {
-	stats := RunStats{Arrivals: int64(len(schedule)), Hist: &Hist{}}
+	stats := RunStats{Arrivals: int64(len(schedule)), Hist: &Hist{}, GaveUpHist: &Hist{}}
 	type job struct {
 		a         Arrival
 		scheduled time.Time
@@ -218,6 +230,7 @@ func Run(cfg RunnerConfig, schedule []Arrival, target Target) RunStats {
 					stats.Hist.Record(time.Since(j.scheduled))
 				default:
 					gaveUp.Add(1)
+					stats.GaveUpHist.Record(time.Since(j.scheduled))
 				}
 			}
 		}(w)

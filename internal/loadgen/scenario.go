@@ -233,6 +233,8 @@ func (s Scenario) Measure(topo, baseURL string, client *http.Client) (bench.Benc
 		Rejected:     stats.Rejected,
 		Failovers:    Failovers(client, baseURL) - failBefore,
 		OmissionDebt: stats.Debt,
+		GaveUp:       stats.GaveUp,
+		GaveUpMaxMs:  round3(stats.GaveUpMax()),
 	}
 	return row, stats, nil
 }

@@ -110,7 +110,10 @@ func (t *CheckTarget) Do(_ int, a Arrival) Result {
 		// budget bucket) rather than budget-shopping.
 		req.Header.Set(server.RouterTraceHeader,
 			fmt.Sprintf("%s-%s-%d", t.KeyPrefix, a.Tenant, a.Seq))
-		req.Header.Set("Expect", "100-continue")
+		// No Expect: 100-continue here: against a server or transport
+		// that never sends the interim response it stalls every admitted
+		// check for the transport's ExpectContinueTimeout, silently
+		// inflating each load-* latency row.
 		resp, out := bench.Attempt(t.client(), req)
 		switch out {
 		case bench.OutcomeOK:
@@ -130,7 +133,12 @@ func (t *CheckTarget) Do(_ int, a Arrival) Result {
 				io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<12))
 				resp.Body.Close()
 			}
-			time.Sleep(delay)
+			// Backoff buys the *next* attempt room; after the last one
+			// there is nothing to buy, and sleeping would hold the worker
+			// slot (and stretch the gave-up latency) for nothing.
+			if attempt < loadAttempts-1 {
+				time.Sleep(delay)
+			}
 		default:
 			resp.Body.Close()
 			res.Hard = true
@@ -271,7 +279,13 @@ func Prime(client *http.Client, baseURL string, data []byte, budget time.Duratio
 			} else {
 				lastErr = fmt.Errorf("transport error")
 			}
-			time.Sleep(loadPolicy.Delay(resp))
+			// A backoff that would cross the deadline buys no further
+			// attempt — fail now instead of sleeping past the budget.
+			delay := loadPolicy.Delay(resp)
+			if !time.Now().Add(delay).Before(deadline) {
+				return fmt.Errorf("prime: no admitted check within %v (last: %v)", budget, lastErr)
+			}
+			time.Sleep(delay)
 		default:
 			resp.Body.Close()
 			return fmt.Errorf("prime: HTTP %d", resp.StatusCode)

@@ -1,0 +1,151 @@
+package loadgen
+
+// Honesty tests for the load targets: the /v1/check requests must not
+// carry Expect: 100-continue (it stalls every admitted check for the
+// transport's ExpectContinueTimeout against servers that never send
+// the interim response), a gave-up arrival must not pay a trailing
+// backoff sleep after its final attempt, Prime must not sleep past its
+// budget, and gave-up arrivals must be visible in Run's latency
+// accounting instead of vanishing from the histograms.
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+)
+
+// headerRecordingTransport captures every outgoing request's headers
+// (and the time its response was handed back) before delegating — the
+// client side of the wire, where the Expect header would live before
+// the transport's special handling.
+type headerRecordingTransport struct {
+	mu      sync.Mutex
+	headers []http.Header
+	lastRT  time.Time
+}
+
+func (rt *headerRecordingTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	rt.mu.Lock()
+	rt.headers = append(rt.headers, req.Header.Clone())
+	rt.mu.Unlock()
+	resp, err := http.DefaultTransport.RoundTrip(req)
+	rt.mu.Lock()
+	rt.lastRT = time.Now()
+	rt.mu.Unlock()
+	return resp, err
+}
+
+func TestCheckRequestsCarryNoExpectHeader(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"serializable":true,"events":3,"algorithm":"aerodrome-optimized"}`)
+	}))
+	defer ts.Close()
+
+	rt := &headerRecordingTransport{}
+	target := &CheckTarget{
+		BaseURL: ts.URL, Data: []byte("t0|begin|0\n"),
+		Expect:    Expect{Serializable: true, Events: 3},
+		KeyPrefix: "hdr", Client: &http.Client{Transport: rt},
+	}
+	res := target.Do(0, Arrival{Tenant: "hdr-test"})
+	if !res.OK {
+		t.Fatalf("check did not complete: %+v", res)
+	}
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if len(rt.headers) == 0 {
+		t.Fatal("no request captured")
+	}
+	for i, h := range rt.headers {
+		if v := h.Get("Expect"); v != "" {
+			t.Fatalf("request %d carries Expect: %q — stalls every admitted check for ExpectContinueTimeout", i, v)
+		}
+	}
+}
+
+// TestGaveUpCostsNoTrailingSleep pins the final-attempt fix: against a
+// server that always says 429 with a Retry-After worth the full backoff
+// cap, exhausting retries must return promptly after the last response
+// instead of sleeping one more capped delay with nothing left to retry.
+func TestGaveUpCostsNoTrailingSleep(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1") // capped to loadRetryCap (250ms)
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+
+	rt := &headerRecordingTransport{}
+	target := &CheckTarget{
+		BaseURL: ts.URL, Data: []byte("x"),
+		KeyPrefix: "gaveup", Client: &http.Client{Transport: rt},
+	}
+	res := target.Do(0, Arrival{Tenant: "gaveup-test"})
+	done := time.Now()
+	if res.OK || res.Hard {
+		t.Fatalf("expected gave-up result, got %+v", res)
+	}
+	if res.Rejections != loadAttempts {
+		t.Fatalf("rejections %d, want %d", res.Rejections, loadAttempts)
+	}
+	rt.mu.Lock()
+	tail := done.Sub(rt.lastRT)
+	rt.mu.Unlock()
+	if tail >= loadRetryCap {
+		t.Fatalf("Do slept ~%v after the final attempt (>= the %v cap) — wasted worker-slot time", tail, loadRetryCap)
+	}
+}
+
+// TestPrimeDoesNotSleepPastBudget pins Prime's version of the same fix:
+// when the next backoff would cross the deadline, fail now.
+func TestPrimeDoesNotSleepPastBudget(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Retry-After", "1")
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+
+	budget := 400 * time.Millisecond
+	start := time.Now()
+	err := Prime(nil, ts.URL, []byte("x"), budget)
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("prime against an always-503 server must fail")
+	}
+	// Attempts land at ~0ms and ~250ms; the next capped backoff would end
+	// past the 400ms deadline, so the fixed Prime bails at ~250ms. The old
+	// code slept through the deadline and returned at ~500ms.
+	if elapsed >= budget {
+		t.Fatalf("prime took %v — slept past its %v budget instead of bailing", elapsed, budget)
+	}
+}
+
+// TestGaveUpVisibleInRunAccounting pins the open-loop accounting: a
+// dispatched arrival that exhausts retries must land in the gave-up
+// histogram with its end-to-end time, and must not contaminate the
+// completion histogram.
+func TestGaveUpVisibleInRunAccounting(t *testing.T) {
+	const held = 30 * time.Millisecond
+	schedule := []Arrival{{At: 0, Tenant: "t"}, {At: time.Millisecond, Tenant: "t"}}
+	stats := Run(RunnerConfig{Workers: 2, Queue: 4}, schedule, TargetFunc(func(_ int, _ Arrival) Result {
+		time.Sleep(held)
+		return Result{Rejections: 3} // exhausted retries: neither OK nor Hard
+	}))
+	if stats.GaveUp != int64(len(schedule)) {
+		t.Fatalf("GaveUp %d, want %d", stats.GaveUp, len(schedule))
+	}
+	if got := stats.GaveUpHist.Count(); got != stats.GaveUp {
+		t.Fatalf("gave-up histogram holds %d observations for %d gave-up arrivals", got, stats.GaveUp)
+	}
+	if max := stats.GaveUpMax(); max < float64(held.Milliseconds()) {
+		t.Fatalf("GaveUpMax %.3fms — lost the time the arrival was actually held (>= %v)", max, held)
+	}
+	if stats.Hist.Count() != 0 {
+		t.Fatalf("completion histogram recorded %d observations from gave-up arrivals", stats.Hist.Count())
+	}
+	if stats.Completed != 0 || stats.Hard != 0 {
+		t.Fatalf("unexpected outcome counts: %+v", stats)
+	}
+}

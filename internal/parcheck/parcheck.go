@@ -1,0 +1,499 @@
+// Package parcheck checks one trace on N cores, speculatively.
+//
+// The AeroDrome algorithm is inherently sequential per trace: every
+// engine so far processes events one at a time, so the scaling unit has
+// been one core per stream. This package attacks the single-core wall
+// by partitioning the trace into shards that provably cannot interact
+// and running one full engine per shard in parallel.
+//
+// # Partitioning
+//
+// A scan pass builds the interaction graph of the trace: every access
+// event r/w(x), acq/rel(ℓ) ties its thread to the variable or lock, and
+// every fork/join between two worker threads ties the threads together.
+// Union-find over that graph yields connected components; events of
+// different components share no variable, lock, or fork/join edge, so
+// no vector-clock content can ever flow between them and no check in
+// one component can observe the other. Components are packed into S
+// shards (greedy, largest first), and each shard's event projection is
+// checked by a fresh engine of the selected algorithm.
+//
+// # Relay threads
+//
+// Taken literally, the graph above has one giant component in almost
+// every real trace: a main thread forks every worker and joins them at
+// the end, welding all components together. But such a pure
+// coordinator — a thread with no begin and no access events of its own,
+// only forks and joins — can never fail a check itself (every check in
+// every engine is gated on an open transaction, and a thread with no
+// begins never has one) and never increments its own clock. We call
+// these threads relays and exclude their fork/join edges from the
+// component graph. Instead, the scan tracks per relay a taint set: the
+// set of shards whose clock content has flowed into the relay's clock
+// (via join(relay, worker) or fork(worker, relay)). A relay's clock may
+// be consumed — by fork(relay, worker), which seeds the worker's clock,
+// or join(worker, relay), which runs the join check — only in a shard
+// that covers its whole taint set; the relay's clock copy held by that
+// shard's engine is then exactly the global one. Relay–relay fork/join
+// events are replicated into every shard (they can carry no
+// non-replicated content until tainted, and can never fire a check).
+//
+// # Speculation and exactness
+//
+// If the scan finds a consumption that crosses shards — a relay tainted
+// by shard A consumed in shard B — the speculative partition is
+// unsound, and the whole trace is replayed through one sequential
+// engine of the same algorithm. The scan is a cheap single pass over
+// the event slice, so failed speculation costs one scan, not one
+// checking pass. There is no narrower replay window: engine states
+// cannot be merged mid-stream, so partial replay of "the affected
+// window" would need exactly the cross-shard clock content whose
+// absence triggered the replay.
+//
+// On success, verdicts are exact, not approximate: each shard engine
+// sees a projection whose events carry their global indices, the first
+// violation across shards (by global index) is the same violation the
+// sequential engine reports, and clean traces report the same event
+// count. The differential suites and FuzzParallelDifferential at the
+// repository root hold Check to byte-identical reports against
+// aerodrome.CheckSTD.
+package parcheck
+
+import (
+	"sort"
+	"sync"
+
+	"aerodrome/internal/core"
+	"aerodrome/internal/trace"
+)
+
+// MaxShards bounds the shard count; taint sets are uint64 bitmasks.
+const MaxShards = 64
+
+// Stats describes what the partitioner did with a trace, for
+// observability in the CLI (-par -v) and the bench rows.
+type Stats struct {
+	// Shards is the number of engines that actually ran. 1 means the
+	// trace was checked sequentially (single component, or conflict).
+	Shards int
+	// Components is the number of independent components the scan found.
+	Components int
+	// Relays is the number of relay (pure coordinator) threads.
+	Relays int
+	// Replicated counts relay–relay events copied into every shard.
+	Replicated int64
+	// Conflict reports that cross-shard clock flow forced a sequential
+	// replay; ConflictIndex is the global index of the offending event
+	// (-1 when Conflict is false).
+	Conflict      bool
+	ConflictIndex int64
+	// Replayed reports that the verdict came from a sequential pass
+	// (conflict, degenerate partition, or workers <= 1).
+	Replayed bool
+}
+
+// shardProj is one shard's event projection plus the global index of
+// each projected event.
+type shardProj struct {
+	events []trace.Event
+	glob   []int64
+}
+
+// Check partitions events and checks the shards in parallel with
+// engines of the selected algorithm, falling back to one sequential
+// pass whenever the partition cannot be proven sound. The returned
+// violation (nil if serializable) and event count are identical to
+// running core.Run over a single engine: the violation's Index is the
+// global event index, and the count is Index+1 on violation or
+// len(events) on a clean trace.
+func Check(events []trace.Event, algo core.Algorithm, shards int) (*core.Violation, int64, Stats) {
+	stats := Stats{Shards: 1, ConflictIndex: -1}
+	if shards > MaxShards {
+		shards = MaxShards
+	}
+	if shards <= 1 || len(events) == 0 {
+		stats.Replayed = true
+		v, n := runSequential(events, algo)
+		return v, n, stats
+	}
+
+	p := scan(events)
+	stats.Components = len(p.roots)
+	stats.Relays = p.relays
+	if p.invalid || len(p.roots) < 2 {
+		stats.Replayed = true
+		v, n := runSequential(events, algo)
+		return v, n, stats
+	}
+
+	shardOf := p.pack(shards)
+	nShards := 0
+	for _, s := range shardOf {
+		if int(s)+1 > nShards {
+			nShards = int(s) + 1
+		}
+	}
+	if nShards < 2 {
+		stats.Replayed = true
+		v, n := runSequential(events, algo)
+		return v, n, stats
+	}
+	stats.Shards = nShards
+
+	projs, replicated, conflictAt := p.project(events, shardOf, nShards)
+	stats.Replicated = replicated
+	if conflictAt >= 0 {
+		stats.Conflict = true
+		stats.ConflictIndex = conflictAt
+		stats.Replayed = true
+		stats.Shards = 1
+		v, n := runSequential(events, algo)
+		return v, n, stats
+	}
+
+	v := runShards(projs, algo)
+	if v != nil {
+		return v, v.Index + 1, stats
+	}
+	return nil, int64(len(events)), stats
+}
+
+// runSequential is the exact reference pass: one engine over the whole
+// slice.
+func runSequential(events []trace.Event, algo core.Algorithm) (*core.Violation, int64) {
+	eng := core.New(algo)
+	for _, e := range events {
+		if v := eng.Process(e); v != nil {
+			return v, eng.Processed()
+		}
+	}
+	return eng.Violation(), eng.Processed()
+}
+
+// runShards checks every projection with its own engine, concurrently,
+// and merges to the violation with the smallest global index (the one
+// the sequential engine would have reported first).
+func runShards(projs []shardProj, algo core.Algorithm) *core.Violation {
+	type verdict struct {
+		v    *core.Violation
+		glob int64
+	}
+	verdicts := make([]verdict, len(projs))
+	var wg sync.WaitGroup
+	for i := range projs {
+		if len(projs[i].events) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			eng := core.New(algo)
+			p := &projs[i]
+			for j, e := range p.events {
+				if v := eng.Process(e); v != nil {
+					verdicts[i] = verdict{v: v, glob: p.glob[j]}
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	var best *core.Violation
+	bestGlob := int64(-1)
+	for _, vd := range verdicts {
+		if vd.v == nil {
+			continue
+		}
+		if bestGlob < 0 || vd.glob < bestGlob {
+			bestGlob = vd.glob
+			best = vd.v
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	// The engine reported the index local to its projection; rewrite it
+	// to the global position so reports match the sequential engine.
+	out := *best
+	out.Index = bestGlob
+	return &out
+}
+
+// partition is the result of the scan pass: union-find state over
+// worker threads, variables and locks, plus relay classification.
+type partition struct {
+	parent []int32 // union-find forest over thread/var/lock nodes
+	size   []int32
+	nT, nV int32 // node-id offsets: vars at nT, locks at nT+nV
+
+	relay   []bool  // per thread: pure coordinator (no begin/end/access)
+	count   []int64 // events per root node (worker own-events only)
+	roots   []int32 // distinct roots that own at least one thread
+	relays  int
+	invalid bool // out-of-range IDs: fall back to sequential
+}
+
+// scan classifies threads and builds components. Two sub-passes: the
+// first finds each thread's highest IDs and whether it is a relay, the
+// second unions access and worker fork/join edges.
+func scan(events []trace.Event) *partition {
+	p := &partition{}
+	var maxT, maxV, maxL int32 = -1, -1, -1
+	for _, e := range events {
+		t := int32(e.Thread)
+		if t < 0 {
+			p.invalid = true
+			return p
+		}
+		if t > maxT {
+			maxT = t
+		}
+		switch e.Kind {
+		case trace.Read, trace.Write:
+			if e.Target < 0 {
+				p.invalid = true
+				return p
+			}
+			if e.Target > maxV {
+				maxV = e.Target
+			}
+		case trace.Acquire, trace.Release:
+			if e.Target < 0 {
+				p.invalid = true
+				return p
+			}
+			if e.Target > maxL {
+				maxL = e.Target
+			}
+		case trace.Fork, trace.Join:
+			if e.Target < 0 {
+				p.invalid = true
+				return p
+			}
+			if e.Target > maxT {
+				maxT = e.Target
+			}
+		}
+	}
+
+	p.nT, p.nV = maxT+1, maxV+1
+	nL := maxL + 1
+	n := p.nT + p.nV + nL
+	p.parent = make([]int32, n)
+	p.size = make([]int32, n)
+	for i := range p.parent {
+		p.parent[i] = int32(i)
+		p.size[i] = 1
+	}
+
+	// Relay = no begin, no end, no access event of its own. End without
+	// begin cannot occur in a well-formed trace, but the engines accept
+	// such streams, so classification must too.
+	p.relay = make([]bool, p.nT)
+	for i := range p.relay {
+		p.relay[i] = true
+	}
+	for _, e := range events {
+		switch e.Kind {
+		case trace.Begin, trace.End, trace.Read, trace.Write, trace.Acquire, trace.Release:
+			p.relay[e.Thread] = false
+		}
+	}
+	for t := int32(0); t < p.nT; t++ {
+		if p.relay[t] {
+			p.relays++
+		}
+	}
+
+	for _, e := range events {
+		t := int32(e.Thread)
+		switch e.Kind {
+		case trace.Read, trace.Write:
+			p.union(t, p.nT+e.Target)
+		case trace.Acquire, trace.Release:
+			p.union(t, p.nT+p.nV+e.Target)
+		case trace.Fork, trace.Join:
+			if !p.relay[t] && !p.relay[e.Target] {
+				p.union(t, e.Target)
+			}
+		}
+	}
+
+	// Attribute every worker-thread event to its component; relay
+	// events are assigned (or replicated) during projection.
+	p.count = make([]int64, n)
+	for _, e := range events {
+		if !p.relay[e.Thread] {
+			p.count[p.find(int32(e.Thread))]++
+		}
+	}
+	seen := make(map[int32]bool)
+	for t := int32(0); t < p.nT; t++ {
+		if p.relay[t] {
+			continue
+		}
+		r := p.find(t)
+		if !seen[r] {
+			seen[r] = true
+			p.roots = append(p.roots, r)
+		}
+	}
+	return p
+}
+
+func (p *partition) find(x int32) int32 {
+	for p.parent[x] != x {
+		p.parent[x] = p.parent[p.parent[x]] // path halving
+		x = p.parent[x]
+	}
+	return x
+}
+
+func (p *partition) union(a, b int32) {
+	ra, rb := p.find(a), p.find(b)
+	if ra == rb {
+		return
+	}
+	if p.size[ra] < p.size[rb] {
+		ra, rb = rb, ra
+	}
+	p.parent[rb] = ra
+	p.size[ra] += p.size[rb]
+}
+
+// pack assigns components to at most `shards` bins, largest component
+// first into the least-loaded bin. The order is fully deterministic
+// (count descending, root ascending; ties to the lowest bin), so two
+// runs over the same trace shard identically. Returns shard index per
+// union-find root (-1 for nodes owning no component).
+func (p *partition) pack(shards int) []int32 {
+	if shards > len(p.roots) {
+		shards = len(p.roots)
+	}
+	order := append([]int32(nil), p.roots...)
+	sort.Slice(order, func(i, j int) bool {
+		ci, cj := p.count[order[i]], p.count[order[j]]
+		if ci != cj {
+			return ci > cj
+		}
+		return order[i] < order[j]
+	})
+	load := make([]int64, shards)
+	shardOf := make([]int32, len(p.parent))
+	for i := range shardOf {
+		shardOf[i] = -1
+	}
+	for _, r := range order {
+		best := 0
+		for b := 1; b < shards; b++ {
+			if load[b] < load[best] {
+				best = b
+			}
+		}
+		shardOf[r] = int32(best)
+		load[best] += p.count[r]
+	}
+	return shardOf
+}
+
+// project builds the per-shard projections and runs the relay-taint
+// soundness check. Returns the projections, the count of replicated
+// relay–relay events, and the global index of the first cross-shard
+// consumption (-1 if the partition is sound).
+func (p *partition) project(events []trace.Event, shardOf []int32, nShards int) ([]shardProj, int64, int64) {
+	projs := make([]shardProj, nShards)
+	caps := make([]int64, nShards)
+	for _, r := range p.roots {
+		if s := shardOf[r]; s >= 0 {
+			caps[s] += p.count[r]
+		}
+	}
+	for s := range projs {
+		projs[s].events = make([]trace.Event, 0, caps[s])
+		projs[s].glob = make([]int64, 0, caps[s])
+	}
+	// taint[r] is the bitmask of shards whose content flowed into relay
+	// r's clock. Consumption of r's clock in shard s is sound only if
+	// taint[r] ⊆ {s}.
+	taint := make([]uint64, p.nT)
+	var replicated int64
+
+	add := func(s int32, e trace.Event, i int64) {
+		projs[s].events = append(projs[s].events, e)
+		projs[s].glob = append(projs[s].glob, i)
+	}
+	replicate := func(e trace.Event, i int64) {
+		for s := range projs {
+			add(int32(s), e, i)
+		}
+		replicated++
+	}
+
+	for i, e := range events {
+		gi := int64(i)
+		t := int32(e.Thread)
+		if !p.relay[t] {
+			s := shardOf[p.find(t)]
+			switch e.Kind {
+			case trace.Fork, trace.Join:
+				u := e.Target
+				if !p.relay[u] {
+					add(s, e, gi) // same component by construction
+					continue
+				}
+				bit := uint64(1) << uint(s)
+				if e.Kind == trace.Join {
+					// join(worker, relay) consumes the relay's clock
+					// (flow + the join check): every tainting shard
+					// must be this one.
+					if taint[u]&^bit != 0 {
+						return nil, replicated, gi
+					}
+				} else {
+					// fork(worker, relay) flows the worker's clock
+					// into the relay: taint it with this shard.
+					taint[u] |= bit
+				}
+				add(s, e, gi)
+			default:
+				add(s, e, gi)
+			}
+			continue
+		}
+
+		// Relay-thread events: only forks and joins by classification.
+		u := e.Target
+		if p.relay[u] {
+			// Relay–relay flow can never fire a check (no open
+			// transactions on either side) and carries only content
+			// every shard already has, plus whatever the taints record.
+			switch e.Kind {
+			case trace.Fork:
+				taint[u] |= taint[t]
+			case trace.Join:
+				taint[t] |= taint[u]
+			}
+			replicate(e, gi)
+			continue
+		}
+		s := shardOf[p.find(u)]
+		bit := uint64(1) << uint(s)
+		switch e.Kind {
+		case trace.Fork:
+			// fork(relay, worker) consumes the relay's clock to seed
+			// the worker: sound only if shard s holds all of it.
+			if taint[t]&^bit != 0 {
+				return nil, replicated, gi
+			}
+		case trace.Join:
+			// join(relay, worker) flows the worker's clock into the
+			// relay; no check can fire (the relay has no open
+			// transaction), so absorbing foreign content is fine — it
+			// taints the relay for later consumption.
+			taint[t] |= bit
+		}
+		add(s, e, gi)
+	}
+	return projs, replicated, -1
+}

@@ -1,0 +1,255 @@
+package parcheck
+
+import (
+	"testing"
+
+	"aerodrome/internal/core"
+	"aerodrome/internal/trace"
+	"aerodrome/internal/workload"
+)
+
+// ev builds one event.
+func ev(t trace.ThreadID, k trace.OpKind, target int32) trace.Event {
+	return trace.Event{Thread: t, Kind: k, Target: target}
+}
+
+// genEvents renders a workload config to a materialized event slice.
+func genEvents(t *testing.T, cfg workload.Config) []trace.Event {
+	t.Helper()
+	return trace.Collect(workload.New(cfg)).Events
+}
+
+// requireSameVerdict runs Check against the one-engine reference and
+// fails on any observable difference.
+func requireSameVerdict(t *testing.T, events []trace.Event, algo core.Algorithm, shards int) Stats {
+	t.Helper()
+	wantV, wantN := runSequential(events, algo)
+	gotV, gotN, stats := Check(events, algo, shards)
+	if gotN != wantN {
+		t.Fatalf("event count: parallel %d, sequential %d (stats %+v)", gotN, wantN, stats)
+	}
+	if (gotV == nil) != (wantV == nil) {
+		t.Fatalf("verdict: parallel violation=%v, sequential violation=%v (stats %+v)", gotV, wantV, stats)
+	}
+	if gotV != nil {
+		if gotV.Index != wantV.Index || gotV.Check != wantV.Check ||
+			gotV.ActiveThread != wantV.ActiveThread || gotV.Event != wantV.Event ||
+			gotV.Algorithm != wantV.Algorithm {
+			t.Fatalf("violation mismatch:\n  parallel   %+v\n  sequential %+v\n  stats %+v", *gotV, *wantV, stats)
+		}
+	}
+	return stats
+}
+
+func patterns() []workload.Pattern {
+	return []workload.Pattern{
+		workload.PatternHub, workload.PatternChain, workload.PatternSharded,
+		workload.PatternPhase, workload.PatternProducerConsumer,
+		workload.PatternBarrier, workload.PatternConvoy, workload.PatternThrash,
+	}
+}
+
+// TestParallelMatchesSequentialShapes holds Check to the sequential
+// verdict over every workload shape, clean and injected, across shard
+// counts. The root-level differential suite repeats this through the
+// public API with every algorithm; here Optimized and Basic keep the
+// unit-level loop fast.
+func TestParallelMatchesSequentialShapes(t *testing.T) {
+	for _, pat := range patterns() {
+		for _, inj := range []workload.Violation{workload.ViolationNone, workload.ViolationCross, workload.ViolationLock} {
+			cfg := workload.Config{
+				Name: "parcheck", Threads: 8, Vars: 256, Locks: 4,
+				Events: 4000, OpsPerTxn: 4, TxnFraction: 0.5,
+				Pattern: pat, Inject: inj, InjectAt: 0.6, Seed: 7,
+			}
+			events := genEvents(t, cfg)
+			for _, shards := range []int{2, 4, 8} {
+				for _, algo := range []core.Algorithm{core.AlgoBasic, core.AlgoOptimized} {
+					requireSameVerdict(t, events, algo, shards)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelShardsShardedPattern pins the whole point of the package:
+// the sharded pattern (thread-private variables, relay main thread)
+// must actually split into parallel shards, not fall back.
+func TestParallelShardsShardedPattern(t *testing.T) {
+	events := genEvents(t, workload.Config{
+		Name: "parcheck", Threads: 9, Vars: 512, Locks: 1,
+		Events: 8000, OpsPerTxn: 4, TxnFraction: 0.5,
+		Pattern: workload.PatternSharded, Seed: 11,
+	})
+	stats := requireSameVerdict(t, events, core.AlgoOptimized, 4)
+	if stats.Shards < 2 {
+		t.Fatalf("sharded pattern did not parallelize: %+v", stats)
+	}
+	if stats.Replayed || stats.Conflict {
+		t.Fatalf("sharded pattern fell back to sequential: %+v", stats)
+	}
+	if stats.Relays == 0 {
+		t.Fatalf("main thread not classified as relay: %+v", stats)
+	}
+}
+
+// TestParallelChainFallsBack pins the honest negative: the chain
+// pattern welds every worker into one component, so Check must detect
+// the degenerate partition and run sequentially rather than pretend.
+func TestParallelChainFallsBack(t *testing.T) {
+	events := genEvents(t, workload.Config{
+		Name: "parcheck", Threads: 8, Vars: 128, Locks: 1,
+		Events: 4000, OpsPerTxn: 4, Pattern: workload.PatternChain, Seed: 3,
+	})
+	stats := requireSameVerdict(t, events, core.AlgoOptimized, 4)
+	if stats.Shards != 1 || !stats.Replayed {
+		t.Fatalf("chain pattern should run sequentially: %+v", stats)
+	}
+	if stats.Components > 1 {
+		t.Fatalf("chain pattern should be one component, got %d", stats.Components)
+	}
+}
+
+// TestParallelConflictReplays drives the taint detector: a relay joins
+// a worker from one component and then forks a thread of another, so
+// its clock crosses shards and the speculative partition must abandon
+// itself — with the verdict still exactly sequential.
+func TestParallelConflictReplays(t *testing.T) {
+	// Threads: 0 relay; 1 owns x0; 2 and 3 share x1 (one component).
+	events := []trace.Event{
+		ev(0, trace.Fork, 1),
+		ev(0, trace.Fork, 2),
+		ev(1, trace.Begin, 0), ev(1, trace.Write, 0), ev(1, trace.End, 0),
+		ev(2, trace.Begin, 0), ev(2, trace.Write, 1), ev(2, trace.End, 0),
+		ev(0, trace.Join, 1), // taints the relay with thread 1's shard
+		ev(0, trace.Fork, 3), // consumes the relay's clock in thread 3's shard
+		ev(3, trace.Begin, 0), ev(3, trace.Write, 1), ev(3, trace.End, 0),
+		ev(0, trace.Join, 2),
+		ev(0, trace.Join, 3),
+	}
+	stats := requireSameVerdict(t, events, core.AlgoOptimized, 2)
+	if !stats.Conflict || !stats.Replayed {
+		t.Fatalf("cross-shard relay flow not detected: %+v", stats)
+	}
+	if stats.ConflictIndex != 9 {
+		t.Fatalf("conflict index: got %d, want 9 (the fork(0,3)): %+v", stats.ConflictIndex, stats)
+	}
+}
+
+// TestParallelRelayChainReplicates pins relay–relay handling: a
+// coordinator forking a sub-coordinator must replicate those events
+// into every shard and still split the workers.
+func TestParallelRelayChainReplicates(t *testing.T) {
+	// 0 and 1 are relays; 2 and 3 are independent workers.
+	events := []trace.Event{
+		ev(0, trace.Fork, 1),
+		ev(1, trace.Fork, 2),
+		ev(1, trace.Fork, 3),
+		ev(2, trace.Begin, 0), ev(2, trace.Write, 0), ev(2, trace.End, 0),
+		ev(3, trace.Begin, 0), ev(3, trace.Write, 1), ev(3, trace.End, 0),
+		ev(1, trace.Join, 2),
+		ev(1, trace.Join, 3),
+		ev(0, trace.Join, 1),
+	}
+	stats := requireSameVerdict(t, events, core.AlgoOptimized, 2)
+	if stats.Shards != 2 {
+		t.Fatalf("independent workers under a relay chain should shard: %+v", stats)
+	}
+	if stats.Replicated == 0 {
+		t.Fatalf("relay–relay events should be replicated: %+v", stats)
+	}
+	if stats.Relays != 2 {
+		t.Fatalf("relay count: got %d, want 2", stats.Relays)
+	}
+}
+
+// TestParallelInjectedViolationIndex pins global-index mapping: an
+// injected violation inside one shard must surface with its global
+// EventIndex, not the projection-local one.
+func TestParallelInjectedViolationIndex(t *testing.T) {
+	events := genEvents(t, workload.Config{
+		Name: "parcheck", Threads: 9, Vars: 512, Locks: 1,
+		Events: 8000, OpsPerTxn: 4, TxnFraction: 0.5,
+		Pattern: workload.PatternSharded,
+		Inject:  workload.ViolationCross, InjectAt: 0.7, Seed: 13,
+	})
+	wantV, _ := runSequential(events, core.AlgoOptimized)
+	if wantV == nil {
+		t.Fatal("injected workload unexpectedly clean")
+	}
+	stats := requireSameVerdict(t, events, core.AlgoOptimized, 4)
+	// The cross injection welds two workers into one component; the rest
+	// must still shard.
+	if stats.Shards < 2 {
+		t.Fatalf("injected sharded workload should still parallelize: %+v", stats)
+	}
+}
+
+// TestParallelDegenerateInputs covers the edges: empty trace, single
+// thread, shards<=1, and relay-only traces.
+func TestParallelDegenerateInputs(t *testing.T) {
+	requireSameVerdict(t, nil, core.AlgoOptimized, 4)
+
+	single := []trace.Event{
+		ev(0, trace.Begin, 0), ev(0, trace.Write, 0), ev(0, trace.End, 0),
+	}
+	if stats := requireSameVerdict(t, single, core.AlgoOptimized, 4); stats.Shards != 1 {
+		t.Fatalf("single-component trace should not claim shards: %+v", stats)
+	}
+
+	relayOnly := []trace.Event{ev(0, trace.Fork, 1), ev(0, trace.Join, 1)}
+	requireSameVerdict(t, relayOnly, core.AlgoOptimized, 4)
+
+	sharded := genEvents(t, workload.Config{
+		Name: "parcheck", Threads: 5, Vars: 128, Locks: 1,
+		Events: 1000, OpsPerTxn: 4, TxnFraction: 0.5,
+		Pattern: workload.PatternSharded, Seed: 5,
+	})
+	if stats := requireSameVerdict(t, sharded, core.AlgoOptimized, 1); !stats.Replayed {
+		t.Fatalf("shards=1 should run sequentially: %+v", stats)
+	}
+	if stats := requireSameVerdict(t, sharded, core.AlgoOptimized, 1<<20); stats.Shards > MaxShards {
+		t.Fatalf("shard clamp failed: %+v", stats)
+	}
+}
+
+// TestParallelDeterministic pins that packing and merge are
+// deterministic: two runs over the same slice agree on stats and
+// verdict bit for bit.
+func TestParallelDeterministic(t *testing.T) {
+	events := genEvents(t, workload.Config{
+		Name: "parcheck", Threads: 17, Vars: 1024, Locks: 1,
+		Events: 10000, OpsPerTxn: 4, TxnFraction: 0.5,
+		Pattern: workload.PatternSharded,
+		Inject:  workload.ViolationCross, InjectAt: 0.5, Seed: 29,
+	})
+	v1, n1, s1 := Check(events, core.AlgoOptimized, 4)
+	for i := 0; i < 3; i++ {
+		v2, n2, s2 := Check(events, core.AlgoOptimized, 4)
+		if n1 != n2 || s1 != s2 {
+			t.Fatalf("nondeterministic run %d: (%d,%+v) vs (%d,%+v)", i, n1, s1, n2, s2)
+		}
+		if (v1 == nil) != (v2 == nil) || (v1 != nil && *v1 != *v2) {
+			t.Fatalf("nondeterministic verdict run %d: %v vs %v", i, v1, v2)
+		}
+	}
+}
+
+// TestParallelAllAlgorithms runs one sharded + one injected workload
+// through every core algorithm at 4 shards.
+func TestParallelAllAlgorithms(t *testing.T) {
+	algos := []core.Algorithm{
+		core.AlgoBasic, core.AlgoReadOpt, core.AlgoOptimized,
+		core.AlgoOptimizedTree, core.AlgoOptimizedHybrid, core.AlgoOptimizedAuto,
+	}
+	for _, inj := range []workload.Violation{workload.ViolationNone, workload.ViolationDelayed} {
+		events := genEvents(t, workload.Config{
+			Name: "parcheck", Threads: 9, Vars: 512, Locks: 2,
+			Events: 4000, OpsPerTxn: 4, TxnFraction: 0.5,
+			Pattern: workload.PatternSharded, Inject: inj, InjectAt: 0.6, Seed: 17,
+		})
+		for _, algo := range algos {
+			requireSameVerdict(t, events, algo, 4)
+		}
+	}
+}

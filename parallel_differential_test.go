@@ -1,0 +1,202 @@
+package aerodrome_test
+
+// Differential suite for the speculative intra-trace parallel checker:
+// CheckSTDParallelIntra splits one trace across engines, so its whole
+// correctness story is that no observable difference from CheckSTD
+// exists — verdict, violation EventIndex/check/thread, event count and
+// algorithm name all byte-identical, whichever way the partitioner went
+// (parallel shards, conflict replay, or degenerate fallback). Every
+// trace in the golden corpus, the paper's ρ1–ρ4, every shape builder
+// and the byte-program fuzz seeds run through the comparison at several
+// worker counts; CI runs this under -race and fuzzes the same property
+// in FuzzParallelDifferential.
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"aerodrome"
+	"aerodrome/internal/rapidio"
+	"aerodrome/internal/testutil"
+	"aerodrome/internal/trace"
+)
+
+// parallelIntraWorkers are the shard counts the suite sweeps: the
+// smallest parallel split, a realistic core count, and more workers
+// than most traces have components.
+var parallelIntraWorkers = []int{2, 4, 16}
+
+// assertParallelIntraMatchesSequential checks one STD byte stream
+// sequentially and with the intra-trace partitioner at every swept
+// worker count.
+func assertParallelIntraMatchesSequential(t *testing.T, name string, std []byte, a aerodrome.Algorithm) {
+	t.Helper()
+	seq, err := aerodrome.CheckSTD(bytes.NewReader(std), a)
+	if err != nil {
+		t.Fatalf("%s/%s: sequential: %v", name, a, err)
+	}
+	for _, workers := range parallelIntraWorkers {
+		par, err := aerodrome.CheckSTDParallelIntra(bytes.NewReader(std), a, workers)
+		if err != nil {
+			t.Fatalf("%s/%s: parallel-intra(w=%d): %v", name, a, workers, err)
+		}
+		requireSameReport(t, fmt.Sprintf("%s/%s parallel-intra(w=%d)", name, a, workers), seq, par)
+	}
+}
+
+func TestParallelIntraMatchesSequentialOnGoldenCorpus(t *testing.T) {
+	for _, path := range goldenPaths(t) {
+		std, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range pipelineAlgos {
+			assertParallelIntraMatchesSequential(t, filepath.Base(path), std, a)
+		}
+	}
+}
+
+func TestParallelIntraMatchesSequentialOnPaperTraces(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		tr   *trace.Trace
+	}{
+		{"rho1", testutil.Rho1()},
+		{"rho2", testutil.Rho2()},
+		{"rho3", testutil.Rho3()},
+		{"rho4", testutil.Rho4()},
+	} {
+		var std bytes.Buffer
+		if err := rapidio.WriteTrace(&std, tc.tr); err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range pipelineAlgos {
+			assertParallelIntraMatchesSequential(t, tc.name, std.Bytes(), a)
+		}
+	}
+}
+
+// TestParallelIntraMatchesSequentialOnShapeBuilders sweeps every
+// testutil shape builder — the structured traces whose fork/join and
+// sharing topologies differ most (relay chains, barriers, lock convoys,
+// thread-private shards).
+func TestParallelIntraMatchesSequentialOnShapeBuilders(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		tr   *trace.Trace
+	}{
+		{"phase-shift", testutil.PhaseShiftTrace(testutil.PhaseShiftOpts{
+			Threads: 6, BurstRounds: 5, SteadyRounds: 25,
+		})},
+		{"prodcons", testutil.ProducerConsumerTrace(testutil.ProducerConsumerOpts{
+			Producers: 3, Consumers: 2, Rounds: 50, Slots: 4,
+		})},
+		{"barrier", testutil.BarrierPhasesTrace(testutil.BarrierOpts{
+			Threads: 6, Phases: 10, OpsPerTxn: 3,
+		})},
+		{"convoy", testutil.LockConvoyTrace(testutil.LockConvoyOpts{
+			Threads: 6, Rounds: 50, Nested: true,
+		})},
+		{"thrash", testutil.QuotaThrashTrace(testutil.QuotaThrashOpts{
+			Threads: 6, Bursts: 25, TxnsPerBurst: 3,
+		})},
+	} {
+		var std bytes.Buffer
+		if err := rapidio.WriteTrace(&std, tc.tr); err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range pipelineAlgos {
+			assertParallelIntraMatchesSequential(t, tc.name, std.Bytes(), a)
+		}
+	}
+}
+
+// TestParallelIntraMatchesSequentialOnFuzzSeeds replays the
+// byte-program fuzz seed set through the comparison.
+func TestParallelIntraMatchesSequentialOnFuzzSeeds(t *testing.T) {
+	for i, seed := range pipelineFuzzSeedTraces() {
+		var std bytes.Buffer
+		if err := rapidio.WriteTrace(&std, seed); err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range pipelineAlgos {
+			assertParallelIntraMatchesSequential(t, fmt.Sprintf("seed%d", i), std.Bytes(), a)
+		}
+	}
+}
+
+// TestParallelIntraFallbacks pins the documented fallbacks: non-core
+// algorithms and workers<=1 must behave exactly like CheckSTD,
+// including unknown-algorithm errors.
+func TestParallelIntraFallbacks(t *testing.T) {
+	std, err := os.ReadFile(filepath.Join("testdata", "golden", "sharded-cross.std"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, a := range []aerodrome.Algorithm{aerodrome.Velodrome, aerodrome.DoubleChecker} {
+		seq, err := aerodrome.CheckSTD(bytes.NewReader(std), a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		par, err := aerodrome.CheckSTDParallelIntra(bytes.NewReader(std), a, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireSameReport(t, fmt.Sprintf("fallback %s", a), seq, par)
+	}
+	seq, err := aerodrome.CheckSTD(bytes.NewReader(std), aerodrome.Optimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := aerodrome.CheckSTDParallelIntra(bytes.NewReader(std), aerodrome.Optimized, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireSameReport(t, "workers=1", seq, one)
+	if _, err := aerodrome.CheckSTDParallelIntra(bytes.NewReader(std), "bogus", 4); err == nil {
+		t.Fatal("unknown algorithm must error")
+	}
+	if _, err := aerodrome.CheckSTDParallelIntra(bytes.NewReader([]byte("not a trace\n")), aerodrome.Optimized, 4); err == nil {
+		t.Fatal("parse error must surface")
+	}
+}
+
+// FuzzParallelDifferential decodes fuzz bytes into a well-formed trace
+// (via the byte-program VM), renders it as an STD log, and requires the
+// intra-trace parallel checker to agree with the sequential checker at
+// two shard counts. The mutation search hunts for fork/join topologies
+// where the partitioner's relay-taint reasoning would go wrong.
+//
+// Run long with:
+//
+//	go test -fuzz=FuzzParallelDifferential .
+func FuzzParallelDifferential(f *testing.F) {
+	for _, tr := range pipelineFuzzSeedTraces() {
+		if enc := testutil.EncodeTrace(tr); enc != nil {
+			f.Add(enc)
+		}
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr := testutil.TraceFromBytes(data)
+		var std bytes.Buffer
+		if err := rapidio.WriteTrace(&std, tr); err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range []aerodrome.Algorithm{aerodrome.Optimized, aerodrome.Auto} {
+			seq, err := aerodrome.CheckSTD(bytes.NewReader(std.Bytes()), a)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{2, 7} {
+				par, err := aerodrome.CheckSTDParallelIntra(bytes.NewReader(std.Bytes()), a, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				requireSameReport(t, fmt.Sprintf("fuzz/%s w=%d", a, workers), seq, par)
+			}
+		}
+	})
+}
