@@ -6,7 +6,6 @@ import (
 
 	"aerodrome/internal/core"
 	"aerodrome/internal/doublechecker"
-	"aerodrome/internal/parcheck"
 	"aerodrome/internal/rapidio"
 	"aerodrome/internal/trace"
 	"aerodrome/internal/velodrome"
@@ -313,29 +312,8 @@ func coreAlgorithm(a Algorithm) (core.Algorithm, bool) {
 // engine (Velodrome, VelodromePK, DoubleChecker) and workers <= 1 fall
 // back to CheckSTD unchanged.
 func CheckSTDParallelIntra(r io.Reader, a Algorithm, workers int) (*Report, error) {
-	algo, ok := coreAlgorithm(a)
-	if !ok || workers <= 1 {
-		return CheckSTD(r, a)
-	}
-	rd := rapidio.NewReader(r)
-	var events []trace.Event
-	for {
-		e, more := rd.Next()
-		if !more {
-			break
-		}
-		events = append(events, e)
-	}
-	if err := rd.Err(); err != nil {
-		return nil, err
-	}
-	v, n, _ := parcheck.Check(events, algo, workers)
-	return &Report{
-		Serializable: v == nil,
-		Violation:    fromInternal(v),
-		Events:       n,
-		Algorithm:    algo.String(),
-	}, nil
+	rep, _, err := CheckSTDParallelIntraStats(r, a, workers)
+	return rep, err
 }
 
 // CheckEvents analyzes a slice of events.

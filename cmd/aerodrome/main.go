@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	aerodrome [-algo optimized] [-format std] [-pipeline] [trace-file]
+//	aerodrome [-algo optimized] [-format std] [-pipeline] [-stats] [trace-file]
 //	aerodrome [-algo optimized] -par N [trace-file]
 //	aerodrome [-algo optimized] -parallel N trace-file...
 //	aerodrome [-algo auto] -serve :8421
@@ -16,9 +16,12 @@
 // shards (exact verdicts — unprovable traces replay sequentially, see
 // internal/parcheck); -parallel N checks several trace files concurrently,
 // one engine per trace, on N workers (N < 0 selects one per CPU; the
-// format of each file is sniffed). The exit code is 0 when every trace is
-// conflict serializable, 1 when a violation was found, and 2 on usage or
-// input errors.
+// format of each file is sniffed). -stats adds engine introspection
+// lines after the check — the epoch fast-path hit rate and the clock
+// representation transitions behind the verdict (aerodrome engines
+// only; with -pipeline it also prints per-stage wall times). The exit
+// code is 0 when every trace is conflict serializable, 1 when a
+// violation was found, and 2 on usage or input errors.
 //
 // -serve runs the aerodromed service in-process on the given address
 // (equivalent to the aerodromed command with default limits; -algo sets
@@ -117,6 +120,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	format := fs.String("format", "std", "trace format: std (RAPID text) or bin (compact binary)")
 	quiet := fs.Bool("q", false, "suppress everything except the verdict line")
 	pipe := fs.Bool("pipeline", false, "pipeline parsing and checking on separate goroutines")
+	stats := fs.Bool("stats", false, "print engine introspection counters (epoch fast-path hit rate, clock promotions) after the check; aerodrome engines only")
 	parallel := fs.Int("parallel", 0, "check multiple trace files concurrently on this many workers (<0 = one per CPU); implies -pipeline, sniffs each file's format (-format and -q are ignored)")
 	par := fs.Int("par", 0, "check ONE trace on this many cores by speculative shard partitioning (<0 = one per CPU); exact verdicts — falls back to a sequential pass when the trace cannot be partitioned; aerodrome engines only")
 	serve := fs.String("serve", "", "run the aerodromed service on this address instead of checking a trace (server default algo is auto unless -algo is set)")
@@ -190,6 +194,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	start := time.Now()
 	var v *core.Violation
 	var n int64
+	var stages pipeline.StageStats
 	if *pipe {
 		// Both rapidio readers implement the batch API behind trace.Source;
 		// a future format that doesn't must fail as a usage error, not a
@@ -200,7 +205,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		var perr error
-		v, n, perr = pipeline.Run(eng, bs, pipeline.Config{})
+		v, n, perr = pipeline.Run(eng, bs, pipeline.Config{Stats: &stages})
 		if perr != nil {
 			fmt.Fprintln(stderr, "aerodrome:", perr)
 			return 2
@@ -222,12 +227,40 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if !*quiet {
 		fmt.Fprintf(stdout, "algorithm: %s\nevents:    %d\ntime:      %v\n", eng.Name(), n, elapsed)
 	}
+	if *stats {
+		// An explicit -stats request prints even under -q.
+		printEngineStats(stdout, eng)
+		if *pipe {
+			fmt.Fprintf(stdout, "stages:    parse %v, check %v\n", stages.ParseTime(), stages.CheckTime())
+		}
+	}
 	if v != nil {
 		fmt.Fprintf(stdout, "result: NOT conflict serializable — %v\n", v)
 		return 1
 	}
 	fmt.Fprintf(stdout, "result: conflict serializable (no atomicity violation)\n")
 	return 0
+}
+
+// printEngineStats renders the engine's introspection counters on one
+// line, mirroring the par: partition line. Engines without counters
+// (velodrome, doublechecker) print a note instead of silence, so -stats
+// never looks like it was ignored.
+func printEngineStats(w io.Writer, eng core.Engine) {
+	r, ok := eng.(core.StatsReporter)
+	if !ok {
+		fmt.Fprintf(w, "engine:    %s reports no introspection counters\n", eng.Name())
+		return
+	}
+	s := r.Stats()
+	checks := s.EpochHits + s.EpochMisses
+	rate := 0.0
+	if checks > 0 {
+		rate = 100 * float64(s.EpochHits) / float64(checks)
+	}
+	fmt.Fprintf(w, "engine:    epoch %d/%d hits (%.1f%%), ends %d full / %d collected, promotions %d sparse / %d width, tree %d demoted / %d repromoted\n",
+		s.EpochHits, checks, rate, s.EndsFull, s.EndsCollected,
+		s.SparsePromotions, s.WidthPromotions, s.TreeDemotions, s.TreeRepromotions)
 }
 
 // normalizeAlgo resolves the CLI-only alias "aerodrome" to the canonical

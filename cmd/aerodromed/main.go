@@ -8,16 +8,24 @@
 //	aerodromed [-addr :8421] [-algo auto] [-max-sessions N]
 //	           [-max-checks N] [-max-body BYTES] [-session-ttl D]
 //	           [-tenant-sessions N] [-tenant-checks N] [-tenant-bytes-per-sec N]
-//	           [-shutdown-timeout D]
+//	           [-log-level info] [-debug-addr ADDR] [-shutdown-timeout D]
 //	aerodromed -shard -backends URL,URL,... [-addr :8421]
 //	           [-probe-interval D] [-probe-on-start] [-journal-mem BYTES]
 //	           [-journal-max BYTES] [-journal-total BYTES] [-journal-spill DIR]
-//	           [-shutdown-timeout D]
+//	           [-log-level info] [-debug-addr ADDR] [-shutdown-timeout D]
 //
 // Endpoints: POST /v1/check (whole trace in, JSON report out; STD or
 // binary format, sniffed), the incremental session API under
-// /v1/sessions, GET /healthz and GET /metrics. See the package
+// /v1/sessions, GET /healthz and GET /metrics — expvar-style JSON by
+// default (stage latency quantiles, engine introspection counters),
+// Prometheus text exposition with ?format=prom. See the package
 // documentation of aerodrome/internal/server for the wire format.
+//
+// Logs are structured (log/slog text) at -log-level (debug, info, warn,
+// error); every request carries an X-Aerodrome-Request-Id — generated
+// at the edge when absent, echoed in the response and propagated on
+// every routed hop — on its access-log line. -debug-addr serves
+// net/http/pprof on a separate listener (never the service address).
 //
 // The -tenant-* flags set the default per-tenant admission budget; the
 // tenant is named by the X-Aerodrome-Tenant request header, and
@@ -91,6 +99,8 @@ func run(args []string, logw io.Writer, ready chan<- string) int {
 	journalSpill := fs.String("journal-spill", "", "router: directory for journal spill files (empty = no spill)")
 	chaosSpec := fs.String("chaos", os.Getenv("AERODROME_CHAOS"),
 		"fault-injection spec, e.g. reset=0.02,error=0.05,latency=2ms@0.1,seed=7 (testing only)")
+	logLevel := fs.String("log-level", "info", "minimum log level: debug, info, warn or error")
+	debugAddr := fs.String("debug-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 	shutdownTimeout := fs.Duration("shutdown-timeout", 10*time.Second, "graceful drain deadline on SIGTERM")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -105,6 +115,11 @@ func run(args []string, logw io.Writer, ready chan<- string) int {
 		return 2
 	}
 	chaos := faultinject.New(chaosCfg)
+	level, err := server.ParseLogLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(logw, "aerodromed:", err)
+		return 2
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -133,6 +148,8 @@ func run(args []string, logw io.Writer, ready chan<- string) int {
 			},
 			ShutdownTimeout: *shutdownTimeout,
 			Log:             logw,
+			LogLevel:        level,
+			DebugAddr:       *debugAddr,
 			Ready:           ready,
 			Chaos:           chaos,
 		})
@@ -167,6 +184,8 @@ func run(args []string, logw io.Writer, ready chan<- string) int {
 		},
 		ShutdownTimeout: *shutdownTimeout,
 		Log:             logw,
+		LogLevel:        level,
+		DebugAddr:       *debugAddr,
 		Ready:           ready,
 		Chaos:           chaos,
 	})

@@ -201,6 +201,28 @@
 // throughput record. A CI leg (scripts/e2e_server.sh load) drives the
 // low-RPS burst-smoke scenario against real daemons behind the router.
 //
+// # Observability
+//
+// Every daemon stage is instrumented through internal/obs, a lock-free
+// metrics registry (atomic counters, gauges and log-linear latency
+// histograms). GET /metrics keeps the expvar-style JSON — extended with
+// a "stages" section carrying per-stage latency quantiles (parse,
+// check, feed, finalize on a backend; proxy, replay, failover on the
+// router) and an "engine" section surfacing the EngineStats
+// introspection counters (epoch fast-path hits/misses, GC'd ends,
+// sparse promotions, tree demotions/re-promotions, width promotions)
+// aggregated across every check and session — and GET
+// /metrics?format=prom serves the same registry as Prometheus text
+// exposition (counters, gauges, cumulative histograms in seconds), so
+// the JSON and the scrape can never disagree: both read the same
+// atomics. Logs are structured log/slog text at -log-level; every
+// request carries an X-Aerodrome-Request-Id — generated at the edge
+// when absent, echoed on the response and propagated on every routed
+// hop — so one grep follows one request through router and backend.
+// The same engine counters reach the CLI (`aerodrome -stats`) and the
+// BENCH row columns (epoch_hit_rate and friends), and -debug-addr
+// serves net/http/pprof on its own listener, never the service address.
+//
 // # Testing strategy
 //
 // A hybrid representation diverges structurally from the reference

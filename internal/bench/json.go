@@ -49,6 +49,20 @@ type BenchRow struct {
 	// cannot shed its slowest arrivals into invisibility.
 	GaveUp      int64   `json:"gave_up,omitempty"`
 	GaveUpMaxMs float64 `json:"gave_up_max_ms,omitempty"`
+
+	// Engine-introspection columns, populated when the engine implements
+	// core.StatsReporter (zero-valued counters are omitted — a missing
+	// column reads as "didn't happen", which is exactly what it means).
+	// They make regressions in the internal rates visible next to the
+	// ns/event they explain: a row whose ns_per_event grew and whose
+	// epoch_hit_rate fell tells the whole story in two columns.
+	EpochHitRate     float64 `json:"epoch_hit_rate,omitempty"`
+	EpochHits        int64   `json:"epoch_hits,omitempty"`
+	EpochMisses      int64   `json:"epoch_misses,omitempty"`
+	SparsePromotions int64   `json:"sparse_promotions,omitempty"`
+	TreeDemotions    int64   `json:"tree_demotions,omitempty"`
+	TreeRepromotions int64   `json:"tree_repromotions,omitempty"`
+	WidthPromotions  int64   `json:"width_promotions,omitempty"`
 }
 
 // BenchReport is the top-level JSON document.
@@ -100,12 +114,14 @@ func MeasureRow(spec EngineSpec, cfg workload.Config, runs int) BenchRow {
 		Runs:     runs,
 	}
 
+	var lastEng core.Engine
 	run := func() int64 {
 		eng := spec.New()
 		v, n := core.Run(eng, workload.New(cfg))
 		if v != nil {
 			panic(fmt.Sprintf("bench: %s on %s: unexpected violation %v", spec.Label, cfg.Name, v))
 		}
+		lastEng = eng
 		return n
 	}
 
@@ -128,6 +144,19 @@ func MeasureRow(spec EngineSpec, cfg workload.Config, runs int) BenchRow {
 	runtime.ReadMemStats(&after)
 	row.AllocsPerEvent = float64(after.Mallocs-before.Mallocs) / float64(row.Events)
 	row.BytesPerEvent = float64(after.TotalAlloc-before.TotalAlloc) / float64(row.Events)
+
+	// Counters are deterministic across runs (same seed, same trace), so
+	// the instrumented run's engine speaks for all of them.
+	if r, ok := lastEng.(core.StatsReporter); ok {
+		s := r.Stats()
+		row.EpochHitRate = s.EpochHitRate()
+		row.EpochHits = s.EpochHits
+		row.EpochMisses = s.EpochMisses
+		row.SparsePromotions = s.SparsePromotions
+		row.TreeDemotions = s.TreeDemotions
+		row.TreeRepromotions = s.TreeRepromotions
+		row.WidthPromotions = s.WidthPromotions
+	}
 	return row
 }
 

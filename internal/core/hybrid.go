@@ -50,6 +50,10 @@ type hybridClock struct {
 	// thread clocks stay flat while the observed thread width is at or
 	// below the policy threshold and promote to trees once it crosses.
 	pol *autoPolicy
+	// stats, when non-nil, is the owning engine's shared representation-
+	// transition accounting (kept separate from pol: plain hybrid thread
+	// clocks have no policy but still demote and re-promote).
+	stats *repStats
 	// quiet counts consecutive flat-side joins that changed nothing; it is
 	// the hysteresis signal that a demoted thread clock's churn phase has
 	// passed and the tree representation would win again.
@@ -86,6 +90,9 @@ func (h *hybridClock) demoteToFlat() {
 	h.quiet = 0
 	if h.demotions < ^uint8(0) {
 		h.demotions++
+	}
+	if h.stats != nil {
+		h.stats.demotions++
 	}
 }
 
@@ -134,6 +141,13 @@ func (h *hybridClock) maybePromote() {
 	}
 	if h.quiet < repromoteQuietNeed(h.demotions) {
 		return
+	}
+	if h.stats != nil {
+		if h.demotions == 0 {
+			h.stats.widthPromotions++ // Auto width cutover, never demoted
+		} else {
+			h.stats.repromotions++
+		}
 	}
 	h.promoteToTree()
 }

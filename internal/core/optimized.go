@@ -39,10 +39,16 @@ func NewOptimizedTree() *OptimizedTree {
 // default it is a source-level specialization of the generic engine
 // (optimized_hybrid.go, kept in sync by TestHybridSpecializationInSync).
 func NewOptimizedHybrid() *OptimizedHybrid {
+	st := &repStats{}
 	return &OptimizedHybrid{
-		newClock: newHybridThreadClock,
+		newClock: func() *hybridClock {
+			h := newHybridThreadClock()
+			h.stats = st
+			return h
+		},
 		newAux:   newHybridAuxClock,
 		name:     AlgoOptimizedHybrid.String(),
+		repStats: st,
 	}
 }
 
@@ -76,18 +82,21 @@ func NewOptimizedAuto() *OptimizedHybrid {
 // threshold (tests exercise the cutover with small widths).
 func newOptimizedAutoWidth(threshold int) *OptimizedHybrid {
 	pol := &autoPolicy{threshold: threshold}
+	st := &repStats{}
 	return &OptimizedHybrid{
 		newClock: func() *hybridClock {
 			pol.width++
 			if pol.width > pol.threshold {
 				h := newHybridThreadClock()
 				h.pol = pol
+				h.stats = st
 				return h
 			}
-			return &hybridClock{owner: -1, pol: pol}
+			return &hybridClock{owner: -1, pol: pol, stats: st}
 		},
-		newAux: newHybridAuxClock,
-		name:   AlgoOptimizedAuto.String(),
+		newAux:   newHybridAuxClock,
+		name:     AlgoOptimizedAuto.String(),
+		repStats: st,
 	}
 }
 

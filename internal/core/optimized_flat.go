@@ -150,6 +150,16 @@ type Optimized struct {
 	// observability).
 	endsProcessed int64
 	endsCollected int64
+	// epochHits / epochMisses count checkAndGet calls resolved by the
+	// epoch fast path vs. falling through to the full Leq+Join.
+	epochHits   int64
+	epochMisses int64
+	// sparsePromotions counts ȒR_x accumulators promoting to dense; every
+	// hrx allocated by ensureVar points its counter here.
+	sparsePromotions int64
+	// repStats, set by the hybrid/auto constructors, shares the
+	// representation-transition counters with the thread clocks.
+	repStats *repStats
 }
 
 // Name implements Engine.
@@ -165,6 +175,23 @@ func (b *Optimized) Violation() *Violation { return b.viol }
 // path vs. the GC fast path.
 func (b *Optimized) EndStats() (full, collected int64) {
 	return b.endsProcessed, b.endsCollected
+}
+
+// Stats implements StatsReporter.
+func (b *Optimized) Stats() EngineStats {
+	s := EngineStats{
+		EpochHits:        b.epochHits,
+		EpochMisses:      b.epochMisses,
+		EndsFull:         b.endsProcessed,
+		EndsCollected:    b.endsCollected,
+		SparsePromotions: b.sparsePromotions,
+	}
+	if b.repStats != nil {
+		s.TreeDemotions = b.repStats.demotions
+		s.TreeRepromotions = b.repStats.repromotions
+		s.WidthPromotions = b.repStats.widthPromotions
+	}
+	return s
 }
 
 func (b *Optimized) ensureThread(t int) *flatEngThread {
@@ -217,6 +244,7 @@ func (b *Optimized) ensureVar(x int) *flatEngVar {
 		// Lazy clock allocation, as in ensureLock.
 		v.w = b.newAuxClock()
 		v.rx = b.newAuxClock()
+		v.hrx.CountPromotionsInto(&b.sparsePromotions)
 	}
 	return v
 }
@@ -230,8 +258,10 @@ func (b *Optimized) checkAndGet(clk *flatClock, t int, e trace.Event, active tra
 	cbVer := ts.cb.Ver()
 	if slot != nil && slot.thread == int32(t) && slot.src == clk &&
 		slot.srcVer == srcVer && slot.cbVer == cbVer {
+		b.epochHits++
 		return false // epoch fast path: already checked and absorbed
 	}
+	b.epochMisses++
 	if ts.depth > 0 && ts.cb.Leq(clk) {
 		b.viol = &Violation{
 			Index: b.n, Event: e, ActiveThread: active,

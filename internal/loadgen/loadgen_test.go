@@ -112,20 +112,6 @@ func TestHistQuantiles(t *testing.T) {
 	}
 }
 
-func TestHistBucketsMonotone(t *testing.T) {
-	prev := -1
-	for v := uint64(0); v < 1<<20; v += 17 {
-		i := bucketIndex(v)
-		if i < prev {
-			t.Fatalf("bucketIndex not monotone at %d: %d < %d", v, i, prev)
-		}
-		prev = i
-		if mid := bucketMid(i); bucketIndex(mid) != i {
-			t.Fatalf("bucketMid(%d)=%d maps to bucket %d", i, mid, bucketIndex(mid))
-		}
-	}
-}
-
 // TestOpenLoopInvariant pins the property the package exists for: a
 // target far slower than the arrival rate turns excess arrivals into
 // debt while the dispatcher stays on schedule, instead of silently

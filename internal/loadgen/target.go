@@ -306,11 +306,9 @@ func Failovers(client *http.Client, baseURL string) int64 {
 		return 0
 	}
 	defer resp.Body.Close()
-	var m struct {
-		Failovers int64 `json:"failovers_total"`
-	}
+	var m server.RouterMetricsSnapshot
 	if json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&m) != nil {
 		return 0
 	}
-	return m.Failovers
+	return m.FailoversTotal
 }

@@ -11,6 +11,7 @@ package pipeline
 
 import (
 	"io"
+	"time"
 
 	"aerodrome/internal/core"
 	"aerodrome/internal/rapidio"
@@ -29,18 +30,21 @@ type Feeder struct {
 	eng   core.Engine
 	src   *rapidio.Feeder
 	batch []trace.Event
+	stats *StageStats
 	viol  *core.Violation
 	err   error // terminal parse error (never io.EOF)
 }
 
 // NewFeeder returns a Feeder over eng. cfg follows the Run defaults;
-// only BatchSize applies (there is no producer goroutine to bound).
+// only BatchSize and Stats apply (there is no producer goroutine to
+// bound).
 func NewFeeder(eng core.Engine, cfg Config) *Feeder {
 	cfg = cfg.withDefaults()
 	return &Feeder{
 		eng:   eng,
 		src:   rapidio.NewFeeder(),
 		batch: make([]trace.Event, cfg.BatchSize),
+		stats: cfg.Stats,
 	}
 }
 
@@ -61,16 +65,31 @@ func (f *Feeder) Feed(chunk []byte) (*core.Violation, error) {
 // at a violation or terminal parse error.
 func (f *Feeder) drain() (*core.Violation, error) {
 	for {
+		var parseStart time.Time
+		if f.stats != nil {
+			parseStart = time.Now()
+		}
 		n, err := f.src.ReadBatch(f.batch)
+		var checkStart time.Time
+		if f.stats != nil {
+			checkStart = time.Now()
+			f.stats.ParseNanos.Add(int64(checkStart.Sub(parseStart)))
+		}
 		for _, e := range f.batch[:n] {
 			if v := f.eng.Process(e); v != nil {
 				f.viol = v
+				if f.stats != nil {
+					f.stats.CheckNanos.Add(int64(time.Since(checkStart)))
+				}
 				// The rest of the stream is discarded by definition; free
 				// the unconsumed tail rather than pinning it for the
 				// session's remaining lifetime.
 				f.src.Discard()
 				return v, nil
 			}
+		}
+		if f.stats != nil {
+			f.stats.CheckNanos.Add(int64(time.Since(checkStart)))
 		}
 		if err == io.EOF || (err == nil && n < len(f.batch)) {
 			return nil, nil
@@ -102,3 +121,12 @@ func (f *Feeder) Processed() int64 { return f.eng.Processed() }
 
 // Err returns the latched terminal parse error, if any.
 func (f *Feeder) Err() error { return f.err }
+
+// EngineStats returns the backing engine's introspection counters, when
+// the engine reports them (the Algorithm 3 family; ok is false otherwise).
+func (f *Feeder) EngineStats() (core.EngineStats, bool) {
+	if r, ok := f.eng.(core.StatsReporter); ok {
+		return r.Stats(), true
+	}
+	return core.EngineStats{}, false
+}

@@ -27,6 +27,8 @@ package pipeline
 
 import (
 	"io"
+	"sync/atomic"
+	"time"
 
 	"aerodrome/internal/core"
 	"aerodrome/internal/trace"
@@ -40,6 +42,24 @@ type BatchSource interface {
 	ReadBatch(dst []trace.Event) (int, error)
 }
 
+// StageStats accumulates where a pipelined check spends its wall time,
+// split by stage: ParseNanos is time inside the source's ReadBatch
+// (tokenization), CheckNanos is time inside the engine's Process loop
+// (vector-clock work). The two stages run on different goroutines in Run,
+// so the counters are atomic and their sum can exceed the elapsed wall
+// time — they answer "which stage is the bottleneck", not "how long did
+// the call take".
+type StageStats struct {
+	ParseNanos atomic.Int64
+	CheckNanos atomic.Int64
+}
+
+// ParseTime returns the accumulated parse-stage time.
+func (s *StageStats) ParseTime() time.Duration { return time.Duration(s.ParseNanos.Load()) }
+
+// CheckTime returns the accumulated check-stage time.
+func (s *StageStats) CheckTime() time.Duration { return time.Duration(s.CheckNanos.Load()) }
+
 // Config tunes the pipeline. The zero value selects the defaults.
 type Config struct {
 	// BatchSize is the number of events per batch (default 4096): large
@@ -49,6 +69,9 @@ type Config struct {
 	// Depth is the number of in-flight batches (default 4): the producer
 	// parses at most Depth·BatchSize events ahead of the checker.
 	Depth int
+	// Stats, when non-nil, accumulates per-stage timings. The pointer may
+	// be shared across runs (a server aggregating over requests).
+	Stats *StageStats
 }
 
 func (c Config) withDefaults() Config {
@@ -89,7 +112,14 @@ func Run(eng core.Engine, src BatchSource, cfg Config) (*core.Violation, int64, 
 			case <-stop:
 				return
 			}
+			var parseStart time.Time
+			if cfg.Stats != nil {
+				parseStart = time.Now()
+			}
 			n, err := src.ReadBatch(buf[:cap(buf)])
+			if cfg.Stats != nil {
+				cfg.Stats.ParseNanos.Add(int64(time.Since(parseStart)))
+			}
 			if n > 0 {
 				select {
 				case full <- buf[:n]:
@@ -110,11 +140,18 @@ func Run(eng core.Engine, src BatchSource, cfg Config) (*core.Violation, int64, 
 	stopped := false
 	for evs := range full {
 		if viol == nil {
+			var checkStart time.Time
+			if cfg.Stats != nil {
+				checkStart = time.Now()
+			}
 			for _, e := range evs {
 				if v := eng.Process(e); v != nil {
 					viol = v
 					break
 				}
+			}
+			if cfg.Stats != nil {
+				cfg.Stats.CheckNanos.Add(int64(time.Since(checkStart)))
 			}
 			if viol != nil && !stopped {
 				stopped = true

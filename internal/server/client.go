@@ -291,10 +291,11 @@ func (c *Client) refreshRing(ctx context.Context) {
 	}
 	defer resp.Body.Close()
 	var m struct {
+		RouterMetricsSnapshot
+		// RingEpoch shadows the embedded field with a pointer for
+		// presence detection: a plain backend's /metrics has no
+		// ring_epoch key, and its document must not clobber the cache.
 		RingEpoch *uint64 `json:"ring_epoch"`
-		Backends  map[string]struct {
-			Healthy bool `json:"healthy"`
-		} `json:"backends"`
 	}
 	if json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&m) != nil || m.RingEpoch == nil {
 		return

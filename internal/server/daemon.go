@@ -10,9 +10,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
 	"aerodrome/internal/faultinject"
@@ -28,8 +29,15 @@ type DaemonConfig struct {
 	// (default 10s); when exceeded, remaining connections are closed hard
 	// and RunDaemon returns an error.
 	ShutdownTimeout time.Duration
-	// Log receives the daemon's log lines (default: discarded).
+	// Log receives the daemon's structured log lines (default: discarded).
 	Log io.Writer
+	// LogLevel is the minimum level written to Log (default Info).
+	LogLevel slog.Level
+	// DebugAddr, when set, serves net/http/pprof on its own listener
+	// (e.g. "127.0.0.1:6060") — deliberately never on the service
+	// address, so profiling endpoints are reachable only where the
+	// operator pointed them.
+	DebugAddr string
 	// Ready, when non-nil, receives the bound listen address once the
 	// server is accepting (the tests and -addr :0 users read the actual
 	// port from it).
@@ -43,6 +51,10 @@ type DaemonConfig struct {
 // drains. It returns nil after a clean drain, or the error that stopped
 // the server.
 func RunDaemon(ctx context.Context, cfg DaemonConfig) error {
+	logger := newLogger(cfg.Log, cfg.LogLevel).With("component", "aerodromed")
+	if cfg.Server.Logger == nil {
+		cfg.Server.Logger = logger
+	}
 	s, err := New(cfg.Server)
 	if err != nil {
 		return err
@@ -52,7 +64,15 @@ func RunDaemon(ctx context.Context, cfg DaemonConfig) error {
 	if cfg.Chaos.Enabled() {
 		banner += " [chaos " + cfg.Chaos.String() + "]"
 	}
-	return serveDrainable(ctx, cfg.Addr, s, cfg.ShutdownTimeout, cfg.Log, cfg.Ready, "aerodromed: ", banner, cfg.Chaos)
+	return serveDrainable(ctx, s, serveOpts{
+		addr:            cfg.Addr,
+		shutdownTimeout: cfg.ShutdownTimeout,
+		logger:          logger,
+		debugAddr:       cfg.DebugAddr,
+		ready:           cfg.Ready,
+		banner:          banner,
+		chaos:           cfg.Chaos,
+	})
 }
 
 // RouterDaemonConfig configures RunRouterDaemon.
@@ -64,8 +84,12 @@ type RouterDaemonConfig struct {
 	// ShutdownTimeout bounds the graceful drain after cancellation
 	// (default 10s).
 	ShutdownTimeout time.Duration
-	// Log receives the daemon's log lines (default: discarded).
+	// Log receives the daemon's structured log lines (default: discarded).
 	Log io.Writer
+	// LogLevel is the minimum level written to Log (default Info).
+	LogLevel slog.Level
+	// DebugAddr, when set, serves net/http/pprof on its own listener.
+	DebugAddr string
 	// Ready, when non-nil, receives the bound listen address once the
 	// router is accepting.
 	Ready chan<- string
@@ -82,6 +106,7 @@ func RunRouterDaemon(ctx context.Context, cfg RouterDaemonConfig) error {
 	rcfg := cfg.Router
 	if rcfg.Log == nil {
 		rcfg.Log = cfg.Log
+		rcfg.LogLevel = cfg.LogLevel
 	}
 	if cfg.Chaos.Enabled() {
 		rcfg.Transport = cfg.Chaos.WrapTransport(rcfg.Transport)
@@ -95,7 +120,15 @@ func RunRouterDaemon(ctx context.Context, cfg RouterDaemonConfig) error {
 	if cfg.Chaos.Enabled() {
 		banner += " [chaos " + cfg.Chaos.String() + "]"
 	}
-	return serveDrainable(ctx, cfg.Addr, rt, cfg.ShutdownTimeout, cfg.Log, cfg.Ready, "aerodromed-router: ", banner, cfg.Chaos)
+	return serveDrainable(ctx, rt, serveOpts{
+		addr:            cfg.Addr,
+		shutdownTimeout: cfg.ShutdownTimeout,
+		logger:          newLogger(cfg.Log, cfg.LogLevel).With("component", "aerodromed-router"),
+		debugAddr:       cfg.DebugAddr,
+		ready:           cfg.Ready,
+		banner:          banner,
+		chaos:           cfg.Chaos,
+	})
 }
 
 // drainable is what the daemon loop needs from a service: serve requests
@@ -105,30 +138,73 @@ type drainable interface {
 	SetDraining(bool)
 }
 
+// serveOpts parameterizes serveDrainable.
+type serveOpts struct {
+	addr            string
+	shutdownTimeout time.Duration
+	logger          *slog.Logger
+	debugAddr       string
+	ready           chan<- string
+	banner          string
+	chaos           *faultinject.Injector
+}
+
+// serveDebug binds the pprof listener and serves it until the returned
+// stop func runs. The profiling mux is separate from the service mux on
+// purpose: /debug/pprof on the public address would hand any client CPU
+// profiles and heap dumps.
+func serveDebug(addr string, logger *slog.Logger) (func(), error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("debug listener: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	// Worded "debug endpoint", not "listening on": scripts find the
+	// service address by grepping the latter.
+	logger.Info("debug endpoint on " + ln.Addr().String())
+	go srv.Serve(ln)
+	return func() { srv.Close() }, nil
+}
+
 // serveDrainable is the listen/serve/drain loop shared by the backend and
 // router daemons.
-func serveDrainable(ctx context.Context, addr string, h drainable, shutdownTimeout time.Duration,
-	logw io.Writer, ready chan<- string, prefix, banner string, chaos *faultinject.Injector) error {
+func serveDrainable(ctx context.Context, h drainable, opts serveOpts) error {
+	addr := opts.addr
 	if addr == "" {
 		addr = ":8421"
 	}
+	shutdownTimeout := opts.shutdownTimeout
 	if shutdownTimeout <= 0 {
 		shutdownTimeout = 10 * time.Second
 	}
-	if logw == nil {
-		logw = io.Discard
+	logger := opts.logger
+	if logger == nil {
+		logger = newLogger(nil, 0)
 	}
-	logger := log.New(logw, prefix, log.LstdFlags)
 
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return err
 	}
+	if opts.debugAddr != "" {
+		stop, derr := serveDebug(opts.debugAddr, logger)
+		if derr != nil {
+			ln.Close()
+			return derr
+		}
+		defer stop()
+	}
 	// The chaos listener sits in front of the real one, so every accepted
 	// connection — including health probes — can carry injected faults.
 	wrapped := net.Listener(ln)
-	if chaos.Enabled() {
-		wrapped = chaos.WrapListener(ln)
+	if opts.chaos.Enabled() {
+		wrapped = opts.chaos.WrapListener(ln)
 	}
 	// ReadHeaderTimeout/IdleTimeout reap slow-loris and abandoned keepalive
 	// connections before they pin admission slots. There is deliberately no
@@ -140,9 +216,9 @@ func serveDrainable(ctx context.Context, addr string, h drainable, shutdownTimeo
 		ReadHeaderTimeout: 10 * time.Second,
 		IdleTimeout:       2 * time.Minute,
 	}
-	logger.Printf("listening on %s %s", ln.Addr(), banner)
-	if ready != nil {
-		ready <- ln.Addr().String()
+	logger.Info(fmt.Sprintf("listening on %s %s", ln.Addr(), opts.banner))
+	if opts.ready != nil {
+		opts.ready <- ln.Addr().String()
 	}
 
 	serveErr := make(chan error, 1)
@@ -154,7 +230,7 @@ func serveDrainable(ctx context.Context, addr string, h drainable, shutdownTimeo
 	case <-ctx.Done():
 	}
 
-	logger.Printf("draining (deadline %s)", shutdownTimeout)
+	logger.Info("draining", "deadline", shutdownTimeout)
 	h.SetDraining(true)
 	sctx, cancel := context.WithTimeout(context.Background(), shutdownTimeout)
 	defer cancel()
@@ -165,6 +241,6 @@ func serveDrainable(ctx context.Context, addr string, h drainable, shutdownTimeo
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}
-	logger.Printf("drained cleanly")
+	logger.Info("drained cleanly")
 	return nil
 }

@@ -35,7 +35,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/httputil"
 	"net/url"
@@ -44,6 +44,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"aerodrome/internal/obs"
 )
 
 // RouterTraceHeader carries the routing key of a request; the "trace"
@@ -105,8 +107,10 @@ type RouterConfig struct {
 	// health probes (default http.DefaultTransport). The chaos harness
 	// wraps it to inject proxy-path faults.
 	Transport http.RoundTripper
-	// Log receives router log lines (default: discarded).
+	// Log receives structured router log lines (default: discarded).
 	Log io.Writer
+	// LogLevel is the minimum level written to Log (default Info).
+	LogLevel slog.Level
 }
 
 func (c RouterConfig) withDefaults() RouterConfig {
@@ -187,7 +191,7 @@ type Router struct {
 	ring     []ringPoint  // sorted by h; fixed for the router's lifetime
 	client   *http.Client // buffered session creates (small bodies, bounded)
 	forward  *http.Client // session forwards and journal replay (streaming)
-	logger   *log.Logger
+	logger   *slog.Logger
 	draining atomic.Bool
 	rr       atomic.Uint64 // round-robin cursor for keyless one-shots
 	epoch    atomic.Uint64 // bumped on every backend health transition
@@ -207,6 +211,13 @@ type Router struct {
 	replayedBytes    atomic.Int64
 	journalTruncated atomic.Int64
 	reattached       atomic.Int64
+
+	// reg backs GET /metrics?format=prom; the stage histograms time the
+	// router's request-path phases (see RouterMetricsSnapshot.Stages).
+	reg           *obs.Registry
+	stageProxy    *obs.Histogram
+	stageReplay   *obs.Histogram
+	stageFailover *obs.Histogram
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -239,16 +250,12 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 	if len(cfg.Backends) == 0 {
 		return nil, fmt.Errorf("server: router needs at least one backend")
 	}
-	logw := cfg.Log
-	if logw == nil {
-		logw = io.Discard
-	}
 	rt := &Router{
 		cfg:     cfg,
 		mux:     http.NewServeMux(),
 		client:  &http.Client{Timeout: 10 * time.Second, Transport: cfg.Transport},
 		forward: &http.Client{Transport: cfg.Transport},
-		logger:  log.New(logw, "aerodromed-router: ", log.LstdFlags),
+		logger:  newLogger(cfg.Log, cfg.LogLevel).With("component", "router"),
 		budget:  &journalBudget{max: cfg.JournalTotalBytes},
 		routes:  map[string]*sessionRoute{},
 		start:   time.Now(),
@@ -274,6 +281,7 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		}
 	}
 	sort.Slice(rt.ring, func(i, j int) bool { return rt.ring[i].h < rt.ring[j].h })
+	rt.initMetrics()
 
 	if cfg.ProbeOnStart {
 		rt.probeOnce()
@@ -317,8 +325,59 @@ func (rt *Router) newProxy(b *backend) *httputil.ReverseProxy {
 func (rt *Router) markDown(b *backend, err error) {
 	if b.healthy.CompareAndSwap(true, false) {
 		rt.epoch.Add(1)
-		rt.logger.Printf("backend %s down: %v", b.name, err)
+		rt.logger.Warn("backend down", "backend", b.name, "err", err)
 	}
+}
+
+// initMetrics builds the router's Prometheus registry: read-through
+// series over the existing atomic counters (global, per-backend
+// labeled, and the journal budget) plus the stage histograms. Called
+// once from NewRouter after the backend list is fixed.
+func (rt *Router) initMetrics() {
+	rt.reg = obs.NewRegistry()
+	counter := func(name, help string, v *atomic.Int64) {
+		rt.reg.CounterFunc(name, "", help, v.Load)
+	}
+	rt.reg.GaugeFunc("aerodromed_router_uptime_seconds", "", "Seconds since router start.",
+		func() float64 { return time.Since(rt.start).Seconds() })
+	rt.reg.GaugeFunc("aerodromed_router_ring_epoch", "", "Ring epoch, bumped on every backend health transition.",
+		func() float64 { return float64(rt.epoch.Load()) })
+	counter("aerodromed_router_checks_routed_total", "One-shot checks routed.", &rt.checksRouted)
+	counter("aerodromed_router_sessions_routed_total", "Sessions placed on backends.", &rt.sessRouted)
+	counter("aerodromed_router_affinity_lost_total", "Session requests whose affinity could not be derived or replayed.", &rt.affinityLost)
+	counter("aerodromed_router_unroutable_total", "Requests with no healthy backend.", &rt.unroutable)
+	counter("aerodromed_router_failovers_total", "Sessions failed over to another backend.", &rt.failovers)
+	counter("aerodromed_router_failover_failures_total", "Failover attempts that failed.", &rt.failoverFailures)
+	counter("aerodromed_router_replayed_bytes_total", "Journal bytes replayed into recreated sessions.", &rt.replayedBytes)
+	counter("aerodromed_router_journal_truncated_total", "Session journals truncated past the replay horizon.", &rt.journalTruncated)
+	counter("aerodromed_router_sessions_reattached_total", "Sessions re-attached by routing key after a router restart.", &rt.reattached)
+	rt.reg.GaugeFunc("aerodromed_router_journal_mem_bytes", "", "In-memory journal bytes across all sessions.",
+		func() float64 { return float64(rt.budget.used.Load()) })
+	for _, b := range rt.backends {
+		labels := obs.Labels(map[string]string{"backend": b.name})
+		rt.reg.GaugeFunc("aerodromed_router_backend_healthy", labels,
+			"Backend health (1 healthy, 0 down).",
+			func() float64 {
+				if b.healthy.Load() {
+					return 1
+				}
+				return 0
+			})
+		rt.reg.CounterFunc("aerodromed_router_backend_routed_total", labels,
+			"Requests routed to the backend.", b.routed.Load)
+		rt.reg.CounterFunc("aerodromed_router_backend_proxy_errors_total", labels,
+			"Transport-level failures talking to the backend.", b.proxyErrors.Load)
+	}
+	stage := func(name string) *obs.Histogram {
+		h := &obs.Histogram{}
+		rt.reg.RegisterHistogram("aerodromed_router_stage_duration_seconds",
+			obs.Labels(map[string]string{"stage": name}),
+			"Router request-path stage latency by stage name.", h)
+		return h
+	}
+	rt.stageProxy = stage("proxy")
+	rt.stageReplay = stage("replay")
+	rt.stageFailover = stage("failover")
 }
 
 // probeOnce is the synchronous bootstrap probe round: every backend gets
@@ -369,7 +428,7 @@ func (rt *Router) prober() {
 					b.fails = 0
 					if b.healthy.CompareAndSwap(false, true) {
 						rt.epoch.Add(1)
-						rt.logger.Printf("backend %s healthy", b.name)
+						rt.logger.Info("backend healthy", "backend", b.name)
 					}
 					continue
 				}
@@ -385,9 +444,14 @@ func (rt *Router) prober() {
 	}
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. The router is the edge of a
+// sharded topology: every request gets a correlation ID here
+// (RequestIDHeader, kept when the client supplied one), echoed in the
+// response, logged on the access line, and propagated verbatim on every
+// backend hop — the forwarding paths clone the request headers, so the
+// same ID shows up in the backends' access logs.
 func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	rt.mux.ServeHTTP(w, r)
+	serveLogged(rt.logger, rt.mux, w, r)
 }
 
 // SetDraining flips drain mode: healthz answers 503 and new checks and
@@ -481,9 +545,21 @@ func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// handleMetrics is the router's GET /metrics: the typed JSON snapshot
+// (RouterMetricsSnapshot) by default, Prometheus text with ?format=prom.
 func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "prom" {
+		w.Header().Set("Content-Type", promContentType)
+		rt.reg.WritePrometheus(w)
+		return
+	}
+	writeJSON(w, http.StatusOK, rt.snapshot())
+}
+
+// snapshot renders the router's typed /metrics document.
+func (rt *Router) snapshot() RouterMetricsSnapshot {
 	rt.mu.Lock()
-	affine := make(map[string]int, len(rt.backends))
+	affine := make(map[string]int64, len(rt.backends))
 	var journaled int64
 	for _, route := range rt.routes {
 		if b := route.b.Load(); b != nil {
@@ -492,33 +568,38 @@ func (rt *Router) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		journaled += route.journal.size()
 	}
 	rt.mu.Unlock()
-	backends := map[string]any{}
+	backends := make(map[string]RouterBackendMetrics, len(rt.backends))
 	for _, b := range rt.backends {
-		backends[b.name] = map[string]any{
-			"healthy":         b.healthy.Load(),
-			"routed_total":    b.routed.Load(),
-			"proxy_errors":    b.proxyErrors.Load(),
-			"sessions_affine": affine[b.name],
+		backends[b.name] = RouterBackendMetrics{
+			Healthy:        b.healthy.Load(),
+			ProxyErrors:    b.proxyErrors.Load(),
+			RoutedTotal:    b.routed.Load(),
+			SessionsAffine: affine[b.name],
 		}
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
-		"uptime_seconds":      time.Since(rt.start).Seconds(),
-		"ring_epoch":          rt.epoch.Load(),
-		"backends":            backends,
-		"checks_routed":       rt.checksRouted.Load(),
-		"sessions_routed":     rt.sessRouted.Load(),
-		"affinity_lost_total": rt.affinityLost.Load(),
-		"unroutable_total":    rt.unroutable.Load(),
-		"journal": map[string]int64{
-			"bytes":           journaled,
-			"mem_bytes":       rt.budget.used.Load(),
-			"truncated_total": rt.journalTruncated.Load(),
+	return RouterMetricsSnapshot{
+		AffinityLostTotal:     rt.affinityLost.Load(),
+		Backends:              backends,
+		ChecksRouted:          rt.checksRouted.Load(),
+		FailoverFailuresTotal: rt.failoverFailures.Load(),
+		FailoversTotal:        rt.failovers.Load(),
+		Journal: RouterJournalMetrics{
+			Bytes:          journaled,
+			MemBytes:       rt.budget.used.Load(),
+			TruncatedTotal: rt.journalTruncated.Load(),
 		},
-		"failovers_total":           rt.failovers.Load(),
-		"failover_failures_total":   rt.failoverFailures.Load(),
-		"replayed_bytes_total":      rt.replayedBytes.Load(),
-		"sessions_reattached_total": rt.reattached.Load(),
-	})
+		ReplayedBytesTotal:      rt.replayedBytes.Load(),
+		RingEpoch:               rt.epoch.Load(),
+		SessionsReattachedTotal: rt.reattached.Load(),
+		SessionsRouted:          rt.sessRouted.Load(),
+		Stages: map[string]StageMetrics{
+			"proxy":    stageSnapshot(rt.stageProxy),
+			"replay":   stageSnapshot(rt.stageReplay),
+			"failover": stageSnapshot(rt.stageFailover),
+		},
+		UnroutableTotal: rt.unroutable.Load(),
+		UptimeSeconds:   time.Since(rt.start).Seconds(),
+	}
 }
 
 // handleCheck proxies POST /v1/check to the key's backend. The body
@@ -539,7 +620,9 @@ func (rt *Router) handleCheck(w http.ResponseWriter, r *http.Request) {
 	}
 	rt.checksRouted.Add(1)
 	b.routed.Add(1)
+	start := time.Now()
 	b.proxy.ServeHTTP(w, r)
+	rt.stageProxy.Record(time.Since(start))
 }
 
 // createAlgo extracts the requested algorithm from a session-create
@@ -718,6 +801,8 @@ func (rt *Router) respondFailoverError(w http.ResponseWriter, err error) {
 // session there (same algorithm, same tenant) and replay the journal
 // through the backend's chunk-agnostic feeder. The caller holds route.mu.
 func (rt *Router) failoverLocked(route *sessionRoute) error {
+	start := time.Now()
+	defer func() { rt.stageFailover.Record(time.Since(start)) }()
 	skip := map[*backend]bool{}
 	if b := route.b.Load(); b != nil {
 		skip[b] = true
@@ -751,8 +836,8 @@ func (rt *Router) failoverLocked(route *sessionRoute) error {
 			skip[nb] = true
 			continue
 		}
-		rt.logger.Printf("session %s failed over to %s (replayed %d journal bytes)",
-			route.backendID, nb.name, replayed)
+		rt.logger.Info("session failed over",
+			"session", route.backendID, "backend", nb.name, "replayed_bytes", replayed)
 		route.b.Store(nb)
 		route.backendID = newID
 		rt.failovers.Add(1)
@@ -802,6 +887,7 @@ func (rt *Router) recreateOn(nb *backend, route *sessionRoute) (string, int64, e
 	}
 	req.ContentLength = n
 	rt.sessionHeaders(req, route)
+	replayStart := time.Now()
 	if route.lastSeq >= 0 {
 		// Prime the backend's idempotency cache with the pre-failover
 		// sequence number: a client retry of the last acknowledged chunk is
@@ -815,6 +901,7 @@ func (rt *Router) recreateOn(nb *backend, route *sessionRoute) (string, int64, e
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
+	rt.stageReplay.Record(time.Since(replayStart))
 	switch resp.StatusCode {
 	case http.StatusOK, http.StatusBadRequest, http.StatusConflict:
 		// 200 is the live replay; 400/409 reproduce a terminal session,
@@ -1095,7 +1182,10 @@ func (rt *Router) backendDo(orig *http.Request, b *backend, method, path string,
 	}
 	req.Header = orig.Header.Clone()
 	req.ContentLength = n
-	return rt.forward.Do(req)
+	start := time.Now()
+	resp, err := rt.forward.Do(req)
+	rt.stageProxy.Record(time.Since(start))
+	return resp, err
 }
 
 // relaySessionResponse writes a forwarded response back to the client,

@@ -30,6 +30,7 @@ import (
 	"encoding/json"
 	"errors"
 	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"runtime"
@@ -81,6 +82,10 @@ type Config struct {
 	// is client-supplied, so names beyond the cap share one overflow
 	// budget instead of growing state without bound.
 	MaxTenants int
+	// Logger receives structured access and lifecycle logs. Nil (the
+	// default for embedders and tests) discards them; the daemon wires
+	// its -log-level flag here.
+	Logger *slog.Logger
 }
 
 func (c Config) withDefaults() Config {
@@ -119,6 +124,7 @@ type Server struct {
 	mux      *http.ServeMux
 	checkSem chan struct{}
 	metrics  *metrics
+	logger   *slog.Logger
 	draining atomic.Bool
 
 	mu       sync.Mutex
@@ -147,11 +153,16 @@ func New(cfg Config) (*Server, error) {
 	if _, err := aerodrome.NewCheckerErr(cfg.Algorithm); err != nil {
 		return nil, err
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = newLogger(nil, 0)
+	}
 	s := &Server{
 		cfg:       cfg,
 		mux:       http.NewServeMux(),
 		checkSem:  make(chan struct{}, cfg.MaxConcurrentChecks),
 		metrics:   newMetrics(),
+		logger:    logger,
 		sessions:  map[string]*session{},
 		finalized: map[string]finalizedReport{},
 		tenants:   map[string]*tenant{},
@@ -168,9 +179,12 @@ func New(cfg Config) (*Server, error) {
 	return s, nil
 }
 
-// ServeHTTP implements http.Handler.
+// ServeHTTP implements http.Handler. Every request gets a correlation
+// ID (RequestIDHeader, generated here when the client — or an upstream
+// router — did not supply one), echoed in the response and carried on
+// the structured access log line.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	serveLogged(s.logger, s.mux, w, r)
 }
 
 // SetDraining flips drain mode: healthz answers 503 (so load balancers
@@ -275,11 +289,12 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	body := bufio.NewReaderSize(s.bodyReader(w, raw), 1<<16)
 	head, _ := body.Peek(4)
 	var rep *aerodrome.Report
+	var cs aerodrome.CheckStats
 	var err error
 	if rapidio.IsBinary(head) {
-		rep, err = aerodrome.CheckBinaryReaderPipelined(body, algo)
+		rep, cs, err = aerodrome.CheckBinaryReaderPipelinedStats(body, algo)
 	} else {
-		rep, err = aerodrome.CheckReaderPipelined(body, algo)
+		rep, cs, err = aerodrome.CheckReaderPipelinedStats(body, algo)
 	}
 	if err != nil {
 		var budget *errTenantBudget
@@ -302,6 +317,11 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		ten.violationsTotal.Add(1)
 	}
 	s.metrics.selectEngine(rep.Algorithm)
+	s.metrics.stageParse.Record(cs.ParseTime)
+	s.metrics.stageCheck.Record(cs.CheckTime)
+	if cs.HasEngineStats {
+		s.metrics.addEngineStats(cs.Engine)
+	}
 	writeJSON(w, http.StatusOK, rep)
 }
 

@@ -77,6 +77,11 @@ type session struct {
 	// rather than queued.
 	feedMu  sync.Mutex
 	checker *aerodrome.IncrementalChecker // guarded by feedMu
+	// engineSettled is the portion of the checker's engine introspection
+	// counters already folded into the server aggregate; the delta since
+	// it is settled at every feed and finalize boundary. Guarded by
+	// feedMu (reading the counters touches the engine).
+	engineSettled aerodrome.EngineStats
 
 	// mu guards only the snapshot fields below, which the feed loop
 	// refreshes per block — so GET, the janitor scan and metrics never
@@ -332,6 +337,7 @@ func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
 	// Chunks are stream fragments, not transactions: events already fed
 	// when an upload dies stay fed.
 	before := sess.checker.Processed()
+	feedStart := time.Now()
 	block := make([]byte, 64*1024)
 	var v *aerodrome.Violation
 	var ferr error
@@ -353,7 +359,7 @@ func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
 			break
 		}
 		if rerr != nil {
-			s.countFeedEvents(sess, before)
+			s.settleFeed(sess, before, feedStart)
 			var budget *errTenantBudget
 			if errors.As(rerr, &budget) {
 				// Mid-stream exhaustion of a chunked feed: a prefix of the
@@ -377,7 +383,7 @@ func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	s.countFeedEvents(sess, before)
+	s.settleFeed(sess, before, feedStart)
 	if removedMidFeed {
 		// DELETE or eviction signalled mid-stream; stop so the remover's
 		// pending feedMu acquisition (and finalization) can proceed.
@@ -437,6 +443,28 @@ func (s *Server) countFeedEvents(sess *session, before int64) {
 	delta := sess.checker.Processed() - before
 	s.metrics.eventsTotal.Add(delta)
 	sess.tenant.eventsTotal.Add(delta)
+}
+
+// settleFeed settles the outcome of one feed: events consumed,
+// feed-stage latency, and the engine introspection delta since the last
+// settlement. Callers hold sess.feedMu.
+func (s *Server) settleFeed(sess *session, before int64, start time.Time) {
+	s.countFeedEvents(sess, before)
+	s.metrics.stageFeed.Record(time.Since(start))
+	s.settleEngineStats(sess)
+}
+
+// settleEngineStats folds the checker's engine introspection activity
+// since the previous settlement into the server-wide aggregate, so
+// /metrics reflects long-running sessions while they stream rather than
+// only after they finalize. Callers hold sess.feedMu.
+func (s *Server) settleEngineStats(sess *session) {
+	cur, ok := sess.checker.Stats()
+	if !ok {
+		return
+	}
+	s.metrics.addEngineStats(cur.Sub(sess.engineSettled))
+	sess.engineSettled = cur
 }
 
 // handleSessionGet is GET /v1/sessions/{id}.
@@ -554,9 +582,13 @@ func (s *Server) finalizeSession(sess *session, counter *atomic.Int64) (*aerodro
 	sess.feedMu.Lock()
 	defer sess.feedMu.Unlock()
 	before := sess.checker.Processed()
+	start := time.Now()
 	rep, err := sess.checker.Close()
-	// Close may parse a final unterminated line; count those events too.
+	s.metrics.stageFinalize.Record(time.Since(start))
+	// Close may parse a final unterminated line; count those events too,
+	// and settle the engine's remaining introspection delta.
 	s.countFeedEvents(sess, before)
+	s.settleEngineStats(sess)
 	counter.Add(1)
 	sess.tenant.releaseSession()
 	sess.mu.Lock()

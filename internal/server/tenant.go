@@ -241,10 +241,10 @@ func (tr *tenantBytesReader) Read(p []byte) (int, error) {
 }
 
 // snapshotTenants renders the per-tenant metrics section.
-func (s *Server) snapshotTenants() map[string]any {
+func (s *Server) snapshotTenants() map[string]map[string]int64 {
 	s.tenantMu.Lock()
 	defer s.tenantMu.Unlock()
-	out := make(map[string]any, len(s.tenants))
+	out := make(map[string]map[string]int64, len(s.tenants))
 	for name, t := range s.tenants {
 		out[name] = map[string]int64{
 			"sessions_active":   t.sessions.Load(),

@@ -16,6 +16,11 @@ type Sparse struct {
 	tids  []int32
 	times []Time
 	dense Clock // non-nil once promoted; tids/times are nil from then on
+	// promCount, when non-nil, is incremented once per promotion. Engines
+	// point every ȒR_x accumulator they allocate at one per-engine counter
+	// (CountPromotionsInto), so promotion rates are attributable per
+	// engine instead of vanishing into a process-global.
+	promCount *int64
 }
 
 // PromoteThreshold is the entry count beyond which Sparse switches to a
@@ -75,6 +80,11 @@ func (s *Sparse) JoinComponent(t int, v Time) {
 	s.times = append(s.times, v)
 }
 
+// CountPromotionsInto points s's promotion counter at c (nil detaches).
+// The counter is bumped without synchronization; callers own the
+// engine-per-goroutine discipline.
+func (s *Sparse) CountPromotionsInto(c *int64) { s.promCount = c }
+
 // promote converts the association list into a dense Clock.
 func (s *Sparse) promote() {
 	var d Clock
@@ -83,6 +93,9 @@ func (s *Sparse) promote() {
 	}
 	s.dense = d
 	s.tids, s.times = nil, nil
+	if s.promCount != nil {
+		*s.promCount++
+	}
 }
 
 // JoinZeroing joins d[0/skip] into s: the ȒR_x ⊔= C_t[0/t] update for flat

@@ -145,9 +145,10 @@ func checkFilePipelined(path string, a Algorithm) (*Report, error) {
 // safe for concurrent use; callers serialize (the chunk order defines the
 // trace).
 type IncrementalChecker struct {
-	f    *pipeline.Feeder
-	algo string
-	viol *Violation
+	f      *pipeline.Feeder
+	stages pipeline.StageStats
+	algo   string
+	viol   *Violation
 }
 
 // NewIncrementalChecker returns an incremental checker using the given
@@ -157,7 +158,9 @@ func NewIncrementalChecker(a Algorithm) (*IncrementalChecker, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &IncrementalChecker{f: pipeline.NewFeeder(eng, pipeline.Config{}), algo: eng.Name()}, nil
+	c := &IncrementalChecker{algo: eng.Name()}
+	c.f = pipeline.NewFeeder(eng, pipeline.Config{Stats: &c.stages})
+	return c, nil
 }
 
 // Feed appends one chunk of the stream and processes every event whose

@@ -134,6 +134,35 @@ leg_single() {
 
     curl -fsS "$BASE/metrics" | grep -q '"events_total"' || { echo "metrics failed"; exit 1; }
 
+    # Request-ID contract: a client-supplied ID is echoed verbatim; an
+    # absent one is generated at the edge.
+    local RID
+    RID=$(curl -fsS -D - -o /dev/null -H "X-Aerodrome-Request-Id: e2e-single-rid" "$BASE/healthz" \
+        | tr -d '\r' | sed -n 's/^[Xx]-[Aa]erodrome-[Rr]equest-[Ii]d: *//p' | head -1)
+    [ "$RID" = "e2e-single-rid" ] || { echo "request id not echoed (got '$RID')"; exit 1; }
+    RID=$(curl -fsS -D - -o /dev/null "$BASE/healthz" \
+        | tr -d '\r' | sed -n 's/^[Xx]-[Aa]erodrome-[Rr]equest-[Ii]d: *//p' | head -1)
+    [ -n "$RID" ] || { echo "no request id generated at the edge"; exit 1; }
+    echo "request-id contract ok"
+
+    # Observability surface: the JSON /metrics answers per-stage latency
+    # quantiles and engine introspection; ?format=prom exposes the same
+    # series as Prometheus text with non-zero stage counts.
+    local METRICS PROM
+    METRICS=$(curl -fsS "$BASE/metrics")
+    echo "$METRICS" | grep -q '"stages"' || { echo "no stages section in metrics"; exit 1; }
+    echo "$METRICS" | grep -q '"p99_ms"' || { echo "no stage p99 in metrics"; exit 1; }
+    echo "$METRICS" | grep -q '"epoch_hits"' || { echo "no engine counters in metrics"; exit 1; }
+    echo "$METRICS" | grep -q '"epoch_hit_rate"' || { echo "no epoch hit rate in metrics"; exit 1; }
+    PROM=$(curl -fsS "$BASE/metrics?format=prom")
+    echo "$PROM" | grep -q '^# TYPE aerodromed_stage_duration_seconds histogram' \
+        || { echo "no prom stage histogram"; exit 1; }
+    echo "$PROM" | grep -Eq '^aerodromed_stage_duration_seconds_count\{stage="check"\} [1-9]' \
+        || { echo "prom check-stage count never incremented"; exit 1; }
+    echo "$PROM" | grep -Eq '^aerodromed_events_total [1-9]' \
+        || { echo "prom events_total missing"; exit 1; }
+    echo "observability surface ok"
+
     # Graceful-shutdown drain check: SIGTERM must exit 0 within the deadline.
     kill -TERM "$PID"
     await_exit "$PID" "$LOG" "daemon"
@@ -176,6 +205,18 @@ leg_sharded() {
         fi
         echo "routed golden $trace: verdicts agree ($local_norm)"
     done
+
+    # Request-ID round trip through the sharded topology: an ID supplied
+    # at the router edge is echoed on the response AND shows up on the
+    # backend's own access log — the proxied hop carried the header.
+    local RID
+    RID=$(curl -fsS -D - -o /dev/null -H "X-Aerodrome-Request-Id: e2e-sharded-rid" \
+        --data-binary @testdata/golden/sharded-none.std "$RBASE/v1/check" \
+        | tr -d '\r' | sed -n 's/^[Xx]-[Aa]erodrome-[Rr]equest-[Ii]d: *//p' | head -1)
+    [ "$RID" = "e2e-sharded-rid" ] || { echo "routed request id not echoed (got '$RID')"; exit 1; }
+    grep -q 'id=e2e-sharded-rid' "$LOG_B0" "$LOG_B1" \
+        || { echo "request id never reached a backend access log"; exit 1; }
+    echo "request-id propagated router -> backend"
 
     # Open keyed sessions until both backends hold one (the ring splits keys;
     # a handful of attempts suffices). Remember one session per backend.
@@ -242,6 +283,18 @@ leg_sharded() {
     echo "$METRICS" | grep -q '"replayed_bytes_total":[1-9]' \
         || { echo "no journal bytes replayed: $METRICS"; exit 1; }
     echo "backend loss: orphan fed through failover, survivor feeds, creates rebalance"
+
+    # The same story told in Prometheus text: failover and replay counters
+    # plus the router's stage histograms, straight off the scrape endpoint.
+    local PROM
+    PROM=$(curl -fsS "$RBASE/metrics?format=prom")
+    echo "$PROM" | grep -Eq '^aerodromed_router_failovers_total [1-9]' \
+        || { echo "prom router failover counter missing"; exit 1; }
+    echo "$PROM" | grep -q '^# TYPE aerodromed_router_stage_duration_seconds histogram' \
+        || { echo "no prom router stage histogram"; exit 1; }
+    echo "$PROM" | grep -Eq '^aerodromed_router_stage_duration_seconds_count\{stage="proxy"\} [1-9]' \
+        || { echo "prom proxy-stage count never incremented"; exit 1; }
+    echo "router prom exposition ok"
 
     # Drain the survivors: the router and the surviving backend (with its live
     # session) must both exit 0 with a clean-drain log on SIGTERM.

@@ -1,0 +1,166 @@
+package aerodrome_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"aerodrome"
+)
+
+// statsLog builds a serializable STD log that exercises the epoch fast
+// path: one writer seeds a shared variable, then reader transactions
+// read it several times each — the repeats within a transaction check
+// the same unchanged write clock and hit the epoch cache.
+func statsLog(threads, rounds int) string {
+	var b strings.Builder
+	b.WriteString("t0|begin|0\nt0|w(x)|0\nt0|end|0\n")
+	for r := 0; r < rounds; r++ {
+		for t := 1; t <= threads; t++ {
+			fmt.Fprintf(&b, "t%d|begin|0\n", t)
+			for i := 0; i < 4; i++ {
+				fmt.Fprintf(&b, "t%d|r(x)|0\n", t)
+			}
+			fmt.Fprintf(&b, "t%d|w(y%d)|0\n", t, t)
+			fmt.Fprintf(&b, "t%d|end|0\n", t)
+		}
+	}
+	return b.String()
+}
+
+// privateLog builds a perfectly partitionable STD log: every thread
+// touches only its own variables.
+func privateLog(threads, rounds int) string {
+	var b strings.Builder
+	for r := 0; r < rounds; r++ {
+		for t := 1; t <= threads; t++ {
+			fmt.Fprintf(&b, "t%d|begin|0\n", t)
+			fmt.Fprintf(&b, "t%d|w(x%d)|0\n", t, t)
+			fmt.Fprintf(&b, "t%d|r(x%d)|0\n", t, t)
+			fmt.Fprintf(&b, "t%d|end|0\n", t)
+		}
+	}
+	return b.String()
+}
+
+func TestCheckerStats(t *testing.T) {
+	c := aerodrome.NewChecker(aerodrome.Optimized)
+	c.Begin(0)
+	c.Write(0, 0)
+	c.End(0)
+	for r := 0; r < 50; r++ {
+		c.Begin(1)
+		for i := 0; i < 4; i++ {
+			c.Read(1, 0)
+		}
+		c.End(1)
+	}
+	s, ok := c.Stats()
+	if !ok {
+		t.Fatal("optimized checker must report stats")
+	}
+	if s.EpochHits == 0 {
+		t.Fatalf("repeated same-thread accesses hit no epochs: %+v", s)
+	}
+	if rate := s.EpochHitRate(); rate <= 0 || rate > 1 {
+		t.Fatalf("hit rate %v outside (0,1]", rate)
+	}
+
+	v := aerodrome.NewChecker(aerodrome.Velodrome)
+	if _, ok := v.Stats(); ok {
+		t.Fatal("velodrome has no engine stats to report")
+	}
+}
+
+func TestIncrementalCheckerStats(t *testing.T) {
+	c, err := aerodrome.NewIncrementalChecker(aerodrome.Optimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := statsLog(4, 100)
+	for i := 0; i < len(log); i += 256 {
+		end := i + 256
+		if end > len(log) {
+			end = len(log)
+		}
+		if _, err := c.Feed([]byte(log[i:end])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err := c.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Serializable {
+		t.Fatalf("statsLog must be serializable: %+v", rep.Violation)
+	}
+	s, ok := c.Stats()
+	if !ok || s.EpochHits == 0 {
+		t.Fatalf("no engine stats after %d events: ok=%v %+v", rep.Events, ok, s)
+	}
+	parse, check := c.StageTimes()
+	if parse <= 0 || check <= 0 {
+		t.Fatalf("stage times not accumulated: parse=%v check=%v", parse, check)
+	}
+}
+
+func TestMonitorStats(t *testing.T) {
+	m := aerodrome.NewMonitor()
+	w := m.Thread("writer")
+	w.Begin()
+	w.Write("x")
+	w.End()
+	rd := m.Thread("reader")
+	for r := 0; r < 50; r++ {
+		rd.Begin()
+		for i := 0; i < 4; i++ {
+			rd.Read("x")
+		}
+		rd.End()
+	}
+	s, ok := m.Stats()
+	if !ok || s.EpochHits == 0 {
+		t.Fatalf("monitor stats missing: ok=%v %+v", ok, s)
+	}
+}
+
+func TestCheckReaderPipelinedStats(t *testing.T) {
+	rep, cs, err := aerodrome.CheckReaderPipelinedStats(
+		strings.NewReader(statsLog(4, 200)), aerodrome.Optimized)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Serializable {
+		t.Fatalf("statsLog must be serializable: %+v", rep.Violation)
+	}
+	if !cs.HasEngineStats || cs.Engine.EpochHits == 0 {
+		t.Fatalf("engine stats missing: %+v", cs)
+	}
+	if cs.ParseTime <= 0 || cs.CheckTime <= 0 {
+		t.Fatalf("stage times not accumulated: %+v", cs)
+	}
+}
+
+func TestCheckSTDParallelIntraStats(t *testing.T) {
+	rep, ps, err := aerodrome.CheckSTDParallelIntraStats(
+		strings.NewReader(privateLog(4, 50)), aerodrome.Optimized, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Serializable {
+		t.Fatalf("privateLog must be serializable: %+v", rep.Violation)
+	}
+	// Fully thread-private variables partition perfectly.
+	if ps.Shards < 2 || ps.Components < 2 || ps.Replayed {
+		t.Fatalf("private-variable trace did not partition: %+v", ps)
+	}
+	// The sequential fallback still reports coherent stats.
+	_, ps, err = aerodrome.CheckSTDParallelIntraStats(
+		strings.NewReader(privateLog(4, 50)), aerodrome.Velodrome, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ps.Shards != 1 || !ps.Replayed {
+		t.Fatalf("velodrome fallback stats off: %+v", ps)
+	}
+}
