@@ -129,10 +129,22 @@ type Violation struct {
 	Check string `json:"check"`
 	// Algorithm names the engine that reported.
 	Algorithm string `json:"algorithm"`
+	// Target, for a data-race violation (the hbrace analysis), is the
+	// variable both racing accesses touch. Atomicity violations leave it
+	// nil, so the legacy atomicity wire format is unchanged.
+	Target *int `json:"target,omitempty"`
+	// OtherThread, for a data-race violation, is the thread of the earlier
+	// access of the racing pair (Thread is the later one). Nil for
+	// atomicity violations.
+	OtherThread *int `json:"other_thread,omitempty"`
 }
 
 // Error implements error.
 func (v *Violation) Error() string {
+	if v.Target != nil && v.OtherThread != nil {
+		return fmt.Sprintf("%s: data race at event %d (%s on x%d, thread %d vs thread %d)",
+			v.Algorithm, v.EventIndex, v.Check, *v.Target, v.Thread, *v.OtherThread)
+	}
 	return fmt.Sprintf("%s: conflict serializability violation at event %d (%s check, thread %d)",
 		v.Algorithm, v.EventIndex, v.Check, v.Thread)
 }
@@ -254,6 +266,12 @@ type Report struct {
 	Events int64 `json:"events"`
 	// Algorithm names the engine used.
 	Algorithm string `json:"algorithm"`
+	// Analyses carries per-analysis verdicts when the check ran a
+	// non-default analysis set (see CheckSTDAnalyses); it is omitted — and
+	// the report is byte-identical to the single-analysis wire format —
+	// when only atomicity was requested. The atomicity entry, when
+	// present, mirrors the top-level fields exactly.
+	Analyses []AnalysisReport `json:"analyses,omitempty"`
 }
 
 // CheckSTD analyzes a trace log in the RAPID STD text format

@@ -1,0 +1,347 @@
+package aerodrome
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"aerodrome/internal/core"
+	"aerodrome/internal/pipeline"
+	"aerodrome/internal/race"
+	"aerodrome/internal/rapidio"
+	"aerodrome/internal/trace"
+)
+
+// AnalysisKind names one analysis that can run over an ingested trace.
+// The service's clock substrate computes the happens-before state every
+// vector-clock analysis needs, so one parse and one event stream can
+// drive several verdicts at once ("one parse, one clock substrate, N
+// verdicts", ROADMAP item 4).
+type AnalysisKind string
+
+const (
+	// AnalysisAtomicity is conflict-serializability checking — the
+	// AeroDrome algorithms selected by Algorithm. It is the default
+	// analysis and the one reported by the legacy top-level Report and
+	// SessionView fields.
+	AnalysisAtomicity AnalysisKind = "atomicity"
+	// AnalysisHBRace is FastTrack-style happens-before data-race
+	// detection (internal/race) on the same event stream.
+	AnalysisHBRace AnalysisKind = "hbrace"
+)
+
+// AnalysisKinds lists all supported analyses.
+func AnalysisKinds() []AnalysisKind {
+	return []AnalysisKind{AnalysisAtomicity, AnalysisHBRace}
+}
+
+// validAnalysisNames renders the supported set for error messages.
+func validAnalysisNames() string {
+	names := make([]string, 0, len(AnalysisKinds()))
+	for _, k := range AnalysisKinds() {
+		names = append(names, string(k))
+	}
+	return strings.Join(names, ", ")
+}
+
+// ParseAnalyses parses a comma-separated analysis list ("atomicity,hbrace")
+// into a validated, deduplicated set preserving first-mention order. The
+// empty string (and an empty list) selects the default set, just
+// ["atomicity"]. Unknown names are rejected with the valid set listed.
+func ParseAnalyses(s string) ([]AnalysisKind, error) {
+	if strings.TrimSpace(s) == "" {
+		return []AnalysisKind{AnalysisAtomicity}, nil
+	}
+	var set []AnalysisKind
+	for _, part := range strings.Split(s, ",") {
+		name := strings.TrimSpace(part)
+		if name == "" {
+			continue
+		}
+		set = append(set, AnalysisKind(name))
+	}
+	return NormalizeAnalyses(set)
+}
+
+// NormalizeAnalyses validates and deduplicates an analysis set, preserving
+// first-mention order. An empty set selects the default ["atomicity"].
+func NormalizeAnalyses(set []AnalysisKind) ([]AnalysisKind, error) {
+	if len(set) == 0 {
+		return []AnalysisKind{AnalysisAtomicity}, nil
+	}
+	seen := make(map[AnalysisKind]bool, len(set))
+	out := make([]AnalysisKind, 0, len(set))
+	for _, k := range set {
+		switch k {
+		case AnalysisAtomicity, AnalysisHBRace:
+		default:
+			return nil, fmt.Errorf("aerodrome: unknown analysis %q (valid: %s)", k, validAnalysisNames())
+		}
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	return out, nil
+}
+
+// defaultAnalysisSet reports whether set is exactly the default
+// ["atomicity"] — the case whose report and session wire formats must stay
+// byte-identical to the single-analysis service.
+func defaultAnalysisSet(set []AnalysisKind) bool {
+	return len(set) == 1 && set[0] == AnalysisAtomicity
+}
+
+// AnalysisReport is one analysis' verdict within a multi-analysis Report
+// or session view. The atomicity entry mirrors the legacy top-level
+// fields exactly: same violation, same event count, same algorithm name.
+type AnalysisReport struct {
+	// Analysis names the analysis ("atomicity", "hbrace").
+	Analysis string `json:"analysis"`
+	// Clean is true iff the analysis found no violation: serializable for
+	// atomicity, race-free for hbrace.
+	Clean bool `json:"clean"`
+	// Violation is non-nil iff not clean.
+	Violation *Violation `json:"violation,omitempty"`
+	// Events is the number of events this analysis consumed (each
+	// analysis stops at its own first violation).
+	Events int64 `json:"events"`
+	// Algorithm names the engine or detector used.
+	Algorithm string `json:"algorithm"`
+}
+
+// analysisSink is a non-atomicity analysis running over the shared event
+// stream: a pipeline.Sink that can render its verdict as an
+// AnalysisReport.
+type analysisSink interface {
+	pipeline.Sink
+	kind() AnalysisKind
+	analysisReport() AnalysisReport
+}
+
+// newAnalysisSinks builds the extra (non-atomicity) sinks for an analysis
+// set, in set order. The atomicity analysis is carried by the core engine
+// itself, not a sink.
+func newAnalysisSinks(set []AnalysisKind) []analysisSink {
+	var out []analysisSink
+	for _, k := range set {
+		if k == AnalysisHBRace {
+			out = append(out, &raceSink{d: race.New()})
+		}
+	}
+	return out
+}
+
+// pipelineSinks upcasts to the pipeline's Sink interface.
+func pipelineSinks(extras []analysisSink) []pipeline.Sink {
+	if len(extras) == 0 {
+		return nil
+	}
+	out := make([]pipeline.Sink, len(extras))
+	for i, s := range extras {
+		out[i] = s
+	}
+	return out
+}
+
+// raceSink adapts the happens-before race detector to the analysis-sink
+// surface.
+type raceSink struct {
+	d *race.Detector
+}
+
+func (s *raceSink) Process(e trace.Event) { s.d.Process(e) }
+func (s *raceSink) Done() bool            { return s.d.Violation() != nil }
+func (s *raceSink) kind() AnalysisKind    { return AnalysisHBRace }
+
+func (s *raceSink) analysisReport() AnalysisReport {
+	v := s.d.Violation()
+	return AnalysisReport{
+		Analysis:  string(AnalysisHBRace),
+		Clean:     v == nil,
+		Violation: raceFromInternal(v),
+		Events:    s.d.Processed(),
+		Algorithm: s.d.Name(),
+	}
+}
+
+// raceFromInternal maps a race violation onto the public wire Violation.
+func raceFromInternal(v *race.Violation) *Violation {
+	if v == nil {
+		return nil
+	}
+	target := int(v.Var)
+	other := int(v.Other)
+	return &Violation{
+		EventIndex:  v.Index,
+		Thread:      int(v.Thread),
+		Check:       v.Check.String(),
+		Algorithm:   v.Algorithm,
+		Target:      &target,
+		OtherThread: &other,
+	}
+}
+
+// analysisReports assembles per-analysis reports in set order. atomicity
+// builds the atomicity entry lazily (only when requested).
+func analysisReports(set []AnalysisKind, extras []analysisSink, atomicity func() AnalysisReport) []AnalysisReport {
+	out := make([]AnalysisReport, 0, len(set))
+	next := 0
+	for _, k := range set {
+		if k == AnalysisAtomicity {
+			out = append(out, atomicity())
+			continue
+		}
+		out = append(out, extras[next].analysisReport())
+		next++
+	}
+	return out
+}
+
+// CheckSTDAnalyses is CheckSTD running an analysis set over one parse of
+// the trace. The top-level report fields always carry the atomicity
+// verdict (the legacy wire format); per-analysis verdicts land in
+// Report.Analyses unless the set is the default ["atomicity"], in which
+// case the report is byte-identical to CheckSTD. Each analysis stops at
+// its own first violation; the stream is consumed until every requested
+// analysis has latched or the trace ends. A parse error positioned after
+// the point where all analyses latched is not reported.
+func CheckSTDAnalyses(r io.Reader, a Algorithm, analyses []AnalysisKind) (*Report, error) {
+	set, err := NormalizeAnalyses(analyses)
+	if err != nil {
+		return nil, err
+	}
+	if defaultAnalysisSet(set) {
+		return CheckSTD(r, a)
+	}
+	eng, err := newEngine(a)
+	if err != nil {
+		return nil, err
+	}
+	extras := newAnalysisSinks(set)
+	viol, n, err := runMultiSequential(eng, extras, rapidio.NewReader(r))
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Serializable: viol == nil,
+		Violation:    fromInternal(viol),
+		Events:       n,
+		Algorithm:    eng.Name(),
+	}
+	rep.Analyses = analysisReports(set, extras, rep.atomicityEntry)
+	return rep, nil
+}
+
+// atomicityEntry renders the report's legacy top-level fields as the
+// atomicity AnalysisReport.
+func (r *Report) atomicityEntry() AnalysisReport {
+	return AnalysisReport{
+		Analysis:  string(AnalysisAtomicity),
+		Clean:     r.Serializable,
+		Violation: r.Violation,
+		Events:    r.Events,
+		Algorithm: r.Algorithm,
+	}
+}
+
+// sinksDone reports whether every extra analysis has latched.
+func sinksDone(extras []analysisSink) bool {
+	for _, s := range extras {
+		if !s.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// runMultiSequential drives the engine and the extra sinks over one
+// sequential event stream, stopping as soon as every analysis has latched
+// (so a parse error in the discarded tail is never observed) or the
+// stream ends. It mirrors core.Run exactly when extras is empty.
+func runMultiSequential(eng core.Engine, extras []analysisSink, rd *rapidio.Reader) (*core.Violation, int64, error) {
+	var viol *core.Violation
+	for {
+		if viol != nil && sinksDone(extras) {
+			break
+		}
+		e, ok := rd.Next()
+		if !ok {
+			if err := rd.Err(); err != nil {
+				return nil, 0, err
+			}
+			break
+		}
+		if viol == nil {
+			viol = eng.Process(e)
+		}
+		for _, s := range extras {
+			if !s.Done() {
+				s.Process(e)
+			}
+		}
+	}
+	if viol == nil {
+		viol = eng.Violation()
+	}
+	return viol, eng.Processed(), nil
+}
+
+// CheckReaderPipelinedAnalyses is CheckReaderPipelined running an analysis
+// set over one parse, with the same report shape as CheckSTDAnalyses. The
+// atomicity verdict, violation index and event count are identical to the
+// single-analysis pipelined path (and therefore to CheckSTD).
+func CheckReaderPipelinedAnalyses(r io.Reader, a Algorithm, analyses []AnalysisKind) (*Report, error) {
+	rep, _, err := checkPipelinedStatsAnalyses(func() pipeline.BatchSource { return rapidio.NewReader(r) }, a, analyses)
+	return rep, err
+}
+
+// CheckBinaryReaderPipelinedAnalyses is CheckReaderPipelinedAnalyses for
+// the compact binary ("ADB1") trace format.
+func CheckBinaryReaderPipelinedAnalyses(r io.Reader, a Algorithm, analyses []AnalysisKind) (*Report, error) {
+	rep, _, err := checkPipelinedStatsAnalyses(func() pipeline.BatchSource { return rapidio.NewBinaryReader(r) }, a, analyses)
+	return rep, err
+}
+
+// CheckReaderPipelinedStatsAnalyses is CheckReaderPipelinedAnalyses
+// returning per-stage timings and engine introspection counters alongside
+// the report (the aerodromed /v1/check backend).
+func CheckReaderPipelinedStatsAnalyses(r io.Reader, a Algorithm, analyses []AnalysisKind) (*Report, CheckStats, error) {
+	return checkPipelinedStatsAnalyses(func() pipeline.BatchSource { return rapidio.NewReader(r) }, a, analyses)
+}
+
+// CheckBinaryReaderPipelinedStatsAnalyses is the ADB1-format counterpart
+// of CheckReaderPipelinedStatsAnalyses.
+func CheckBinaryReaderPipelinedStatsAnalyses(r io.Reader, a Algorithm, analyses []AnalysisKind) (*Report, CheckStats, error) {
+	return checkPipelinedStatsAnalyses(func() pipeline.BatchSource { return rapidio.NewBinaryReader(r) }, a, analyses)
+}
+
+func checkPipelinedStatsAnalyses(src func() pipeline.BatchSource, a Algorithm, analyses []AnalysisKind) (*Report, CheckStats, error) {
+	set, err := NormalizeAnalyses(analyses)
+	if err != nil {
+		return nil, CheckStats{}, err
+	}
+	if defaultAnalysisSet(set) {
+		return checkPipelinedStats(src(), a)
+	}
+	eng, err := newEngine(a)
+	if err != nil {
+		return nil, CheckStats{}, err
+	}
+	extras := newAnalysisSinks(set)
+	var stages pipeline.StageStats
+	v, n, err := pipeline.RunMulti(eng, pipelineSinks(extras), src(), pipeline.Config{Stats: &stages})
+	if err != nil {
+		return nil, CheckStats{}, err
+	}
+	cs := CheckStats{ParseTime: stages.ParseTime(), CheckTime: stages.CheckTime()}
+	cs.Engine, cs.HasEngineStats = engineStatsOf(eng)
+	rep := &Report{
+		Serializable: v == nil,
+		Violation:    fromInternal(v),
+		Events:       n,
+		Algorithm:    eng.Name(),
+	}
+	rep.Analyses = analysisReports(set, extras, rep.atomicityEntry)
+	return rep, cs, nil
+}

@@ -59,6 +59,7 @@ import (
 	"aerodrome/internal/doublechecker"
 	"aerodrome/internal/parcheck"
 	"aerodrome/internal/pipeline"
+	"aerodrome/internal/race"
 	"aerodrome/internal/rapidio"
 	"aerodrome/internal/server"
 	"aerodrome/internal/trace"
@@ -117,6 +118,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("aerodrome", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	algo := fs.String("algo", "optimized", "checking algorithm: basic, readopt, optimized, treeclock, hybrid, auto, velodrome, velodrome-pk, doublechecker")
+	analysesFlag := fs.String("analyses", "", "analysis set over the same event stream: comma-separated from atomicity, hbrace (default atomicity); hbrace adds happens-before data-race detection")
 	format := fs.String("format", "std", "trace format: std (RAPID text) or bin (compact binary)")
 	quiet := fs.Bool("q", false, "suppress everything except the verdict line")
 	pipe := fs.Bool("pipeline", false, "pipeline parsing and checking on separate goroutines")
@@ -134,6 +136,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	// Validate the analysis set up front, in every mode: an unknown name is
+	// a usage error here, exactly like an unknown -algo — never silently
+	// dropped or deferred to a remote server to notice.
+	analysisSet, err := aerodrome.ParseAnalyses(*analysesFlag)
+	if err != nil {
+		fmt.Fprintln(stderr, err) // the library error carries the aerodrome: prefix
+		return 2
+	}
 	// The flag default "optimized" is the local-check default; the server
 	// modes must be able to tell "unset" from an explicit choice, so the
 	// server-side defaults (-serve boots with auto, -remote defers to the
@@ -144,9 +154,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 			algoSet = true
 		}
 	})
+	multiAnalyses := !(len(analysisSet) == 1 && analysisSet[0] == aerodrome.AnalysisAtomicity)
 	if *serve != "" {
 		if fs.NArg() > 0 {
 			fmt.Fprintln(stderr, "usage: aerodrome -serve ADDR takes no trace-file arguments")
+			return 2
+		}
+		if multiAnalyses {
+			fmt.Fprintln(stderr, "aerodrome: -serve has no default analysis set; clients declare analyses per request")
 			return 2
 		}
 		if !algoSet {
@@ -159,17 +174,25 @@ func run(args []string, stdout, stderr io.Writer) int {
 			*algo = "" // let the server apply its configured default
 		}
 		return runRemote(remoteOpts{
-			baseURL: *remote, algo: *algo, tenant: *tenant, traceKey: *traceKey,
-			incremental: *incremental, chunkBytes: *chunkBytes,
+			baseURL: *remote, algo: *algo, analyses: *analysesFlag, tenant: *tenant,
+			traceKey: *traceKey, incremental: *incremental, chunkBytes: *chunkBytes,
 			timeout: *timeout, retries: *retries, quiet: *quiet,
 		}, fs.Args(), stdout, stderr)
 	}
 	if *parallel != 0 {
+		if multiAnalyses {
+			fmt.Fprintln(stderr, "aerodrome: -parallel runs the atomicity analysis only")
+			return 2
+		}
 		return runParallel(fs.Args(), *algo, *parallel, stdout, stderr)
 	}
 	if *par != 0 {
 		if fs.NArg() > 1 {
 			fmt.Fprintln(stderr, "usage: aerodrome -par N [trace-file]")
+			return 2
+		}
+		if multiAnalyses {
+			fmt.Fprintln(stderr, "aerodrome: -par runs the atomicity analysis only")
 			return 2
 		}
 		return runParIntra(fs.Arg(0), *algo, *par, *format, *quiet, stdout, stderr)
@@ -183,6 +206,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if err != nil {
 		fmt.Fprintln(stderr, "aerodrome:", err)
 		return 2
+	}
+	// The hbrace analysis rides the same event stream as the atomicity
+	// engine — one parse, two verdicts.
+	var det *race.Detector
+	for _, k := range analysisSet {
+		if k == aerodrome.AnalysisHBRace {
+			det = race.New()
+		}
 	}
 	src, closeSrc, err := openSource(fs.Arg(0), *format)
 	if err != nil {
@@ -204,14 +235,37 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "aerodrome: -pipeline does not support format %q\n", *format)
 			return 2
 		}
+		var sinks []pipeline.Sink
+		if det != nil {
+			sinks = append(sinks, detectorSink{det})
+		}
 		var perr error
-		v, n, perr = pipeline.Run(eng, bs, pipeline.Config{Stats: &stages})
+		v, n, perr = pipeline.RunMulti(eng, sinks, bs, pipeline.Config{Stats: &stages})
 		if perr != nil {
 			fmt.Fprintln(stderr, "aerodrome:", perr)
 			return 2
 		}
-	} else {
+	} else if det == nil {
 		v, n = core.Run(eng, src)
+	} else {
+		// Sequential dual-analysis sweep: each analysis latches at its own
+		// first violation; the stream stops once both have.
+		for v == nil || det.Violation() == nil {
+			e, ok := src.Next()
+			if !ok {
+				break
+			}
+			if v == nil {
+				v = eng.Process(e)
+			}
+			if det.Violation() == nil {
+				det.Process(e)
+			}
+		}
+		if v == nil {
+			v = eng.Violation()
+		}
+		n = eng.Processed()
 	}
 	elapsed := time.Since(start)
 
@@ -234,13 +288,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stdout, "stages:    parse %v, check %v\n", stages.ParseTime(), stages.CheckTime())
 		}
 	}
+	code := 0
 	if v != nil {
 		fmt.Fprintf(stdout, "result: NOT conflict serializable — %v\n", v)
-		return 1
+		code = 1
+	} else {
+		fmt.Fprintf(stdout, "result: conflict serializable (no atomicity violation)\n")
 	}
-	fmt.Fprintf(stdout, "result: conflict serializable (no atomicity violation)\n")
-	return 0
+	if det != nil {
+		if rv := det.Violation(); rv != nil {
+			fmt.Fprintf(stdout, "hbrace: data race — %v (%d events)\n", rv, det.Processed())
+			code = 1
+		} else {
+			fmt.Fprintf(stdout, "hbrace: race free (%d events)\n", det.Processed())
+		}
+	}
+	return code
 }
+
+// detectorSink adapts the race detector to the pipeline's Sink surface.
+type detectorSink struct{ d *race.Detector }
+
+func (s detectorSink) Process(e trace.Event) { s.d.Process(e) }
+func (s detectorSink) Done() bool            { return s.d.Violation() != nil }
 
 // printEngineStats renders the engine's introspection counters on one
 // line, mirroring the par: partition line. Engines without counters
@@ -295,12 +365,12 @@ func runServe(addr, algo string, stderr io.Writer) int {
 
 // remoteOpts bundles the -remote mode's knobs.
 type remoteOpts struct {
-	baseURL, algo, tenant, traceKey string
-	incremental                     bool
-	chunkBytes                      int
-	timeout                         time.Duration
-	retries                         int
-	quiet                           bool
+	baseURL, algo, analyses, tenant, traceKey string
+	incremental                               bool
+	chunkBytes                                int
+	timeout                                   time.Duration
+	retries                                   int
+	quiet                                     bool
 }
 
 // runRemote streams one trace (file or stdin) to a running aerodromed (or
@@ -329,9 +399,9 @@ func runRemote(opts remoteOpts, args []string, stdout, stderr io.Writer) int {
 	var rep *aerodrome.Report
 	var err error
 	if opts.incremental {
-		rep, err = remoteIncremental(client, r, algo, opts.chunkBytes)
+		rep, err = remoteIncremental(client, r, algo, opts.analyses, opts.chunkBytes)
 	} else {
-		rep, err = client.Check(r, algo)
+		rep, err = client.CheckAnalyses(r, algo, opts.analyses)
 	}
 	if err != nil {
 		fmt.Fprintln(stderr, "aerodrome:", err)
@@ -341,12 +411,25 @@ func runRemote(opts remoteOpts, args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "algorithm: %s\nevents:    %d\ntime:      %v (remote)\n",
 			rep.Algorithm, rep.Events, time.Since(start))
 	}
+	code := 0
 	if !rep.Serializable {
 		fmt.Fprintf(stdout, "result: NOT conflict serializable — %v\n", rep.Violation)
-		return 1
+		code = 1
+	} else {
+		fmt.Fprintf(stdout, "result: conflict serializable (no atomicity violation)\n")
 	}
-	fmt.Fprintf(stdout, "result: conflict serializable (no atomicity violation)\n")
-	return 0
+	for _, ar := range rep.Analyses {
+		if ar.Analysis == string(aerodrome.AnalysisAtomicity) {
+			continue // rendered by the legacy result line above
+		}
+		if !ar.Clean {
+			fmt.Fprintf(stdout, "%s: violation — %v (%d events)\n", ar.Analysis, ar.Violation, ar.Events)
+			code = 1
+		} else {
+			fmt.Fprintf(stdout, "%s: clean (%d events)\n", ar.Analysis, ar.Events)
+		}
+	}
+	return code
 }
 
 // remoteIncremental replays the trace through the session API chunk by
@@ -357,7 +440,7 @@ func runRemote(opts remoteOpts, args []string, stdout, stderr io.Writer) int {
 // the checker is a deterministic single pass. Restart needs the trace
 // bytes again, so stdin input is only retried when it fit in memory — a
 // file is rewound with Seek.
-func remoteIncremental(client *server.Client, r io.Reader, algo string, chunkBytes int) (*aerodrome.Report, error) {
+func remoteIncremental(client *server.Client, r io.Reader, algo, analyses string, chunkBytes int) (*aerodrome.Report, error) {
 	if chunkBytes <= 0 {
 		chunkBytes = 64 << 10
 	}
@@ -375,7 +458,7 @@ func remoteIncremental(client *server.Client, r io.Reader, algo string, chunkByt
 		if _, err := seeker.Seek(0, io.SeekStart); err != nil {
 			return nil, err
 		}
-		rep, err := feedSession(client, seeker, algo, chunkBytes)
+		rep, err := feedSession(client, seeker, algo, analyses, chunkBytes)
 		if err == nil {
 			return rep, nil
 		}
@@ -394,8 +477,8 @@ func remoteIncremental(client *server.Client, r io.Reader, algo string, chunkByt
 }
 
 // feedSession drives one session: create, feed chunks, finalize.
-func feedSession(client *server.Client, r io.Reader, algo string, chunkBytes int) (*aerodrome.Report, error) {
-	sess, err := client.NewSession(algo)
+func feedSession(client *server.Client, r io.Reader, algo, analyses string, chunkBytes int) (*aerodrome.Report, error) {
+	sess, err := client.NewSessionAnalyses(algo, analyses)
 	if err != nil {
 		return nil, err
 	}

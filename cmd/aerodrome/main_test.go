@@ -277,3 +277,101 @@ func TestErrors(t *testing.T) {
 		t.Fatalf("malformed trace: exit %d", code)
 	}
 }
+
+// dualSTD carries an atomicity violation with no race on x (lock-protected
+// accesses split by another transaction) and a later write-write race on z
+// — the two analyses latch at different trace points.
+const dualSTD = `t1|begin|0
+t1|acq(l)|0
+t1|r(x)|0
+t1|rel(l)|0
+t2|acq(l)|0
+t2|w(x)|0
+t2|rel(l)|0
+t1|acq(l)|0
+t1|w(x)|0
+t1|rel(l)|0
+t1|end|0
+t2|w(z)|0
+t3|w(z)|0
+`
+
+func TestAnalysesFlagLocal(t *testing.T) {
+	path := writeTemp(t, "dual.std", dualSTD)
+	for _, pipeArgs := range [][]string{nil, {"-pipeline"}} {
+		var out, errOut bytes.Buffer
+		args := append(append([]string{}, pipeArgs...), "-analyses", "atomicity,hbrace", path)
+		if code := run(args, &out, &errOut); code != 1 {
+			t.Fatalf("%v: exit = %d, want 1\n%s%s", pipeArgs, code, out.String(), errOut.String())
+		}
+		if !strings.Contains(out.String(), "NOT conflict serializable") {
+			t.Fatalf("%v: atomicity verdict missing: %q", pipeArgs, out.String())
+		}
+		if !strings.Contains(out.String(), "hbrace: data race") || !strings.Contains(out.String(), "write-write") {
+			t.Fatalf("%v: hbrace verdict missing: %q", pipeArgs, out.String())
+		}
+	}
+	// A fully lock-protected trace is clean under both analyses. (rho1 is
+	// serializable yet racy — its accesses are unsynchronized — so it can't
+	// serve as the race-free case.)
+	clean := writeTemp(t, "locked.std", `t1|begin|0
+t1|acq(l)|0
+t1|w(x)|0
+t1|rel(l)|0
+t1|end|0
+t2|begin|0
+t2|acq(l)|0
+t2|r(x)|0
+t2|rel(l)|0
+t2|end|0
+`)
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-analyses", "hbrace", clean}, &out, &errOut); code != 0 {
+		t.Fatalf("clean dual: exit = %d\n%s%s", code, out.String(), errOut.String())
+	}
+	if !strings.Contains(out.String(), "hbrace: race free") {
+		t.Fatalf("clean dual: %q", out.String())
+	}
+}
+
+// TestAnalysesFlagRejectsUnknown pins the satellite fix: an unknown
+// analysis name is a usage error (exit 2, valid set listed) in every mode
+// — local and remote alike, before any request is sent.
+func TestAnalysesFlagRejectsUnknown(t *testing.T) {
+	path := writeTemp(t, "rho1.std", rho1STD)
+	for _, args := range [][]string{
+		{"-analyses", "bogus", path},
+		{"-remote", "http://127.0.0.1:1", "-analyses", "bogus", path},
+	} {
+		var out, errOut bytes.Buffer
+		if code := run(args, &out, &errOut); code != 2 {
+			t.Fatalf("%v: exit = %d, want 2\n%s%s", args, code, out.String(), errOut.String())
+		}
+		if !strings.Contains(errOut.String(), "bogus") || !strings.Contains(errOut.String(), "atomicity, hbrace") {
+			t.Fatalf("%v: rejection must name the bad analysis and the valid set: %q", args, errOut.String())
+		}
+	}
+}
+
+func TestAnalysesFlagRemote(t *testing.T) {
+	s, err := server.New(server.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	ts := httptest.NewServer(s)
+	defer ts.Close()
+
+	path := writeTemp(t, "dual.std", dualSTD)
+	for _, extra := range [][]string{nil, {"-incremental", "-chunk-bytes", "7"}} {
+		var out, errOut bytes.Buffer
+		args := append([]string{"-remote", ts.URL, "-analyses", "atomicity,hbrace"}, extra...)
+		if code := run(append(args, path), &out, &errOut); code != 1 {
+			t.Fatalf("%v: exit = %d, want 1\n%s%s", extra, code, out.String(), errOut.String())
+		}
+		if !strings.Contains(out.String(), "NOT conflict serializable") ||
+			!strings.Contains(out.String(), "hbrace: violation") {
+			t.Fatalf("%v: output %q", extra, out.String())
+		}
+	}
+}

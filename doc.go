@@ -110,6 +110,35 @@
 // Monitor.Event is the equivalent hook at the Monitor level for
 // already-decoded events.
 //
+// # Multi-analysis checking
+//
+// The atomicity checker's vector-clock substrate answers more questions
+// than serializability, so one ingested event stream can drive several
+// analyses off a single parse ("one parse, one clock substrate, N
+// verdicts" — ROADMAP item 4). An analysis set is a list of
+// AnalysisKind values: AnalysisAtomicity (the default, the AeroDrome
+// algorithms above) and AnalysisHBRace, a FastTrack-style happens-before
+// data-race detector (internal/race) reusing the same internal/vc clocks
+// — per-variable write/read epochs with read escalation to full vectors
+// under concurrent readers, release/fork/join publication edges, and
+// write-write / write-read / read-write verdicts. CheckSTDAnalyses,
+// CheckReaderPipelinedAnalyses and NewIncrementalCheckerAnalyses accept
+// the set (the CLI spells it `-analyses atomicity,hbrace`); each
+// analysis latches at its own first violation and the stream stops once
+// every requested analysis is done. The report's top-level fields always
+// carry the atomicity verdict in the legacy wire format; per-analysis
+// entries land in Report.Analyses — and when the set is exactly the
+// default ["atomicity"], the output is byte-identical to the
+// single-analysis path. Unknown analysis names are rejected up front
+// with the valid set listed, in the library, the CLI (every mode) and
+// the service alike. The hbrace detector is pinned against a naive
+// full-vector-clock happens-before oracle over the golden corpus, the
+// paper traces, the scenario shapes and the fuzz seeds
+// (race_differential_test.go, FuzzRaceDifferential), under -race in CI;
+// the dual-analysis ingest cost is tracked by the dual-analysis rows in
+// BENCH_after.json (~1.1x the single-analysis pipelined path on
+// sharded-t64).
+//
 // # The aerodromed service
 //
 // cmd/aerodromed (and `aerodrome -serve`) exposes all of the above as a

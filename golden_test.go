@@ -41,6 +41,13 @@ type goldenExpect struct {
 	BasicCheck     string `json:"basic_check,omitempty"`
 	OptimizedIndex int64  `json:"optimized_index,omitempty"`
 	OptimizedCheck string `json:"optimized_check,omitempty"`
+	// Happens-before race verdict for the same trace (the hbrace analysis,
+	// PR 10). All race fields are additive and omitempty so the snapshot
+	// format stays backward-compatible.
+	Race       bool   `json:"race,omitempty"`
+	RaceIndex  int64  `json:"race_index,omitempty"`
+	RaceCheck  string `json:"race_check,omitempty"`
+	RaceEvents int64  `json:"race_events,omitempty"`
 }
 
 func goldenConfigs() []workload.Config {
@@ -89,6 +96,30 @@ func replaySTDPipelined(t *testing.T, path string) (*aerodrome.Report, int64) {
 		t.Fatalf("%s: pipelined replay: %v", path, err)
 	}
 	return rep, rep.Events
+}
+
+// replayRaceSTD replays one golden trace through the public dual-analysis
+// checker and returns the hbrace entry — the same path aerodromed uses, so
+// the snapshot pins parser-to-detector history end to end.
+func replayRaceSTD(t *testing.T, path string) aerodrome.AnalysisReport {
+	t.Helper()
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	rep, err := aerodrome.CheckSTDAnalyses(f, aerodrome.Optimized,
+		[]aerodrome.AnalysisKind{aerodrome.AnalysisAtomicity, aerodrome.AnalysisHBRace})
+	if err != nil {
+		t.Fatalf("%s: dual-analysis replay: %v", path, err)
+	}
+	for _, ar := range rep.Analyses {
+		if ar.Analysis == string(aerodrome.AnalysisHBRace) {
+			return ar
+		}
+	}
+	t.Fatalf("%s: no hbrace entry", path)
+	return aerodrome.AnalysisReport{}
 }
 
 func replaySTD(t *testing.T, path string, algo core.Algorithm) (*core.Violation, int64) {
@@ -163,6 +194,11 @@ func regenerateGolden(t *testing.T) {
 			e.BasicIndex, e.BasicCheck = vBasic.Index, vBasic.Check.String()
 			e.OptimizedIndex, e.OptimizedCheck = vOpt.Index, vOpt.Check.String()
 		}
+		hb := replayRaceSTD(t, path)
+		e.Race, e.RaceEvents = !hb.Clean, hb.Events
+		if !hb.Clean {
+			e.RaceIndex, e.RaceCheck = hb.Violation.EventIndex, hb.Violation.Check
+		}
 		expects[cfg.Name] = e
 	}
 	out, err := json.MarshalIndent(expects, "", "  ")
@@ -222,6 +258,17 @@ func TestGoldenTraces(t *testing.T) {
 				if !want.Violation && n != want.Events {
 					t.Fatalf("%v: processed %d events, want %d", algo, n, want.Events)
 				}
+			}
+			hb := replayRaceSTD(t, path)
+			if !hb.Clean != want.Race {
+				t.Fatalf("hbrace: verdict race=%v, want %v", !hb.Clean, want.Race)
+			}
+			if hb.Events != want.RaceEvents {
+				t.Fatalf("hbrace: consumed %d events, want %d", hb.Events, want.RaceEvents)
+			}
+			if want.Race && (hb.Violation.EventIndex != want.RaceIndex || hb.Violation.Check != want.RaceCheck) {
+				t.Fatalf("hbrace: violation (index %d, %s), want (index %d, %s)",
+					hb.Violation.EventIndex, hb.Violation.Check, want.RaceIndex, want.RaceCheck)
 			}
 			rep, n := replaySTDPipelined(t, path)
 			if rep.Serializable == want.Violation {

@@ -15,15 +15,28 @@ import (
 
 	"aerodrome/internal/core"
 	"aerodrome/internal/pipeline"
+	"aerodrome/internal/race"
 	"aerodrome/internal/rapidio"
+	"aerodrome/internal/trace"
 	"aerodrome/internal/workload"
 )
 
-// IngestSeq and IngestPipe are the engine labels of the ingest rows.
+// IngestSeq, IngestPipe and IngestDual are the engine labels of the
+// ingest rows. IngestDual is the pipelined reader driving the atomicity
+// engine plus the happens-before race detector off one parse; against
+// IngestPipe it prices the second analysis (on race-free patterns the
+// detector consumes the whole stream, elsewhere it stops at its latch).
 const (
 	IngestSeq  = "ingest-seq"
 	IngestPipe = "ingest-pipe"
+	IngestDual = "dual-analysis"
 )
+
+// benchRaceSink adapts the race detector to the pipeline sink surface.
+type benchRaceSink struct{ d *race.Detector }
+
+func (s benchRaceSink) Process(e trace.Event) { s.d.Process(e) }
+func (s benchRaceSink) Done() bool            { return s.d.Violation() != nil }
 
 // MeasureIngestRows renders cfg's trace to an in-memory STD log once and
 // measures checking it with the default (flat Optimized) engine through
@@ -60,6 +73,18 @@ func MeasureIngestRows(cfg workload.Config, runs int) []BenchRow {
 		}
 		return n
 	}
+	dual := func() int64 {
+		eng := core.NewOptimized()
+		sink := benchRaceSink{d: race.New()}
+		v, n, err := pipeline.RunMulti(eng, []pipeline.Sink{sink}, rapidio.NewReader(bytes.NewReader(data)), pipeline.Config{})
+		if v != nil {
+			panic(fmt.Sprintf("bench: ingest %s: unexpected violation %v", cfg.Name, v))
+		}
+		if err != nil {
+			panic(fmt.Sprintf("bench: ingest %s: %v", cfg.Name, err))
+		}
+		return n
+	}
 
 	var rows []BenchRow
 	for _, m := range []struct {
@@ -68,6 +93,7 @@ func MeasureIngestRows(cfg workload.Config, runs int) []BenchRow {
 	}{
 		{IngestSeq, seq},
 		{IngestPipe, pipe},
+		{IngestDual, dual},
 	} {
 		row := BenchRow{
 			Workload: cfg.Name,

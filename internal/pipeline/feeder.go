@@ -28,6 +28,7 @@ import (
 // positioned after the violation is never reported.
 type Feeder struct {
 	eng   core.Engine
+	extra []Sink // additional analyses sharing the parsed stream
 	src   *rapidio.Feeder
 	batch []trace.Event
 	stats *StageStats
@@ -39,14 +40,34 @@ type Feeder struct {
 // only BatchSize and Stats apply (there is no producer goroutine to
 // bound).
 func NewFeeder(eng core.Engine, cfg Config) *Feeder {
+	return NewFeederSinks(eng, nil, cfg)
+}
+
+// NewFeederSinks is NewFeeder with additional analysis sinks sharing the
+// parsed stream, following the RunMulti contract: the engine's verdict,
+// violation index and event count are unaffected by the extra sinks, each
+// sink sees every event up to its own latch, and the stream keeps flowing
+// (and parse errors keep being reported) until every analysis is done.
+func NewFeederSinks(eng core.Engine, extra []Sink, cfg Config) *Feeder {
 	cfg = cfg.withDefaults()
 	return &Feeder{
 		eng:   eng,
+		extra: extra,
 		src:   rapidio.NewFeeder(),
 		batch: make([]trace.Event, cfg.BatchSize),
 		stats: cfg.Stats,
 	}
 }
+
+// done reports that every analysis — the engine and all extra sinks — has
+// latched, so the rest of the stream is discardable.
+func (f *Feeder) done() bool { return f.viol != nil && allDone(f.extra) }
+
+// Done reports that every analysis has latched: the engine found its
+// violation and every extra sink is done, so further chunks are discarded
+// without parsing. A serving front end uses this (not Violation alone) to
+// decide when a multi-analysis stream has nothing left to learn.
+func (f *Feeder) Done() bool { return f.done() }
 
 // Feed appends one chunk of the stream (chunk boundaries need not align
 // with line or record boundaries) and processes every event whose line or
@@ -54,7 +75,7 @@ func NewFeeder(eng core.Engine, cfg Config) *Feeder {
 // parse error, if the stream just turned out to be malformed. Feeding
 // after either is terminal is a no-op returning the same outcome.
 func (f *Feeder) Feed(chunk []byte) (*core.Violation, error) {
-	if f.viol != nil || f.err != nil {
+	if f.done() || f.err != nil {
 		return f.viol, f.err
 	}
 	f.src.Feed(chunk)
@@ -76,8 +97,15 @@ func (f *Feeder) drain() (*core.Violation, error) {
 			f.stats.ParseNanos.Add(int64(checkStart.Sub(parseStart)))
 		}
 		for _, e := range f.batch[:n] {
-			if v := f.eng.Process(e); v != nil {
-				f.viol = v
+			if f.viol == nil {
+				f.viol = f.eng.Process(e)
+			}
+			for _, s := range f.extra {
+				if !s.Done() {
+					s.Process(e)
+				}
+			}
+			if f.done() {
 				if f.stats != nil {
 					f.stats.CheckNanos.Add(int64(time.Since(checkStart)))
 				}
@@ -85,18 +113,18 @@ func (f *Feeder) drain() (*core.Violation, error) {
 				// the unconsumed tail rather than pinning it for the
 				// session's remaining lifetime.
 				f.src.Discard()
-				return v, nil
+				return f.viol, nil
 			}
 		}
 		if f.stats != nil {
 			f.stats.CheckNanos.Add(int64(time.Since(checkStart)))
 		}
 		if err == io.EOF || (err == nil && n < len(f.batch)) {
-			return nil, nil
+			return f.viol, nil
 		}
 		if err != nil {
 			f.err = err
-			return nil, err
+			return f.viol, err
 		}
 	}
 }
@@ -106,7 +134,7 @@ func (f *Feeder) drain() (*core.Violation, error) {
 // the number of events consumed, and the terminal parse error, if any.
 // Close is idempotent.
 func (f *Feeder) Close() (*core.Violation, int64, error) {
-	if f.viol == nil && f.err == nil {
+	if !f.done() && f.err == nil {
 		f.src.Close()
 		f.drain()
 	}

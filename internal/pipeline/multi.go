@@ -1,0 +1,140 @@
+package pipeline
+
+// Multi-analysis dispatch: one parsed event stream fanned out to N
+// analyses. The primary atomicity engine keeps its exact single-analysis
+// semantics (latch at first violation, stop counting), while additional
+// sinks — the happens-before race detector, and eventually other analyses
+// riding the same clock substrate — keep consuming until each latches on
+// its own. The stream stops as soon as every analysis is done, so the
+// single-analysis case (no extra sinks) behaves exactly like before: the
+// differential suites at the repository root pin the atomicity verdict of
+// a multi-analysis run byte-identical to a single-analysis run.
+
+import (
+	"io"
+	"time"
+
+	"aerodrome/internal/core"
+	"aerodrome/internal/trace"
+)
+
+// Sink is one analysis consuming the shared event stream. Process feeds
+// the next event; Done reports that the analysis has latched a verdict and
+// no longer needs events. Implementations must tolerate Process calls
+// after Done (the batch granularity of the pipeline can overshoot by a few
+// events) by ignoring them, exactly like a latched core.Engine.
+type Sink interface {
+	Process(e trace.Event)
+	Done() bool
+}
+
+// allDone reports whether every extra sink has latched.
+func allDone(sinks []Sink) bool {
+	for _, s := range sinks {
+		if !s.Done() {
+			return false
+		}
+	}
+	return true
+}
+
+// RunMulti is Run with additional analysis sinks sharing the parsed
+// stream. The primary engine's verdict, violation index and event count
+// are identical to Run (and therefore to the sequential checker) on the
+// same input; extra sinks see every event from the start of the stream up
+// to their own latch point, so their violation indices are global trace
+// indices. Parsing stops early only when the engine has latched AND every
+// extra sink is done. A parse error is reported only if some analysis was
+// still live when it was reached — once all have latched, the rest of the
+// stream is discarded unread, mirroring Run's discard-after-violation
+// rule.
+func RunMulti(eng core.Engine, extra []Sink, src BatchSource, cfg Config) (*core.Violation, int64, error) {
+	if len(extra) == 0 {
+		return Run(eng, src, cfg)
+	}
+	cfg = cfg.withDefaults()
+
+	full := make(chan []trace.Event, cfg.Depth)
+	free := make(chan []trace.Event, cfg.Depth)
+	stop := make(chan struct{})
+	for i := 0; i < cfg.Depth; i++ {
+		free <- make([]trace.Event, cfg.BatchSize)
+	}
+
+	var srcErr error
+	go func() {
+		defer close(full)
+		for {
+			var buf []trace.Event
+			select {
+			case buf = <-free:
+			case <-stop:
+				return
+			}
+			var parseStart time.Time
+			if cfg.Stats != nil {
+				parseStart = time.Now()
+			}
+			n, err := src.ReadBatch(buf[:cap(buf)])
+			if cfg.Stats != nil {
+				cfg.Stats.ParseNanos.Add(int64(time.Since(parseStart)))
+			}
+			if n > 0 {
+				select {
+				case full <- buf[:n]:
+				case <-stop:
+					return
+				}
+			}
+			if err != nil {
+				if err != io.EOF {
+					srcErr = err
+				}
+				return
+			}
+		}
+	}()
+
+	var viol *core.Violation
+	stopped := false
+	extrasDone := false
+	for evs := range full {
+		if viol == nil || !extrasDone {
+			var checkStart time.Time
+			if cfg.Stats != nil {
+				checkStart = time.Now()
+			}
+			for _, e := range evs {
+				if viol == nil {
+					viol = eng.Process(e)
+				}
+				for _, s := range extra {
+					if !s.Done() {
+						s.Process(e)
+					}
+				}
+				if viol != nil && allDone(extra) {
+					break
+				}
+			}
+			if cfg.Stats != nil {
+				cfg.Stats.CheckNanos.Add(int64(time.Since(checkStart)))
+			}
+			extrasDone = allDone(extra)
+			if viol != nil && extrasDone && !stopped {
+				stopped = true
+				close(stop) // unblock the producer; keep draining full
+			}
+		}
+		free <- evs[:cap(evs)]
+	}
+	if viol != nil && extrasDone {
+		// Every analysis latched before the stream ended: any later parse
+		// error sits in the discarded tail.
+		return viol, eng.Processed(), nil
+	}
+	if viol == nil {
+		viol = eng.Violation()
+	}
+	return viol, eng.Processed(), srcErr
+}

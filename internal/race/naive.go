@@ -1,0 +1,146 @@
+package race
+
+import (
+	"aerodrome/internal/trace"
+	"aerodrome/internal/vc"
+)
+
+// NaiveName is the algorithm name the Naive oracle reports.
+const NaiveName = "hbrace-naive"
+
+// access is one recorded read or write: the accessing thread, its local
+// time at the access, and the access kind. Thread u's access at local time
+// c happens-before a later event by thread t iff c ≤ C_t(u) — the epoch
+// test, exact because a thread's component only enters other clocks
+// through its own release/fork edges.
+type access struct {
+	t     trace.ThreadID
+	c     vc.Time
+	write bool
+}
+
+// Naive is the exhaustive happens-before oracle: it keeps every access to
+// every variable and, at each new access, tests it against every prior
+// conflicting access. O(accesses) memory and O(accesses²) time per
+// variable — a specification, not an implementation. The differential
+// suites hold Detector to this oracle across the golden corpus, the paper
+// traces, the scenario shapes and the fuzz seeds.
+//
+// Check ordering mirrors Detector so that the declared race kind matches:
+// a write tests prior writes before prior reads.
+type Naive struct {
+	threads []vc.Clock
+	locks   []vc.Clock
+	vars    [][]access
+	n       int64
+	viol    *Violation
+}
+
+// NewNaive returns a fresh oracle.
+func NewNaive() *Naive { return &Naive{} }
+
+// Name identifies the oracle.
+func (d *Naive) Name() string { return NaiveName }
+
+// Processed returns the number of events consumed (excluding calls after a
+// latched violation).
+func (d *Naive) Processed() int64 { return d.n }
+
+// Violation returns the latched race, if any.
+func (d *Naive) Violation() *Violation { return d.viol }
+
+func (d *Naive) clockOf(t trace.ThreadID) vc.Clock {
+	i := int(t)
+	for i >= len(d.threads) {
+		d.threads = append(d.threads, nil)
+	}
+	if d.threads[i] == nil {
+		d.threads[i] = vc.Unit(i)
+	}
+	return d.threads[i]
+}
+
+// Process consumes the next trace event, latching at the first race.
+func (d *Naive) Process(e trace.Event) *Violation {
+	if d.viol != nil {
+		return d.viol
+	}
+	d.n++
+	switch e.Kind {
+	case trace.Read, trace.Write:
+		d.access(e)
+	case trace.Acquire:
+		ct := d.clockOf(e.Thread)
+		l := int(e.Target)
+		for l >= len(d.locks) {
+			d.locks = append(d.locks, nil)
+		}
+		d.threads[e.Thread] = ct.Join(d.locks[l])
+	case trace.Release:
+		ct := d.clockOf(e.Thread)
+		l := int(e.Target)
+		for l >= len(d.locks) {
+			d.locks = append(d.locks, nil)
+		}
+		d.locks[l] = ct.CopyInto(d.locks[l])
+		d.threads[e.Thread] = ct.Inc(int(e.Thread))
+	case trace.Fork:
+		ct := d.clockOf(e.Thread)
+		cu := d.clockOf(trace.ThreadID(e.Target))
+		d.threads[e.Target] = cu.Join(ct)
+		d.threads[e.Thread] = ct.Inc(int(e.Thread))
+	case trace.Join:
+		cu := d.clockOf(trace.ThreadID(e.Target))
+		ct := d.clockOf(e.Thread)
+		d.threads[e.Thread] = ct.Join(cu)
+		d.threads[e.Target] = cu.Inc(int(e.Target))
+	case trace.Begin, trace.End:
+	}
+	return d.viol
+}
+
+// access handles r(x)/w(x): test against every prior conflicting access,
+// writes first for write events, then record this access.
+func (d *Naive) access(e trace.Event) {
+	x := int(e.Target)
+	for x >= len(d.vars) {
+		d.vars = append(d.vars, nil)
+	}
+	t := e.Thread
+	ct := d.clockOf(t)
+	isWrite := e.Kind == trace.Write
+	if isWrite {
+		for _, a := range d.vars[x] {
+			if a.write && a.c > ct.At(int(a.t)) {
+				d.latch(e, trace.VarID(e.Target), a.t, KindWriteWrite)
+				return
+			}
+		}
+		for _, a := range d.vars[x] {
+			if !a.write && a.c > ct.At(int(a.t)) {
+				d.latch(e, trace.VarID(e.Target), a.t, KindReadWrite)
+				return
+			}
+		}
+	} else {
+		for _, a := range d.vars[x] {
+			if a.write && a.c > ct.At(int(a.t)) {
+				d.latch(e, trace.VarID(e.Target), a.t, KindWriteRead)
+				return
+			}
+		}
+	}
+	d.vars[x] = append(d.vars[x], access{t: t, c: ct.At(int(t)), write: isWrite})
+}
+
+func (d *Naive) latch(e trace.Event, x trace.VarID, other trace.ThreadID, k Kind) {
+	d.viol = &Violation{
+		Index:     d.n - 1,
+		Event:     e,
+		Var:       x,
+		Thread:    e.Thread,
+		Other:     other,
+		Check:     k,
+		Algorithm: NaiveName,
+	}
+}

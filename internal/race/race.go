@@ -1,0 +1,288 @@
+// Package race implements a FastTrack-style happens-before data-race
+// detector over the same trace alphabet and vector-clock substrate as the
+// AeroDrome atomicity checker (internal/vc), so one ingested event stream
+// can drive both analyses on one clock computation.
+//
+// The happens-before model is the standard one:
+//
+//   - program order within a thread,
+//   - rel(ℓ) → acq(ℓ) on the same lock,
+//   - fork(u) → first event of u, last event of u → join(u).
+//
+// Begin/end events (the atomicity checker's transaction boundaries ⊲/⊳)
+// carry no happens-before edges and are no-ops here.
+//
+// State follows FastTrack (Flanagan & Freund, PLDI 2009): per-thread
+// clocks C_t and per-lock clocks L_ℓ as full vector clocks, but
+// per-variable last-access state as adaptive epochs — a single (thread,
+// time) pair for the last write W_x and for the last read R_x while reads
+// are totally ordered, falling back to a full read vector clock only while
+// concurrent readers exist and collapsing back to an epoch at the next
+// non-racing write. The same-epoch and epoch-⊑-clock fast paths resolve
+// the overwhelmingly common cases in O(1), mirroring the epoch fast paths
+// the optimized atomicity engines use for their conflict checks.
+//
+// Like the atomicity engines, a Detector latches at the first race: the
+// analysis answers "is this trace race-free, and if not, where does the
+// first race occur", exactly parallel to the atomicity engines'
+// first-violation semantics. Precision for the first race is FastTrack's
+// theorem; internal to this repository it is enforced differentially
+// against the exhaustive Naive oracle (naive.go) across the golden corpus,
+// the paper traces, the scenario shapes and the fuzz seeds.
+package race
+
+import (
+	"fmt"
+
+	"aerodrome/internal/trace"
+	"aerodrome/internal/vc"
+)
+
+// Kind identifies which pair of conflicting accesses raced.
+type Kind uint8
+
+const (
+	// KindWriteWrite: the current write races a previous write.
+	KindWriteWrite Kind = iota
+	// KindWriteRead: the current read races a previous write.
+	KindWriteRead
+	// KindReadWrite: the current write races a previous read.
+	KindReadWrite
+)
+
+var kindNames = map[Kind]string{
+	KindWriteWrite: "write-write",
+	KindWriteRead:  "write-read",
+	KindReadWrite:  "read-write",
+}
+
+// String names the race kind for reports.
+func (k Kind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("race(%d)", uint8(k))
+}
+
+// Violation reports a data race: two conflicting accesses to Var, neither
+// ordered before the other by happens-before. It implements error.
+type Violation struct {
+	// Index is the 0-based position of the event at which the race was
+	// declared (the second access of the racing pair).
+	Index int64
+	// Event is the access being processed when the race was declared.
+	Event trace.Event
+	// Var is the variable both accesses touch.
+	Var trace.VarID
+	// Thread is the thread of the current (second) access.
+	Thread trace.ThreadID
+	// Other is the thread of the previous conflicting access.
+	Other trace.ThreadID
+	// Check identifies the racing access pair (previous-current order).
+	Check Kind
+	// Algorithm names the detector that reported.
+	Algorithm string
+}
+
+// Error implements error.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("%s: data race at event %d (%s): %s on x%d races thread t%d",
+		v.Algorithm, v.Index, v.Event, v.Check, v.Var, v.Other)
+}
+
+// epoch is FastTrack's scalar clock c@t: thread t's local time at its last
+// access. The zero value (c == 0) means "no access yet" — valid local
+// times start at 1 (vc.Unit).
+type epoch struct {
+	t trace.ThreadID
+	c vc.Time
+}
+
+// varState is the per-variable last-access summary: a write epoch, and a
+// read epoch that escalates to a full read clock (rvc non-nil) while
+// concurrent readers exist.
+type varState struct {
+	w   epoch
+	r   epoch
+	rvc vc.Clock
+}
+
+// Detector is a streaming happens-before race detector. Like core.Engine
+// implementations it is not safe for concurrent use and latches at the
+// first violation.
+type Detector struct {
+	threads []vc.Clock
+	locks   []vc.Clock
+	vars    []varState
+	n       int64
+	viol    *Violation
+}
+
+// DetectorName is the algorithm name Detector reports in violations and
+// analysis reports.
+const DetectorName = "hbrace-fasttrack"
+
+// New returns a fresh detector.
+func New() *Detector { return &Detector{} }
+
+// Name identifies the detector, parallel to core.Engine.Name.
+func (d *Detector) Name() string { return DetectorName }
+
+// Processed returns the number of events consumed (excluding calls after a
+// latched violation).
+func (d *Detector) Processed() int64 { return d.n }
+
+// Violation returns the latched race, if any.
+func (d *Detector) Violation() *Violation { return d.viol }
+
+// clockOf returns thread t's clock, initializing it to ⊥[1/t] on first
+// sight (the FastTrack initial state).
+func (d *Detector) clockOf(t trace.ThreadID) vc.Clock {
+	i := int(t)
+	for i >= len(d.threads) {
+		d.threads = append(d.threads, nil)
+	}
+	if d.threads[i] == nil {
+		d.threads[i] = vc.Unit(i)
+	}
+	return d.threads[i]
+}
+
+func (d *Detector) varOf(x int32) *varState {
+	for int(x) >= len(d.vars) {
+		d.vars = append(d.vars, varState{})
+	}
+	return &d.vars[x]
+}
+
+// Process consumes the next trace event and reports a race if one is
+// declared at this event. After the first race the detector latches:
+// subsequent calls return the same violation without processing.
+func (d *Detector) Process(e trace.Event) *Violation {
+	if d.viol != nil {
+		return d.viol
+	}
+	d.n++
+	switch e.Kind {
+	case trace.Read:
+		d.read(e)
+	case trace.Write:
+		d.write(e)
+	case trace.Acquire:
+		ct := d.clockOf(e.Thread)
+		l := int(e.Target)
+		for l >= len(d.locks) {
+			d.locks = append(d.locks, nil)
+		}
+		d.threads[e.Thread] = ct.Join(d.locks[l])
+	case trace.Release:
+		ct := d.clockOf(e.Thread)
+		l := int(e.Target)
+		for l >= len(d.locks) {
+			d.locks = append(d.locks, nil)
+		}
+		d.locks[l] = ct.CopyInto(d.locks[l])
+		d.threads[e.Thread] = ct.Inc(int(e.Thread))
+	case trace.Fork:
+		ct := d.clockOf(e.Thread)
+		cu := d.clockOf(trace.ThreadID(e.Target))
+		d.threads[e.Target] = cu.Join(ct)
+		d.threads[e.Thread] = ct.Inc(int(e.Thread))
+	case trace.Join:
+		cu := d.clockOf(trace.ThreadID(e.Target))
+		ct := d.clockOf(e.Thread)
+		d.threads[e.Thread] = ct.Join(cu)
+		d.threads[e.Target] = cu.Inc(int(e.Target))
+	case trace.Begin, trace.End:
+		// Transaction boundaries carry no happens-before edges.
+	}
+	return d.viol
+}
+
+// read handles r(x) by thread t: check against the last write, then fold
+// the read into the adaptive read state.
+func (d *Detector) read(e trace.Event) {
+	t := e.Thread
+	ct := d.clockOf(t)
+	vs := d.varOf(e.Target)
+	my := ct.At(int(t))
+	// Same-epoch fast path: this thread already read x at this exact
+	// local time; the earlier identical read performed the write check.
+	if vs.rvc == nil && vs.r.c != 0 && vs.r.t == t && vs.r.c == my {
+		return
+	}
+	// Write-read check: the last write must happen-before this read.
+	if vs.w.c != 0 && vs.w.c > ct.At(int(vs.w.t)) {
+		d.latch(e, trace.VarID(e.Target), vs.w.t, KindWriteRead)
+		return
+	}
+	switch {
+	case vs.rvc != nil:
+		// Shared reads: record this reader's component.
+		vs.rvc = vs.rvc.Set(int(t), my)
+	case vs.r.c == 0 || vs.r.c <= ct.At(int(vs.r.t)):
+		// Exclusive: the previous read happens-before this one, so a
+		// single epoch still summarizes all reads.
+		vs.r = epoch{t: t, c: my}
+	default:
+		// Concurrent readers: escalate to a full read clock holding both.
+		rvc := vc.New(0).Set(int(vs.r.t), vs.r.c)
+		vs.rvc = rvc.Set(int(t), my)
+		vs.r = epoch{}
+	}
+}
+
+// write handles w(x) by thread t: check against the last write and all
+// reads since it, then take over both epochs.
+func (d *Detector) write(e trace.Event) {
+	t := e.Thread
+	ct := d.clockOf(t)
+	vs := d.varOf(e.Target)
+	my := ct.At(int(t))
+	// Same-epoch fast path: this thread already wrote x at this local time.
+	if vs.w.c != 0 && vs.w.t == t && vs.w.c == my {
+		return
+	}
+	// Write-write check: the last write must happen-before this one.
+	if vs.w.c != 0 && vs.w.c > ct.At(int(vs.w.t)) {
+		d.latch(e, trace.VarID(e.Target), vs.w.t, KindWriteWrite)
+		return
+	}
+	// Read-write check: every read since the last write must happen-before.
+	if vs.rvc != nil {
+		if other, ok := concurrentReader(vs.rvc, ct); ok {
+			d.latch(e, trace.VarID(e.Target), other, KindReadWrite)
+			return
+		}
+		// All readers ordered before this write: collapse back to epochs.
+		vs.rvc = nil
+		vs.r = epoch{}
+	} else if vs.r.c != 0 && vs.r.c > ct.At(int(vs.r.t)) {
+		d.latch(e, trace.VarID(e.Target), vs.r.t, KindReadWrite)
+		return
+	}
+	vs.w = epoch{t: t, c: my}
+}
+
+// concurrentReader returns a thread whose recorded read is not ordered
+// before ct, if any.
+func concurrentReader(rvc vc.Clock, ct vc.Clock) (trace.ThreadID, bool) {
+	for i, v := range rvc {
+		if v != 0 && v > ct.At(i) {
+			return trace.ThreadID(i), true
+		}
+	}
+	return 0, false
+}
+
+func (d *Detector) latch(e trace.Event, x trace.VarID, other trace.ThreadID, k Kind) {
+	d.viol = &Violation{
+		Index:     d.n - 1,
+		Event:     e,
+		Var:       x,
+		Thread:    e.Thread,
+		Other:     other,
+		Check:     k,
+		Algorithm: DetectorName,
+	}
+}

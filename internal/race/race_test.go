@@ -1,0 +1,260 @@
+package race
+
+import (
+	"math/rand"
+	"testing"
+
+	"aerodrome/internal/testutil"
+	"aerodrome/internal/trace"
+)
+
+// run drives a fresh detector over a trace, returning its violation.
+func run(t *testing.T, events []trace.Event) (*Detector, *Violation) {
+	t.Helper()
+	d := New()
+	for _, e := range events {
+		d.Process(e)
+	}
+	return d, d.Violation()
+}
+
+func ev(t trace.ThreadID, k trace.OpKind, target int32) trace.Event {
+	return trace.Event{Thread: t, Kind: k, Target: target}
+}
+
+func TestWriteWriteRace(t *testing.T) {
+	_, v := run(t, []trace.Event{
+		ev(0, trace.Write, 7),
+		ev(1, trace.Write, 7),
+	})
+	if v == nil {
+		t.Fatal("expected a race")
+	}
+	if v.Index != 1 || v.Check != KindWriteWrite || v.Var != 7 || v.Thread != 1 || v.Other != 0 {
+		t.Fatalf("unexpected violation: %+v", v)
+	}
+}
+
+func TestWriteReadRace(t *testing.T) {
+	_, v := run(t, []trace.Event{
+		ev(0, trace.Write, 3),
+		ev(1, trace.Read, 3),
+	})
+	if v == nil || v.Check != KindWriteRead || v.Index != 1 || v.Other != 0 {
+		t.Fatalf("expected write-read race at index 1, got %+v", v)
+	}
+}
+
+func TestReadWriteRace(t *testing.T) {
+	_, v := run(t, []trace.Event{
+		ev(0, trace.Read, 3),
+		ev(1, trace.Write, 3),
+	})
+	if v == nil || v.Check != KindReadWrite || v.Index != 1 || v.Other != 0 {
+		t.Fatalf("expected read-write race at index 1, got %+v", v)
+	}
+}
+
+func TestLockOrderingSuppressesRace(t *testing.T) {
+	_, v := run(t, []trace.Event{
+		ev(0, trace.Acquire, 0),
+		ev(0, trace.Write, 1),
+		ev(0, trace.Release, 0),
+		ev(1, trace.Acquire, 0),
+		ev(1, trace.Write, 1),
+		ev(1, trace.Read, 1),
+		ev(1, trace.Release, 0),
+	})
+	if v != nil {
+		t.Fatalf("lock-ordered accesses must not race: %v", v)
+	}
+}
+
+func TestForkJoinOrdering(t *testing.T) {
+	_, v := run(t, []trace.Event{
+		ev(0, trace.Write, 0),
+		ev(0, trace.Fork, 1),
+		ev(1, trace.Write, 0), // ordered after t0's write via fork
+		ev(0, trace.Join, 1),
+		ev(0, trace.Write, 0), // ordered after t1's write via join
+	})
+	if v != nil {
+		t.Fatalf("fork/join-ordered writes must not race: %v", v)
+	}
+}
+
+func TestBeginEndCarryNoEdges(t *testing.T) {
+	// Transactions are atomicity structure, not synchronization: wrapping
+	// racing accesses in begin/end must not hide the race, and the index
+	// accounts for the boundary events.
+	_, v := run(t, []trace.Event{
+		ev(0, trace.Begin, 0),
+		ev(0, trace.Write, 5),
+		ev(0, trace.End, 0),
+		ev(1, trace.Begin, 0),
+		ev(1, trace.Write, 5),
+	})
+	if v == nil || v.Index != 4 || v.Check != KindWriteWrite {
+		t.Fatalf("expected write-write race at index 4, got %+v", v)
+	}
+}
+
+func TestConcurrentReadersPromoteThenRace(t *testing.T) {
+	// Two unordered reads force the read state into shared (vector) mode;
+	// a write ordered after neither must still be caught.
+	d, v := run(t, []trace.Event{
+		ev(0, trace.Read, 2),
+		ev(1, trace.Read, 2),
+		ev(1, trace.Write, 2),
+	})
+	if v == nil || v.Check != KindReadWrite || v.Index != 2 || v.Other != 0 {
+		t.Fatalf("expected read-write race against t0 at index 2, got %+v", v)
+	}
+	if d.Processed() != 3 {
+		t.Fatalf("Processed = %d, want 3", d.Processed())
+	}
+}
+
+func TestSharedReadersCollapseAfterOrderedWrite(t *testing.T) {
+	// Concurrent readers, then a writer ordered after both via two locks:
+	// clean; then an unordered writer races the first write.
+	_, v := run(t, []trace.Event{
+		ev(0, trace.Acquire, 0),
+		ev(0, trace.Read, 2),
+		ev(0, trace.Release, 0),
+		ev(1, trace.Acquire, 1),
+		ev(1, trace.Read, 2),
+		ev(1, trace.Release, 1),
+		ev(2, trace.Acquire, 0),
+		ev(2, trace.Acquire, 1),
+		ev(2, trace.Write, 2),
+	})
+	if v != nil {
+		t.Fatalf("writer ordered after both readers must not race: %v", v)
+	}
+	_, v = run(t, []trace.Event{
+		ev(0, trace.Acquire, 0),
+		ev(0, trace.Read, 2),
+		ev(0, trace.Release, 0),
+		ev(1, trace.Acquire, 1),
+		ev(1, trace.Read, 2),
+		ev(1, trace.Release, 1),
+		ev(2, trace.Acquire, 0),
+		ev(2, trace.Acquire, 1),
+		ev(2, trace.Write, 2),
+		ev(2, trace.Release, 1),
+		ev(2, trace.Release, 0),
+		ev(3, trace.Write, 2),
+	})
+	if v == nil || v.Check != KindWriteWrite || v.Index != 11 || v.Other != 2 {
+		t.Fatalf("expected write-write race against t2 at index 11, got %+v", v)
+	}
+}
+
+func TestSameEpochFastPaths(t *testing.T) {
+	d, v := run(t, []trace.Event{
+		ev(0, trace.Read, 1),
+		ev(0, trace.Read, 1),
+		ev(0, trace.Write, 1),
+		ev(0, trace.Write, 1),
+	})
+	if v != nil {
+		t.Fatalf("same-thread re-accesses must not race: %v", v)
+	}
+	if d.Processed() != 4 {
+		t.Fatalf("Processed = %d, want 4", d.Processed())
+	}
+}
+
+func TestLatch(t *testing.T) {
+	d := New()
+	d.Process(ev(0, trace.Write, 0))
+	v1 := d.Process(ev(1, trace.Write, 0))
+	if v1 == nil {
+		t.Fatal("expected a race")
+	}
+	n := d.Processed()
+	v2 := d.Process(ev(2, trace.Write, 0))
+	if v2 != v1 {
+		t.Fatalf("latched violation changed: %v -> %v", v1, v2)
+	}
+	if d.Processed() != n {
+		t.Fatalf("Processed advanced after latch: %d -> %d", n, d.Processed())
+	}
+}
+
+func TestReleaseAcquireOnlyOrdersThatLock(t *testing.T) {
+	// t1 acquires a different lock than t0 released: no edge, race.
+	_, v := run(t, []trace.Event{
+		ev(0, trace.Acquire, 0),
+		ev(0, trace.Write, 1),
+		ev(0, trace.Release, 0),
+		ev(1, trace.Acquire, 1),
+		ev(1, trace.Write, 1),
+	})
+	if v == nil || v.Check != KindWriteWrite || v.Index != 4 {
+		t.Fatalf("expected write-write race at index 4, got %+v", v)
+	}
+}
+
+// assertAgree runs Detector and Naive over the same events and requires
+// identical verdicts: same race-or-not, and on a race the same index,
+// kind and variable. (The reported Other thread may legitimately differ
+// when several prior accesses race the same event.)
+func assertAgree(t *testing.T, events []trace.Event, label string) {
+	t.Helper()
+	d := New()
+	n := NewNaive()
+	for _, e := range events {
+		d.Process(e)
+		n.Process(e)
+	}
+	dv, nv := d.Violation(), n.Violation()
+	switch {
+	case (dv == nil) != (nv == nil):
+		t.Fatalf("%s: detector=%v oracle=%v", label, dv, nv)
+	case dv != nil:
+		if dv.Index != nv.Index || dv.Check != nv.Check || dv.Var != nv.Var {
+			t.Fatalf("%s: detector (idx %d, %s, x%d) != oracle (idx %d, %s, x%d)",
+				label, dv.Index, dv.Check, dv.Var, nv.Index, nv.Check, nv.Var)
+		}
+		if d.Processed() != n.Processed() {
+			t.Fatalf("%s: processed %d != %d", label, d.Processed(), n.Processed())
+		}
+	}
+}
+
+func TestDetectorMatchesNaiveOnPaperTraces(t *testing.T) {
+	for label, tr := range map[string]*trace.Trace{
+		"rho1": testutil.Rho1(), "rho2": testutil.Rho2(),
+		"rho3": testutil.Rho3(), "rho4": testutil.Rho4(),
+	} {
+		assertAgree(t, tr.Events, label)
+	}
+}
+
+func TestDetectorMatchesNaiveOnRandomTraces(t *testing.T) {
+	r := rand.New(rand.NewSource(20260808))
+	for i := 0; i < 300; i++ {
+		tr := testutil.RandomTrace(r, testutil.GenOpts{
+			Threads:      2 + r.Intn(7),
+			Vars:         1 + r.Intn(6),
+			Locks:        1 + r.Intn(3),
+			Steps:        40 + r.Intn(400),
+			TxnBias:      r.Intn(3),
+			LockBias:     r.Intn(3),
+			MaxHeldLocks: 1 + r.Intn(2),
+		})
+		assertAgree(t, tr.Events, "random")
+	}
+}
+
+func TestDetectorMatchesNaiveOnByteTraces(t *testing.T) {
+	r := rand.New(rand.NewSource(20260809))
+	buf := make([]byte, 512)
+	for i := 0; i < 300; i++ {
+		r.Read(buf[:16+r.Intn(len(buf)-16)])
+		tr := testutil.TraceFromBytes(buf)
+		assertAgree(t, tr.Events, "bytetrace")
+	}
+}

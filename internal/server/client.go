@@ -344,9 +344,28 @@ func (c *Client) Check(r io.Reader, algo string) (*aerodrome.Report, error) {
 
 // CheckContext is Check under a caller-supplied context.
 func (c *Client) CheckContext(ctx context.Context, r io.Reader, algo string) (*aerodrome.Report, error) {
+	return c.CheckAnalysesContext(ctx, r, algo, "")
+}
+
+// CheckAnalyses is Check with an analysis set ("atomicity,hbrace"; "" for
+// the server default). The report's top-level fields carry the atomicity
+// verdict; per-analysis verdicts land in Report.Analyses.
+func (c *Client) CheckAnalyses(r io.Reader, algo, analyses string) (*aerodrome.Report, error) {
+	return c.CheckAnalysesContext(context.Background(), r, algo, analyses)
+}
+
+// CheckAnalysesContext is CheckAnalyses under a caller-supplied context.
+func (c *Client) CheckAnalysesContext(ctx context.Context, r io.Reader, algo, analyses string) (*aerodrome.Report, error) {
 	path := "/v1/check"
+	q := neturl.Values{}
 	if algo != "" {
-		path += "?" + neturl.Values{"algo": {algo}}.Encode()
+		q.Set("algo", algo)
+	}
+	if analyses != "" {
+		q.Set("analyses", analyses)
+	}
+	if len(q) > 0 {
+		path += "?" + q.Encode()
 	}
 	resp, err := c.do(ctx, http.MethodPost, c.url(path), "application/octet-stream", r, -1)
 	if err != nil {
@@ -362,7 +381,7 @@ func (c *Client) CheckContext(ctx context.Context, r io.Reader, algo string) (*a
 			}
 			direct := &Client{BaseURL: backend, Tenant: c.Tenant, TraceKey: c.TraceKey,
 				HTTPClient: c.HTTPClient, Timeout: c.Timeout, MaxRetries: -1}
-			if rep, derr := direct.CheckContext(ctx, seeker, algo); derr == nil {
+			if rep, derr := direct.CheckAnalysesContext(ctx, seeker, algo, analyses); derr == nil {
 				return rep, nil
 			}
 		}
@@ -396,9 +415,28 @@ func (c *Client) NewSession(algo string) (*Session, error) {
 
 // NewSessionContext is NewSession under a caller-supplied context.
 func (c *Client) NewSessionContext(ctx context.Context, algo string) (*Session, error) {
+	return c.NewSessionAnalysesContext(ctx, algo, "")
+}
+
+// NewSessionAnalyses opens an incremental session running an analysis set
+// ("atomicity,hbrace"; "" for the server default, atomicity alone).
+func (c *Client) NewSessionAnalyses(algo, analyses string) (*Session, error) {
+	return c.NewSessionAnalysesContext(context.Background(), algo, analyses)
+}
+
+// NewSessionAnalysesContext is NewSessionAnalyses under a caller-supplied
+// context.
+func (c *Client) NewSessionAnalysesContext(ctx context.Context, algo, analyses string) (*Session, error) {
 	path := "/v1/sessions"
+	q := neturl.Values{}
 	if algo != "" {
-		path += "?" + neturl.Values{"algo": {algo}}.Encode()
+		q.Set("algo", algo)
+	}
+	if analyses != "" {
+		q.Set("analyses", analyses)
+	}
+	if len(q) > 0 {
+		path += "?" + q.Encode()
 	}
 	resp, err := c.do(ctx, http.MethodPost, c.url(path), "application/json", nil, -1)
 	if err != nil {

@@ -35,6 +35,12 @@ type metrics struct {
 	eventsTotal     atomic.Int64
 	violationsTotal atomic.Int64
 
+	// analyses counts per-analysis activity: how many checks and sessions
+	// requested each analysis, and how many violations each reported. The
+	// map is built once in newMetrics (one entry per supported analysis) and
+	// never mutated afterwards, so reads need no lock.
+	analyses map[string]*analysisCounters
+
 	// engineMu guards insertion into engines; the counters themselves are
 	// atomic. Keyed by engine name, counting how often each engine was
 	// selected (one per /v1/check and one per session) — the observability
@@ -55,11 +61,31 @@ type metrics struct {
 	stageFinalize *obs.Histogram
 }
 
+// analysisCounters is one analysis' counter row: requested-by counts and
+// violations reported. All atomic; see metrics.analyses.
+type analysisCounters struct {
+	checks     atomic.Int64
+	sessions   atomic.Int64
+	violations atomic.Int64
+}
+
 func newMetrics() *metrics {
 	m := &metrics{
-		start:   time.Now(),
-		reg:     obs.NewRegistry(),
-		engines: map[string]*atomic.Int64{},
+		start:    time.Now(),
+		reg:      obs.NewRegistry(),
+		engines:  map[string]*atomic.Int64{},
+		analyses: map[string]*analysisCounters{},
+	}
+	for _, k := range aerodrome.AnalysisKinds() {
+		ac := &analysisCounters{}
+		m.analyses[string(k)] = ac
+		labels := obs.Labels(map[string]string{"analysis": string(k)})
+		m.reg.CounterFunc("aerodromed_analysis_checks_total", labels,
+			"One-shot checks that ran this analysis.", ac.checks.Load)
+		m.reg.CounterFunc("aerodromed_analysis_sessions_total", labels,
+			"Sessions opened with this analysis.", ac.sessions.Load)
+		m.reg.CounterFunc("aerodromed_analysis_violations_total", labels,
+			"Violations reported by this analysis.", ac.violations.Load)
 	}
 	gauge := func(name, help string, v *atomic.Int64) {
 		m.reg.GaugeFunc(name, "", help, func() float64 { return float64(v.Load()) })
@@ -142,6 +168,33 @@ func (m *metrics) selectEngine(name string) {
 	c.Add(1)
 }
 
+// countCheck settles one finished /v1/check report into the per-analysis
+// counters: every analysis the check ran gets a check tick, and each
+// non-clean verdict a violation tick. A report without an Analyses section
+// ran the default set (atomicity alone), whose verdict is the legacy
+// top-level fields.
+func (m *metrics) countCheck(rep *aerodrome.Report) {
+	if len(rep.Analyses) == 0 {
+		if ac := m.analyses[string(aerodrome.AnalysisAtomicity)]; ac != nil {
+			ac.checks.Add(1)
+			if !rep.Serializable {
+				ac.violations.Add(1)
+			}
+		}
+		return
+	}
+	for _, ar := range rep.Analyses {
+		ac := m.analyses[ar.Analysis]
+		if ac == nil {
+			continue
+		}
+		ac.checks.Add(1)
+		if !ar.Clean {
+			ac.violations.Add(1)
+		}
+	}
+}
+
 // addEngineStats folds one settled batch of engine introspection deltas
 // into the server-wide aggregate.
 func (m *metrics) addEngineStats(s aerodrome.EngineStats) {
@@ -173,7 +226,16 @@ func (m *metrics) snapshot() MetricsSnapshot {
 		engines[name] = c.Load()
 	}
 	m.engineMu.Unlock()
+	analyses := make(map[string]AnalysisMetrics, len(m.analyses))
+	for name, ac := range m.analyses {
+		analyses[name] = AnalysisMetrics{
+			Checks:     ac.checks.Load(),
+			Sessions:   ac.sessions.Load(),
+			Violations: ac.violations.Load(),
+		}
+	}
 	return MetricsSnapshot{
+		Analyses: analyses,
 		Checks: CheckMetrics{
 			Active:   m.checksActive.Load(),
 			Rejected: m.checksRejected.Load(),

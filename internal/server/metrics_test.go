@@ -114,6 +114,15 @@ func TestMetricsJSONSchema(t *testing.T) {
 	if snap.Checks.Total < 1 {
 		t.Errorf("checks.total = %d, want >= 1", snap.Checks.Total)
 	}
+	// driveTraffic ran one default-set check and one default-set session:
+	// both land on the atomicity analysis row; the hbrace row exists at
+	// zero (rows are pre-created so dashboards see every analysis).
+	if am := snap.Analyses["atomicity"]; am.Checks < 1 || am.Sessions < 1 {
+		t.Errorf("analyses[atomicity] = %+v, want checks and sessions >= 1", am)
+	}
+	if _, ok := snap.Analyses["hbrace"]; !ok {
+		t.Error("analyses[hbrace] row missing from snapshot")
+	}
 
 	// The schema promise: top-level keys stay in sorted order, exactly as
 	// the pre-typed map-based encoder emitted them — consumers diffing

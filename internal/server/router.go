@@ -175,6 +175,7 @@ type sessionRoute struct {
 	backendID string                  // session id on b
 	key       string                  // consistent-hash routing key ("" = placed round-robin)
 	algo      string                  // requested algorithm, replayed on recreation
+	analyses  string                  // requested analysis set, replayed on recreation
 	tenant    string                  // tenant header value, replayed on recreation
 	journal   *journal
 	lastSeq   int64 // last journaled chunk sequence (-1 = none)
@@ -641,6 +642,23 @@ func createAlgo(r *http.Request, body []byte) string {
 	return ""
 }
 
+// createAnalyses extracts the requested analysis set from a session-create
+// request (query, then the buffered JSON body), rendered as the
+// comma-separated query form — stored verbatim so a failover recreates the
+// session with exactly what the client asked for.
+func createAnalyses(r *http.Request, body []byte) string {
+	if q := r.URL.Query().Get("analyses"); q != "" {
+		return q
+	}
+	var req struct {
+		Analyses []string `json:"analyses"`
+	}
+	if len(body) > 0 && json.Unmarshal(body, &req) == nil {
+		return strings.Join(req.Analyses, ",")
+	}
+	return ""
+}
+
 // handleSessionCreate places a new session on the key's backend. The tiny
 // JSON body is buffered, so creation retries across the ring when the
 // first choice turns out to be down — admission-time backend loss is
@@ -699,6 +717,7 @@ func (rt *Router) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 					backendID: v.ID,
 					key:       key,
 					algo:      createAlgo(r, body),
+					analyses:  createAnalyses(r, body),
 					tenant:    r.Header.Get(rt.cfg.TenantHeader),
 					journal: newJournal(rt.cfg.JournalMemBytes, rt.cfg.JournalMaxBytes,
 						rt.cfg.JournalSpillDir, rt.budget),
@@ -852,8 +871,15 @@ func (rt *Router) failoverLocked(route *sessionRoute) error {
 // down and moves on); an HTTP-level refusal is *errBackendDeclined.
 func (rt *Router) recreateOn(nb *backend, route *sessionRoute) (string, int64, error) {
 	u := nb.name + "/v1/sessions"
+	q := url.Values{}
 	if route.algo != "" {
-		u += "?algo=" + url.QueryEscape(route.algo)
+		q.Set("algo", route.algo)
+	}
+	if route.analyses != "" {
+		q.Set("analyses", route.analyses)
+	}
+	if len(q) > 0 {
+		u += "?" + q.Encode()
 	}
 	req, err := http.NewRequest(http.MethodPost, u, nil)
 	if err != nil {

@@ -257,6 +257,14 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	if q := r.URL.Query().Get("algo"); q != "" {
 		algo = aerodrome.Algorithm(q)
 	}
+	// `?analyses=` selects the analysis set ("atomicity,hbrace"); absent or
+	// empty means the default set, whose report stays byte-identical to the
+	// single-analysis service.
+	analyses, err := aerodrome.ParseAnalyses(r.URL.Query().Get("analyses"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
 	if r.ContentLength > s.cfg.MaxBodyBytes {
 		// Reject declared-oversized bodies before parsing: once the
 		// MaxBytesReader truncates mid-line, the parser reports the
@@ -290,11 +298,10 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 	head, _ := body.Peek(4)
 	var rep *aerodrome.Report
 	var cs aerodrome.CheckStats
-	var err error
 	if rapidio.IsBinary(head) {
-		rep, cs, err = aerodrome.CheckBinaryReaderPipelinedStats(body, algo)
+		rep, cs, err = aerodrome.CheckBinaryReaderPipelinedStatsAnalyses(body, algo, analyses)
 	} else {
-		rep, cs, err = aerodrome.CheckReaderPipelinedStats(body, algo)
+		rep, cs, err = aerodrome.CheckReaderPipelinedStatsAnalyses(body, algo, analyses)
 	}
 	if err != nil {
 		var budget *errTenantBudget
@@ -316,6 +323,7 @@ func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {
 		s.metrics.violationsTotal.Add(1)
 		ten.violationsTotal.Add(1)
 	}
+	s.metrics.countCheck(rep)
 	s.metrics.selectEngine(rep.Algorithm)
 	s.metrics.stageParse.Record(cs.ParseTime)
 	s.metrics.stageCheck.Record(cs.CheckTime)

@@ -18,6 +18,7 @@ import (
 	"net/http"
 	"os"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -67,6 +68,12 @@ type session struct {
 	id      string
 	algo    string
 	created time.Time
+	// analyses is the session's effective analysis set; multi is true when
+	// it is anything other than the default ["atomicity"], switching the
+	// wire format to include per-analysis verdicts and the feed loop to
+	// stream until every analysis has latched.
+	analyses []aerodrome.AnalysisKind
+	multi    bool
 	// tenant owns this session's quota slot, released on finalization.
 	tenant *tenant
 
@@ -93,6 +100,13 @@ type session struct {
 	parseErr   error
 	events     int64
 	viol       *aerodrome.Violation
+	// analysesSnap is the latest per-analysis snapshot (multi sessions
+	// only), refreshed per feed block so GET never waits behind feedMu.
+	analysesSnap []aerodrome.AnalysisReport
+	// violCounted marks analyses whose first violation was already settled
+	// into the per-analysis metrics, so block-by-block snapshot refreshes
+	// count each at most once.
+	violCounted map[string]bool
 	// removed is set (under mu) when the session leaves the table — by
 	// DELETE, eviction or server close. A feed that raced the removal
 	// must see it and stop rather than stream into a finalized checker.
@@ -110,14 +124,18 @@ type session struct {
 // SessionView is the JSON shape of GET /v1/sessions/{id} and the feed
 // response.
 type SessionView struct {
-	ID         string               `json:"id"`
-	Algorithm  string               `json:"algorithm"`
-	State      sessionState         `json:"state"`
-	Events     int64                `json:"events"`
-	Violation  *aerodrome.Violation `json:"violation,omitempty"`
-	Error      string               `json:"error,omitempty"`
-	Created    time.Time            `json:"created"`
-	LastActive time.Time            `json:"last_active"`
+	ID        string               `json:"id"`
+	Algorithm string               `json:"algorithm"`
+	State     sessionState         `json:"state"`
+	Events    int64                `json:"events"`
+	Violation *aerodrome.Violation `json:"violation,omitempty"`
+	// Analyses carries the per-analysis verdicts of a multi-analysis
+	// session; omitted for the default atomicity-only set, whose view
+	// stays byte-identical to the single-analysis service.
+	Analyses   []aerodrome.AnalysisReport `json:"analyses,omitempty"`
+	Error      string                     `json:"error,omitempty"`
+	Created    time.Time                  `json:"created"`
+	LastActive time.Time                  `json:"last_active"`
 }
 
 // view snapshots the session from the cached fields only — no checker
@@ -132,6 +150,9 @@ func (s *session) view() SessionView {
 		Violation:  s.viol,
 		Created:    s.created,
 		LastActive: s.lastActive,
+	}
+	if s.multi {
+		v.Analyses = s.analysesSnap
 	}
 	if s.parseErr != nil {
 		v.Error = s.parseErr.Error()
@@ -154,7 +175,8 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req struct {
-		Algo string `json:"algo"`
+		Algo     string   `json:"algo"`
+		Analyses []string `json:"analyses"`
 	}
 	if r.ContentLength != 0 {
 		if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<16)).Decode(&req); err != nil {
@@ -169,7 +191,25 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	if req.Algo == "" {
 		algo = s.cfg.Algorithm
 	}
-	checker, err := aerodrome.NewIncrementalChecker(algo)
+	var set []aerodrome.AnalysisKind
+	for _, name := range req.Analyses {
+		if n := strings.TrimSpace(name); n != "" {
+			set = append(set, aerodrome.AnalysisKind(n))
+		}
+	}
+	analyses, err := aerodrome.NormalizeAnalyses(set)
+	if err == nil {
+		// `?analyses=` (comma-separated) overrides the body list, mirroring
+		// the algo query override.
+		if q := r.URL.Query().Get("analyses"); q != "" {
+			analyses, err = aerodrome.ParseAnalyses(q)
+		}
+	}
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	checker, err := aerodrome.NewIncrementalCheckerAnalyses(algo, analyses)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
@@ -184,15 +224,22 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	analyses = checker.AnalysisSet()
+	multi := !(len(analyses) == 1 && analyses[0] == aerodrome.AnalysisAtomicity)
 	sess := &session{
-		id:      newSessionID(),
-		algo:    checker.Algorithm(),
-		created: time.Now(),
-		tenant:  ten,
-		checker: checker,
-		state:   stateActive,
+		id:       newSessionID(),
+		algo:     checker.Algorithm(),
+		created:  time.Now(),
+		analyses: analyses,
+		multi:    multi,
+		tenant:   ten,
+		checker:  checker,
+		state:    stateActive,
 	}
 	sess.lastActive = sess.created
+	if multi {
+		sess.analysesSnap = checker.Analyses()
+	}
 
 	s.mu.Lock()
 	if s.closed {
@@ -216,6 +263,11 @@ func (s *Server) handleSessionCreate(w http.ResponseWriter, r *http.Request) {
 	ten.sessionsOpened.Add(1)
 	s.metrics.sessionsActive.Add(1)
 	s.metrics.selectEngine(sess.algo)
+	for _, k := range sess.analyses {
+		if ac := s.metrics.analyses[string(k)]; ac != nil {
+			ac.sessions.Add(1)
+		}
+	}
 
 	sess.mu.Lock()
 	view := sess.view()
@@ -316,7 +368,12 @@ func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
 	sess.lastActive = time.Now()
 	state, view := sess.state, sess.view()
 	sess.mu.Unlock()
-	if state != stateActive {
+	// A failed session is terminal outright; a violated one is terminal
+	// only once every requested analysis has latched — a multi-analysis
+	// session whose race analysis is still live keeps consuming chunks
+	// after the atomicity violation. (Reading checker.Done here is safe:
+	// we hold feedMu.)
+	if state == stateFailed || (state != stateActive && sess.checker.Done()) {
 		// Terminal states accept and discard the chunk; drain it so the
 		// client receives the snapshot instead of a connection reset
 		// mid-upload (the per-read deadline still bounds a stalled drain).
@@ -346,12 +403,23 @@ func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
 		n, rerr := body.Read(block)
 		if n > 0 {
 			v, ferr = sess.checker.Feed(block[:n])
+			var snap []aerodrome.AnalysisReport
+			if sess.multi {
+				// Snapshot per-analysis state while holding feedMu (it reads
+				// the checker), then publish it under mu like the other
+				// cached fields.
+				snap = sess.checker.Analyses()
+			}
 			sess.mu.Lock()
 			sess.lastActive = time.Now()
 			sess.events = sess.checker.Processed()
+			if sess.multi {
+				sess.analysesSnap = snap
+				s.countAnalysisViolationsLocked(sess, snap)
+			}
 			removedMidFeed = sess.removed
 			sess.mu.Unlock()
-			if ferr != nil || v != nil || removedMidFeed {
+			if ferr != nil || removedMidFeed || sess.checker.Done() {
 				break
 			}
 		}
@@ -401,15 +469,44 @@ func (s *Server) handleSessionEvents(w http.ResponseWriter, r *http.Request) {
 		sess.state = stateFailed
 		sess.parseErr = ferr
 		status = http.StatusBadRequest
-	case v != nil:
+	case v != nil && sess.viol == nil:
+		// Guarded on first sighting: a multi-analysis session keeps feeding
+		// after the atomicity latch, and every later Feed returns the same
+		// latched violation.
 		sess.state = stateViolated
 		sess.viol = v
 		s.metrics.violationsTotal.Add(1)
 		sess.tenant.violationsTotal.Add(1)
+		s.countAnalysisViolationLocked(sess, string(aerodrome.AnalysisAtomicity))
 	}
 	view = sess.view()
 	sess.mu.Unlock()
 	s.writeFeedResult(w, sess, seq, status, view)
+}
+
+// countAnalysisViolationLocked settles one analysis' first violation into
+// the per-analysis metrics, at most once per session. Callers hold sess.mu.
+func (s *Server) countAnalysisViolationLocked(sess *session, name string) {
+	if sess.violCounted == nil {
+		sess.violCounted = map[string]bool{}
+	}
+	if sess.violCounted[name] {
+		return
+	}
+	sess.violCounted[name] = true
+	if ac := s.metrics.analyses[name]; ac != nil {
+		ac.violations.Add(1)
+	}
+}
+
+// countAnalysisViolationsLocked settles every non-clean entry of a
+// per-analysis snapshot. Callers hold sess.mu.
+func (s *Server) countAnalysisViolationsLocked(sess *session, snap []aerodrome.AnalysisReport) {
+	for _, ar := range snap {
+		if !ar.Clean {
+			s.countAnalysisViolationLocked(sess, ar.Analysis)
+		}
+	}
 }
 
 // writeFeedResult writes one feed response and, when the chunk carried a
@@ -529,6 +626,13 @@ func (s *Server) handleSessionDelete(w http.ResponseWriter, r *http.Request) {
 		sess.viol = rep.Violation
 		s.metrics.violationsTotal.Add(1)
 		sess.tenant.violationsTotal.Add(1)
+		s.countAnalysisViolationLocked(sess, string(aerodrome.AnalysisAtomicity))
+	}
+	if len(rep.Analyses) > 0 {
+		// The final flushed line may have latched a non-atomicity analysis;
+		// refresh the cached snapshot and settle any last violations.
+		sess.analysesSnap = rep.Analyses
+		s.countAnalysisViolationsLocked(sess, rep.Analyses)
 	}
 	s.writeDeleteResult(w, id, http.StatusOK, rep)
 }

@@ -49,10 +49,22 @@ type SessionMetrics struct {
 	Rejected int64 `json:"rejected"`
 }
 
+// AnalysisMetrics is one analysis' counter row in the backend snapshot:
+// how many one-shot checks and sessions ran it, and how many violations
+// it reported.
+type AnalysisMetrics struct {
+	Checks     int64 `json:"checks"`
+	Sessions   int64 `json:"sessions"`
+	Violations int64 `json:"violations"`
+}
+
 // MetricsSnapshot is the backend (single-node aerodromed) /metrics
 // document.
 type MetricsSnapshot struct {
-	Checks CheckMetrics `json:"checks"`
+	// Analyses is the per-analysis counter table keyed by analysis name
+	// ("atomicity", "hbrace").
+	Analyses map[string]AnalysisMetrics `json:"analyses"`
+	Checks   CheckMetrics               `json:"checks"`
 	// Engine aggregates introspection counters settled from finished
 	// checks and from sessions at feed/finalize boundaries.
 	Engine EngineMetrics `json:"engine"`

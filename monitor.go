@@ -19,6 +19,8 @@ import (
 type Monitor struct {
 	mu      sync.Mutex
 	eng     core.Engine
+	set     []AnalysisKind
+	extras  []analysisSink
 	threads map[any]trace.ThreadID
 	vars    map[any]trace.VarID
 	locks   map[any]trace.LockID
@@ -42,6 +44,23 @@ func WithAlgorithm(a Algorithm) MonitorOption {
 	}
 }
 
+// WithAnalyses selects the analysis set the monitor runs over the observed
+// event stream (default atomicity only). Every analysis sees the same
+// serialized trace and latches at its own first violation; the legacy
+// Violation/Events/Snapshot surface always reports the atomicity analysis,
+// while Analyses exposes the per-analysis verdicts.
+func WithAnalyses(analyses ...AnalysisKind) MonitorOption {
+	return func(m *Monitor) error {
+		set, err := NormalizeAnalyses(analyses)
+		if err != nil {
+			return err
+		}
+		m.set = set
+		m.extras = newAnalysisSinks(set)
+		return nil
+	}
+}
+
 // OnViolation installs a callback invoked (once, under the monitor lock)
 // when the first violation is detected.
 func OnViolation(f func(*Violation)) MonitorOption {
@@ -56,6 +75,7 @@ func OnViolation(f func(*Violation)) MonitorOption {
 func NewMonitor(opts ...MonitorOption) *Monitor {
 	m := &Monitor{
 		eng:     core.NewOptimized(),
+		set:     []AnalysisKind{AnalysisAtomicity},
 		threads: map[any]trace.ThreadID{},
 		vars:    map[any]trace.VarID{},
 		locks:   map[any]trace.LockID{},
@@ -132,6 +152,33 @@ func (m *Monitor) Algorithm() string {
 	return m.eng.Name()
 }
 
+// AnalysisSet returns the monitor's effective analysis set.
+func (m *Monitor) AnalysisSet() []AnalysisKind {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]AnalysisKind, len(m.set))
+	copy(out, m.set)
+	return out
+}
+
+// Analyses returns a consistent per-analysis snapshot: each analysis'
+// verdict so far and the events it has consumed. The atomicity entry
+// matches Snapshot exactly. With the default analysis set this returns
+// the single atomicity entry.
+func (m *Monitor) Analyses() []AnalysisReport {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return analysisReports(m.set, m.extras, func() AnalysisReport {
+		return AnalysisReport{
+			Analysis:  string(AnalysisAtomicity),
+			Clean:     m.viol == nil,
+			Violation: m.viol,
+			Events:    m.events,
+			Algorithm: m.eng.Name(),
+		}
+	})
+}
+
 // Event feeds one explicit event, the hook for front ends that receive an
 // already-encoded stream (a network session, a decoded trace log) rather
 // than instrumenting live code. Identities are interned per key exactly
@@ -162,14 +209,21 @@ func (m *Monitor) Event(e Event) *Violation {
 func (m *Monitor) process(e trace.Event) *Violation {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if m.viol != nil {
+	if m.viol != nil && sinksDone(m.extras) {
 		return m.viol
 	}
-	m.events++
-	if v := m.eng.Process(e); v != nil {
-		m.viol = fromInternal(v)
-		if m.onViol != nil {
-			m.onViol(m.viol)
+	if m.viol == nil {
+		m.events++
+		if v := m.eng.Process(e); v != nil {
+			m.viol = fromInternal(v)
+			if m.onViol != nil {
+				m.onViol(m.viol)
+			}
+		}
+	}
+	for _, s := range m.extras {
+		if !s.Done() {
+			s.Process(e)
 		}
 	}
 	return m.viol

@@ -149,18 +149,61 @@ type IncrementalChecker struct {
 	stages pipeline.StageStats
 	algo   string
 	viol   *Violation
+	set    []AnalysisKind
+	extras []analysisSink
 }
 
 // NewIncrementalChecker returns an incremental checker using the given
-// algorithm (Optimized when empty).
+// algorithm (Optimized when empty), running the default analysis set
+// (atomicity only).
 func NewIncrementalChecker(a Algorithm) (*IncrementalChecker, error) {
+	return NewIncrementalCheckerAnalyses(a, nil)
+}
+
+// NewIncrementalCheckerAnalyses is NewIncrementalChecker with an analysis
+// set: every analysis consumes the same chunk stream from one parse, each
+// latching at its own first violation. The atomicity verdict (and the
+// legacy Violation/Processed surface) is byte-identical to a checker
+// running atomicity alone; per-analysis verdicts are available through
+// Analyses and in the final Report. The stream keeps being parsed until
+// every requested analysis has latched, so a chunk fed after the
+// atomicity violation can still advance the race analysis.
+func NewIncrementalCheckerAnalyses(a Algorithm, analyses []AnalysisKind) (*IncrementalChecker, error) {
+	set, err := NormalizeAnalyses(analyses)
+	if err != nil {
+		return nil, err
+	}
 	eng, err := newEngine(a)
 	if err != nil {
 		return nil, err
 	}
-	c := &IncrementalChecker{algo: eng.Name()}
-	c.f = pipeline.NewFeeder(eng, pipeline.Config{Stats: &c.stages})
+	c := &IncrementalChecker{algo: eng.Name(), set: set}
+	c.extras = newAnalysisSinks(set)
+	c.f = pipeline.NewFeederSinks(eng, pipelineSinks(c.extras), pipeline.Config{Stats: &c.stages})
 	return c, nil
+}
+
+// AnalysisSet returns the checker's effective analysis set.
+func (c *IncrementalChecker) AnalysisSet() []AnalysisKind {
+	out := make([]AnalysisKind, len(c.set))
+	copy(out, c.set)
+	return out
+}
+
+// Analyses returns a point-in-time per-analysis view: verdict so far,
+// events consumed so far. The atomicity entry matches Violation and
+// Processed exactly.
+func (c *IncrementalChecker) Analyses() []AnalysisReport {
+	return analysisReports(c.set, c.extras, func() AnalysisReport {
+		v := c.Violation()
+		return AnalysisReport{
+			Analysis:  string(AnalysisAtomicity),
+			Clean:     v == nil,
+			Violation: v,
+			Events:    c.f.Processed(),
+			Algorithm: c.algo,
+		}
+	})
 }
 
 // Feed appends one chunk of the stream and processes every event whose
@@ -187,12 +230,16 @@ func (c *IncrementalChecker) Close() (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Report{
+	rep := &Report{
 		Serializable: c.viol == nil,
 		Violation:    c.viol,
 		Events:       n,
 		Algorithm:    c.algo,
-	}, nil
+	}
+	if !defaultAnalysisSet(c.set) {
+		rep.Analyses = analysisReports(c.set, c.extras, rep.atomicityEntry)
+	}
+	return rep, nil
 }
 
 // Violation returns the latched violation, if any.
@@ -202,6 +249,12 @@ func (c *IncrementalChecker) Violation() *Violation {
 	}
 	return c.viol
 }
+
+// Done reports that every requested analysis has latched a violation, so
+// further chunks cannot change any verdict. With the default analysis set
+// this is simply "a violation latched"; with extra analyses it requires
+// each of them to have latched too.
+func (c *IncrementalChecker) Done() bool { return c.f.Done() }
 
 // Processed returns the number of events consumed so far.
 func (c *IncrementalChecker) Processed() int64 { return c.f.Processed() }

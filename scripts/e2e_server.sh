@@ -32,13 +32,32 @@ BINDIR=$(mktemp -d)
 BIN="$BINDIR/aerodromed"
 CLI="$BINDIR/aerodrome"
 TMPDIR_E2E=$(mktemp -d)
+# Where daemon logs land when a leg fails: CI uploads this directory as
+# an artifact, so a red leg ships the router/backend logs that explain it
+# instead of just the curl error that tripped it.
+ARTIFACT_DIR="${E2E_LOG_DIR:-$PWD/e2e-logs}"
 PIDS=()
 # Hardened cleanup: the chaos leg kill -9s daemons mid-stream, so any
 # survivor may be wedged mid-write — SIGKILL everything we ever started
-# (idempotent on the already-dead), reap, then sweep the temp dirs.
+# (idempotent on the already-dead), reap, then sweep the temp dirs. On a
+# failing exit, first dump every captured daemon log to stdout and
+# preserve a copy under $ARTIFACT_DIR for CI upload.
 cleanup() {
+    local code=$?
     for p in "${PIDS[@]:-}"; do kill -9 "$p" 2>/dev/null || true; done
     wait 2>/dev/null || true
+    if [ "$code" -ne 0 ]; then
+        echo "=== e2e leg failed (exit $code): captured daemon logs follow ==="
+        local log
+        for log in "$TMPDIR_E2E"/*.log; do
+            [ -f "$log" ] || continue
+            echo "---- ${log##*/} ----"
+            cat "$log"
+        done
+        mkdir -p "$ARTIFACT_DIR"
+        cp "$TMPDIR_E2E"/*.log "$ARTIFACT_DIR"/ 2>/dev/null || true
+        echo "=== daemon logs preserved in $ARTIFACT_DIR ==="
+    fi
     rm -rf "$BINDIR" "$TMPDIR_E2E"
 }
 trap cleanup EXIT
@@ -131,6 +150,30 @@ leg_single() {
         | grep -q '"serializable":true.*"events":3\|"events":3.*"serializable":true' \
         || { echo "session flow failed"; exit 1; }
     echo "session flow ok"
+
+    # Dual-analysis session: one event stream, two verdicts. The trace
+    # violates atomicity early (t2's locked write splits t1's transaction)
+    # while the data race on z only appears at the very end — so the
+    # session must keep consuming after the atomicity latch, and the final
+    # report must carry both per-analysis entries.
+    local DREP
+    SID=$(curl -fsS -X POST -H 'Content-Type: application/json' \
+        -d '{"analyses":["atomicity","hbrace"]}' "$BASE/v1/sessions" \
+        | sed 's/.*"id":"\([^"]*\)".*/\1/')
+    printf 't1|begin|0\nt1|acq(l)|0\nt1|r(x)|0\nt1|rel(l)|0\nt2|acq(l)|0\nt2|w(x)|0\nt2|rel(l)|0\n' \
+        | curl -fsS --data-binary @- "$BASE/v1/sessions/$SID/events" >/dev/null
+    printf 't1|acq(l)|0\nt1|w(x)|0\nt1|rel(l)|0\nt1|end|0\nt2|w(z)|0\nt3|w(z)|0\n' \
+        | curl -fsS --data-binary @- "$BASE/v1/sessions/$SID/events" >/dev/null
+    DREP=$(curl -fsS -X DELETE "$BASE/v1/sessions/$SID")
+    echo "$DREP" | grep -q '"serializable":false' \
+        || { echo "dual session: no atomicity violation: $DREP"; exit 1; }
+    echo "$DREP" | grep -q '"analysis":"atomicity"' \
+        || { echo "dual session: no atomicity entry: $DREP"; exit 1; }
+    echo "$DREP" | grep -q '"analysis":"hbrace"' \
+        || { echo "dual session: no hbrace entry: $DREP"; exit 1; }
+    echo "$DREP" | grep -q '"check":"write-write"' \
+        || { echo "dual session: no write-write race verdict: $DREP"; exit 1; }
+    echo "dual-analysis session ok"
 
     curl -fsS "$BASE/metrics" | grep -q '"events_total"' || { echo "metrics failed"; exit 1; }
 
